@@ -1,0 +1,86 @@
+//! Criterion benchmarks regenerating the paper's worked examples
+//! (Fig. 2/3: hardware vs software recovery; Fig. 4: the five architecture
+//! alternatives; Appendix A.2: the SFP walkthrough). Each iteration
+//! re-derives the published verdicts, so these double as continuously
+//! benchmarked regression checks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftes_model::{paper, HLevel, Mapping, NodeId, NodeTypeId, TimeUs};
+use ftes_opt::{evaluate_fixed, OptConfig};
+use ftes_sfp::{NodeSfp, ReExecutionOpt, Rounding};
+
+fn bench_fig3(c: &mut Criterion) {
+    let sys = paper::fig3_system();
+    let reexec = ReExecutionOpt::default();
+    c.bench_function("fig3_all_levels", |b| {
+        b.iter(|| {
+            let mut verdicts = Vec::new();
+            for h in 1..=3u8 {
+                let level = HLevel::new(h).unwrap();
+                let p = sys
+                    .timing()
+                    .pfail(ftes_model::ProcessId::new(0), NodeTypeId::new(0), level)
+                    .unwrap();
+                let k = reexec
+                    .min_k_single_node(&[p], sys.goal(), sys.application().period())
+                    .unwrap();
+                let mut arch =
+                    ftes_model::Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+                arch.set_hardening(NodeId::new(0), level);
+                let sched = ftes_sched::schedule(
+                    sys.application(),
+                    sys.timing(),
+                    &arch,
+                    &Mapping::all_on(1, NodeId::new(0)),
+                    &[k],
+                    sys.bus(),
+                )
+                .unwrap();
+                verdicts.push((k, sched.wc_length()));
+            }
+            assert_eq!(
+                verdicts,
+                vec![
+                    (6, TimeUs::from_ms(680)),
+                    (2, TimeUs::from_ms(340)),
+                    (1, TimeUs::from_ms(340)),
+                ]
+            );
+            black_box(verdicts)
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let sys = paper::fig1_system();
+    let cfg = OptConfig::default();
+    c.bench_function("fig4_all_alternatives", |b| {
+        b.iter(|| {
+            let mut schedulable = Vec::new();
+            for v in ['a', 'b', 'c', 'd', 'e'] {
+                let (arch, mapping) = paper::fig4_alternative(v);
+                let sol = evaluate_fixed(&sys, &arch, &mapping, &cfg).unwrap().unwrap();
+                schedulable.push(sol.is_schedulable());
+            }
+            assert_eq!(schedulable, vec![true, false, false, false, true]);
+            black_box(schedulable)
+        })
+    });
+}
+
+fn bench_appendix_a2(c: &mut Criterion) {
+    let probs = vec![
+        ftes_model::Prob::new(1.2e-5).unwrap(),
+        ftes_model::Prob::new(1.3e-5).unwrap(),
+    ];
+    c.bench_function("appendix_a2_node", |b| {
+        b.iter(|| {
+            let node = NodeSfp::new(black_box(probs.clone()), Rounding::Pessimistic);
+            assert_eq!(node.pr_none(), 0.99997500015);
+            black_box(node.pr_more_than(1))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_appendix_a2);
+criterion_main!(benches);

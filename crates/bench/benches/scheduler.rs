@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the list scheduler with shared recovery slack,
+//! on the paper example and on synthetic 20/40-process applications.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes_gen::{generate_instance, ExperimentConfig};
+use ftes_model::paper;
+use ftes_opt::initial_mapping;
+use ftes_sched::{longest_path_to_sink, schedule};
+
+fn bench_fig4a(c: &mut Criterion) {
+    let sys = paper::fig1_system();
+    let (arch, mapping) = paper::fig4_alternative('a');
+    c.bench_function("schedule_fig4a", |b| {
+        b.iter(|| {
+            schedule(
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                black_box(&[1, 1]),
+                sys.bus(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_synthetic");
+    for index in [0u64, 1] {
+        // index 0 → 20 processes, index 1 → 40 processes.
+        let sys = generate_instance(&ExperimentConfig::default(), index);
+        let arch = ftes_model::Architecture::with_min_hardening(
+            &sys.platform().ids_fastest_first()[..3],
+        );
+        let mapping = initial_mapping(&sys, &arch).unwrap();
+        let n = sys.application().process_count();
+        group.bench_with_input(
+            BenchmarkId::new("procs", n),
+            &(sys, arch, mapping),
+            |b, (sys, arch, mapping)| {
+                b.iter(|| {
+                    schedule(
+                        sys.application(),
+                        sys.timing(),
+                        arch,
+                        mapping,
+                        black_box(&[2, 2, 2]),
+                        sys.bus(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_priorities(c: &mut Criterion) {
+    let sys = generate_instance(&ExperimentConfig::default(), 1); // 40 procs
+    let arch =
+        ftes_model::Architecture::with_min_hardening(&sys.platform().ids_fastest_first()[..3]);
+    let mapping = initial_mapping(&sys, &arch).unwrap();
+    c.bench_function("longest_path_40procs", |b| {
+        b.iter(|| {
+            longest_path_to_sink(
+                black_box(sys.application()),
+                sys.timing(),
+                &arch,
+                &mapping,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig4a, bench_synthetic, bench_priorities);
+criterion_main!(benches);

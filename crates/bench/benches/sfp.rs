@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the SFP analysis (Appendix A):
+//! per-node failure probabilities, the symmetric-polynomial fast path vs
+//! the multiset enumeration, and the full formula (1)–(6) pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes_model::{paper, Prob};
+use ftes_sfp::{
+    analyze, complete_homogeneous, complete_homogeneous_naive, NodeSfp, ReExecutionOpt, Rounding,
+};
+
+fn probs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1e-5 * (1.0 + i as f64 / n as f64)).collect()
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_polynomial");
+    for &n in &[5usize, 10, 20, 40] {
+        let p = probs(n);
+        group.bench_with_input(BenchmarkId::new("dp", n), &p, |b, p| {
+            b.iter(|| complete_homogeneous(black_box(p), 6))
+        });
+    }
+    // The naive enumeration is only tractable for small inputs — it is the
+    // executable specification the DP is tested against.
+    for &n in &[5usize, 10] {
+        let p = probs(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &p, |b, p| {
+            b.iter(|| complete_homogeneous_naive(black_box(p), 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_sfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_failure");
+    for &n in &[10usize, 20, 40] {
+        let p: Vec<Prob> = probs(n).into_iter().map(|v| Prob::new(v).unwrap()).collect();
+        group.bench_with_input(BenchmarkId::new("series_k30", n), &p, |b, p| {
+            b.iter(|| {
+                NodeSfp::new(p.clone(), Rounding::Pessimistic).pr_more_than_series(black_box(30))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let sys = paper::fig1_system();
+    let (arch, mapping) = paper::fig4_alternative('a');
+    c.bench_function("analyze_fig4a", |b| {
+        b.iter(|| {
+            analyze(
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                black_box(&[1, 1]),
+                sys.goal(),
+                Rounding::Pessimistic,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_reexecution_opt(c: &mut Criterion) {
+    let node_probs: Vec<Vec<Prob>> = (0..3)
+        .map(|_| {
+            probs(10)
+                .into_iter()
+                .map(|v| Prob::new(v * 100.0).unwrap())
+                .collect()
+        })
+        .collect();
+    let goal = ftes_model::ReliabilityGoal::per_hour(1e-5).unwrap();
+    let period = ftes_model::TimeUs::from_ms(360);
+    c.bench_function("reexecution_opt_3x10", |b| {
+        b.iter(|| {
+            ReExecutionOpt::default()
+                .optimize(black_box(&node_probs), goal, period)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_symmetric,
+    bench_node_sfp,
+    bench_full_analysis,
+    bench_reexecution_opt
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates the paper's Fig. 6 (a–d): acceptance percentages of the
+//! MAX / MIN / OPT strategies over synthetic applications.
+//!
+//! ```text
+//! repro_fig6 [--apps N] [--figure a|b|c|d|all]
+//! ```
+//!
+//! Defaults: 150 applications (as in the paper), all figures. The paper's
+//! published values are printed next to the measured ones for comparison;
+//! see `EXPERIMENTS.md` for the analysis.
+
+use ftes_bench::figures::{fig6a, fig6b, fig6c, fig6d};
+
+fn main() {
+    let mut apps = 150usize;
+    let mut figure = "all".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--apps" => {
+                apps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--apps needs a number");
+            }
+            "--figure" => {
+                figure = args.next().expect("--figure needs a|b|c|d|all");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: repro_fig6 [--apps N] [--figure a|b|c|d|all]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = figure == "all";
+    if all || figure == "a" {
+        println!("# Fig. 6a — % accepted vs HPD (SER = 1e-11, ArC = 20)");
+        println!("#   paper: MAX 71/63/49/41, MIN 76/76/76/76, OPT 94/86/84/84");
+        for row in fig6a(apps) {
+            println!("{}", row.render());
+        }
+        println!();
+    }
+    if all || figure == "b" {
+        println!("# Fig. 6b — % accepted, HPD x ArC (SER = 1e-11)");
+        println!("#   paper (MAX/MIN/OPT): HPD5: 35|76|92, 71|76|94, 92|82|98");
+        println!("#                        HPD25: 33|76|86, 63|76|86, 84|82|92");
+        println!("#                        HPD50: 27|76|80, 49|76|84, 74|82|90");
+        println!("#                        HPD100: 23|76|78, 41|76|84, 65|82|90");
+        for (hpd, rows) in fig6b(apps) {
+            println!("HPD = {hpd}%:");
+            for row in rows {
+                println!("  {}", row.render());
+            }
+        }
+        println!();
+    }
+    if all || figure == "c" {
+        println!("# Fig. 6c — % accepted vs SER (HPD = 5%, ArC = 20)");
+        println!("#   paper trend: MIN == OPT at 1e-12; OPT >> MIN at 1e-10; MAX flat");
+        for row in fig6c(apps) {
+            println!("{}", row.render());
+        }
+        println!();
+    }
+    if all || figure == "d" {
+        println!("# Fig. 6d — % accepted vs SER (HPD = 100%, ArC = 20)");
+        println!("#   paper trend: as 6c with MAX suppressed by degradation");
+        for row in fig6d(apps) {
+            println!("{}", row.render());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The Section 7 acceptance-rate experiment (Fig. 6).
+//!
+//! For a set of synthetic applications and one condition (SER, HPD), each
+//! strategy (MIN / MAX / OPT) is run per application; an application is
+//! **accepted** if the strategy finds a solution that meets its reliability
+//! goal, is schedulable, *and* costs no more than the maximum architecture
+//! cost `ArC`. Fig. 6 plots the acceptance percentage.
+//!
+//! Because the strategies minimize cost irrespective of `ArC`, one
+//! optimization run per (application, condition, strategy) serves every
+//! `ArC` column: acceptance is evaluated afterwards against each bound.
+
+use ftes_gen::{generate_instance, ExperimentConfig};
+use ftes_model::Cost;
+use ftes_opt::{design_strategy, HardeningPolicy, OptConfig, TabuConfig};
+use ftes_sfp::Rounding;
+use serde::{Deserialize, Serialize};
+
+/// The three compared strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Minimum hardening, software fault tolerance only.
+    Min,
+    /// Maximum hardening everywhere.
+    Max,
+    /// The paper's optimization (hardening/re-execution trade-off).
+    Opt,
+}
+
+impl Strategy {
+    /// All strategies in the paper's plotting order.
+    pub const ALL: [Strategy; 3] = [Strategy::Max, Strategy::Min, Strategy::Opt];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Min => "MIN",
+            Strategy::Max => "MAX",
+            Strategy::Opt => "OPT",
+        }
+    }
+
+    fn policy(self) -> HardeningPolicy {
+        match self {
+            Strategy::Min => HardeningPolicy::FixedMin,
+            Strategy::Max => HardeningPolicy::FixedMax,
+            Strategy::Opt => HardeningPolicy::Optimize,
+        }
+    }
+}
+
+/// The optimization configuration used for the sweeps: exact SFP arithmetic
+/// (the synthetic reliability budgets are finer than the paper's 10⁻¹¹
+/// pessimistic grid) and a compact tabu budget so a full figure reproduces
+/// in minutes.
+pub fn sweep_opt_config(strategy: Strategy) -> OptConfig {
+    OptConfig {
+        policy: strategy.policy(),
+        rounding: Rounding::Exact,
+        tabu: TabuConfig {
+            tenure: 3,
+            waiting_boost: 8,
+            max_no_improve: 4,
+            max_iterations: 12,
+            max_candidates: 5,
+        },
+        ..OptConfig::default()
+    }
+}
+
+/// Result of one strategy over a set of applications under one condition:
+/// the best feasible cost per application (`None` = no schedulable,
+/// reliable solution exists for this strategy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionResult {
+    /// Best cost per application index.
+    pub best_cost: Vec<Option<Cost>>,
+}
+
+impl ConditionResult {
+    /// Percentage of applications accepted under a maximum architecture
+    /// cost `ArC` (the paper's y-axis).
+    pub fn acceptance(&self, arc: Cost) -> f64 {
+        if self.best_cost.is_empty() {
+            return 0.0;
+        }
+        let accepted = self
+            .best_cost
+            .iter()
+            .filter(|c| c.is_some_and(|c| c <= arc))
+            .count();
+        100.0 * accepted as f64 / self.best_cost.len() as f64
+    }
+}
+
+/// Runs one strategy over `n_apps` synthetic applications of a condition,
+/// in parallel across OS threads.
+pub fn run_condition(
+    condition: &ExperimentConfig,
+    n_apps: usize,
+    strategy: Strategy,
+) -> ConditionResult {
+    let opt_cfg = sweep_opt_config(strategy);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n_apps.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut best_cost = vec![None; n_apps];
+    let slots: Vec<parking_lot::Mutex<Option<Cost>>> =
+        (0..n_apps).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_apps {
+                    break;
+                }
+                let system = generate_instance(condition, i as u64);
+                let outcome = design_strategy(&system, &opt_cfg)
+                    .expect("synthetic systems are structurally valid");
+                *slots[i].lock() = outcome.map(|o| o.solution.cost);
+            });
+        }
+    });
+    for (dst, slot) in best_cost.iter_mut().zip(&slots) {
+        *dst = *slot.lock();
+    }
+    ConditionResult { best_cost }
+}
+
+/// One row of the Fig. 6 output: a condition plus the acceptance of each
+/// strategy at a given `ArC`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceRow {
+    /// Condition label (e.g. `HPD = 5%` or `SER = 1e-11`).
+    pub label: String,
+    /// Acceptance percentage for MAX.
+    pub max: f64,
+    /// Acceptance percentage for MIN.
+    pub min: f64,
+    /// Acceptance percentage for OPT.
+    pub opt: f64,
+}
+
+impl AcceptanceRow {
+    /// Formats the row like the paper's Fig. 6b table.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<14} MAX {:5.1}%   MIN {:5.1}%   OPT {:5.1}%",
+            self.label, self.max, self.min, self.opt
+        )
+    }
+}
+
+/// Runs all three strategies for one condition and evaluates acceptance at
+/// `arc`.
+pub fn acceptance_row(
+    label: impl Into<String>,
+    condition: &ExperimentConfig,
+    n_apps: usize,
+    arc: Cost,
+) -> AcceptanceRow {
+    let max = run_condition(condition, n_apps, Strategy::Max).acceptance(arc);
+    let min = run_condition(condition, n_apps, Strategy::Min).acceptance(arc);
+    let opt = run_condition(condition, n_apps, Strategy::Opt).acceptance(arc);
+    AcceptanceRow {
+        label: label.into(),
+        max,
+        min,
+        opt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_counts_only_affordable_feasible_apps() {
+        let r = ConditionResult {
+            best_cost: vec![
+                Some(Cost::new(10)),
+                Some(Cost::new(25)),
+                None,
+                Some(Cost::new(20)),
+            ],
+        };
+        assert_eq!(r.acceptance(Cost::new(20)), 50.0);
+        assert_eq!(r.acceptance(Cost::new(9)), 0.0);
+        assert_eq!(r.acceptance(Cost::new(100)), 75.0);
+    }
+
+    #[test]
+    fn empty_condition_is_zero_acceptance() {
+        let r = ConditionResult { best_cost: vec![] };
+        assert_eq!(r.acceptance(Cost::new(10)), 0.0);
+    }
+
+    #[test]
+    fn strategies_have_paper_labels() {
+        assert_eq!(Strategy::Min.label(), "MIN");
+        assert_eq!(Strategy::Max.label(), "MAX");
+        assert_eq!(Strategy::Opt.label(), "OPT");
+        assert_eq!(Strategy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn small_condition_runs_and_opt_dominates_min() {
+        // A tiny smoke sweep: OPT must accept at least as many apps as MIN
+        // and MAX at any ArC (it subsumes both baselines' design spaces up
+        // to heuristic noise; with 6 apps this is stable).
+        let condition = ExperimentConfig::default();
+        let n = 6;
+        let arc = Cost::new(20);
+        let min = run_condition(&condition, n, Strategy::Min).acceptance(arc);
+        let opt = run_condition(&condition, n, Strategy::Opt).acceptance(arc);
+        assert!(opt >= min, "OPT {opt}% < MIN {min}%");
+    }
+}

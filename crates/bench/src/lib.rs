@@ -1,0 +1,22 @@
+//! # ftes-bench — experiment harness for the DATE'09 evaluation
+//!
+//! Regenerates every table and figure of the paper's Section 7:
+//!
+//! * [`experiment`] — the acceptance-rate machinery (strategies, parallel
+//!   condition runner, ArC filtering);
+//! * [`figures`] — one function per figure: [`figures::fig6a`]–
+//!   [`figures::fig6d`] and [`figures::cruise_controller`].
+//!
+//! The `repro_fig6` and `repro_cc` binaries print the regenerated
+//! figures/tables; `EXPERIMENTS.md` records measured-vs-paper values.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod figures;
+
+pub use experiment::{
+    acceptance_row, run_condition, sweep_opt_config, AcceptanceRow, ConditionResult, Strategy,
+};
+pub use figures::{cruise_controller, fig6a, fig6b, fig6c, fig6d, CcOutcome};

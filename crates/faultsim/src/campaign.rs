@@ -1,0 +1,234 @@
+//! Fault-injection campaigns that populate the timing database.
+//!
+//! The paper's inputs `t_ijh` / `p_ijh` come from WCET analysis and fault
+//! injection. This module builds a complete [`TimingDb`] from:
+//!
+//! * base WCETs per (process, node type) at the minimum hardening level,
+//! * a hardening performance degradation (HPD) profile — one WCET
+//!   multiplier per hardening level, and
+//! * a [`SerModel`] per node type, with failure probabilities obtained
+//!   either analytically or by Monte-Carlo injection.
+
+use ftes_model::{ExecSpec, HLevel, Platform, Prob, ProcessId, TimeUs, TimingDb};
+use serde::{Deserialize, Serialize};
+
+use crate::injector::Injector;
+use crate::ser::SerModel;
+
+/// How process failure probabilities are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbSource {
+    /// Closed form `1 − (1 − SER_h)^cycles` — the exact expectation of an
+    /// injection campaign.
+    Analytic,
+    /// Monte-Carlo estimation with the given number of runs per
+    /// (process, node type, level) and a base seed.
+    MonteCarlo {
+        /// Injection runs per table entry.
+        runs: u32,
+        /// Base RNG seed; each entry derives its own stream.
+        seed: u64,
+    },
+}
+
+/// The per-level WCET degradation profile.
+///
+/// The paper's Section 7: degradation grows linearly from 1 % at the first
+/// level to HPD at the maximum level (HPD ∈ {5 %, 25 %, 50 %, 100 %}).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_faultsim::hpd_profile;
+///
+/// let d = hpd_profile(0.05, 5);
+/// assert_eq!(d, vec![0.01, 0.02, 0.03, 0.04, 0.05]);
+/// let d100 = hpd_profile(1.0, 5);
+/// assert_eq!(d100, vec![0.01, 0.2575, 0.505, 0.7525, 1.0]);
+/// ```
+pub fn hpd_profile(hpd: f64, levels: u8) -> Vec<f64> {
+    assert!(levels >= 1, "need at least one hardening level");
+    assert!(hpd >= 0.01, "HPD below the 1% baseline degradation");
+    if levels == 1 {
+        return vec![0.01];
+    }
+    (0..levels)
+        .map(|i| 0.01 + (hpd - 0.01) * f64::from(i) / f64::from(levels - 1))
+        .collect()
+}
+
+/// Builds a fully-populated timing database.
+///
+/// * `base_wcets[p][j]` — WCET of process `p` on node type `j` at the
+///   (hypothetical) zero-degradation baseline;
+/// * `degradation[h-1]` — relative WCET increase at level `h` (from
+///   [`hpd_profile`]); must cover the deepest h-version of the platform;
+/// * `ser[j]` — the SER model of node type `j`.
+///
+/// # Panics
+///
+/// Panics if the input dimensions do not match the platform.
+pub fn build_timing_db(
+    base_wcets: &[Vec<TimeUs>],
+    platform: &Platform,
+    degradation: &[f64],
+    ser: &[SerModel],
+    source: ProbSource,
+) -> TimingDb {
+    assert_eq!(
+        ser.len(),
+        platform.node_type_count(),
+        "one SER model per node type"
+    );
+    let mut db = TimingDb::new(base_wcets.len(), platform);
+    let mut injector = match source {
+        ProbSource::MonteCarlo { seed, .. } => Some(Injector::new(seed)),
+        ProbSource::Analytic => None,
+    };
+    for (pi, per_type) in base_wcets.iter().enumerate() {
+        assert_eq!(
+            per_type.len(),
+            platform.node_type_count(),
+            "one base WCET per node type for process {pi}"
+        );
+        for j in platform.node_type_ids() {
+            let levels = platform.node_type(j).h_count();
+            assert!(
+                usize::from(levels) <= degradation.len(),
+                "degradation profile too short for node type {j}"
+            );
+            for h in 1..=levels {
+                let wcet = per_type[j.index()].scale(1.0 + degradation[usize::from(h) - 1]);
+                let cycles = ser[j.index()].cycles(wcet);
+                let p = match (&source, injector.as_mut()) {
+                    (ProbSource::Analytic, _) => ser[j.index()].pfail_cycles(cycles, h),
+                    (ProbSource::MonteCarlo { runs, .. }, Some(inj)) => {
+                        inj.estimate_pfail(cycles, ser[j.index()].ser(h), *runs)
+                    }
+                    _ => unreachable!("injector exists iff MonteCarlo"),
+                };
+                db.set(
+                    ProcessId::new(pi as u32),
+                    j,
+                    HLevel::new(h).expect("h >= 1"),
+                    ExecSpec::new(wcet, Prob::clamped(p)).expect("non-negative WCET"),
+                )
+                .expect("coordinates in range");
+            }
+        }
+    }
+    debug_assert!(db.validate_complete().is_ok());
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{Cost, NodeType, NodeTypeId};
+
+    fn platform() -> Platform {
+        Platform::new(vec![
+            NodeType::new("A", vec![Cost::new(1), Cost::new(2), Cost::new(3)], 1.0).unwrap(),
+            NodeType::new("B", vec![Cost::new(2), Cost::new(4)], 1.5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hpd_profile_endpoints() {
+        let d = hpd_profile(0.25, 5);
+        assert!((d[0] - 0.01).abs() < 1e-12);
+        assert!((d[4] - 0.25).abs() < 1e-12);
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(hpd_profile(0.5, 1), vec![0.01]);
+    }
+
+    #[test]
+    fn analytic_db_is_complete_and_monotone() {
+        let p = platform();
+        let base = vec![
+            vec![TimeUs::from_ms(10), TimeUs::from_ms(12)],
+            vec![TimeUs::from_ms(5), TimeUs::from_ms(8)],
+        ];
+        let ser = vec![SerModel::paper_default(1e-10); 2];
+        let db = build_timing_db(&base, &p, &hpd_profile(0.25, 3), &ser, ProbSource::Analytic);
+        assert!(db.validate_complete().is_ok());
+        for pi in 0..2u32 {
+            let pid = ProcessId::new(pi);
+            for j in p.node_type_ids() {
+                let levels = p.node_type(j).h_count();
+                for h in 1..levels {
+                    let lo = HLevel::new(h).unwrap();
+                    let hi = HLevel::new(h + 1).unwrap();
+                    // WCET grows, failure probability shrinks with hardening.
+                    assert!(db.wcet(pid, j, hi).unwrap() > db.wcet(pid, j, lo).unwrap());
+                    assert!(
+                        db.pfail(pid, j, hi).unwrap().value()
+                            < db.pfail(pid, j, lo).unwrap().value()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_close_to_analytic_for_large_p() {
+        let p = Platform::new(vec![NodeType::new("A", vec![Cost::new(1)], 1.0).unwrap()])
+            .unwrap();
+        // Huge SER so the probability is large enough to estimate.
+        let ser = vec![SerModel::new(1e-6, 10.0, 100e6); 1];
+        let base = vec![vec![TimeUs::from_ms(10)]]; // 1e6 cycles → p ≈ 0.63
+        let analytic =
+            build_timing_db(&base, &p, &hpd_profile(0.05, 1), &ser, ProbSource::Analytic);
+        let mc = build_timing_db(
+            &base,
+            &p,
+            &hpd_profile(0.05, 1),
+            &ser,
+            ProbSource::MonteCarlo {
+                runs: 20_000,
+                seed: 11,
+            },
+        );
+        let pa = analytic
+            .pfail(ProcessId::new(0), NodeTypeId::new(0), HLevel::MIN)
+            .unwrap()
+            .value();
+        let pm = mc
+            .pfail(ProcessId::new(0), NodeTypeId::new(0), HLevel::MIN)
+            .unwrap()
+            .value();
+        assert!((pa - pm).abs() < 0.015, "analytic {pa} vs MC {pm}");
+    }
+
+    #[test]
+    fn wcet_degradation_is_exact() {
+        let p = platform();
+        let base = vec![vec![TimeUs::from_ms(100), TimeUs::from_ms(100)]];
+        let ser = vec![SerModel::paper_default(1e-12); 2];
+        let db = build_timing_db(&base, &p, &hpd_profile(1.0, 3), &ser, ProbSource::Analytic);
+        // Profile for 3 levels at HPD=100%: [0.01, 0.505, 1.0].
+        let pid = ProcessId::new(0);
+        let j = NodeTypeId::new(0);
+        assert_eq!(db.wcet(pid, j, HLevel::new(1).unwrap()).unwrap(), TimeUs::from_ms(101));
+        assert_eq!(
+            db.wcet(pid, j, HLevel::new(2).unwrap()).unwrap(),
+            TimeUs::from_ms_f64(150.5)
+        );
+        assert_eq!(db.wcet(pid, j, HLevel::new(3).unwrap()).unwrap(), TimeUs::from_ms(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "one SER model per node type")]
+    fn ser_dimension_checked() {
+        let p = platform();
+        let base = vec![vec![TimeUs::from_ms(1), TimeUs::from_ms(1)]];
+        let _ = build_timing_db(
+            &base,
+            &p,
+            &hpd_profile(0.05, 3),
+            &[SerModel::paper_default(1e-10)],
+            ProbSource::Analytic,
+        );
+    }
+}

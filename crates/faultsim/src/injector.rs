@@ -1,0 +1,159 @@
+//! Monte-Carlo transient-fault injection.
+//!
+//! Stands in for the hardware fault-injection tools the paper cites
+//! (GOOFI [1], the FPGA-based flow of [18]): the statistic those tools
+//! measure — the probability that a single process execution is corrupted
+//! by a transient fault — is estimated here by simulating process
+//! executions on a simple sequential processor whose cycles are upset
+//! independently with the per-cycle SER.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+
+/// Outcome of injecting one process execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionOutcome {
+    /// No cycle was upset; the execution completed correctly.
+    Correct,
+    /// A transient fault hit the given cycle and was detected at the end
+    /// of the execution (the paper assumes fault detection overhead is
+    /// part of the WCET).
+    FaultDetected {
+        /// The first upset cycle.
+        cycle: u64,
+    },
+}
+
+/// Simulates single process executions under transient faults.
+///
+/// Sampling uses the geometric distribution of the first upset cycle, so
+/// the cost per simulated execution is O(1) regardless of the cycle count.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    rng: ChaCha8Rng,
+}
+
+impl Injector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Injector {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Simulates one execution of `cycles` cycles at per-cycle fault
+    /// probability `ser`.
+    pub fn execute(&mut self, cycles: u64, ser: f64) -> ExecutionOutcome {
+        match first_fault_cycle(&mut self.rng, cycles, ser) {
+            Some(cycle) => ExecutionOutcome::FaultDetected { cycle },
+            None => ExecutionOutcome::Correct,
+        }
+    }
+
+    /// Runs a campaign of `runs` independent executions and returns the
+    /// fraction that faulted — the estimate `p̂` of the process failure
+    /// probability a fault-injection tool would report.
+    pub fn estimate_pfail(&mut self, cycles: u64, ser: f64, runs: u32) -> f64 {
+        assert!(runs > 0, "campaign needs at least one run");
+        let mut faults = 0u64;
+        for _ in 0..runs {
+            if matches!(self.execute(cycles, ser), ExecutionOutcome::FaultDetected { .. }) {
+                faults += 1;
+            }
+        }
+        faults as f64 / f64::from(runs)
+    }
+}
+
+/// Samples the first faulty cycle (0-based) of an execution, or `None` if
+/// all `cycles` cycles are clean. Geometric sampling: the first upset cycle
+/// is `⌊ln(U)/ln(1−ser)⌋`.
+fn first_fault_cycle<R: Rng>(rng: &mut R, cycles: u64, ser: f64) -> Option<u64> {
+    if ser <= 0.0 || cycles == 0 {
+        return None;
+    }
+    if ser >= 1.0 {
+        return Some(0);
+    }
+    let u: f64 = Uniform::new(f64::MIN_POSITIVE, 1.0).sample(rng);
+    let first = (u.ln() / (-ser).ln_1p()).floor();
+    if first < cycles as f64 {
+        Some(first as u64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::SerModel;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Injector::new(7);
+        let mut b = Injector::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.execute(1_000, 1e-3), b.execute(1_000, 1e-3));
+        }
+    }
+
+    #[test]
+    fn zero_ser_never_faults() {
+        let mut inj = Injector::new(1);
+        assert_eq!(inj.estimate_pfail(1_000_000, 0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn certain_ser_always_faults_at_cycle_zero() {
+        let mut inj = Injector::new(1);
+        assert_eq!(
+            inj.execute(10, 1.0),
+            ExecutionOutcome::FaultDetected { cycle: 0 }
+        );
+    }
+
+    #[test]
+    fn estimate_matches_analytic_probability() {
+        // p = 1-(1-1e-4)^10_000 ≈ 0.632; 20k runs give ~±0.7 % at 2σ.
+        let model = SerModel::new(1e-4, 10.0, 1e6);
+        let analytic = model.pfail_cycles(10_000, 1);
+        let mut inj = Injector::new(42);
+        let estimate = inj.estimate_pfail(10_000, 1e-4, 20_000);
+        assert!(
+            (estimate - analytic).abs() < 0.01,
+            "estimate {estimate} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn estimate_scales_with_hardening() {
+        // Two orders of magnitude less SER → roughly two orders of
+        // magnitude fewer faults (for small p).
+        let mut inj = Injector::new(9);
+        let p1 = inj.estimate_pfail(100_000, 1e-5, 50_000); // p ≈ 0.63
+        let p2 = inj.estimate_pfail(100_000, 1e-7, 50_000); // p ≈ 0.01
+        assert!(p1 > 0.5, "{p1}");
+        assert!(p2 < 0.05, "{p2}");
+    }
+
+    #[test]
+    fn fault_cycles_are_within_range() {
+        let mut inj = Injector::new(3);
+        for _ in 0..1000 {
+            if let ExecutionOutcome::FaultDetected { cycle } = inj.execute(500, 5e-3) {
+                assert!(cycle < 500);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = Injector::new(0).estimate_pfail(10, 0.1, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Monte-Carlo cross-validation of the SFP analysis.
+//!
+//! Appendix A of the paper derives the per-iteration system failure
+//! probability analytically (formulas (1)–(5)). This module *simulates*
+//! application iterations instead: every process execution (including
+//! re-executions) faults independently with its `p_ijh`; a node fails when
+//! its faults exceed the re-execution budget `k_j`; the system fails when
+//! any node does. The empirical failure rate must agree with the analytic
+//! union — this closes the loop between the fault-injection substrate and
+//! the analysis, and is used by the test-suite as an oracle.
+
+use ftes_model::Prob;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Simulates one application iteration on one node: processes execute in
+/// order; a faulted execution is retried; the node fails if the total
+/// number of faults exceeds `k`. Returns `true` on node failure.
+fn simulate_node<R: Rng>(probs: &[f64], k: u32, rng: &mut R) -> bool {
+    let mut remaining = i64::from(k);
+    for &p in probs {
+        loop {
+            let faulted = p > 0.0 && rng.gen_bool(p);
+            if !faulted {
+                break;
+            }
+            remaining -= 1;
+            if remaining < 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Estimates the per-iteration *system* failure probability — the quantity
+/// formulas (4)+(5) compute analytically — by simulating `runs`
+/// iterations.
+///
+/// `node_probs[j]` holds the failure probabilities of the processes mapped
+/// on node `j`; `ks[j]` its re-execution budget.
+///
+/// # Panics
+///
+/// Panics if `ks` and `node_probs` have different lengths or `runs == 0`.
+pub fn estimate_system_failure(
+    node_probs: &[Vec<Prob>],
+    ks: &[u32],
+    runs: u64,
+    seed: u64,
+) -> f64 {
+    assert_eq!(node_probs.len(), ks.len(), "one budget per node");
+    assert!(runs > 0, "need at least one simulated iteration");
+    let values: Vec<Vec<f64>> = node_probs
+        .iter()
+        .map(|v| v.iter().map(|p| p.value()).collect())
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..runs {
+        let failed = values
+            .iter()
+            .zip(ks)
+            .any(|(probs, &k)| simulate_node(probs, k, &mut rng));
+        if failed {
+            failures += 1;
+        }
+    }
+    failures as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_sfp::{union_failure, NodeSfp, Rounding};
+
+    fn probs(values: &[f64]) -> Vec<Prob> {
+        values.iter().map(|&v| Prob::new(v).unwrap()).collect()
+    }
+
+    /// The analytic per-iteration system failure for comparison.
+    fn analytic(node_probs: &[Vec<Prob>], ks: &[u32]) -> f64 {
+        let failures: Vec<f64> = node_probs
+            .iter()
+            .zip(ks)
+            .map(|(p, &k)| NodeSfp::new(p.clone(), Rounding::Exact).pr_more_than(k))
+            .collect();
+        union_failure(&failures)
+    }
+
+    #[test]
+    fn matches_analytic_for_k0() {
+        // One node, two processes, k = 0: failure = 1 - (1-p1)(1-p2).
+        let node = vec![probs(&[0.05, 0.08])];
+        let ks = [0u32];
+        let est = estimate_system_failure(&node, &ks, 200_000, 1);
+        let exact = analytic(&node, &ks);
+        assert!((est - exact).abs() < 0.004, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn matches_analytic_for_k2_single_node() {
+        let node = vec![probs(&[0.2, 0.15, 0.1])];
+        let ks = [2u32];
+        let est = estimate_system_failure(&node, &ks, 300_000, 7);
+        let exact = analytic(&node, &ks);
+        assert!(exact > 0.005, "test needs measurable probability: {exact}");
+        assert!(
+            (est - exact).abs() < 0.05 * exact + 0.002,
+            "{est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn matches_analytic_for_two_nodes() {
+        let nodes = vec![probs(&[0.1, 0.1]), probs(&[0.3])];
+        let ks = [1u32, 1];
+        let est = estimate_system_failure(&nodes, &ks, 300_000, 13);
+        let exact = analytic(&nodes, &ks);
+        assert!(
+            (est - exact).abs() < 0.05 * exact + 0.002,
+            "{est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn budgets_reduce_failure() {
+        let nodes = vec![probs(&[0.2, 0.2])];
+        let e0 = estimate_system_failure(&nodes, &[0], 100_000, 3);
+        let e1 = estimate_system_failure(&nodes, &[1], 100_000, 3);
+        let e3 = estimate_system_failure(&nodes, &[3], 100_000, 3);
+        assert!(e0 > e1 && e1 > e3, "{e0} {e1} {e3}");
+    }
+
+    #[test]
+    fn empty_nodes_never_fail() {
+        let nodes = vec![vec![], vec![]];
+        assert_eq!(estimate_system_failure(&nodes, &[0, 0], 10_000, 5), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let nodes = vec![probs(&[0.1])];
+        let a = estimate_system_failure(&nodes, &[1], 50_000, 42);
+        let b = estimate_system_failure(&nodes, &[1], 50_000, 42);
+        assert_eq!(a, b);
+    }
+}

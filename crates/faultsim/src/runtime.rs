@@ -1,0 +1,217 @@
+//! Runtime simulation of a static schedule under injected faults.
+//!
+//! Executes one application iteration of a [`Schedule`] with a given fault
+//! plan (how many times each process's execution is hit), following the
+//! paper's recovery semantics:
+//!
+//! * a faulted execution is detected at its end and re-executed after the
+//!   recovery overhead μ;
+//! * recovery is *transparent across nodes*: inter-node messages are
+//!   consumed at their statically scheduled arrival times, so faults on one
+//!   node never delay another node (the recovery slack of the sender's node
+//!   absorbs the delay);
+//! * on a node, processes run in their static order and re-executions push
+//!   later processes back (this is what the shared slack is for).
+//!
+//! The central soundness property — verified by the property tests — is
+//! that whenever at most `k_j` faults occur on each node `N_j`, every
+//! process completes by its scheduled worst-case end
+//! ([`ProcessSlot::wc_end`](ftes_sched::ProcessSlot)).
+
+use ftes_model::{Application, Mapping, ProcessId, TimeUs};
+use ftes_sched::Schedule;
+
+/// Result of simulating one iteration under a fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationRun {
+    /// Actual completion time of every process (indexed by process).
+    pub completion: Vec<TimeUs>,
+    /// Total number of re-executions performed.
+    pub reexecutions: u32,
+}
+
+impl SimulationRun {
+    /// The latest completion over all processes.
+    pub fn makespan(&self) -> TimeUs {
+        self.completion.iter().copied().max().unwrap_or(TimeUs::ZERO)
+    }
+}
+
+/// Simulates the schedule with `faults[p]` transient faults hitting the
+/// executions of process `p` (0 = fault-free run).
+///
+/// # Panics
+///
+/// Panics if `faults` does not have one entry per process.
+pub fn simulate_with_faults(
+    app: &Application,
+    mapping: &Mapping,
+    schedule: &Schedule,
+    faults: &[u32],
+) -> SimulationRun {
+    assert_eq!(
+        faults.len(),
+        app.process_count(),
+        "one fault count per process"
+    );
+
+    // Per node: processes in static start order.
+    let n_nodes = mapping
+        .as_slice()
+        .iter()
+        .map(|n| n.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut per_node: Vec<Vec<ProcessId>> = vec![Vec::new(); n_nodes];
+    for p in app.process_ids() {
+        per_node[mapping.node_of(p).index()].push(p);
+    }
+    for list in &mut per_node {
+        list.sort_by_key(|&p| schedule.process_slot(p).start);
+    }
+
+    let mut completion = vec![TimeUs::ZERO; app.process_count()];
+    let mut reexecutions = 0u32;
+
+    // Nodes are independent under transparent recovery except for
+    // same-node data dependencies, which the static order respects, and
+    // cross-node messages, which are consumed at scheduled arrival times.
+    for (node_idx, list) in per_node.iter().enumerate() {
+        let mut node_free = TimeUs::ZERO;
+        for &p in list {
+            let slot = schedule.process_slot(p);
+            let wcet = slot.finish - slot.start;
+            let mu = app.process(p).mu();
+
+            // Data-ready: scheduled arrivals for cross-node inputs, actual
+            // completions for same-node inputs.
+            let mut ready = TimeUs::ZERO;
+            for &m in app.incoming(p) {
+                let msg = app.message(m);
+                let src = msg.src();
+                let arrival = if mapping.node_of(src).index() == node_idx {
+                    completion[src.index()]
+                } else {
+                    schedule.message_slot(m).arrival
+                };
+                ready = ready.max(arrival);
+            }
+            // Never before the static start (time-triggered activation).
+            ready = ready.max(slot.start);
+
+            let start = ready.max(node_free);
+            let f = faults[p.index()];
+            let finish = start + wcet + (wcet + mu).times(i64::from(f));
+            reexecutions += f;
+            completion[p.index()] = finish;
+            node_free = finish;
+        }
+    }
+
+    SimulationRun {
+        completion,
+        reexecutions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::paper;
+    use ftes_sched::schedule;
+
+    fn fig4a() -> (ftes_model::System, ftes_model::Mapping, Schedule) {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let sched = schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            sys.bus(),
+        )
+        .unwrap();
+        (sys, mapping, sched)
+    }
+
+    #[test]
+    fn fault_free_run_matches_static_schedule() {
+        let (sys, mapping, sched) = fig4a();
+        let run = simulate_with_faults(sys.application(), &mapping, &sched, &[0, 0, 0, 0]);
+        for p in sys.application().process_ids() {
+            assert_eq!(run.completion[p.index()], sched.process_slot(p).finish);
+        }
+        assert_eq!(run.reexecutions, 0);
+        assert_eq!(run.makespan(), sched.makespan());
+    }
+
+    #[test]
+    fn single_fault_stays_within_wc_bounds() {
+        let (sys, mapping, sched) = fig4a();
+        // One fault on each node (k = (1,1)): every combination of one
+        // faulted process per node must respect every wc_end.
+        for a in [0usize, 1] {
+            for b in [2usize, 3] {
+                let mut faults = vec![0u32; 4];
+                faults[a] = 1;
+                faults[b] = 1;
+                let run = simulate_with_faults(sys.application(), &mapping, &sched, &faults);
+                for p in sys.application().process_ids() {
+                    assert!(
+                        run.completion[p.index()] <= sched.process_slot(p).wc_end,
+                        "P{} exceeded wc_end with faults on P{} and P{}",
+                        p.index() + 1,
+                        a + 1,
+                        b + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_is_tight_for_fig3() {
+        // Fig. 3b: h2, k=2 — two faults on the single process land exactly
+        // on the worst-case end (340 ms).
+        let sys = paper::fig3_system();
+        let mut arch =
+            ftes_model::Architecture::with_min_hardening(&[ftes_model::NodeTypeId::new(0)]);
+        arch.set_hardening(ftes_model::NodeId::new(0), ftes_model::HLevel::new(2).unwrap());
+        let mapping = ftes_model::Mapping::all_on(1, ftes_model::NodeId::new(0));
+        let sched = schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[2],
+            sys.bus(),
+        )
+        .unwrap();
+        let run = simulate_with_faults(sys.application(), &mapping, &sched, &[2]);
+        assert_eq!(run.completion[0], TimeUs::from_ms(340));
+        assert_eq!(run.completion[0], sched.process_slot(ProcessId::new(0)).wc_end);
+        assert_eq!(run.reexecutions, 2);
+    }
+
+    #[test]
+    fn exceeding_the_budget_can_break_the_bound() {
+        // Sanity check that the bound is about ≤ k faults: with k+1 faults
+        // the completion may exceed wc_end.
+        let (sys, mapping, sched) = fig4a();
+        let run = simulate_with_faults(sys.application(), &mapping, &sched, &[0, 2, 0, 0]);
+        let p2 = ProcessId::new(1);
+        assert!(run.completion[p2.index()] > sched.process_slot(p2).wc_end);
+    }
+
+    #[test]
+    fn cross_node_faults_do_not_delay_other_nodes() {
+        let (sys, mapping, sched) = fig4a();
+        // Fault P1 (node 1): completions on node 2 read the scheduled
+        // message arrivals and must not move.
+        let run = simulate_with_faults(sys.application(), &mapping, &sched, &[1, 0, 0, 0]);
+        for p in [ProcessId::new(2), ProcessId::new(3)] {
+            assert_eq!(run.completion[p.index()], sched.process_slot(p).finish);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Soft-error-rate (SER) models for hardened processors.
+//!
+//! The paper obtains the process failure probabilities `p_ijh` with fault
+//! injection; its experimental section characterizes fabrication
+//! technologies by an *average SER per clock cycle* at the minimum
+//! hardening level (10⁻¹⁰, 10⁻¹¹, 10⁻¹² for decreasing integration
+//! density) and lets hardening reduce the SER by orders of magnitude — the
+//! paper's own tables (Fig. 1, Fig. 3) step the process failure
+//! probability down by ~100× per hardening level.
+
+use serde::{Deserialize, Serialize};
+
+/// SER model: per-cycle fault probability as a function of the hardening
+/// level, plus the clock frequency tying cycle counts to WCETs.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_faultsim::SerModel;
+///
+/// let model = SerModel::new(1e-10, 100.0, 100e6); // SER 1e-10, 100 MHz
+/// assert_eq!(model.ser(1), 1e-10);
+/// assert_eq!(model.ser(2), 1e-12);
+/// // A 10 ms process at 100 MHz executes 1e6 cycles.
+/// assert_eq!(model.cycles(ftes_model::TimeUs::from_ms(10)), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SerModel {
+    /// SER per clock cycle at hardening level 1.
+    ser_h1: f64,
+    /// Factor by which each additional hardening level divides the SER.
+    reduction_per_level: f64,
+    /// Clock frequency in Hz.
+    clock_hz: f64,
+}
+
+impl SerModel {
+    /// Creates a SER model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ser_h1 ≤ 1`, `reduction_per_level > 1` and
+    /// `clock_hz > 0`.
+    pub fn new(ser_h1: f64, reduction_per_level: f64, clock_hz: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ser_h1),
+            "SER must be a probability, got {ser_h1}"
+        );
+        assert!(
+            reduction_per_level > 1.0,
+            "hardening must reduce the SER (factor > 1), got {reduction_per_level}"
+        );
+        assert!(clock_hz > 0.0, "clock frequency must be positive");
+        SerModel {
+            ser_h1,
+            reduction_per_level,
+            clock_hz,
+        }
+    }
+
+    /// The paper's default hardening effect: 100× SER reduction per level
+    /// (matching the Fig. 1 / Fig. 3 tables) at 100 MHz.
+    pub fn paper_default(ser_h1: f64) -> Self {
+        SerModel::new(ser_h1, 100.0, 100e6)
+    }
+
+    /// Per-cycle SER at hardening level `h ≥ 1`.
+    pub fn ser(&self, h: u8) -> f64 {
+        assert!(h >= 1, "hardening levels are 1-based");
+        self.ser_h1 / self.reduction_per_level.powi(i32::from(h) - 1)
+    }
+
+    /// Number of clock cycles a computation of the given duration takes.
+    pub fn cycles(&self, wcet: ftes_model::TimeUs) -> u64 {
+        (wcet.as_secs_f64() * self.clock_hz).round() as u64
+    }
+
+    /// The clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Analytic process failure probability: the probability that at least
+    /// one of `cycles` independent cycles is hit,
+    /// `p = 1 − (1 − SER_h)^cycles`, evaluated without cancellation.
+    pub fn pfail_cycles(&self, cycles: u64, h: u8) -> f64 {
+        let ser = self.ser(h);
+        -f64::exp_m1(cycles as f64 * (-ser).ln_1p())
+    }
+
+    /// Analytic failure probability of a process with the given WCET at
+    /// hardening level `h`. This is the closed form of what a (perfect)
+    /// fault-injection campaign estimates.
+    pub fn pfail(&self, wcet: ftes_model::TimeUs, h: u8) -> f64 {
+        self.pfail_cycles(self.cycles(wcet), h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::TimeUs;
+
+    #[test]
+    fn ser_steps_down_per_level() {
+        let m = SerModel::paper_default(1e-10);
+        assert_eq!(m.ser(1), 1e-10);
+        assert!((m.ser(2) - 1e-12).abs() < 1e-27);
+        assert!((m.ser(5) - 1e-18).abs() < 1e-32);
+    }
+
+    #[test]
+    fn pfail_is_approximately_cycles_times_ser_for_small_ser() {
+        let m = SerModel::paper_default(1e-10);
+        // 10 ms at 100 MHz = 1e6 cycles → p ≈ 1e-4.
+        let p = m.pfail(TimeUs::from_ms(10), 1);
+        assert!((p - 1e-4).abs() / 1e-4 < 1e-3, "{p}");
+        // Monotone in WCET and antitone in hardening.
+        assert!(m.pfail(TimeUs::from_ms(20), 1) > p);
+        assert!(m.pfail(TimeUs::from_ms(10), 2) < p);
+    }
+
+    #[test]
+    fn pfail_saturates_at_one_for_huge_cycle_counts() {
+        let m = SerModel::new(0.5, 2.0, 1e6);
+        let p = m.pfail_cycles(1_000, 1);
+        assert!(p > 0.999999);
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn zero_cycles_never_fail() {
+        let m = SerModel::paper_default(1e-10);
+        assert_eq!(m.pfail_cycles(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cycles_round_to_nearest() {
+        let m = SerModel::new(1e-10, 10.0, 1e6); // 1 MHz
+        assert_eq!(m.cycles(TimeUs::from_ms(1)), 1_000);
+        assert_eq!(m.cycles(TimeUs::from_us(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn level_zero_is_rejected() {
+        let _ = SerModel::paper_default(1e-10).ser(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduce the SER")]
+    fn reduction_must_exceed_one() {
+        let _ = SerModel::new(1e-10, 1.0, 1e6);
+    }
+}

@@ -1,0 +1,274 @@
+//! The Section 7 synthetic experimental setup.
+//!
+//! The paper: 150 synthetic applications with 20 and 40 processes; WCETs of
+//! 1–20 ms on the fastest unhardened node; μ of 1–10 % of the WCET; five
+//! hardening levels; SER per cycle at minimum hardening of 10⁻¹⁰ / 10⁻¹¹ /
+//! 10⁻¹²; hardening performance degradation (HPD) from 5 % to 100 %
+//! growing linearly with the level; initial node costs 1–6 units growing
+//! linearly with the level; reliability goals ρ between 1 − 7.5·10⁻⁶ and
+//! 1 − 2.5·10⁻⁵ per hour; deadlines assigned **independently** of SER and
+//! HPD.
+
+use ftes_faultsim::{build_timing_db, hpd_profile, ProbSource};
+use ftes_model::{
+    Application, BusSpec, ReliabilityGoal, System, TimeUs,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{generate_dag, DagConfig};
+use crate::platform::{generate_platform, PlatformConfig};
+
+/// Configuration of one experimental *condition* (a point of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Average SER per cycle at minimum hardening (10⁻¹⁰…10⁻¹²).
+    pub ser_h1: f64,
+    /// Hardening performance degradation at the maximum level (0.05…1.0).
+    pub hpd: f64,
+    /// Node types available (the paper does not publish `|N|`; 4 gives a
+    /// design space of 15 architectures).
+    pub node_types: usize,
+    /// Deadline tightness: the deadline is `factor × lower_bound` with the
+    /// factor drawn uniformly from this range, per application, once —
+    /// **independent of SER and HPD** as the paper requires.
+    pub deadline_factor: (f64, f64),
+    /// Reliability goal γ range per hour (paper: 7.5·10⁻⁶ … 2.5·10⁻⁵).
+    pub gamma: (f64, f64),
+    /// Master seed of the experiment.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            ser_h1: 1e-11,
+            hpd: 0.05,
+            node_types: 4,
+            deadline_factor: (1.25, 3.0),
+            gamma: (7.5e-6, 2.5e-5),
+            seed: 0xF7E5,
+        }
+    }
+}
+
+/// Generates the `index`-th synthetic problem instance of a condition.
+///
+/// Applications alternate between 20 and 40 processes (even/odd index).
+/// Everything except the failure probabilities and the hardening WCET
+/// inflation is derived from seeds independent of `ser_h1`/`hpd`, so the
+/// *same index* yields the *same graph, platform skeleton, deadline and
+/// reliability goal* across conditions — exactly the paper's setup.
+pub fn generate_instance(config: &ExperimentConfig, index: u64) -> System {
+    let dag_cfg = DagConfig {
+        processes: if index % 2 == 0 { 20 } else { 40 },
+        ..DagConfig::default()
+    };
+    // Independent, per-purpose RNG streams so that SER/HPD never shift the
+    // sampling of structure, deadline or goal.
+    let mut dag_rng = stream(config.seed, index, 1);
+    let mut platform_rng = stream(config.seed, index, 2);
+    let mut assign_rng = stream(config.seed, index, 3);
+
+    let dag = generate_dag(&dag_cfg, &mut dag_rng);
+    let platform_cfg = PlatformConfig {
+        node_types: config.node_types,
+        ser_h1: config.ser_h1,
+        ..PlatformConfig::default()
+    };
+    let gp = generate_platform(&platform_cfg, &mut platform_rng);
+
+    // Deadline from a SER/HPD-independent lower bound.
+    let factor = assign_rng.gen_range(config.deadline_factor.0..=config.deadline_factor.1);
+    let gamma = assign_rng.gen_range(config.gamma.0..=config.gamma.1);
+    let lb = schedule_lower_bound(&dag.application, &dag.base_wcet, config.node_types);
+    let deadline = lb.scale(factor);
+
+    let application =
+        reassign_deadline(&dag.application, deadline).expect("deadline reassignment is valid");
+
+    let base_rows: Vec<Vec<TimeUs>> = dag
+        .base_wcet
+        .iter()
+        .map(|&w| gp.wcet_row(w))
+        .collect();
+    let timing = build_timing_db(
+        &base_rows,
+        &gp.platform,
+        &hpd_profile(config.hpd, platform_cfg.levels),
+        &gp.ser,
+        ProbSource::Analytic,
+    );
+
+    System::new(
+        application,
+        gp.platform,
+        timing,
+        ReliabilityGoal::per_hour(gamma).expect("gamma range is valid"),
+        BusSpec::ideal(),
+    )
+    .expect("generated system is consistent")
+}
+
+/// A simple schedule lower bound from base WCETs: the larger of the
+/// critical-path length and the average per-node load.
+pub fn schedule_lower_bound(
+    app: &Application,
+    base_wcet: &[TimeUs],
+    node_count: usize,
+) -> TimeUs {
+    let mut lp = vec![TimeUs::ZERO; app.process_count()];
+    for &p in app.topological_order().iter().rev() {
+        let tail = app
+            .successors(p)
+            .map(|s| lp[s.index()])
+            .max()
+            .unwrap_or(TimeUs::ZERO);
+        lp[p.index()] = base_wcet[p.index()] + tail;
+    }
+    let cp = lp.iter().copied().max().unwrap_or(TimeUs::ZERO);
+    let total: TimeUs = base_wcet.iter().copied().sum();
+    let balanced = TimeUs::from_us(total.as_us() / node_count.max(1) as i64);
+    cp.max(balanced)
+}
+
+/// Rebuilds an application with a new (single-graph) deadline and period.
+fn reassign_deadline(
+    app: &Application,
+    deadline: TimeUs,
+) -> Result<Application, ftes_model::ModelError> {
+    let mut b = ftes_model::ApplicationBuilder::new(app.name());
+    b.set_period(deadline);
+    let mut graph_map = Vec::new();
+    for g in app.graph_ids() {
+        graph_map.push(b.add_graph(app.graph(g).name(), deadline));
+    }
+    for p in app.process_ids() {
+        let proc = app.process(p);
+        b.add_process_named(graph_map[proc.graph().index()], proc.name(), proc.mu());
+    }
+    for m in app.message_ids() {
+        let msg = app.message(m);
+        b.add_message_named(msg.src(), msg.dst(), msg.name(), msg.tx_time())?;
+    }
+    b.build()
+}
+
+fn stream(seed: u64, index: u64, purpose: u64) -> ChaCha8Rng {
+    // SplitMix-style mixing keeps the streams decorrelated.
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(purpose.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::ProcessId;
+
+    #[test]
+    fn instances_alternate_process_counts() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(generate_instance(&cfg, 0).application().process_count(), 20);
+        assert_eq!(generate_instance(&cfg, 1).application().process_count(), 40);
+        assert_eq!(generate_instance(&cfg, 2).application().process_count(), 20);
+    }
+
+    #[test]
+    fn deadline_is_independent_of_ser_and_hpd() {
+        let base = ExperimentConfig::default();
+        let high_ser = ExperimentConfig {
+            ser_h1: 1e-10,
+            hpd: 1.0,
+            ..base
+        };
+        for i in 0..5 {
+            let a = generate_instance(&base, i);
+            let b = generate_instance(&high_ser, i);
+            assert_eq!(a.application().min_deadline(), b.application().min_deadline());
+            assert_eq!(a.application().period(), b.application().period());
+            assert_eq!(a.goal(), b.goal());
+            // Structure identical too.
+            assert_eq!(
+                a.application().message_count(),
+                b.application().message_count()
+            );
+        }
+    }
+
+    #[test]
+    fn failure_probabilities_scale_with_ser() {
+        let low = generate_instance(
+            &ExperimentConfig {
+                ser_h1: 1e-12,
+                ..ExperimentConfig::default()
+            },
+            0,
+        );
+        let high = generate_instance(
+            &ExperimentConfig {
+                ser_h1: 1e-10,
+                ..ExperimentConfig::default()
+            },
+            0,
+        );
+        let p = ProcessId::new(0);
+        let j = ftes_model::NodeTypeId::new(0);
+        let h = ftes_model::HLevel::MIN;
+        let pl = low.timing().pfail(p, j, h).unwrap().value();
+        let ph = high.timing().pfail(p, j, h).unwrap().value();
+        assert!(ph > pl * 50.0, "{ph} vs {pl}");
+    }
+
+    #[test]
+    fn hpd_inflates_only_wcets() {
+        let gentle = generate_instance(&ExperimentConfig::default(), 1);
+        let harsh = generate_instance(
+            &ExperimentConfig {
+                hpd: 1.0,
+                ..ExperimentConfig::default()
+            },
+            1,
+        );
+        let p = ProcessId::new(0);
+        let j = ftes_model::NodeTypeId::new(0);
+        let h5 = ftes_model::HLevel::new(5).unwrap();
+        let h1 = ftes_model::HLevel::MIN;
+        // Same at h1 (both profiles start at 1 %)...
+        assert_eq!(
+            gentle.timing().wcet(p, j, h1).unwrap(),
+            harsh.timing().wcet(p, j, h1).unwrap()
+        );
+        // ...but much slower at h5 under HPD = 100 %.
+        assert!(
+            harsh.timing().wcet(p, j, h5).unwrap()
+                > gentle.timing().wcet(p, j, h5).unwrap()
+        );
+    }
+
+    #[test]
+    fn deadline_exceeds_the_lower_bound() {
+        let cfg = ExperimentConfig::default();
+        for i in 0..4 {
+            let sys = generate_instance(&cfg, i);
+            let n = sys.application().process_count();
+            // Rough check: the deadline is comfortably above the largest
+            // single WCET and below the total serial work × factor.
+            let d = sys.application().min_deadline();
+            assert!(d > TimeUs::from_ms(20), "deadline {d} too tight ({n} procs)");
+        }
+    }
+
+    #[test]
+    fn reliability_goal_is_in_the_paper_range() {
+        let cfg = ExperimentConfig::default();
+        for i in 0..8 {
+            let g = generate_instance(&cfg, i).goal().gamma();
+            assert!((7.5e-6..=2.5e-5).contains(&g), "{g}");
+        }
+    }
+}

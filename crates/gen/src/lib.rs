@@ -1,0 +1,42 @@
+//! # ftes-gen — benchmark generation
+//!
+//! Synthetic workloads and case studies for the DATE'09 reproduction:
+//!
+//! * [`generate_dag`] — TGFF-style layered random task graphs with the
+//!   paper's WCET (1–20 ms) and μ (1–10 %) distributions;
+//! * [`generate_platform`] — node libraries with five h-versions, linear
+//!   costs (1–6 base units) and configurable SER models;
+//! * [`generate_instance`] — the full Section 7 experimental setup: one
+//!   call per (application index, SER, HPD) condition, with deadlines and
+//!   reliability goals held **independent** of SER and HPD as the paper
+//!   prescribes;
+//! * [`cc_system`] — the 32-process cruise-controller case study on
+//!   ETM/ABS/TCM with the published parameters.
+//!
+//! ## Example
+//!
+//! ```
+//! use ftes_gen::{generate_instance, ExperimentConfig};
+//!
+//! let sys = generate_instance(&ExperimentConfig::default(), 0);
+//! assert_eq!(sys.application().process_count(), 20);
+//! assert_eq!(sys.platform().node_type_count(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cruise_control;
+mod dag;
+mod experiment;
+mod platform;
+
+pub use cruise_control::{
+    cc_application, cc_architecture_types, cc_platform, cc_system, CC_DEADLINE, CC_MODULES,
+    CC_PROCESSES,
+};
+pub use dag::{generate_dag, DagConfig, GeneratedDag};
+pub use experiment::{
+    generate_instance, schedule_lower_bound, ExperimentConfig,
+};
+pub use platform::{generate_platform, GeneratedPlatform, PlatformConfig};

@@ -1,0 +1,174 @@
+//! Random platform generation for the Section 7 experiments.
+//!
+//! The paper's setup: nodes with **five hardening levels**, initial
+//! processor costs between 1 and 6 cost units, **linear** cost growth with
+//! the hardening level, and an average SER per cycle at minimum hardening
+//! of 10⁻¹⁰ / 10⁻¹¹ / 10⁻¹² depending on the fabrication technology.
+
+use ftes_model::{Cost, NodeType, Platform, TimeUs};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ftes_faultsim::SerModel;
+
+/// Parameters of the random platform generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Number of node types in the library (the paper's `|N|`).
+    pub node_types: usize,
+    /// Hardening levels per node type (paper: 5).
+    pub levels: u8,
+    /// Initial (h = 1) cost range in units (paper: 1–6; the default here is
+    /// narrowed to 1–4 to calibrate the MAX strategy's affordability against
+    /// the paper's ArC ∈ {15, 20, 25} columns — see EXPERIMENTS.md).
+    pub base_cost: (u64, u64),
+    /// Node speed factors: the fastest node is 1.0, the slowest up to this
+    /// value (WCETs scale with the factor).
+    pub max_speed_factor: f64,
+    /// Average SER per cycle at minimum hardening (paper: 1e-10…1e-12).
+    pub ser_h1: f64,
+    /// SER reduction per hardening level (paper tables: 100×).
+    pub ser_reduction: f64,
+    /// Clock frequency tying WCETs to cycle counts.
+    pub clock_hz: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            node_types: 4,
+            levels: 5,
+            base_cost: (1, 4),
+            max_speed_factor: 1.6,
+            ser_h1: 1e-11,
+            ser_reduction: 100.0,
+            clock_hz: 500e6,
+        }
+    }
+}
+
+/// A generated platform with its per-node-type speed factors and SER
+/// models.
+#[derive(Debug, Clone)]
+pub struct GeneratedPlatform {
+    /// The node-type library.
+    pub platform: Platform,
+    /// Speed factor per node type (1.0 = fastest).
+    pub speed_factors: Vec<f64>,
+    /// SER model per node type.
+    pub ser: Vec<SerModel>,
+}
+
+impl GeneratedPlatform {
+    /// Base WCET of a process on each node type given its WCET on the
+    /// fastest node: `base × speed_factor_j`, as a full per-type row.
+    pub fn wcet_row(&self, fastest_node_wcet: TimeUs) -> Vec<TimeUs> {
+        self.speed_factors
+            .iter()
+            .map(|&f| fastest_node_wcet.scale(f))
+            .collect()
+    }
+}
+
+/// Generates a platform per the paper's Section 7 parameters: linear cost
+/// growth `C_j^h = base_j · h`, speed factors spread between 1.0 and
+/// `max_speed_factor` (the first node type is always the reference 1.0).
+pub fn generate_platform<R: Rng>(config: &PlatformConfig, rng: &mut R) -> GeneratedPlatform {
+    assert!(config.node_types >= 1);
+    assert!(config.levels >= 1);
+    let mut node_types = Vec::with_capacity(config.node_types);
+    let mut speed_factors = Vec::with_capacity(config.node_types);
+    let mut ser = Vec::with_capacity(config.node_types);
+    for i in 0..config.node_types {
+        let speed = if i == 0 {
+            1.0
+        } else {
+            rng.gen_range(1.0..=config.max_speed_factor)
+        };
+        let base = rng.gen_range(config.base_cost.0..=config.base_cost.1);
+        let costs: Vec<Cost> = (1..=u64::from(config.levels))
+            .map(|h| Cost::new(base * h))
+            .collect();
+        node_types.push(
+            NodeType::new(format!("N{}", i + 1), costs, speed)
+                .expect("levels >= 1 ensures non-empty costs"),
+        );
+        speed_factors.push(speed);
+        ser.push(SerModel::new(
+            config.ser_h1,
+            config.ser_reduction,
+            config.clock_hz,
+        ));
+    }
+    GeneratedPlatform {
+        platform: Platform::new(node_types).expect("node types are valid"),
+        speed_factors,
+        ser,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn costs_grow_linearly_with_level() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generate_platform(&PlatformConfig::default(), &mut rng);
+        for id in g.platform.node_type_ids() {
+            let nt = g.platform.node_type(id);
+            let base = nt.cost(ftes_model::HLevel::MIN).unwrap().units();
+            assert!((1..=4).contains(&base));
+            for h in 1..=nt.h_count() {
+                let c = nt.cost(ftes_model::HLevel::new(h).unwrap()).unwrap();
+                assert_eq!(c.units(), base * u64::from(h));
+            }
+        }
+    }
+
+    #[test]
+    fn first_node_is_the_reference_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generate_platform(&PlatformConfig::default(), &mut rng);
+        assert_eq!(g.speed_factors[0], 1.0);
+        for &f in &g.speed_factors {
+            assert!((1.0..=1.6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn wcet_row_scales_with_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generate_platform(&PlatformConfig::default(), &mut rng);
+        let row = g.wcet_row(TimeUs::from_ms(10));
+        assert_eq!(row[0], TimeUs::from_ms(10));
+        for (w, f) in row.iter().zip(&g.speed_factors) {
+            assert_eq!(*w, TimeUs::from_ms(10).scale(*f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_platform(
+            &PlatformConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        let b = generate_platform(
+            &PlatformConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        assert_eq!(a.platform, b.platform);
+        assert_eq!(a.speed_factors, b.speed_factors);
+    }
+
+    #[test]
+    fn five_levels_by_default() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generate_platform(&PlatformConfig::default(), &mut rng);
+        for id in g.platform.node_type_ids() {
+            assert_eq!(g.platform.node_type(id).h_count(), 5);
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Applications: sets of directed acyclic task graphs.
+//!
+//! The paper models an application `A` as a set of directed acyclic graphs
+//! `G_k(V_k, E_k)`. Each node `P_i ∈ V_k` is a *process*; an edge `e_ij`
+//! carries a *message* from `P_i` to `P_j`. A process activates once all its
+//! inputs have arrived, runs non-preemptively, and emits its outputs on
+//! termination.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{GraphId, MessageId, ProcessId};
+use crate::time::TimeUs;
+
+/// A process `P_i`: one non-preemptable unit of computation.
+///
+/// WCETs and failure probabilities are *not* stored here — they depend on
+/// the executing node and hardening level and live in the
+/// [`TimingDb`](crate::TimingDb).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    name: String,
+    graph: GraphId,
+    /// Recovery overhead μ paid before each re-execution of this process.
+    mu: TimeUs,
+}
+
+impl Process {
+    pub(crate) fn new(name: String, graph: GraphId, mu: TimeUs) -> Self {
+        Process { name, graph, mu }
+    }
+
+    /// The human-readable name (`"P1"` by default).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task graph this process belongs to.
+    pub fn graph(&self) -> GraphId {
+        self.graph
+    }
+
+    /// The recovery overhead μ of this process.
+    ///
+    /// The paper uses a global μ in the motivational examples (15 ms in
+    /// Fig. 1) and a per-process μ of 1–10 % of the WCET in the experimental
+    /// evaluation, so the model stores it per process.
+    pub fn mu(&self) -> TimeUs {
+        self.mu
+    }
+}
+
+/// A message `m`: a data dependency edge between two processes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    name: String,
+    src: ProcessId,
+    dst: ProcessId,
+    /// Worst-case transmission time if sent over the bus. Messages between
+    /// processes mapped on the same node take zero time.
+    tx_time: TimeUs,
+}
+
+impl Message {
+    pub(crate) fn new(name: String, src: ProcessId, dst: ProcessId, tx_time: TimeUs) -> Self {
+        Message {
+            name,
+            src,
+            dst,
+            tx_time,
+        }
+    }
+
+    /// The human-readable name (`"m1"` by default).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing process.
+    pub fn src(&self) -> ProcessId {
+        self.src
+    }
+
+    /// The consuming process.
+    pub fn dst(&self) -> ProcessId {
+        self.dst
+    }
+
+    /// Worst-case bus transmission time of this message.
+    pub fn tx_time(&self) -> TimeUs {
+        self.tx_time
+    }
+}
+
+/// A task graph `G_k` with its deadline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    deadline: TimeUs,
+    members: Vec<ProcessId>,
+}
+
+impl TaskGraph {
+    pub(crate) fn new(name: String, deadline: TimeUs) -> Self {
+        TaskGraph {
+            name,
+            deadline,
+            members: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_member(&mut self, p: ProcessId) {
+        self.members.push(p);
+    }
+
+    /// The human-readable name (`"G1"` by default).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hard deadline `D` by which every process of this graph must have
+    /// completed (including worst-case recovery slack).
+    pub fn deadline(&self) -> TimeUs {
+        self.deadline
+    }
+
+    /// The processes belonging to this graph.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
+    }
+}
+
+/// An application `A`: a set of task graphs plus the shared period.
+///
+/// Construct with [`ApplicationBuilder`](crate::ApplicationBuilder); the
+/// builder validates acyclicity, graph membership of edges and timing sanity
+/// and precomputes adjacency and a topological order.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{ApplicationBuilder, TimeUs};
+///
+/// let mut b = ApplicationBuilder::new("A");
+/// b.set_period(TimeUs::from_ms(360));
+/// let g = b.add_graph("G1", TimeUs::from_ms(360));
+/// let p1 = b.add_process(g, TimeUs::from_ms(15));
+/// let p2 = b.add_process(g, TimeUs::from_ms(15));
+/// b.add_message(p1, p2, TimeUs::ZERO)?;
+/// let app = b.build()?;
+/// assert_eq!(app.process_count(), 2);
+/// assert_eq!(app.successors(p1).count(), 1);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    period: TimeUs,
+    processes: Vec<Process>,
+    graphs: Vec<TaskGraph>,
+    messages: Vec<Message>,
+    /// Outgoing message ids per process.
+    succ: Vec<Vec<MessageId>>,
+    /// Incoming message ids per process.
+    pred: Vec<Vec<MessageId>>,
+    /// A topological order over all processes (graphs interleaved).
+    topo: Vec<ProcessId>,
+}
+
+impl Application {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        period: TimeUs,
+        processes: Vec<Process>,
+        graphs: Vec<TaskGraph>,
+        messages: Vec<Message>,
+        succ: Vec<Vec<MessageId>>,
+        pred: Vec<Vec<MessageId>>,
+        topo: Vec<ProcessId>,
+    ) -> Self {
+        Application {
+            name,
+            period,
+            processes,
+            graphs,
+            messages,
+            succ,
+            pred,
+            topo,
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The period `T` — one iteration of the application executes every `T`.
+    /// Formula (6) of the paper raises the per-iteration success probability
+    /// to the power τ/T.
+    pub fn period(&self) -> TimeUs {
+        self.period
+    }
+
+    /// Number of processes over all task graphs.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Number of messages (edges) over all task graphs.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Number of task graphs.
+    pub fn graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only handed out by the
+    /// builder, so this indicates misuse of ids across applications).
+    pub fn process(&self, id: ProcessId) -> &Process {
+        &self.processes[id.index()]
+    }
+
+    /// Looks up a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn message(&self, id: MessageId) -> &Message {
+        &self.messages[id.index()]
+    }
+
+    /// Looks up a task graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn graph(&self, id: GraphId) -> &TaskGraph {
+        &self.graphs[id.index()]
+    }
+
+    /// Iterates over all process ids in index order.
+    pub fn process_ids(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        (0..self.processes.len() as u32).map(ProcessId::new)
+    }
+
+    /// Iterates over all message ids in index order.
+    pub fn message_ids(&self) -> impl ExactSizeIterator<Item = MessageId> + '_ {
+        (0..self.messages.len() as u32).map(MessageId::new)
+    }
+
+    /// Iterates over all graph ids in index order.
+    pub fn graph_ids(&self) -> impl ExactSizeIterator<Item = GraphId> + '_ {
+        (0..self.graphs.len() as u32).map(GraphId::new)
+    }
+
+    /// Outgoing messages of `p`.
+    pub fn outgoing(&self, p: ProcessId) -> &[MessageId] {
+        &self.succ[p.index()]
+    }
+
+    /// Incoming messages of `p`.
+    pub fn incoming(&self, p: ProcessId) -> &[MessageId] {
+        &self.pred[p.index()]
+    }
+
+    /// Direct successors of `p` in its task graph.
+    pub fn successors(&self, p: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
+        self.succ[p.index()].iter().map(|&m| self.messages[m.index()].dst())
+    }
+
+    /// Direct predecessors of `p` in its task graph.
+    pub fn predecessors(&self, p: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
+        self.pred[p.index()].iter().map(|&m| self.messages[m.index()].src())
+    }
+
+    /// `true` if `p` has no predecessors (an input/root process).
+    pub fn is_root(&self, p: ProcessId) -> bool {
+        self.pred[p.index()].is_empty()
+    }
+
+    /// `true` if `p` has no successors (an output/sink process).
+    pub fn is_sink(&self, p: ProcessId) -> bool {
+        self.succ[p.index()].is_empty()
+    }
+
+    /// A topological order over all processes (roots first). Stable across
+    /// runs: ties are broken by process index.
+    pub fn topological_order(&self) -> &[ProcessId] {
+        &self.topo
+    }
+
+    /// The deadline of the graph `p` belongs to.
+    pub fn deadline_of(&self, p: ProcessId) -> TimeUs {
+        self.graphs[self.processes[p.index()].graph.index()].deadline()
+    }
+
+    /// The tightest deadline over all task graphs.
+    pub fn min_deadline(&self) -> TimeUs {
+        self.graphs
+            .iter()
+            .map(TaskGraph::deadline)
+            .min()
+            .expect("applications always have at least one graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ApplicationBuilder;
+    use crate::time::TimeUs;
+
+    fn diamond() -> crate::Application {
+        let mut b = ApplicationBuilder::new("A");
+        b.set_period(TimeUs::from_ms(360));
+        let g = b.add_graph("G1", TimeUs::from_ms(360));
+        let p1 = b.add_process(g, TimeUs::from_ms(15));
+        let p2 = b.add_process(g, TimeUs::from_ms(15));
+        let p3 = b.add_process(g, TimeUs::from_ms(15));
+        let p4 = b.add_process(g, TimeUs::from_ms(15));
+        b.add_message(p1, p2, TimeUs::ZERO).unwrap();
+        b.add_message(p1, p3, TimeUs::ZERO).unwrap();
+        b.add_message(p2, p4, TimeUs::ZERO).unwrap();
+        b.add_message(p3, p4, TimeUs::ZERO).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        use crate::ids::ProcessId;
+        let app = diamond();
+        let p = |i| ProcessId::new(i);
+        assert_eq!(app.process_count(), 4);
+        assert_eq!(app.message_count(), 4);
+        assert!(app.is_root(p(0)));
+        assert!(app.is_sink(p(3)));
+        assert!(!app.is_root(p(1)));
+        assert!(!app.is_sink(p(0)));
+        let succs: Vec<_> = app.successors(p(0)).collect();
+        assert_eq!(succs, vec![p(1), p(2)]);
+        let preds: Vec<_> = app.predecessors(p(3)).collect();
+        assert_eq!(preds, vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let app = diamond();
+        let topo = app.topological_order();
+        assert_eq!(topo.len(), 4);
+        let pos = |p: crate::ProcessId| topo.iter().position(|&q| q == p).unwrap();
+        for m in app.message_ids() {
+            let msg = app.message(m);
+            assert!(pos(msg.src()) < pos(msg.dst()), "{m} violates topo order");
+        }
+    }
+
+    #[test]
+    fn deadlines_and_period() {
+        let app = diamond();
+        assert_eq!(app.period(), TimeUs::from_ms(360));
+        assert_eq!(app.min_deadline(), TimeUs::from_ms(360));
+        assert_eq!(
+            app.deadline_of(crate::ProcessId::new(2)),
+            TimeUs::from_ms(360)
+        );
+    }
+
+    #[test]
+    fn names_default_to_paper_style() {
+        let app = diamond();
+        assert_eq!(app.process(crate::ProcessId::new(0)).name(), "P1");
+        assert_eq!(app.message(crate::MessageId::new(3)).name(), "m4");
+        assert_eq!(app.graph(crate::GraphId::new(0)).name(), "G1");
+    }
+}

@@ -1,0 +1,280 @@
+//! Selected architectures: concrete node instances with hardening levels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{HLevel, NodeId, NodeTypeId};
+use crate::node::{Cost, Platform};
+
+/// One concrete node slot of an architecture: a node type at a chosen
+/// hardening level (`N_j^h` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeInstance {
+    /// Which node type from the platform library occupies the slot.
+    pub node_type: NodeTypeId,
+    /// The selected hardening level.
+    pub hardening: HLevel,
+}
+
+/// A selected architecture `AR`: an ordered set of node instances.
+///
+/// The design-space exploration mutates the hardening levels in place via
+/// [`set_hardening`](Architecture::set_hardening) while keeping the node
+/// selection fixed.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{Architecture, Cost, HLevel, NodeType, NodeTypeId, Platform};
+///
+/// let platform = Platform::new(vec![
+///     NodeType::new("N1", vec![Cost::new(16), Cost::new(32), Cost::new(64)], 1.0)?,
+///     NodeType::new("N2", vec![Cost::new(20), Cost::new(40), Cost::new(80)], 1.1)?,
+/// ])?;
+/// let mut arch = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+/// arch.set_hardening(ftes_model::NodeId::new(0), HLevel::new(2)?);
+/// arch.set_hardening(ftes_model::NodeId::new(1), HLevel::new(2)?);
+/// assert_eq!(arch.cost(&platform)?, Cost::new(72)); // Fig. 4a: Ca = 72
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Architecture {
+    nodes: Vec<NodeInstance>,
+}
+
+impl Architecture {
+    /// Creates an architecture from explicit node instances.
+    pub fn new(nodes: Vec<NodeInstance>) -> Self {
+        Architecture { nodes }
+    }
+
+    /// Creates an architecture using the given node types, all at the
+    /// minimum hardening level (the paper's `SetMinHardening`).
+    pub fn with_min_hardening(types: &[NodeTypeId]) -> Self {
+        Architecture {
+            nodes: types
+                .iter()
+                .map(|&t| NodeInstance {
+                    node_type: t,
+                    hardening: HLevel::MIN,
+                })
+                .collect(),
+        }
+    }
+
+    /// Creates an architecture using the given node types, all at their
+    /// maximum hardening level (the paper's MAX baseline).
+    pub fn with_max_hardening(types: &[NodeTypeId], platform: &Platform) -> Self {
+        Architecture {
+            nodes: types
+                .iter()
+                .map(|&t| NodeInstance {
+                    node_type: t,
+                    hardening: platform.node_type(t).max_h(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node instances in slot order.
+    pub fn nodes(&self) -> &[NodeInstance] {
+        &self.nodes
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// The instance in slot `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node(&self, n: NodeId) -> NodeInstance {
+        self.nodes[n.index()]
+    }
+
+    /// The node type occupying slot `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node_type(&self, n: NodeId) -> NodeTypeId {
+        self.nodes[n.index()].node_type
+    }
+
+    /// The hardening level of slot `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn hardening(&self, n: NodeId) -> HLevel {
+        self.nodes[n.index()].hardening
+    }
+
+    /// Sets the hardening level of slot `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range. Level validity against the platform is
+    /// checked by [`validate`](Architecture::validate) / [`cost`](Architecture::cost).
+    pub fn set_hardening(&mut self, n: NodeId, h: HLevel) {
+        self.nodes[n.index()].hardening = h;
+    }
+
+    /// Resets every node to minimum hardening.
+    pub fn set_min_hardening(&mut self) {
+        for node in &mut self.nodes {
+            node.hardening = HLevel::MIN;
+        }
+    }
+
+    /// The total architecture cost `Σ_j C_j^h` (the paper's `GetCost`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::HardeningOutOfRange`] if any slot's level is
+    /// not offered by its node type.
+    pub fn cost(&self, platform: &Platform) -> Result<Cost, ModelError> {
+        let mut total = Cost::ZERO;
+        for (i, inst) in self.nodes.iter().enumerate() {
+            let nt = platform.node_type(inst.node_type);
+            let c = nt
+                .cost(inst.hardening)
+                .map_err(|_| ModelError::HardeningOutOfRange {
+                    node_type: inst.node_type.index(),
+                    h: inst.hardening.get(),
+                    available: nt.h_count(),
+                })?;
+            let _ = i;
+            total += c;
+        }
+        Ok(total)
+    }
+
+    /// Validates all slots against the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownEntity`] for a dangling node type or
+    /// [`ModelError::HardeningOutOfRange`] for an unavailable level.
+    pub fn validate(&self, platform: &Platform) -> Result<(), ModelError> {
+        for inst in &self.nodes {
+            if inst.node_type.index() >= platform.node_type_count() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "node type",
+                    index: inst.node_type.index(),
+                });
+            }
+            let nt = platform.node_type(inst.node_type);
+            if !nt.has_level(inst.hardening) {
+                return Err(ModelError::HardeningOutOfRange {
+                    node_type: inst.node_type.index(),
+                    h: inst.hardening.get(),
+                    available: nt.h_count(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, inst) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}^{}", inst.node_type, inst.hardening.get())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeType;
+
+    fn platform() -> Platform {
+        Platform::new(vec![
+            NodeType::new("N1", vec![Cost::new(16), Cost::new(32), Cost::new(64)], 1.0).unwrap(),
+            NodeType::new("N2", vec![Cost::new(20), Cost::new(40), Cost::new(80)], 1.1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn min_and_max_hardening_constructors() {
+        let p = platform();
+        let types = [NodeTypeId::new(0), NodeTypeId::new(1)];
+        let min = Architecture::with_min_hardening(&types);
+        assert!(min.node_ids().all(|n| min.hardening(n) == HLevel::MIN));
+        assert_eq!(min.cost(&p).unwrap(), Cost::new(36));
+        let max = Architecture::with_max_hardening(&types, &p);
+        assert!(max.node_ids().all(|n| max.hardening(n).get() == 3));
+        assert_eq!(max.cost(&p).unwrap(), Cost::new(144));
+    }
+
+    #[test]
+    fn fig4_costs() {
+        let p = platform();
+        // Fig. 4a: N1^2 + N2^2 = 32 + 40 = 72.
+        let mut a = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+        a.set_hardening(NodeId::new(0), HLevel::new(2).unwrap());
+        a.set_hardening(NodeId::new(1), HLevel::new(2).unwrap());
+        assert_eq!(a.cost(&p).unwrap(), Cost::new(72));
+        // Fig. 4b: N1^2 alone = 32.
+        let mut b = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+        b.set_hardening(NodeId::new(0), HLevel::new(2).unwrap());
+        assert_eq!(b.cost(&p).unwrap(), Cost::new(32));
+        // Fig. 4c: N2^2 alone = 40.
+        let mut c = Architecture::with_min_hardening(&[NodeTypeId::new(1)]);
+        c.set_hardening(NodeId::new(0), HLevel::new(2).unwrap());
+        assert_eq!(c.cost(&p).unwrap(), Cost::new(40));
+        // Fig. 4d: N1^3 = 64; Fig. 4e: N2^3 = 80.
+        let d = Architecture::with_max_hardening(&[NodeTypeId::new(0)], &p);
+        assert_eq!(d.cost(&p).unwrap(), Cost::new(64));
+        let e = Architecture::with_max_hardening(&[NodeTypeId::new(1)], &p);
+        assert_eq!(e.cost(&p).unwrap(), Cost::new(80));
+    }
+
+    #[test]
+    fn validation_catches_bad_levels() {
+        let p = platform();
+        let mut a = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+        a.set_hardening(NodeId::new(0), HLevel::new(4).unwrap());
+        assert!(a.validate(&p).is_err());
+        assert!(a.cost(&p).is_err());
+        let dangling = Architecture::with_min_hardening(&[NodeTypeId::new(7)]);
+        assert!(matches!(
+            dangling.validate(&p).unwrap_err(),
+            ModelError::UnknownEntity { .. }
+        ));
+    }
+
+    #[test]
+    fn set_min_hardening_resets() {
+        let p = platform();
+        let types = [NodeTypeId::new(0), NodeTypeId::new(1)];
+        let mut a = Architecture::with_max_hardening(&types, &p);
+        a.set_min_hardening();
+        assert!(a.node_ids().all(|n| a.hardening(n) == HLevel::MIN));
+    }
+
+    #[test]
+    fn display_shows_types_and_levels() {
+        let mut a = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+        a.set_hardening(NodeId::new(1), HLevel::new(3).unwrap());
+        assert_eq!(a.to_string(), "[N1^1, N2^3]");
+    }
+}

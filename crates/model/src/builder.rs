@@ -1,0 +1,371 @@
+//! Builder for [`Application`] values.
+
+use crate::application::{Application, Message, Process, TaskGraph};
+use crate::error::ModelError;
+use crate::ids::{GraphId, MessageId, ProcessId};
+use crate::time::TimeUs;
+
+/// Incrementally constructs an [`Application`], validating on
+/// [`build`](ApplicationBuilder::build).
+///
+/// Processes and messages receive paper-style default names (`P1`, `m1`, …)
+/// in creation order; use the `*_named` variants to override.
+///
+/// # Examples
+///
+/// Building the diamond-shaped graph of the paper's Fig. 1:
+///
+/// ```
+/// use ftes_model::{ApplicationBuilder, TimeUs};
+///
+/// let mut b = ApplicationBuilder::new("A");
+/// b.set_period(TimeUs::from_ms(360));
+/// let g1 = b.add_graph("G1", TimeUs::from_ms(360));
+/// let mu = TimeUs::from_ms(15);
+/// let p1 = b.add_process(g1, mu);
+/// let p2 = b.add_process(g1, mu);
+/// let p3 = b.add_process(g1, mu);
+/// let p4 = b.add_process(g1, mu);
+/// b.add_message(p1, p2, TimeUs::ZERO)?;
+/// b.add_message(p1, p3, TimeUs::ZERO)?;
+/// b.add_message(p2, p4, TimeUs::ZERO)?;
+/// b.add_message(p3, p4, TimeUs::ZERO)?;
+/// let app = b.build()?;
+/// assert_eq!(app.graph(g1).members().len(), 4);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    name: String,
+    period: Option<TimeUs>,
+    processes: Vec<Process>,
+    graphs: Vec<TaskGraph>,
+    messages: Vec<Message>,
+}
+
+impl ApplicationBuilder {
+    /// Starts a new application with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationBuilder {
+            name: name.into(),
+            period: None,
+            processes: Vec::new(),
+            graphs: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// Sets the application period `T`. If unset, [`build`] uses the
+    /// maximum graph deadline.
+    ///
+    /// [`build`]: ApplicationBuilder::build
+    pub fn set_period(&mut self, period: TimeUs) -> &mut Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Adds a task graph with a deadline and returns its id.
+    pub fn add_graph(&mut self, name: impl Into<String>, deadline: TimeUs) -> GraphId {
+        let id = GraphId::new(self.graphs.len() as u32);
+        self.graphs.push(TaskGraph::new(name.into(), deadline));
+        id
+    }
+
+    /// Adds a process with a default name (`P<index+1>`) to `graph`.
+    pub fn add_process(&mut self, graph: GraphId, mu: TimeUs) -> ProcessId {
+        let name = format!("P{}", self.processes.len() + 1);
+        self.add_process_named(graph, name, mu)
+    }
+
+    /// Adds a process with an explicit name to `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` was not returned by this builder's
+    /// [`add_graph`](ApplicationBuilder::add_graph).
+    pub fn add_process_named(
+        &mut self,
+        graph: GraphId,
+        name: impl Into<String>,
+        mu: TimeUs,
+    ) -> ProcessId {
+        assert!(
+            graph.index() < self.graphs.len(),
+            "graph {graph} does not belong to this builder"
+        );
+        let id = ProcessId::new(self.processes.len() as u32);
+        self.processes.push(Process::new(name.into(), graph, mu));
+        self.graphs[graph.index()].push_member(id);
+        id
+    }
+
+    /// Adds a message (dependency edge) with a default name (`m<index+1>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, the edge is a self
+    /// loop, crosses task graphs, duplicates an existing edge, or the
+    /// transmission time is negative.
+    pub fn add_message(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        tx_time: TimeUs,
+    ) -> Result<MessageId, ModelError> {
+        let name = format!("m{}", self.messages.len() + 1);
+        self.add_message_named(src, dst, name, tx_time)
+    }
+
+    /// Adds a message with an explicit name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_message`](ApplicationBuilder::add_message).
+    pub fn add_message_named(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        name: impl Into<String>,
+        tx_time: TimeUs,
+    ) -> Result<MessageId, ModelError> {
+        for (kind, p) in [("process", src), ("process", dst)] {
+            if p.index() >= self.processes.len() {
+                return Err(ModelError::UnknownEntity {
+                    kind,
+                    index: p.index(),
+                });
+            }
+        }
+        if src == dst {
+            return Err(ModelError::SelfLoop {
+                process: src.index(),
+            });
+        }
+        if self.processes[src.index()].graph() != self.processes[dst.index()].graph() {
+            return Err(ModelError::CrossGraphEdge {
+                src: src.index(),
+                dst: dst.index(),
+            });
+        }
+        if self
+            .messages
+            .iter()
+            .any(|m| m.src() == src && m.dst() == dst)
+        {
+            return Err(ModelError::DuplicateEdge {
+                src: src.index(),
+                dst: dst.index(),
+            });
+        }
+        if tx_time.is_negative() {
+            return Err(ModelError::NegativeTime {
+                what: "message transmission time",
+            });
+        }
+        let id = MessageId::new(self.messages.len() as u32);
+        self.messages
+            .push(Message::new(name.into(), src, dst, tx_time));
+        Ok(id)
+    }
+
+    /// Validates the accumulated model and produces the [`Application`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is empty, any μ or deadline is
+    /// negative, a deadline exceeds the period, or a task graph contains a
+    /// dependency cycle.
+    pub fn build(&self) -> Result<Application, ModelError> {
+        if self.processes.is_empty() {
+            return Err(ModelError::EmptyApplication);
+        }
+        for p in &self.processes {
+            if p.mu().is_negative() {
+                return Err(ModelError::NegativeTime {
+                    what: "recovery overhead",
+                });
+            }
+        }
+        for g in &self.graphs {
+            if g.deadline().is_negative() {
+                return Err(ModelError::NegativeTime { what: "deadline" });
+            }
+        }
+        let period = self.period.unwrap_or_else(|| {
+            self.graphs
+                .iter()
+                .map(TaskGraph::deadline)
+                .max()
+                .unwrap_or(TimeUs::ZERO)
+        });
+        if period <= TimeUs::ZERO {
+            return Err(ModelError::NegativeTime { what: "period" });
+        }
+        if self.graphs.iter().any(|g| g.deadline() > period) {
+            return Err(ModelError::DeadlineExceedsPeriod);
+        }
+
+        let n = self.processes.len();
+        let mut succ: Vec<Vec<MessageId>> = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<MessageId>> = vec![Vec::new(); n];
+        for (i, m) in self.messages.iter().enumerate() {
+            let id = MessageId::new(i as u32);
+            succ[m.src().index()].push(id);
+            pred[m.dst().index()].push(id);
+        }
+
+        // Kahn's algorithm; ties broken by smallest process index so the
+        // order is deterministic.
+        let mut indegree: Vec<usize> = pred.iter().map(Vec::len).collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| std::cmp::Reverse(i))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            topo.push(ProcessId::new(i as u32));
+            for &m in &succ[i] {
+                let d = self.messages[m.index()].dst().index();
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(std::cmp::Reverse(d));
+                }
+            }
+        }
+        if topo.len() != n {
+            let culprit = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a process with positive residual indegree");
+            return Err(ModelError::CyclicDependency { process: culprit });
+        }
+
+        Ok(Application::from_parts(
+            self.name.clone(),
+            period,
+            self.processes.clone(),
+            self.graphs.clone(),
+            self.messages.clone(),
+            succ,
+            pred,
+            topo,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_application() {
+        let b = ApplicationBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), ModelError::EmptyApplication);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        let p1 = b.add_process(g, TimeUs::ZERO);
+        let p2 = b.add_process(g, TimeUs::ZERO);
+        assert_eq!(
+            b.add_message(p1, p1, TimeUs::ZERO).unwrap_err(),
+            ModelError::SelfLoop { process: 0 }
+        );
+        b.add_message(p1, p2, TimeUs::ZERO).unwrap();
+        assert_eq!(
+            b.add_message(p1, p2, TimeUs::ZERO).unwrap_err(),
+            ModelError::DuplicateEdge { src: 0, dst: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_cross_graph_edges() {
+        let mut b = ApplicationBuilder::new("A");
+        let g1 = b.add_graph("G1", TimeUs::from_ms(100));
+        let g2 = b.add_graph("G2", TimeUs::from_ms(100));
+        let p1 = b.add_process(g1, TimeUs::ZERO);
+        let p2 = b.add_process(g2, TimeUs::ZERO);
+        assert_eq!(
+            b.add_message(p1, p2, TimeUs::ZERO).unwrap_err(),
+            ModelError::CrossGraphEdge { src: 0, dst: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        let p1 = b.add_process(g, TimeUs::ZERO);
+        let p2 = b.add_process(g, TimeUs::ZERO);
+        let p3 = b.add_process(g, TimeUs::ZERO);
+        b.add_message(p1, p2, TimeUs::ZERO).unwrap();
+        b.add_message(p2, p3, TimeUs::ZERO).unwrap();
+        b.add_message(p3, p1, TimeUs::ZERO).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::CyclicDependency { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_deadline_beyond_period() {
+        let mut b = ApplicationBuilder::new("A");
+        b.set_period(TimeUs::from_ms(50));
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        b.add_process(g, TimeUs::ZERO);
+        assert_eq!(b.build().unwrap_err(), ModelError::DeadlineExceedsPeriod);
+    }
+
+    #[test]
+    fn rejects_negative_times() {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        b.add_process(g, TimeUs::from_ms(-1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::NegativeTime {
+                what: "recovery overhead"
+            }
+        );
+    }
+
+    #[test]
+    fn period_defaults_to_max_deadline() {
+        let mut b = ApplicationBuilder::new("A");
+        let g1 = b.add_graph("G1", TimeUs::from_ms(100));
+        let g2 = b.add_graph("G2", TimeUs::from_ms(250));
+        b.add_process(g1, TimeUs::ZERO);
+        b.add_process(g2, TimeUs::ZERO);
+        let app = b.build().unwrap();
+        assert_eq!(app.period(), TimeUs::from_ms(250));
+    }
+
+    #[test]
+    fn unknown_process_in_message_is_reported() {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        let p1 = b.add_process(g, TimeUs::ZERO);
+        let bogus = ProcessId::new(42);
+        assert!(matches!(
+            b.add_message(p1, bogus, TimeUs::ZERO).unwrap_err(),
+            ModelError::UnknownEntity { kind: "process", .. }
+        ));
+    }
+
+    #[test]
+    fn independent_processes_allowed() {
+        // Processes without any edges are valid (the generator produces
+        // graphs where some processes are independent).
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        for _ in 0..5 {
+            b.add_process(g, TimeUs::ZERO);
+        }
+        let app = b.build().unwrap();
+        assert_eq!(app.topological_order().len(), 5);
+    }
+}

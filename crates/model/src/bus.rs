@@ -1,0 +1,166 @@
+//! The communication bus model.
+//!
+//! The paper assumes a fault-tolerant time-triggered communication protocol
+//! (TTP [10]): processes mapped on different nodes exchange messages over a
+//! shared bus with known worst-case transmission times. Two models are
+//! provided:
+//!
+//! * [`BusModel::Ideal`] — contention-free: a message occupies the bus for
+//!   its transmission time starting the moment it is sent. This matches the
+//!   paper's worked examples, where message delays are included in the given
+//!   worst-case transmission times.
+//! * [`BusModel::Tdma`] — a TTP-style TDMA round: each node owns one slot
+//!   per round; a message waits for the next slot of its sender's node and
+//!   must fit into a whole number of slots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::time::TimeUs;
+
+/// The bus arbitration model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BusModel {
+    /// Contention-free bus: transmission starts immediately.
+    #[default]
+    Ideal,
+    /// TDMA rounds with one slot per node, TTP style.
+    Tdma {
+        /// Length of each node's slot.
+        slot: TimeUs,
+    },
+}
+
+/// The bus specification attached to a [`System`](crate::System).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BusSpec {
+    /// The arbitration model.
+    pub model: BusModel,
+}
+
+impl BusSpec {
+    /// A contention-free bus.
+    pub fn ideal() -> Self {
+        BusSpec {
+            model: BusModel::Ideal,
+        }
+    }
+
+    /// A TDMA bus with the given slot length.
+    pub fn tdma(slot: TimeUs) -> Self {
+        BusSpec {
+            model: BusModel::Tdma { slot },
+        }
+    }
+
+    /// Earliest time a message from `sender` that becomes ready at `ready`
+    /// finishes transmission, given the number of architecture nodes
+    /// (TDMA rounds cycle through all of them in slot order).
+    ///
+    /// For the ideal bus this is `ready + tx_time`. For TDMA the message
+    /// waits for the start of the sender's next slot and then occupies as
+    /// many consecutive rounds as needed (one slot per round), i.e. a
+    /// message with `tx_time` ≤ slot finishes within the first slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a TDMA bus with a non-positive slot length.
+    pub fn arrival_time(
+        &self,
+        sender: NodeId,
+        n_nodes: usize,
+        ready: TimeUs,
+        tx_time: TimeUs,
+    ) -> TimeUs {
+        match self.model {
+            BusModel::Ideal => ready + tx_time,
+            BusModel::Tdma { slot } => {
+                assert!(slot > TimeUs::ZERO, "TDMA slot length must be positive");
+                if tx_time.is_zero() {
+                    return ready;
+                }
+                let round = slot.times(n_nodes as i64);
+                let offset = slot.times(sender.index() as i64);
+                // First round index whose sender slot starts at or after `ready`.
+                let rel = (ready - offset).as_us();
+                let round_us = round.as_us();
+                let k = if rel <= 0 {
+                    0
+                } else {
+                    (rel + round_us - 1) / round_us
+                };
+                let mut start = offset + TimeUs::from_us(k * round_us);
+                // Whole slots needed to ship tx_time.
+                let slots_needed =
+                    (tx_time.as_us() + slot.as_us() - 1) / slot.as_us();
+                // The message completes in the slots of rounds k .. k+slots_needed-1.
+                start = start + TimeUs::from_us((slots_needed - 1) * round_us);
+                start + slot
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_bus_adds_tx_time() {
+        let bus = BusSpec::ideal();
+        let t = bus.arrival_time(NodeId::new(0), 2, TimeUs::from_ms(10), TimeUs::from_ms(3));
+        assert_eq!(t, TimeUs::from_ms(13));
+    }
+
+    #[test]
+    fn ideal_bus_zero_tx_is_instant() {
+        let bus = BusSpec::ideal();
+        let t = bus.arrival_time(NodeId::new(1), 2, TimeUs::from_ms(10), TimeUs::ZERO);
+        assert_eq!(t, TimeUs::from_ms(10));
+    }
+
+    #[test]
+    fn tdma_waits_for_own_slot() {
+        // Two nodes, 2 ms slots: rounds are [n1: 0-2, n2: 2-4], [n1: 4-6, ...].
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        // Message from n1 ready at t=0 ships in slot 0-2.
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 2, TimeUs::ZERO, TimeUs::from_ms(1)),
+            TimeUs::from_ms(2)
+        );
+        // Message from n2 ready at t=0 waits for its slot at 2-4.
+        assert_eq!(
+            bus.arrival_time(NodeId::new(1), 2, TimeUs::ZERO, TimeUs::from_ms(1)),
+            TimeUs::from_ms(4)
+        );
+        // Message from n1 ready at t=1 misses slot 0 start, uses round 1.
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 2, TimeUs::from_ms(1), TimeUs::from_ms(1)),
+            TimeUs::from_ms(6)
+        );
+    }
+
+    #[test]
+    fn tdma_long_messages_span_rounds() {
+        // 2 nodes, 2 ms slots; a 3 ms message needs 2 slots => 2 rounds.
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 2, TimeUs::ZERO, TimeUs::from_ms(3)),
+            TimeUs::from_ms(6) // slot 0-2 of round 0 and 4-6 of round 1
+        );
+    }
+
+    #[test]
+    fn tdma_zero_tx_is_instant() {
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(1), 3, TimeUs::from_ms(5), TimeUs::ZERO),
+            TimeUs::from_ms(5)
+        );
+    }
+
+    #[test]
+    fn default_is_ideal() {
+        assert_eq!(BusSpec::default(), BusSpec::ideal());
+    }
+}

@@ -1,0 +1,195 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a system model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A probability value was NaN or outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A hardening level of `0` was requested (levels are 1-based).
+    InvalidHardeningLevel(u8),
+    /// An identifier referred to an entity that does not exist.
+    UnknownEntity {
+        /// The kind of entity ("process", "node type", …).
+        kind: &'static str,
+        /// The offending dense index.
+        index: usize,
+    },
+    /// A message connects processes belonging to different task graphs.
+    CrossGraphEdge {
+        /// Source process index.
+        src: usize,
+        /// Destination process index.
+        dst: usize,
+    },
+    /// A message connects a process to itself.
+    SelfLoop {
+        /// The process index.
+        process: usize,
+    },
+    /// The same edge was added twice.
+    DuplicateEdge {
+        /// Source process index.
+        src: usize,
+        /// Destination process index.
+        dst: usize,
+    },
+    /// The task graph contains a dependency cycle.
+    CyclicDependency {
+        /// A process on the cycle.
+        process: usize,
+    },
+    /// A time quantity that must be non-negative was negative.
+    NegativeTime {
+        /// What the quantity was ("WCET", "deadline", …).
+        what: &'static str,
+    },
+    /// A deadline exceeds the application period, which the static cyclic
+    /// schedule cannot honour.
+    DeadlineExceedsPeriod,
+    /// A node type was declared with no h-versions.
+    EmptyNodeType {
+        /// The node-type index.
+        node_type: usize,
+    },
+    /// A timing table entry is missing for a (process, node type, h) triple.
+    MissingTiming {
+        /// Process index.
+        process: usize,
+        /// Node-type index.
+        node_type: usize,
+        /// Hardening level (1-based).
+        h: u8,
+    },
+    /// An architecture references a hardening level the node type lacks.
+    HardeningOutOfRange {
+        /// Node-type index.
+        node_type: usize,
+        /// The requested level (1-based).
+        h: u8,
+        /// The number of available levels.
+        available: u8,
+    },
+    /// A mapping does not cover every process exactly once.
+    IncompleteMapping {
+        /// Number of processes expected.
+        expected: usize,
+        /// Number of assignments provided.
+        got: usize,
+    },
+    /// A mapping assigned a process to a node on which it cannot execute.
+    UnmappableProcess {
+        /// Process index.
+        process: usize,
+        /// Node-type index.
+        node_type: usize,
+    },
+    /// The application has no processes.
+    EmptyApplication,
+    /// The reliability goal γ was not a valid probability in `(0, 1)`.
+    InvalidReliabilityGoal(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability(v) => {
+                write!(f, "probability {v} is outside [0, 1] or NaN")
+            }
+            ModelError::InvalidHardeningLevel(h) => {
+                write!(f, "hardening level {h} is invalid (levels are 1-based)")
+            }
+            ModelError::UnknownEntity { kind, index } => {
+                write!(f, "unknown {kind} with index {index}")
+            }
+            ModelError::CrossGraphEdge { src, dst } => write!(
+                f,
+                "message from process {src} to {dst} crosses task graphs"
+            ),
+            ModelError::SelfLoop { process } => {
+                write!(f, "process {process} has a message to itself")
+            }
+            ModelError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge from process {src} to {dst}")
+            }
+            ModelError::CyclicDependency { process } => write!(
+                f,
+                "task graph contains a dependency cycle through process {process}"
+            ),
+            ModelError::NegativeTime { what } => write!(f, "{what} must be non-negative"),
+            ModelError::DeadlineExceedsPeriod => {
+                write!(f, "deadline exceeds the application period")
+            }
+            ModelError::EmptyNodeType { node_type } => {
+                write!(f, "node type {node_type} has no h-versions")
+            }
+            ModelError::MissingTiming {
+                process,
+                node_type,
+                h,
+            } => write!(
+                f,
+                "missing WCET/failure-probability entry for process {process} on node type {node_type} at h{h}"
+            ),
+            ModelError::HardeningOutOfRange {
+                node_type,
+                h,
+                available,
+            } => write!(
+                f,
+                "node type {node_type} has {available} h-versions but h{h} was requested"
+            ),
+            ModelError::IncompleteMapping { expected, got } => write!(
+                f,
+                "mapping covers {got} processes but the application has {expected}"
+            ),
+            ModelError::UnmappableProcess { process, node_type } => write!(
+                f,
+                "process {process} cannot execute on node type {node_type}"
+            ),
+            ModelError::EmptyApplication => write!(f, "application has no processes"),
+            ModelError::InvalidReliabilityGoal(g) => write!(
+                f,
+                "reliability goal gamma {g} must be a probability in (0, 1)"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ModelError::InvalidProbability(1.5).to_string(),
+            ModelError::InvalidHardeningLevel(0).to_string(),
+            ModelError::CrossGraphEdge { src: 1, dst: 2 }.to_string(),
+            ModelError::CyclicDependency { process: 3 }.to_string(),
+            ModelError::DeadlineExceedsPeriod.to_string(),
+            ModelError::MissingTiming {
+                process: 0,
+                node_type: 1,
+                h: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! Reliability goals.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::time::TimeUs;
+
+/// The reliability goal ρ = 1 − γ within a time unit τ.
+///
+/// γ is the maximum acceptable probability of a system failure caused by
+/// transient faults on any computation node within τ (one hour in the
+/// paper).
+///
+/// Because ρ is extremely close to 1, the goal is stored as γ and
+/// comparisons use `ln(ρ) = ln1p(−γ)` to avoid catastrophic cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{ReliabilityGoal, TimeUs};
+///
+/// // The paper's running example: ρ = 1 − 10⁻⁵ within one hour.
+/// let goal = ReliabilityGoal::per_hour(1e-5)?;
+/// assert_eq!(goal.gamma(), 1e-5);
+/// assert_eq!(goal.time_unit(), TimeUs::HOUR);
+/// assert!((goal.rho() - (1.0 - 1e-5)).abs() < 1e-15);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityGoal {
+    gamma: f64,
+    time_unit: TimeUs,
+}
+
+impl ReliabilityGoal {
+    /// Creates a goal with failure budget `gamma` per `time_unit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidReliabilityGoal`] unless
+    /// `0 < gamma < 1`, and [`ModelError::NegativeTime`] unless the time
+    /// unit is positive.
+    pub fn new(gamma: f64, time_unit: TimeUs) -> Result<Self, ModelError> {
+        if !(gamma > 0.0 && gamma < 1.0) {
+            return Err(ModelError::InvalidReliabilityGoal(gamma));
+        }
+        if time_unit <= TimeUs::ZERO {
+            return Err(ModelError::NegativeTime { what: "time unit" });
+        }
+        Ok(ReliabilityGoal { gamma, time_unit })
+    }
+
+    /// Creates a goal per hour of operation, the paper's convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidReliabilityGoal`] unless `0 < gamma < 1`.
+    pub fn per_hour(gamma: f64) -> Result<Self, ModelError> {
+        Self::new(gamma, TimeUs::HOUR)
+    }
+
+    /// The failure budget γ per time unit.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The reliability goal ρ = 1 − γ.
+    pub fn rho(&self) -> f64 {
+        1.0 - self.gamma
+    }
+
+    /// `ln(ρ)` computed without cancellation.
+    pub fn ln_rho(&self) -> f64 {
+        (-self.gamma).ln_1p()
+    }
+
+    /// The time unit τ.
+    pub fn time_unit(&self) -> TimeUs {
+        self.time_unit
+    }
+
+    /// The exponent τ/T of formula (6) for an application of period
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    pub fn iterations(&self, period: TimeUs) -> f64 {
+        self.time_unit.div_periods(period)
+    }
+
+    /// Checks formula (6): does a per-iteration system failure probability
+    /// `p_fail_iter` satisfy `(1 − p)^(τ/T) ≥ ρ`?
+    ///
+    /// Evaluated in the log domain: `(τ/T)·ln1p(−p) ≥ ln(ρ)`.
+    pub fn is_met(&self, p_fail_iter: f64, period: TimeUs) -> bool {
+        if p_fail_iter >= 1.0 {
+            return false;
+        }
+        self.iterations(period) * (-p_fail_iter).ln_1p() >= self.ln_rho()
+    }
+
+    /// The maximum tolerable per-iteration failure probability for an
+    /// application of the given period: the largest `p` with
+    /// `(1 − p)^(τ/T) ≥ ρ`.
+    pub fn max_p_fail_per_iteration(&self, period: TimeUs) -> f64 {
+        // (1-p)^N >= 1-gamma  <=>  p <= 1 - (1-gamma)^(1/N)
+        let n = self.iterations(period);
+        -f64::exp_m1(self.ln_rho() / n)
+    }
+}
+
+impl fmt::Display for ReliabilityGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1 - {:e} per {}", self.gamma, self.time_unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ReliabilityGoal::per_hour(1e-5).is_ok());
+        assert!(ReliabilityGoal::per_hour(0.0).is_err());
+        assert!(ReliabilityGoal::per_hour(1.0).is_err());
+        assert!(ReliabilityGoal::per_hour(-0.5).is_err());
+        assert!(ReliabilityGoal::new(1e-5, TimeUs::ZERO).is_err());
+    }
+
+    #[test]
+    fn appendix_a2_goal_check() {
+        // A.2: with k1 = k2 = 1 the per-iteration failure probability is
+        // 9.6e-10; over 10 000 iterations of 360 ms the system reliability
+        // is 0.99999040004 >= 1 - 1e-5, so the goal is met.
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        let period = TimeUs::from_ms(360);
+        assert!(goal.is_met(9.6e-10, period));
+        // Without re-executions the failure probability is 4.999907e-5 and
+        // the reliability drops to 0.6065 — goal missed.
+        assert!(!goal.is_met(0.00004999907, period));
+    }
+
+    #[test]
+    fn max_p_fail_inverts_is_met() {
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        let period = TimeUs::from_ms(360);
+        let pmax = goal.max_p_fail_per_iteration(period);
+        assert!(pmax > 0.0 && pmax < 1e-8);
+        assert!(goal.is_met(pmax * 0.999, period));
+        assert!(!goal.is_met(pmax * 1.001, period));
+    }
+
+    #[test]
+    fn certain_failure_never_meets_goal() {
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        assert!(!goal.is_met(1.0, TimeUs::from_ms(100)));
+        assert!(goal.is_met(0.0, TimeUs::from_ms(100)));
+    }
+
+    #[test]
+    fn iterations_per_hour() {
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        assert_eq!(goal.iterations(TimeUs::from_ms(360)), 10_000.0);
+        assert_eq!(goal.iterations(TimeUs::from_ms(300)), 12_000.0);
+    }
+
+    #[test]
+    fn display_mentions_gamma_and_unit() {
+        let goal = ReliabilityGoal::per_hour(1.2e-5).unwrap();
+        let s = goal.to_string();
+        assert!(s.contains("1.2e-5"), "{s}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Typed identifiers for the entities of the system model.
+//!
+//! Every entity (process, task graph, message, node type, architecture node)
+//! is identified by a dense index wrapped in a newtype, so that e.g. a
+//! [`ProcessId`] can never be confused with a [`NodeId`] (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its dense index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The dense index, usable to address `Vec`-backed tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0 + 1)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a process `P_i` within an [`Application`](crate::Application).
+    ///
+    /// Display is 1-based to match the paper (`P1`, `P2`, …).
+    ProcessId,
+    "P"
+);
+
+id_type!(
+    /// Identifies a task graph `G_k` within an application.
+    GraphId,
+    "G"
+);
+
+id_type!(
+    /// Identifies a message `m_i` (a data dependency edge).
+    MessageId,
+    "m"
+);
+
+id_type!(
+    /// Identifies a *node type* `N_j` in the platform library (the paper's
+    /// computation node, available in several h-versions).
+    NodeTypeId,
+    "N"
+);
+
+id_type!(
+    /// Identifies a concrete node slot in a selected
+    /// [`Architecture`](crate::Architecture).
+    NodeId,
+    "n"
+);
+
+/// A hardening level `h ≥ 1`.
+///
+/// The paper denotes the h-version of node `N_j` as `N_j^h`, with `h = 1`
+/// being the unhardened version. `HLevel` is 1-based like the paper;
+/// [`HLevel::index`] converts to a 0-based table index.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::HLevel;
+///
+/// let h = HLevel::new(2)?;
+/// assert_eq!(h.get(), 2);
+/// assert_eq!(h.index(), 1);
+/// assert_eq!(h.to_string(), "h2");
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HLevel(u8);
+
+impl HLevel {
+    /// The minimum (unhardened) level, `h = 1`.
+    pub const MIN: HLevel = HLevel(1);
+
+    /// Creates a hardening level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidHardeningLevel`] if `h == 0`.
+    pub fn new(h: u8) -> Result<Self, ModelError> {
+        if h == 0 {
+            return Err(ModelError::InvalidHardeningLevel(h));
+        }
+        Ok(HLevel(h))
+    }
+
+    /// The 1-based level value as used in the paper.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The 0-based index for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The next (more hardened) level.
+    #[inline]
+    pub const fn up(self) -> HLevel {
+        HLevel(self.0 + 1)
+    }
+
+    /// The previous (less hardened) level, or `None` at the minimum.
+    #[inline]
+    pub const fn down(self) -> Option<HLevel> {
+        if self.0 > 1 {
+            Some(HLevel(self.0 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for HLevel {
+    fn default() -> Self {
+        HLevel::MIN
+    }
+}
+
+impl fmt::Display for HLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "P1");
+        assert_eq!(GraphId::new(2).to_string(), "G3");
+        assert_eq!(MessageId::new(3).to_string(), "m4");
+        assert_eq!(NodeTypeId::new(1).to_string(), "N2");
+        assert_eq!(NodeId::new(0).to_string(), "n1");
+    }
+
+    #[test]
+    fn ids_index_round_trip() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(usize::from(p), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcessId::new(0) < ProcessId::new(1));
+        assert_eq!(NodeId::new(4), NodeId::new(4));
+    }
+
+    #[test]
+    fn hlevel_construction_and_navigation() {
+        assert!(HLevel::new(0).is_err());
+        let h1 = HLevel::new(1).unwrap();
+        assert_eq!(h1, HLevel::MIN);
+        assert_eq!(h1, HLevel::default());
+        assert_eq!(h1.down(), None);
+        let h2 = h1.up();
+        assert_eq!(h2.get(), 2);
+        assert_eq!(h2.index(), 1);
+        assert_eq!(h2.down(), Some(h1));
+        assert_eq!(h2.to_string(), "h2");
+    }
+}

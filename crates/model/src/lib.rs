@@ -1,0 +1,71 @@
+//! # ftes-model — system model for hardened fault-tolerant embedded systems
+//!
+//! This crate defines the application and platform model of
+//!
+//! > V. Izosimov, I. Polian, P. Pop, P. Eles, Z. Peng, *Analysis and
+//! > Optimization of Fault-Tolerant Embedded Systems with Hardened
+//! > Processors*, DATE 2009.
+//!
+//! The model consists of:
+//!
+//! * [`Application`] — a set of directed acyclic task graphs whose nodes
+//!   are non-preemptable [`Process`]es exchanging [`Message`]s, with hard
+//!   deadlines, a period `T` and per-process recovery overheads μ;
+//! * [`Platform`] — a library of [`NodeType`]s, each available in several
+//!   hardened *h-versions* with increasing [`Cost`] and decreasing
+//!   soft-error rate;
+//! * [`TimingDb`] — the `t_ijh` (WCET) and `p_ijh` (failure probability)
+//!   tables for every process/node-type/hardening-level combination;
+//! * [`Architecture`] and [`Mapping`] — a selected set of node instances
+//!   with hardening levels, and the process-to-node assignment;
+//! * [`ReliabilityGoal`] — ρ = 1 − γ within a time unit τ;
+//! * [`BusSpec`] — the shared communication bus (ideal or TTP-style TDMA);
+//! * [`System`] — the bundle handed to analysis and optimization.
+//!
+//! The [`paper`] module provides ready-made fixtures for the paper's
+//! worked examples (Fig. 1, Fig. 3, Fig. 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use ftes_model::{paper, HLevel, NodeTypeId, ProcessId};
+//!
+//! let system = paper::fig1_system();
+//! let t = system
+//!     .timing()
+//!     .wcet(ProcessId::new(0), NodeTypeId::new(0), HLevel::new(2)?)?;
+//! assert_eq!(t, ftes_model::TimeUs::from_ms(75));
+//! # Ok::<(), ftes_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod application;
+mod architecture;
+mod builder;
+mod bus;
+mod error;
+mod goal;
+mod ids;
+mod mapping;
+mod node;
+pub mod paper;
+mod prob;
+mod system;
+mod time;
+mod timing;
+
+pub use application::{Application, Message, Process, TaskGraph};
+pub use architecture::{Architecture, NodeInstance};
+pub use builder::ApplicationBuilder;
+pub use bus::{BusModel, BusSpec};
+pub use error::ModelError;
+pub use goal::ReliabilityGoal;
+pub use ids::{GraphId, HLevel, MessageId, NodeId, NodeTypeId, ProcessId};
+pub use mapping::Mapping;
+pub use node::{Cost, NodeType, Platform};
+pub use prob::Prob;
+pub use system::System;
+pub use time::TimeUs;
+pub use timing::{ExecSpec, TimingDb};

@@ -1,0 +1,229 @@
+//! Process-to-node mappings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::application::Application;
+use crate::architecture::Architecture;
+use crate::error::ModelError;
+use crate::ids::{NodeId, ProcessId};
+use crate::timing::TimingDb;
+
+/// A total mapping `M: P → N` of processes to architecture node slots
+/// (the paper's `{P_i, N_j^h}` pairs, with the hardening level kept in the
+/// [`Architecture`]).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{Mapping, NodeId, ProcessId};
+///
+/// let mut m = Mapping::all_on(4, NodeId::new(0));
+/// m.assign(ProcessId::new(2), NodeId::new(1));
+/// assert_eq!(m.node_of(ProcessId::new(2)), NodeId::new(1));
+/// assert_eq!(m.processes_on(NodeId::new(0)).count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    assignment: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Creates a mapping from an explicit assignment vector (index =
+    /// process index).
+    pub fn new(assignment: Vec<NodeId>) -> Self {
+        Mapping { assignment }
+    }
+
+    /// Maps all `n_processes` processes onto a single node.
+    pub fn all_on(n_processes: usize, node: NodeId) -> Self {
+        Mapping {
+            assignment: vec![node; n_processes],
+        }
+    }
+
+    /// Number of mapped processes.
+    pub fn process_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The node executing process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn node_of(&self, p: ProcessId) -> NodeId {
+        self.assignment[p.index()]
+    }
+
+    /// Re-assigns process `p` to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn assign(&mut self, p: ProcessId, node: NodeId) {
+        self.assignment[p.index()] = node;
+    }
+
+    /// Iterates over the processes mapped on `node`.
+    pub fn processes_on(&self, node: NodeId) -> impl Iterator<Item = ProcessId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &n)| n == node)
+            .map(|(i, _)| ProcessId::new(i as u32))
+    }
+
+    /// The underlying assignment slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// Validates the mapping against an application, architecture and
+    /// timing database: every process mapped, every target slot exists, and
+    /// every process supported (has timing entries) on its target's node
+    /// type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IncompleteMapping`], [`ModelError::UnknownEntity`]
+    /// or [`ModelError::UnmappableProcess`].
+    pub fn validate(
+        &self,
+        app: &Application,
+        arch: &Architecture,
+        timing: &TimingDb,
+    ) -> Result<(), ModelError> {
+        if self.assignment.len() != app.process_count() {
+            return Err(ModelError::IncompleteMapping {
+                expected: app.process_count(),
+                got: self.assignment.len(),
+            });
+        }
+        for p in app.process_ids() {
+            let n = self.assignment[p.index()];
+            if n.index() >= arch.node_count() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "architecture node",
+                    index: n.index(),
+                });
+            }
+            let ty = arch.node_type(n);
+            if !timing.supports(p, ty) {
+                return Err(ModelError::UnmappableProcess {
+                    process: p.index(),
+                    node_type: ty.index(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}→{}", ProcessId::new(i as u32), n)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApplicationBuilder;
+    use crate::ids::{HLevel, NodeTypeId};
+    use crate::node::{Cost, NodeType, Platform};
+    use crate::prob::Prob;
+    use crate::time::TimeUs;
+    use crate::timing::{ExecSpec, TimingDb};
+
+    fn fixture() -> (Application, Architecture, TimingDb) {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        let p1 = b.add_process(g, TimeUs::ZERO);
+        let p2 = b.add_process(g, TimeUs::ZERO);
+        b.add_message(p1, p2, TimeUs::ZERO).unwrap();
+        let app = b.build().unwrap();
+
+        let platform = Platform::new(vec![
+            NodeType::new("N1", vec![Cost::new(1)], 1.0).unwrap(),
+            NodeType::new("N2", vec![Cost::new(1)], 1.0).unwrap(),
+        ])
+        .unwrap();
+        let mut timing = TimingDb::new(2, &platform);
+        let spec = ExecSpec::new(TimeUs::from_ms(10), Prob::ZERO).unwrap();
+        for p in app.process_ids() {
+            timing.set(p, NodeTypeId::new(0), HLevel::MIN, spec).unwrap();
+        }
+        // P2 additionally runs on N2; P1 does not.
+        timing
+            .set(ProcessId::new(1), NodeTypeId::new(1), HLevel::MIN, spec)
+            .unwrap();
+        let arch =
+            Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+        (app, arch, timing)
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut m = Mapping::all_on(3, NodeId::new(0));
+        m.assign(ProcessId::new(1), NodeId::new(2));
+        assert_eq!(m.node_of(ProcessId::new(1)), NodeId::new(2));
+        assert_eq!(m.process_count(), 3);
+        let on0: Vec<_> = m.processes_on(NodeId::new(0)).collect();
+        assert_eq!(on0, vec![ProcessId::new(0), ProcessId::new(2)]);
+        assert_eq!(m.as_slice().len(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_good_mapping() {
+        let (app, arch, timing) = fixture();
+        let mut m = Mapping::all_on(2, NodeId::new(0));
+        assert!(m.validate(&app, &arch, &timing).is_ok());
+        m.assign(ProcessId::new(1), NodeId::new(1));
+        assert!(m.validate(&app, &arch, &timing).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unsupported_process() {
+        let (app, arch, timing) = fixture();
+        // P1 cannot run on N2.
+        let mut m = Mapping::all_on(2, NodeId::new(0));
+        m.assign(ProcessId::new(0), NodeId::new(1));
+        assert_eq!(
+            m.validate(&app, &arch, &timing).unwrap_err(),
+            ModelError::UnmappableProcess {
+                process: 0,
+                node_type: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length_and_dangling_node() {
+        let (app, arch, timing) = fixture();
+        let short = Mapping::new(vec![NodeId::new(0)]);
+        assert!(matches!(
+            short.validate(&app, &arch, &timing).unwrap_err(),
+            ModelError::IncompleteMapping { expected: 2, got: 1 }
+        ));
+        let dangling = Mapping::all_on(2, NodeId::new(9));
+        assert!(matches!(
+            dangling.validate(&app, &arch, &timing).unwrap_err(),
+            ModelError::UnknownEntity { .. }
+        ));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Mapping::new(vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(m.to_string(), "{P1→n1, P2→n2}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Computation node types, h-versions and the platform library.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{HLevel, NodeTypeId};
+
+/// A monetary/area cost in abstract cost units.
+///
+/// The paper expresses node costs in integer units (e.g. 16/32/64 for the
+/// h-versions of `N1` in Fig. 1) and compares architectures by summed cost.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::Cost;
+///
+/// let total: Cost = [Cost::new(32), Cost::new(40)].into_iter().sum();
+/// assert_eq!(total, Cost::new(72));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0);
+    /// The largest representable cost (used as "+∞" by optimizers, the
+    /// paper's `MAX_COST`).
+    pub const MAX: Cost = Cost(u64::MAX);
+
+    /// Creates a cost from raw units.
+    #[inline]
+    pub const fn new(units: u64) -> Self {
+        Cost(units)
+    }
+
+    /// The raw cost units.
+    #[inline]
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition (so `Cost::MAX` behaves as infinity).
+    #[inline]
+    pub const fn saturating_add(self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Self {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "MAX_COST")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A computation node type `N_j`, available in several hardened versions.
+///
+/// The h-version `N_j^h` has cost `C_j^h`; its WCETs and process failure
+/// probabilities live in the [`TimingDb`](crate::TimingDb) because they are
+/// application specific.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeType {
+    name: String,
+    /// Cost per hardening level; `costs[h-1]` is the cost of `N_j^h`.
+    costs: Vec<Cost>,
+    /// Relative speed factor of this node type (1.0 = fastest); used by the
+    /// design strategy to order "fastest" architectures (Fig. 5, lines 2
+    /// and 18). Larger is slower.
+    speed_factor: f64,
+}
+
+impl NodeType {
+    /// Creates a node type with one cost per hardening level.
+    ///
+    /// `speed_factor` orders node types by performance (1.0 = reference
+    /// speed; 1.5 = 50 % slower). It is only used to rank candidate
+    /// architectures, never in schedule arithmetic (WCETs are explicit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyNodeType`] if `costs` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        costs: Vec<Cost>,
+        speed_factor: f64,
+    ) -> Result<Self, ModelError> {
+        if costs.is_empty() {
+            return Err(ModelError::EmptyNodeType { node_type: 0 });
+        }
+        Ok(NodeType {
+            name: name.into(),
+            costs,
+            speed_factor,
+        })
+    }
+
+    /// The node-type name (`"N1"`, `"ETM"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of available hardening levels.
+    pub fn h_count(&self) -> u8 {
+        self.costs.len() as u8
+    }
+
+    /// The maximum hardening level of this type.
+    pub fn max_h(&self) -> HLevel {
+        HLevel::new(self.h_count()).expect("h_count >= 1 by construction")
+    }
+
+    /// `true` if this node type offers hardening level `h`.
+    pub fn has_level(&self, h: HLevel) -> bool {
+        h.index() < self.costs.len()
+    }
+
+    /// The cost `C_j^h` of h-version `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::HardeningOutOfRange`] if the level does not
+    /// exist for this type.
+    pub fn cost(&self, h: HLevel) -> Result<Cost, ModelError> {
+        self.costs
+            .get(h.index())
+            .copied()
+            .ok_or(ModelError::HardeningOutOfRange {
+                node_type: 0,
+                h: h.get(),
+                available: self.h_count(),
+            })
+    }
+
+    /// The relative speed factor (1.0 = fastest reference).
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+}
+
+/// The library of available node types (the paper's set `N`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    node_types: Vec<NodeType>,
+}
+
+impl Platform {
+    /// Creates a platform from a list of node types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyNodeType`] (with the offending index) if
+    /// any node type has zero h-versions, and [`ModelError::EmptyApplication`]
+    /// is *not* checked here — an empty platform is reported as
+    /// [`ModelError::UnknownEntity`] on first access instead.
+    pub fn new(node_types: Vec<NodeType>) -> Result<Self, ModelError> {
+        for (i, nt) in node_types.iter().enumerate() {
+            if nt.h_count() == 0 {
+                return Err(ModelError::EmptyNodeType { node_type: i });
+            }
+        }
+        Ok(Platform { node_types })
+    }
+
+    /// Number of node types in the library.
+    pub fn node_type_count(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Looks up a node type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_type(&self, id: NodeTypeId) -> &NodeType {
+        &self.node_types[id.index()]
+    }
+
+    /// Iterates over all node-type ids.
+    pub fn node_type_ids(&self) -> impl ExactSizeIterator<Item = NodeTypeId> + '_ {
+        (0..self.node_types.len() as u32).map(NodeTypeId::new)
+    }
+
+    /// Node-type ids sorted fastest-first (by speed factor, ties by index).
+    /// This is the order `SelectArch`/`SelectNextArch` of the paper's
+    /// Fig. 5 walk candidate architectures in.
+    pub fn ids_fastest_first(&self) -> Vec<NodeTypeId> {
+        let mut ids: Vec<NodeTypeId> = self.node_type_ids().collect();
+        ids.sort_by(|&a, &b| {
+            self.node_types[a.index()]
+                .speed_factor()
+                .partial_cmp(&self.node_types[b.index()].speed_factor())
+                .expect("speed factors are finite")
+                .then(a.index().cmp(&b.index()))
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n1() -> NodeType {
+        NodeType::new(
+            "N1",
+            vec![Cost::new(16), Cost::new(32), Cost::new(64)],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_arithmetic_saturates() {
+        assert_eq!(Cost::new(1) + Cost::new(2), Cost::new(3));
+        assert_eq!(Cost::MAX + Cost::new(1), Cost::MAX);
+        let mut c = Cost::ZERO;
+        c += Cost::new(5);
+        assert_eq!(c.units(), 5);
+        assert_eq!(Cost::MAX.to_string(), "MAX_COST");
+        assert_eq!(Cost::new(72).to_string(), "72");
+    }
+
+    #[test]
+    fn node_type_levels_and_costs() {
+        let nt = n1();
+        assert_eq!(nt.h_count(), 3);
+        assert_eq!(nt.max_h().get(), 3);
+        assert!(nt.has_level(HLevel::new(3).unwrap()));
+        assert!(!nt.has_level(HLevel::new(4).unwrap()));
+        assert_eq!(nt.cost(HLevel::new(2).unwrap()).unwrap(), Cost::new(32));
+        assert!(matches!(
+            nt.cost(HLevel::new(4).unwrap()).unwrap_err(),
+            ModelError::HardeningOutOfRange { h: 4, available: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn node_type_requires_costs() {
+        assert!(NodeType::new("empty", vec![], 1.0).is_err());
+    }
+
+    #[test]
+    fn platform_orders_fastest_first() {
+        let slow = NodeType::new("slow", vec![Cost::new(1)], 1.8).unwrap();
+        let fast = NodeType::new("fast", vec![Cost::new(2)], 1.0).unwrap();
+        let mid = NodeType::new("mid", vec![Cost::new(3)], 1.4).unwrap();
+        let platform = Platform::new(vec![slow, fast, mid]).unwrap();
+        let order = platform.ids_fastest_first();
+        let names: Vec<&str> = order
+            .iter()
+            .map(|&id| platform.node_type(id).name())
+            .collect();
+        assert_eq!(names, vec!["fast", "mid", "slow"]);
+    }
+}

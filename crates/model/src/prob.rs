@@ -1,0 +1,179 @@
+//! Probability values.
+//!
+//! Failure probabilities in this library span an enormous dynamic range —
+//! from ~4·10⁻² for an unhardened node in a harsh environment (paper Fig. 3)
+//! down to 10⁻¹⁰ and below for strongly hardened versions. `f64` covers this
+//! comfortably; the newtype enforces the `[0, 1]` invariant at construction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A probability in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::Prob;
+///
+/// let p = Prob::new(1.2e-5)?;
+/// assert_eq!(p.value(), 1.2e-5);
+/// assert!((p.complement().value() - (1.0 - 1.2e-5)).abs() < 1e-15);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Prob(f64);
+
+impl Prob {
+    /// Probability zero (an impossible event).
+    pub const ZERO: Prob = Prob(0.0);
+    /// Probability one (a certain event).
+    pub const ONE: Prob = Prob(1.0);
+
+    /// Creates a probability, validating that the value lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if `value` is NaN or lies
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(ModelError::InvalidProbability(value));
+        }
+        Ok(Prob(value))
+    }
+
+    /// Creates a probability, clamping the value into `[0, 1]`.
+    ///
+    /// Useful at the end of floating-point pipelines where tiny negative
+    /// results (−1e−18 instead of 0) are numerically expected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "probability must not be NaN");
+        Prob(value.clamp(0.0, 1.0))
+    }
+
+    /// The underlying `f64` value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 − p`, the probability of the complementary event.
+    #[inline]
+    pub fn complement(self) -> Prob {
+        Prob(1.0 - self.0)
+    }
+
+    /// `true` if this probability is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Product of two probabilities (independent conjunction).
+    #[inline]
+    pub fn and(self, other: Prob) -> Prob {
+        Prob(self.0 * other.0)
+    }
+
+    /// `1 − (1−a)(1−b)`: probability that at least one of two independent
+    /// events occurs. This is the union used by the paper's formula (5).
+    #[inline]
+    pub fn or_independent(self, other: Prob) -> Prob {
+        Prob(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+}
+
+impl From<Prob> for f64 {
+    fn from(p: Prob) -> f64 {
+        p.0
+    }
+}
+
+impl TryFrom<f64> for Prob {
+    type Error = ModelError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Prob::new(value)
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 != 0.0 && self.0 < 1e-3 {
+            write!(f, "{:e}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Prob::new(0.0).is_ok());
+        assert!(Prob::new(1.0).is_ok());
+        assert!(Prob::new(1.2e-5).is_ok());
+        assert!(Prob::new(-1e-30).is_err());
+        assert!(Prob::new(1.0 + 1e-12).is_err());
+        assert!(Prob::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamped_fixes_numeric_noise() {
+        assert_eq!(Prob::clamped(-1e-18), Prob::ZERO);
+        assert_eq!(Prob::clamped(1.0 + 1e-15), Prob::ONE);
+        assert_eq!(Prob::clamped(0.5).value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = Prob::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn complement_and_combinators() {
+        let p = Prob::new(0.25).unwrap();
+        let q = Prob::new(0.5).unwrap();
+        assert_eq!(p.complement().value(), 0.75);
+        assert_eq!(p.and(q).value(), 0.125);
+        // 1 - 0.75*0.5 = 0.625
+        assert_eq!(p.or_independent(q).value(), 0.625);
+        assert!(Prob::ZERO.is_zero());
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn union_matches_paper_a2() {
+        // Appendix A.2: union of two node failure probabilities
+        // 0.000024999844 each gives 0.00004999907 (to the paper's 11 digits).
+        let p = Prob::new(0.000024999844).unwrap();
+        let u = p.or_independent(p);
+        assert!((u.value() - 0.00004999907).abs() < 5e-11);
+    }
+
+    #[test]
+    fn display_uses_scientific_notation_for_small_values() {
+        assert_eq!(Prob::new(1.2e-5).unwrap().to_string(), "1.2e-5");
+        assert_eq!(Prob::new(0.5).unwrap().to_string(), "0.5");
+        assert_eq!(Prob::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn serde_round_trip_via_f64() {
+        let p = Prob::new(0.125).unwrap();
+        let as_f64: f64 = p.into();
+        assert_eq!(Prob::try_from(as_f64).unwrap(), p);
+        assert!(Prob::try_from(1.5f64).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The complete problem instance: application + platform + timing + goal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::application::Application;
+use crate::bus::BusSpec;
+use crate::error::ModelError;
+use crate::goal::ReliabilityGoal;
+use crate::node::Platform;
+use crate::timing::TimingDb;
+
+/// A full problem instance as given to the design optimization (the input
+/// of the paper's Section 4 problem formulation):
+///
+/// * the application `A` (task graphs, deadlines, μ, period),
+/// * the platform library `N` (node types with h-versions and costs),
+/// * the timing database (`t_ijh`, `p_ijh` for every process/node/level),
+/// * the reliability goal ρ within τ,
+/// * the bus specification.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::paper;
+///
+/// let system = paper::fig1_system();
+/// assert_eq!(system.application().process_count(), 4);
+/// assert_eq!(system.platform().node_type_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct System {
+    application: Application,
+    platform: Platform,
+    timing: TimingDb,
+    goal: ReliabilityGoal,
+    bus: BusSpec,
+}
+
+impl System {
+    /// Bundles a problem instance, cross-validating the parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the timing database does not cover the
+    /// application's processes ([`ModelError::IncompleteMapping`] with the
+    /// process counts) or violates the platform's level structure.
+    pub fn new(
+        application: Application,
+        platform: Platform,
+        timing: TimingDb,
+        goal: ReliabilityGoal,
+        bus: BusSpec,
+    ) -> Result<Self, ModelError> {
+        if timing.process_count() != application.process_count() {
+            return Err(ModelError::IncompleteMapping {
+                expected: application.process_count(),
+                got: timing.process_count(),
+            });
+        }
+        Ok(System {
+            application,
+            platform,
+            timing,
+            goal,
+            bus,
+        })
+    }
+
+    /// The application `A`.
+    pub fn application(&self) -> &Application {
+        &self.application
+    }
+
+    /// The platform library `N`.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The timing/failure-probability database.
+    pub fn timing(&self) -> &TimingDb {
+        &self.timing
+    }
+
+    /// The reliability goal ρ within τ.
+    pub fn goal(&self) -> ReliabilityGoal {
+        self.goal
+    }
+
+    /// The bus specification.
+    pub fn bus(&self) -> BusSpec {
+        self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApplicationBuilder;
+    use crate::node::{Cost, NodeType};
+    use crate::time::TimeUs;
+
+    #[test]
+    fn rejects_mismatched_timing_db() {
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        b.add_process(g, TimeUs::ZERO);
+        b.add_process(g, TimeUs::ZERO);
+        let app = b.build().unwrap();
+        let platform =
+            Platform::new(vec![NodeType::new("N1", vec![Cost::new(1)], 1.0).unwrap()]).unwrap();
+        let timing = TimingDb::new(1, &platform); // wrong size
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        assert!(System::new(app, platform, timing, goal, BusSpec::ideal()).is_err());
+    }
+
+    #[test]
+    fn accessors_return_parts() {
+        let sys = crate::paper::fig1_system();
+        assert_eq!(sys.application().name(), "A");
+        assert_eq!(sys.goal().gamma(), 1e-5);
+        assert_eq!(sys.bus(), BusSpec::ideal());
+        assert_eq!(sys.timing().process_count(), 4);
+    }
+}

@@ -1,0 +1,338 @@
+//! Time quantities with microsecond resolution.
+//!
+//! The paper works in milliseconds (WCETs of 1–20 ms, recovery overheads of
+//! a few ms, deadlines of a few hundred ms). Hardening performance
+//! degradation multiplies WCETs by factors such as 1.01, which is not exact
+//! in milliseconds, so the whole library uses *integer microseconds*. This
+//! keeps schedule arithmetic exact and platform independent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A signed time quantity in integer microseconds.
+///
+/// `TimeUs` is a thin newtype over `i64`; all arithmetic is exact. One hour
+/// is 3.6·10⁹ µs, far below `i64::MAX`, so overflow is not a practical
+/// concern for the schedules handled here (debug builds still check).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::TimeUs;
+///
+/// let wcet = TimeUs::from_ms(75);
+/// let mu = TimeUs::from_ms(15);
+/// assert_eq!((wcet + mu).as_ms_f64(), 90.0);
+/// assert_eq!(wcet.scale(1.2), TimeUs::from_ms(90));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TimeUs(i64);
+
+impl TimeUs {
+    /// The zero duration.
+    pub const ZERO: TimeUs = TimeUs(0);
+    /// One microsecond.
+    pub const US: TimeUs = TimeUs(1);
+    /// One millisecond.
+    pub const MS: TimeUs = TimeUs(1_000);
+    /// One second.
+    pub const SECOND: TimeUs = TimeUs(1_000_000);
+    /// One hour — the paper's reliability-goal time unit τ.
+    pub const HOUR: TimeUs = TimeUs(3_600_000_000);
+    /// The maximum representable time (used as "+∞" sentinel by schedulers).
+    pub const MAX: TimeUs = TimeUs(i64::MAX);
+
+    /// Creates a time from integer microseconds.
+    #[inline]
+    pub const fn from_us(us: i64) -> Self {
+        TimeUs(us)
+    }
+
+    /// Creates a time from integer milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: i64) -> Self {
+        TimeUs(ms * 1_000)
+    }
+
+    /// Creates a time from fractional milliseconds, rounding to the nearest
+    /// microsecond.
+    #[inline]
+    pub fn from_ms_f64(ms: f64) -> Self {
+        TimeUs((ms * 1_000.0).round() as i64)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        TimeUs((s * 1_000_000.0).round() as i64)
+    }
+
+    /// This time in integer microseconds.
+    #[inline]
+    pub const fn as_us(self) -> i64 {
+        self.0
+    }
+
+    /// This time in fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies by a non-negative factor, rounding to the nearest
+    /// microsecond. Used for hardening performance degradation
+    /// (`wcet.scale(1.25)` is the WCET at +25 % degradation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "time scale factor must be finite and non-negative, got {factor}"
+        );
+        TimeUs((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// Integer multiplication by a count (e.g. `k` re-executions).
+    #[inline]
+    pub const fn times(self, n: i64) -> Self {
+        TimeUs(self.0 * n)
+    }
+
+    /// `true` if this time is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// `true` if this time is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction clamped at zero — convenient for laxities.
+    #[inline]
+    pub fn saturating_sub_zero(self, other: Self) -> Self {
+        TimeUs((self.0 - other.0).max(0))
+    }
+
+    /// How many whole periods of length `period` fit into this time
+    /// (the paper's τ/T exponent in formula (6)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[inline]
+    pub fn div_periods(self, period: TimeUs) -> f64 {
+        assert!(
+            period.0 > 0,
+            "period must be strictly positive, got {period}"
+        );
+        self.0 as f64 / period.0 as f64
+    }
+}
+
+impl Add for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        TimeUs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeUs {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        TimeUs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeUs {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn neg(self) -> Self {
+        TimeUs(-self.0)
+    }
+}
+
+impl Mul<i64> for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        TimeUs(self.0 * rhs)
+    }
+}
+
+impl Mul<TimeUs> for i64 {
+    type Output = TimeUs;
+    #[inline]
+    fn mul(self, rhs: TimeUs) -> TimeUs {
+        TimeUs(self * rhs.0)
+    }
+}
+
+impl Div<TimeUs> for TimeUs {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: TimeUs) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for TimeUs {
+    fn sum<I: Iterator<Item = TimeUs>>(iter: I) -> Self {
+        TimeUs(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for TimeUs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us.abs() >= 1_000 && us % 1_000 == 0 {
+            write!(f, "{}ms", us / 1_000)
+        } else if us.abs() >= 1_000 {
+            write!(f, "{:.3}ms", us as f64 / 1_000.0)
+        } else {
+            write!(f, "{us}us")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(TimeUs::from_ms(360).as_us(), 360_000);
+        assert_eq!(TimeUs::from_us(360_000).as_ms_f64(), 360.0);
+        assert_eq!(TimeUs::from_ms_f64(1.5).as_us(), 1_500);
+        assert_eq!(TimeUs::from_secs_f64(0.001).as_us(), 1_000);
+        assert_eq!(TimeUs::HOUR.as_secs_f64(), 3600.0);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = TimeUs::from_ms(75);
+        let b = TimeUs::from_ms(15);
+        assert_eq!(a + b, TimeUs::from_ms(90));
+        assert_eq!(a - b, TimeUs::from_ms(60));
+        assert_eq!(a * 3, TimeUs::from_ms(225));
+        assert_eq!(3 * b, TimeUs::from_ms(45));
+        assert_eq!(-b, TimeUs::from_ms(-15));
+        let mut c = a;
+        c += b;
+        c -= TimeUs::from_ms(30);
+        assert_eq!(c, TimeUs::from_ms(60));
+    }
+
+    #[test]
+    fn scale_matches_hardening_degradation() {
+        // 1 % degradation of a 75 ms WCET is exactly 75.75 ms = 75750 µs.
+        assert_eq!(TimeUs::from_ms(75).scale(1.01).as_us(), 75_750);
+        assert_eq!(TimeUs::from_ms(100).scale(2.0), TimeUs::from_ms(200));
+        assert_eq!(TimeUs::from_ms(10).scale(0.0), TimeUs::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale factor")]
+    fn scale_rejects_negative() {
+        let _ = TimeUs::from_ms(1).scale(-0.5);
+    }
+
+    #[test]
+    fn min_max_and_saturation() {
+        let a = TimeUs::from_ms(10);
+        let b = TimeUs::from_ms(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.saturating_sub_zero(b), TimeUs::ZERO);
+        assert_eq!(b.saturating_sub_zero(a), TimeUs::from_ms(10));
+    }
+
+    #[test]
+    fn div_periods_matches_paper_exponent() {
+        // Appendix A.2: one hour of 360 ms iterations is 10 000 periods.
+        let n = TimeUs::HOUR.div_periods(TimeUs::from_ms(360));
+        assert_eq!(n, 10_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be strictly positive")]
+    fn div_periods_rejects_zero_period() {
+        let _ = TimeUs::HOUR.div_periods(TimeUs::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TimeUs::from_ms(360).to_string(), "360ms");
+        assert_eq!(TimeUs::from_us(1_500).to_string(), "1.500ms");
+        assert_eq!(TimeUs::from_us(42).to_string(), "42us");
+        assert_eq!(TimeUs::ZERO.to_string(), "0us");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: TimeUs = [TimeUs::from_ms(1), TimeUs::from_ms(2), TimeUs::from_ms(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, TimeUs::from_ms(6));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(TimeUs::from_ms(-5) < TimeUs::ZERO);
+        assert!(TimeUs::from_ms(5) < TimeUs::from_ms(6));
+        assert!(TimeUs::MAX > TimeUs::HOUR);
+    }
+}

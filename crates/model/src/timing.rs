@@ -1,0 +1,339 @@
+//! The timing and failure-probability database.
+//!
+//! For every process `P_i`, node type `N_j` and hardening level `h` the
+//! paper needs two numbers: the worst-case execution time `t_ijh`
+//! (determined with WCET analysis tools) and the process failure
+//! probability `p_ijh` (determined with fault-injection experiments).
+//! [`TimingDb`] stores the full table; entries may be absent when a process
+//! cannot execute on a node type at all.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{HLevel, NodeTypeId, ProcessId};
+use crate::node::Platform;
+use crate::prob::Prob;
+use crate::time::TimeUs;
+
+/// WCET and failure probability of one process on one h-version.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// Worst-case execution time `t_ijh` (includes fault-detection time).
+    pub wcet: TimeUs,
+    /// Probability `p_ijh` that a single execution fails.
+    pub pfail: Prob,
+}
+
+impl ExecSpec {
+    /// Creates an execution spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NegativeTime`] if the WCET is negative.
+    pub fn new(wcet: TimeUs, pfail: Prob) -> Result<Self, ModelError> {
+        if wcet.is_negative() {
+            return Err(ModelError::NegativeTime { what: "WCET" });
+        }
+        Ok(ExecSpec { wcet, pfail })
+    }
+}
+
+/// Dense table of [`ExecSpec`] entries indexed by (process, node type, h).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{
+///     Cost, ExecSpec, HLevel, NodeType, NodeTypeId, Platform, Prob, ProcessId, TimeUs, TimingDb,
+/// };
+///
+/// let platform = Platform::new(vec![NodeType::new(
+///     "N1",
+///     vec![Cost::new(10), Cost::new(20)],
+///     1.0,
+/// )?])?;
+/// let mut db = TimingDb::new(1, &platform);
+/// let p1 = ProcessId::new(0);
+/// let n1 = NodeTypeId::new(0);
+/// db.set(
+///     p1,
+///     n1,
+///     HLevel::new(1)?,
+///     ExecSpec::new(TimeUs::from_ms(80), Prob::new(4e-2)?)?,
+/// )?;
+/// assert_eq!(db.spec(p1, n1, HLevel::new(1)?)?.wcet, TimeUs::from_ms(80));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingDb {
+    n_processes: usize,
+    /// Offsets into `entries` per node type (levels are ragged).
+    h_counts: Vec<u8>,
+    /// `entries[p][j][h-1]`.
+    entries: Vec<Vec<Vec<Option<ExecSpec>>>>,
+}
+
+impl TimingDb {
+    /// Creates an empty database for `n_processes` processes on `platform`.
+    pub fn new(n_processes: usize, platform: &Platform) -> Self {
+        let h_counts: Vec<u8> = platform
+            .node_type_ids()
+            .map(|id| platform.node_type(id).h_count())
+            .collect();
+        let per_process: Vec<Vec<Option<ExecSpec>>> = h_counts
+            .iter()
+            .map(|&hc| vec![None; hc as usize])
+            .collect();
+        TimingDb {
+            n_processes,
+            h_counts,
+            entries: vec![per_process; n_processes],
+        }
+    }
+
+    /// Number of processes covered.
+    pub fn process_count(&self) -> usize {
+        self.n_processes
+    }
+
+    /// Sets the entry for `(p, j, h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownEntity`] or
+    /// [`ModelError::HardeningOutOfRange`] for out-of-range coordinates.
+    pub fn set(
+        &mut self,
+        p: ProcessId,
+        j: NodeTypeId,
+        h: HLevel,
+        spec: ExecSpec,
+    ) -> Result<(), ModelError> {
+        self.check_coords(p, j, h)?;
+        self.entries[p.index()][j.index()][h.index()] = Some(spec);
+        Ok(())
+    }
+
+    /// The entry for `(p, j, h)`, or `None` when the process cannot run
+    /// there.
+    pub fn get(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Option<ExecSpec> {
+        self.entries
+            .get(p.index())?
+            .get(j.index())?
+            .get(h.index())
+            .copied()
+            .flatten()
+    }
+
+    /// The entry for `(p, j, h)`, as an error when missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    pub fn spec(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<ExecSpec, ModelError> {
+        self.get(p, j, h).ok_or(ModelError::MissingTiming {
+            process: p.index(),
+            node_type: j.index(),
+            h: h.get(),
+        })
+    }
+
+    /// The WCET `t_ijh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    pub fn wcet(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<TimeUs, ModelError> {
+        Ok(self.spec(p, j, h)?.wcet)
+    }
+
+    /// The failure probability `p_ijh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    pub fn pfail(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<Prob, ModelError> {
+        Ok(self.spec(p, j, h)?.pfail)
+    }
+
+    /// `true` if process `p` can execute on node type `j` (i.e. it has an
+    /// entry for every hardening level of `j`).
+    pub fn supports(&self, p: ProcessId, j: NodeTypeId) -> bool {
+        let Some(levels) = self.entries.get(p.index()).and_then(|e| e.get(j.index())) else {
+            return false;
+        };
+        !levels.is_empty() && levels.iter().all(Option::is_some)
+    }
+
+    /// Checks that every (process, node type, h) triple has an entry —
+    /// useful for fully-populated experimental setups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] naming the first hole.
+    pub fn validate_complete(&self) -> Result<(), ModelError> {
+        for (pi, per_node) in self.entries.iter().enumerate() {
+            for (ji, levels) in per_node.iter().enumerate() {
+                for (hi, e) in levels.iter().enumerate() {
+                    if e.is_none() {
+                        return Err(ModelError::MissingTiming {
+                            process: pi,
+                            node_type: ji,
+                            h: (hi + 1) as u8,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_coords(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<(), ModelError> {
+        if p.index() >= self.n_processes {
+            return Err(ModelError::UnknownEntity {
+                kind: "process",
+                index: p.index(),
+            });
+        }
+        let Some(&hc) = self.h_counts.get(j.index()) else {
+            return Err(ModelError::UnknownEntity {
+                kind: "node type",
+                index: j.index(),
+            });
+        };
+        if h.get() > hc {
+            return Err(ModelError::HardeningOutOfRange {
+                node_type: j.index(),
+                h: h.get(),
+                available: hc,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Cost, NodeType};
+
+    fn small_platform() -> Platform {
+        Platform::new(vec![
+            NodeType::new("N1", vec![Cost::new(10), Cost::new(20)], 1.0).unwrap(),
+            NodeType::new("N2", vec![Cost::new(5)], 1.2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn spec_ms(ms: i64, p: f64) -> ExecSpec {
+        ExecSpec::new(TimeUs::from_ms(ms), Prob::new(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let platform = small_platform();
+        let mut db = TimingDb::new(2, &platform);
+        let h1 = HLevel::new(1).unwrap();
+        db.set(ProcessId::new(0), NodeTypeId::new(0), h1, spec_ms(80, 4e-2))
+            .unwrap();
+        let e = db.spec(ProcessId::new(0), NodeTypeId::new(0), h1).unwrap();
+        assert_eq!(e.wcet, TimeUs::from_ms(80));
+        assert_eq!(e.pfail.value(), 4e-2);
+        assert_eq!(
+            db.wcet(ProcessId::new(0), NodeTypeId::new(0), h1).unwrap(),
+            TimeUs::from_ms(80)
+        );
+    }
+
+    #[test]
+    fn missing_entries_are_reported() {
+        let platform = small_platform();
+        let db = TimingDb::new(2, &platform);
+        let err = db
+            .spec(ProcessId::new(1), NodeTypeId::new(1), HLevel::new(1).unwrap())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::MissingTiming {
+                process: 1,
+                node_type: 1,
+                h: 1
+            }
+        );
+        assert!(db.get(ProcessId::new(0), NodeTypeId::new(0), HLevel::new(1).unwrap()).is_none());
+    }
+
+    #[test]
+    fn coordinates_are_validated() {
+        let platform = small_platform();
+        let mut db = TimingDb::new(1, &platform);
+        assert!(db
+            .set(
+                ProcessId::new(5),
+                NodeTypeId::new(0),
+                HLevel::new(1).unwrap(),
+                spec_ms(1, 0.0)
+            )
+            .is_err());
+        assert!(db
+            .set(
+                ProcessId::new(0),
+                NodeTypeId::new(9),
+                HLevel::new(1).unwrap(),
+                spec_ms(1, 0.0)
+            )
+            .is_err());
+        assert!(matches!(
+            db.set(
+                ProcessId::new(0),
+                NodeTypeId::new(1),
+                HLevel::new(2).unwrap(),
+                spec_ms(1, 0.0)
+            )
+            .unwrap_err(),
+            ModelError::HardeningOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn supports_requires_all_levels() {
+        let platform = small_platform();
+        let mut db = TimingDb::new(1, &platform);
+        let p = ProcessId::new(0);
+        let n1 = NodeTypeId::new(0);
+        assert!(!db.supports(p, n1));
+        db.set(p, n1, HLevel::new(1).unwrap(), spec_ms(10, 1e-3))
+            .unwrap();
+        assert!(!db.supports(p, n1), "h2 still missing");
+        db.set(p, n1, HLevel::new(2).unwrap(), spec_ms(12, 1e-5))
+            .unwrap();
+        assert!(db.supports(p, n1));
+    }
+
+    #[test]
+    fn validate_complete_finds_holes() {
+        let platform = small_platform();
+        let mut db = TimingDb::new(1, &platform);
+        let p = ProcessId::new(0);
+        db.set(p, NodeTypeId::new(0), HLevel::new(1).unwrap(), spec_ms(10, 0.0))
+            .unwrap();
+        db.set(p, NodeTypeId::new(0), HLevel::new(2).unwrap(), spec_ms(12, 0.0))
+            .unwrap();
+        assert_eq!(
+            db.validate_complete().unwrap_err(),
+            ModelError::MissingTiming {
+                process: 0,
+                node_type: 1,
+                h: 1
+            }
+        );
+        db.set(p, NodeTypeId::new(1), HLevel::new(1).unwrap(), spec_ms(9, 0.0))
+            .unwrap();
+        assert!(db.validate_complete().is_ok());
+    }
+
+    #[test]
+    fn exec_spec_rejects_negative_wcet() {
+        assert!(ExecSpec::new(TimeUs::from_ms(-1), Prob::ZERO).is_err());
+    }
+}

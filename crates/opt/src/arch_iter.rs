@@ -1,0 +1,138 @@
+//! Architecture enumeration — `SelectArch` / `SelectNextArch` of Fig. 5.
+//!
+//! Candidate architectures with `n` nodes are **subsets** of the platform's
+//! node set `N` (each available computation node is used at most once; a
+//! platform offering several identical processors models them as separate
+//! entries of `N`). Subsets are walked *fastest first*: ordered by the sum
+//! of the node types' speed factors, ties broken lexicographically. The
+//! design strategy starts with the fastest single-node architecture and,
+//! whenever an architecture is unschedulable, advances to `n + 1` nodes.
+
+use ftes_model::{NodeTypeId, Platform};
+
+/// All architectures (as subsets of node-type ids) with exactly `n` nodes,
+/// sorted fastest first. Empty when `n` exceeds the number of node types.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{Cost, NodeType, Platform};
+/// use ftes_opt::architectures_with_n_nodes;
+///
+/// let platform = Platform::new(vec![
+///     NodeType::new("fast", vec![Cost::new(2)], 1.0)?,
+///     NodeType::new("slow", vec![Cost::new(1)], 1.5)?,
+/// ])?;
+/// let archs = architectures_with_n_nodes(&platform, 1);
+/// assert_eq!(archs.len(), 2);
+/// assert_eq!(platform.node_type(archs[0][0]).name(), "fast");
+/// assert_eq!(architectures_with_n_nodes(&platform, 2).len(), 1);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+pub fn architectures_with_n_nodes(platform: &Platform, n: usize) -> Vec<Vec<NodeTypeId>> {
+    let ids = platform.ids_fastest_first();
+    if n > ids.len() {
+        return Vec::new();
+    }
+    let mut result: Vec<Vec<NodeTypeId>> = Vec::new();
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    fn rec(
+        ids: &[NodeTypeId],
+        n: usize,
+        start: usize,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<Vec<NodeTypeId>>,
+    ) {
+        if stack.len() == n {
+            out.push(stack.iter().map(|&i| ids[i]).collect());
+            return;
+        }
+        // Combinations without repetition over the speed-ordered ids.
+        for i in start..ids.len() {
+            stack.push(i);
+            rec(ids, n, i + 1, stack, out);
+            stack.pop();
+        }
+    }
+    rec(&ids, n, 0, &mut stack, &mut result);
+    // Sort by total speed factor (smaller = faster), then lexicographically
+    // on the speed-order indices for determinism.
+    result.sort_by(|a, b| {
+        let fa: f64 = a.iter().map(|id| platform.node_type(*id).speed_factor()).sum();
+        let fb: f64 = b.iter().map(|id| platform.node_type(*id).speed_factor()).sum();
+        fa.partial_cmp(&fb)
+            .expect("speed factors are finite")
+            .then_with(|| {
+                let ka: Vec<usize> = a.iter().map(|id| id.index()).collect();
+                let kb: Vec<usize> = b.iter().map(|id| id.index()).collect();
+                ka.cmp(&kb)
+            })
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{Cost, NodeType};
+
+    fn platform() -> Platform {
+        Platform::new(vec![
+            NodeType::new("slow", vec![Cost::new(1)], 2.0).unwrap(),
+            NodeType::new("fast", vec![Cost::new(4)], 1.0).unwrap(),
+            NodeType::new("mid", vec![Cost::new(2)], 1.5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_node_architectures_are_speed_ordered() {
+        let p = platform();
+        let archs = architectures_with_n_nodes(&p, 1);
+        let names: Vec<&str> = archs.iter().map(|a| p.node_type(a[0]).name()).collect();
+        assert_eq!(names, vec!["fast", "mid", "slow"]);
+    }
+
+    #[test]
+    fn subset_counts_are_binomial() {
+        let p = platform();
+        assert_eq!(architectures_with_n_nodes(&p, 2).len(), 3); // C(3,2)
+        assert_eq!(architectures_with_n_nodes(&p, 3).len(), 1);
+        assert!(architectures_with_n_nodes(&p, 4).is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_types_within_an_architecture() {
+        let p = platform();
+        for n in 1..=3 {
+            for arch in architectures_with_n_nodes(&p, n) {
+                let mut seen = arch.clone();
+                seen.sort();
+                seen.dedup();
+                assert_eq!(seen.len(), arch.len(), "duplicate type in {arch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_pair_comes_first() {
+        let p = platform();
+        let archs = architectures_with_n_nodes(&p, 2);
+        let first: Vec<&str> = archs[0].iter().map(|id| p.node_type(*id).name()).collect();
+        assert_eq!(first, vec!["fast", "mid"]);
+        let last: Vec<&str> = archs
+            .last()
+            .unwrap()
+            .iter()
+            .map(|id| p.node_type(*id).name())
+            .collect();
+        // Speed sums: fast+mid = 2.5 < fast+slow = 3.0 < mid+slow = 3.5.
+        assert_eq!(last, vec!["mid", "slow"]);
+    }
+
+    #[test]
+    fn zero_nodes_yields_the_empty_architecture() {
+        let p = platform();
+        assert_eq!(architectures_with_n_nodes(&p, 0), vec![Vec::<NodeTypeId>::new()]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Configuration of the design optimization heuristics.
+
+use ftes_sfp::Rounding;
+use serde::{Deserialize, Serialize};
+
+/// Which hardening levels the exploration may use — this is how the
+/// paper's three compared strategies differ (Section 7):
+///
+/// * `Optimize` — the proposed **OPT**: hardening levels are chosen per
+///   node by the `RedundancyOpt` trade-off heuristic;
+/// * `FixedMin` — the **MIN** baseline: only minimum hardening, fault
+///   tolerance purely in software;
+/// * `FixedMax` — the **MAX** baseline: only maximum hardening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HardeningPolicy {
+    /// Trade off hardening against re-execution (the paper's OPT).
+    #[default]
+    Optimize,
+    /// Always use the minimum hardening level (the paper's MIN).
+    FixedMin,
+    /// Always use the maximum hardening level (the paper's MAX).
+    FixedMax,
+}
+
+/// The two cost functions of `MappingAlgorithm` (Section 6, Fig. 5 lines
+/// 7 and 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize the worst-case schedule length `SL`.
+    ScheduleLength,
+    /// Minimize the architecture cost while staying schedulable.
+    Cost,
+}
+
+/// Tabu-search parameters for the mapping heuristic (Section 6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// How many iterations a re-mapped process stays "tabu".
+    pub tenure: u32,
+    /// Iterations a process must wait before its waiting priority lets it
+    /// be re-mapped preferentially.
+    pub waiting_boost: u32,
+    /// Stop after this many consecutive iterations without improvement.
+    pub max_no_improve: u32,
+    /// Hard cap on tabu iterations.
+    pub max_iterations: u32,
+    /// At most this many critical-path processes are considered for
+    /// re-mapping per iteration (keeps the neighbourhood small on large
+    /// graphs).
+    pub max_candidates: usize,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            tenure: 3,
+            waiting_boost: 8,
+            max_no_improve: 6,
+            max_iterations: 40,
+            max_candidates: 8,
+        }
+    }
+}
+
+/// Configuration shared by all optimization entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OptConfig {
+    /// Hardening policy (OPT / MIN / MAX).
+    pub policy: HardeningPolicy,
+    /// Rounding mode of the SFP analysis.
+    pub rounding: Rounding,
+    /// Re-execution search space bound, forwarded to
+    /// [`ReExecutionOpt`](ftes_sfp::ReExecutionOpt).
+    pub max_k: MaxK,
+    /// Tabu-search parameters.
+    pub tabu: TabuConfig,
+    /// Cap on the number of nodes of explored architectures
+    /// (`None` = up to the number of platform node types, the paper's
+    /// `|N|`).
+    pub max_nodes: Option<usize>,
+}
+
+/// Newtype holding the re-execution cap with a sensible default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxK(pub u32);
+
+impl Default for MaxK {
+    fn default() -> Self {
+        MaxK(30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = OptConfig::default();
+        assert_eq!(cfg.policy, HardeningPolicy::Optimize);
+        assert_eq!(cfg.rounding, Rounding::Pessimistic);
+        assert_eq!(cfg.max_k.0, 30);
+        assert!(cfg.tabu.max_iterations >= cfg.tabu.max_no_improve);
+        assert_eq!(cfg.max_nodes, None);
+    }
+
+    #[test]
+    fn policies_are_distinct() {
+        assert_ne!(HardeningPolicy::Optimize, HardeningPolicy::FixedMin);
+        assert_ne!(HardeningPolicy::FixedMin, HardeningPolicy::FixedMax);
+    }
+}

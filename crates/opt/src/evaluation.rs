@@ -1,0 +1,125 @@
+//! Evaluation of one fully-specified candidate solution.
+
+use ftes_model::{Architecture, Cost, Mapping, ModelError, System, TimeUs};
+use ftes_sched::{schedule, Schedule};
+use ftes_sfp::{node_process_probs, ReExecutionOpt};
+use serde::{Deserialize, Serialize};
+
+use crate::config::OptConfig;
+
+/// A fully-specified design solution: architecture (node types + hardening
+/// levels), mapping, per-node re-execution budgets, and the resulting
+/// schedule and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Selected architecture with hardening levels.
+    pub architecture: Architecture,
+    /// Process-to-node mapping.
+    pub mapping: Mapping,
+    /// Re-execution budgets `k_j` per architecture node.
+    pub ks: Vec<u32>,
+    /// The static schedule with recovery slack.
+    pub schedule: Schedule,
+    /// Total architecture cost.
+    pub cost: Cost,
+}
+
+impl Solution {
+    /// Worst-case schedule length `SL`.
+    pub fn schedule_length(&self) -> TimeUs {
+        self.schedule.wc_length()
+    }
+
+    /// `true` if all deadlines are met in the worst case.
+    pub fn is_schedulable(&self) -> bool {
+        self.schedule.is_schedulable()
+    }
+}
+
+/// Evaluates a candidate with **fixed** hardening levels: runs the
+/// re-execution optimization (`ReExecutionOpt`, Section 6.3) to find the
+/// minimum budgets meeting the reliability goal, then builds the schedule.
+///
+/// Returns `Ok(None)` when the reliability goal is unreachable at these
+/// hardening levels (no budget within `max_k` suffices) — the paper
+/// discards such candidates.
+///
+/// # Errors
+///
+/// Propagates model errors (invalid mapping, missing timing entries).
+pub fn evaluate_fixed(
+    system: &System,
+    arch: &Architecture,
+    mapping: &Mapping,
+    config: &OptConfig,
+) -> Result<Option<Solution>, ModelError> {
+    let app = system.application();
+    let probs = node_process_probs(app, system.timing(), arch, mapping)?;
+    let reexec = ReExecutionOpt::new(config.max_k.0, config.rounding);
+    let Some(ks) = reexec.optimize(&probs, system.goal(), app.period()) else {
+        return Ok(None);
+    };
+    let sched = schedule(app, system.timing(), arch, mapping, &ks, system.bus())?;
+    let cost = arch.cost(system.platform())?;
+    Ok(Some(Solution {
+        architecture: arch.clone(),
+        mapping: mapping.clone(),
+        ks,
+        schedule: sched,
+        cost,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::paper;
+
+    #[test]
+    fn fig4a_evaluates_to_paper_numbers() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let sol = evaluate_fixed(&sys, &arch, &mapping, &OptConfig::default())
+            .unwrap()
+            .expect("reliability goal reachable");
+        assert_eq!(sol.ks, vec![1, 1]);
+        assert_eq!(sol.schedule_length(), TimeUs::from_ms(330));
+        assert!(sol.is_schedulable());
+        assert_eq!(sol.cost, Cost::new(72));
+    }
+
+    #[test]
+    fn fig4_all_variants() {
+        let sys = paper::fig1_system();
+        // (variant, expected ks, schedulable, cost)
+        let table = [
+            ('a', vec![1, 1], true, 72),
+            ('b', vec![2], false, 32),
+            ('c', vec![2], false, 40),
+            ('d', vec![0], false, 64),
+            ('e', vec![0], true, 80),
+        ];
+        for (v, ks, schedulable, cost) in table {
+            let (arch, mapping) = paper::fig4_alternative(v);
+            let sol = evaluate_fixed(&sys, &arch, &mapping, &OptConfig::default())
+                .unwrap()
+                .unwrap_or_else(|| panic!("variant {v} reachable"));
+            assert_eq!(sol.ks, ks, "variant {v}");
+            assert_eq!(sol.is_schedulable(), schedulable, "variant {v}");
+            assert_eq!(sol.cost, Cost::new(cost), "variant {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_reliability_yields_none() {
+        // Tighten the goal beyond what even many re-executions can deliver
+        // by capping max_k at 0 on the noisy h1 version.
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('b'); // N1^2 needs k=2
+        let config = OptConfig {
+            max_k: crate::config::MaxK(0),
+            ..OptConfig::default()
+        };
+        assert_eq!(evaluate_fixed(&sys, &arch, &mapping, &config).unwrap(), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! `RedundancyOpt` — the hardening/re-execution trade-off (Section 6.3).
+//!
+//! For a given mapping, the heuristic decides the hardening level of every
+//! node and (via `ReExecutionOpt`) the re-execution budgets:
+//!
+//! 1. **Increase phase** — starting from minimum hardening, greedily raise
+//!    the hardening of the node that most improves the worst-case schedule
+//!    length until the application becomes schedulable (raising hardening
+//!    lowers failure probabilities, hence fewer re-executions, hence less
+//!    recovery slack — even though each process gets slower).
+//! 2. **Reduction phase** — from a schedulable solution, repeatedly try to
+//!    lower each node's hardening by one level; among the still-schedulable
+//!    alternatives keep the cheapest; stop when no reduction survives.
+//!
+//! Candidates whose reliability goal is unreachable (no re-execution budget
+//! suffices) are discarded, exactly like unschedulable ones.
+
+use ftes_model::{Architecture, Mapping, ModelError, NodeId, System};
+
+use crate::config::{HardeningPolicy, OptConfig};
+use crate::evaluation::{evaluate_fixed, Solution};
+
+/// Result of the redundancy optimization for one mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyOutcome {
+    /// The best solution found (schedulable if any candidate was).
+    pub solution: Solution,
+    /// Whether `solution` meets all deadlines.
+    pub schedulable: bool,
+}
+
+/// Runs the hardening/re-execution trade-off for a fixed mapping on the
+/// given node slots.
+///
+/// `base` carries the node types of the architecture; its hardening levels
+/// are ignored (the search controls them, honouring
+/// [`HardeningPolicy`]). Returns `Ok(None)` when *no* hardening vector
+/// admits the reliability goal.
+///
+/// # Errors
+///
+/// Propagates model errors from evaluation.
+pub fn redundancy_opt(
+    system: &System,
+    base: &Architecture,
+    mapping: &Mapping,
+    config: &OptConfig,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let platform = system.platform();
+    match config.policy {
+        HardeningPolicy::FixedMin => {
+            let mut arch = base.clone();
+            arch.set_min_hardening();
+            let sol = evaluate_fixed(system, &arch, mapping, config)?;
+            Ok(sol.map(|solution| RedundancyOutcome {
+                schedulable: solution.is_schedulable(),
+                solution,
+            }))
+        }
+        HardeningPolicy::FixedMax => {
+            let types: Vec<_> = base.nodes().iter().map(|n| n.node_type).collect();
+            let arch = Architecture::with_max_hardening(&types, platform);
+            let sol = evaluate_fixed(system, &arch, mapping, config)?;
+            Ok(sol.map(|solution| RedundancyOutcome {
+                schedulable: solution.is_schedulable(),
+                solution,
+            }))
+        }
+        HardeningPolicy::Optimize => optimize_levels(system, base, mapping, config),
+    }
+}
+
+fn optimize_levels(
+    system: &System,
+    base: &Architecture,
+    mapping: &Mapping,
+    config: &OptConfig,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let platform = system.platform();
+    let mut arch = base.clone();
+    arch.set_min_hardening();
+
+    // Track the best candidate in two tiers: the cheapest schedulable one,
+    // and (as a fallback) the one with the shortest schedule.
+    let mut best_schedulable: Option<Solution> = None;
+    let mut best_any: Option<Solution> = None;
+
+    let consider = |sol: Solution,
+                        best_schedulable: &mut Option<Solution>,
+                        best_any: &mut Option<Solution>| {
+        if sol.is_schedulable()
+            && best_schedulable
+                .as_ref()
+                .map_or(true, |b| sol.cost < b.cost)
+        {
+            *best_schedulable = Some(sol.clone());
+        }
+        if best_any
+            .as_ref()
+            .map_or(true, |b| sol.schedule_length() < b.schedule_length())
+        {
+            *best_any = Some(sol);
+        }
+    };
+
+    // --- Increase phase -------------------------------------------------
+    let mut current = evaluate_fixed(system, &arch, mapping, config)?;
+    if let Some(sol) = current.clone() {
+        consider(sol, &mut best_schedulable, &mut best_any);
+    }
+    loop {
+        let schedulable_now = current.as_ref().is_some_and(Solution::is_schedulable);
+        if schedulable_now {
+            break;
+        }
+        // Try raising each node by one level; keep the variant with the
+        // shortest schedule (or the first reachable one if none was).
+        let mut best_step: Option<(NodeId, Solution)> = None;
+        for node in arch.node_ids() {
+            let inst = arch.node(node);
+            let nt = platform.node_type(inst.node_type);
+            let up = inst.hardening.up();
+            if !nt.has_level(up) {
+                continue;
+            }
+            let mut trial = arch.clone();
+            trial.set_hardening(node, up);
+            if let Some(sol) = evaluate_fixed(system, &trial, mapping, config)? {
+                if best_step
+                    .as_ref()
+                    .map_or(true, |(_, b)| sol.schedule_length() < b.schedule_length())
+                {
+                    best_step = Some((node, sol));
+                }
+            }
+        }
+        let Some((node, sol)) = best_step else {
+            break; // no level can be raised (or none reaches the goal)
+        };
+        arch.set_hardening(node, arch.hardening(node).up());
+        consider(sol.clone(), &mut best_schedulable, &mut best_any);
+        current = Some(sol);
+    }
+
+    // --- Reduction phase --------------------------------------------------
+    if best_schedulable.is_some() {
+        let mut arch = best_schedulable
+            .as_ref()
+            .expect("just checked")
+            .architecture
+            .clone();
+        loop {
+            let mut best_step: Option<Solution> = None;
+            for node in arch.node_ids() {
+                let Some(down) = arch.hardening(node).down() else {
+                    continue;
+                };
+                let mut trial = arch.clone();
+                trial.set_hardening(node, down);
+                if let Some(sol) = evaluate_fixed(system, &trial, mapping, config)? {
+                    if sol.is_schedulable()
+                        && best_step.as_ref().map_or(true, |b| sol.cost < b.cost)
+                    {
+                        best_step = Some(sol);
+                    }
+                }
+            }
+            let Some(sol) = best_step else { break };
+            arch = sol.architecture.clone();
+            consider(sol, &mut best_schedulable, &mut best_any);
+        }
+    }
+
+    let outcome = match (best_schedulable, best_any) {
+        (Some(solution), _) => Some(RedundancyOutcome {
+            schedulable: true,
+            solution,
+        }),
+        (None, Some(solution)) => Some(RedundancyOutcome {
+            schedulable: false,
+            solution,
+        }),
+        (None, None) => None,
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{paper, Cost, HLevel, TimeUs};
+
+    #[test]
+    fn fig4a_mapping_settles_on_h2_h2() {
+        // Section 6.1: for the Fig. 4a mapping the heuristic stops at
+        // N1^2/N2^2 (cost 72) — less hardening is unschedulable, more is
+        // more expensive.
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('a');
+        let out = redundancy_opt(&sys, &base, &mapping, &OptConfig::default())
+            .unwrap()
+            .expect("goal reachable");
+        assert!(out.schedulable);
+        assert_eq!(out.solution.cost, Cost::new(72));
+        let arch = &out.solution.architecture;
+        assert_eq!(arch.hardening(NodeId::new(0)), HLevel::new(2).unwrap());
+        assert_eq!(arch.hardening(NodeId::new(1)), HLevel::new(2).unwrap());
+        assert_eq!(out.solution.ks, vec![1, 1]);
+    }
+
+    #[test]
+    fn fig4e_mapping_needs_h3() {
+        // Section 6.1: re-mapping everything onto N2 forces the third
+        // hardening level (Fig. 4e).
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('e');
+        let out = redundancy_opt(&sys, &base, &mapping, &OptConfig::default())
+            .unwrap()
+            .expect("goal reachable");
+        assert!(out.schedulable);
+        assert_eq!(
+            out.solution.architecture.hardening(NodeId::new(0)),
+            HLevel::new(3).unwrap()
+        );
+        assert_eq!(out.solution.cost, Cost::new(80));
+        assert_eq!(out.solution.ks, vec![0]);
+    }
+
+    #[test]
+    fn fig4d_mapping_is_discarded_as_unschedulable() {
+        // Section 6.1: the all-on-N1 mapping is not schedulable with any
+        // hardening level and must be reported as such.
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('d');
+        let out = redundancy_opt(&sys, &base, &mapping, &OptConfig::default())
+            .unwrap()
+            .expect("reliability reachable even though unschedulable");
+        assert!(!out.schedulable);
+    }
+
+    #[test]
+    fn fixed_min_policy_keeps_min_levels() {
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('a');
+        let config = OptConfig {
+            policy: HardeningPolicy::FixedMin,
+            ..OptConfig::default()
+        };
+        let out = redundancy_opt(&sys, &base, &mapping, &config)
+            .unwrap()
+            .expect("reachable in software alone");
+        let arch = &out.solution.architecture;
+        assert!(arch.node_ids().all(|n| arch.hardening(n) == HLevel::MIN));
+        // Min hardening has p ~ 1e-3: many re-executions needed.
+        assert!(out.solution.ks.iter().any(|&k| k >= 2), "{:?}", out.solution.ks);
+    }
+
+    #[test]
+    fn fixed_max_policy_keeps_max_levels() {
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('a');
+        let config = OptConfig {
+            policy: HardeningPolicy::FixedMax,
+            ..OptConfig::default()
+        };
+        let out = redundancy_opt(&sys, &base, &mapping, &config)
+            .unwrap()
+            .expect("reachable");
+        let arch = &out.solution.architecture;
+        assert!(arch.node_ids().all(|n| arch.hardening(n).get() == 3));
+        assert_eq!(out.solution.ks, vec![0, 0]);
+        assert_eq!(out.solution.cost, Cost::new(64 + 80));
+    }
+
+    #[test]
+    fn schedulable_outcome_meets_deadline() {
+        let sys = paper::fig1_system();
+        let (base, mapping) = paper::fig4_alternative('a');
+        let out = redundancy_opt(&sys, &base, &mapping, &OptConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(out.solution.schedule_length() <= TimeUs::from_ms(360));
+    }
+}

@@ -1,0 +1,471 @@
+//! The off-line list scheduler with shared recovery slack (Section 6.4).
+//!
+//! The paper adapts the scheduling strategy of [7, 15]: a static cyclic
+//! schedule is built for the no-fault case and, after each process `P_i` on
+//! node `N_j`, a *recovery slack* of `(t_ijh + μ_i) × k_j` is budgeted so
+//! that up to `k_j` re-executions fit before the deadline. The slack is
+//! **shared** between the processes on a node — slack regions overlap, and
+//! the worst-case completion of process `P_i` is
+//!
+//! ```text
+//! finish_i + k_j · max_{i' before or at i on N_j} (t_i'jh + μ_i')
+//! ```
+//!
+//! (a process can only be delayed by re-executions of itself or of
+//! processes scheduled before it on the same node). This bound reproduces
+//! every schedulability verdict in the paper's worked examples (Fig. 3:
+//! 680/340/340 ms against D = 360 ms; Fig. 4: variants a/e schedulable at
+//! 330 ms, b/c/d unschedulable at 540/450/390 ms) and is provably sound
+//! under node-local fault semantics — `ftes-faultsim`'s runtime simulator
+//! checks it by injection (see the property tests).
+
+use ftes_model::{
+    Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb,
+};
+
+use crate::priority::longest_path_to_sink;
+use crate::schedule::{MessageSlot, ProcessSlot, Schedule};
+
+/// Builds the static schedule for one application iteration.
+///
+/// * `ks[j]` — re-execution budget of architecture node `j` (one entry per
+///   node; obtained from the SFP analysis);
+/// * `bus` — the bus model used for inter-node messages. Messages between
+///   processes on the same node are delivered instantaneously at the
+///   producer's completion.
+///
+/// The scheduler is a deterministic list scheduler: among ready processes
+/// it always picks the one with the longest remaining path to a sink
+/// (ties: smaller process index), places it as early as possible on its
+/// mapped node, and accounts the recovery slack on top of the no-fault
+/// placement.
+///
+/// # Errors
+///
+/// Returns model errors for invalid mappings, missing timing entries, or a
+/// `ks` vector whose length differs from the architecture's node count.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::paper;
+/// use ftes_sched::schedule;
+///
+/// let sys = paper::fig1_system();
+/// let (arch, mapping) = paper::fig4_alternative('a');
+/// let sched = schedule(
+///     sys.application(), sys.timing(), &arch, &mapping, &[1, 1], sys.bus(),
+/// )?;
+/// assert_eq!(sched.wc_length(), ftes_model::TimeUs::from_ms(330));
+/// assert!(sched.is_schedulable());
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+pub fn schedule(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+    ks: &[u32],
+    bus: BusSpec,
+) -> Result<Schedule, ModelError> {
+    schedule_with(app, timing, arch, mapping, ks, bus, SlackModel::Shared)
+}
+
+/// How recovery slack is accounted (ablation knob).
+///
+/// The paper's contribution uses **shared** slack; `PerProcess` is the
+/// naive alternative in which every process reserves its own exclusive
+/// `k_j · (t_ijh + μ_i)` window, delaying every later process on the node.
+/// The `ablation` bench quantifies the schedulability the sharing buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SlackModel {
+    /// The paper's shared slack: overlapping recovery windows, worst case
+    /// `finish_i + k_j · prefix_max(t + μ)`.
+    #[default]
+    Shared,
+    /// Exclusive per-process slack windows (no sharing).
+    PerProcess,
+}
+
+/// [`schedule`] with an explicit [`SlackModel`].
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_with(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+    ks: &[u32],
+    bus: BusSpec,
+    slack: SlackModel,
+) -> Result<Schedule, ModelError> {
+    mapping.validate(app, arch, timing)?;
+    if ks.len() != arch.node_count() {
+        return Err(ModelError::IncompleteMapping {
+            expected: arch.node_count(),
+            got: ks.len(),
+        });
+    }
+
+    let n = app.process_count();
+    let priorities = longest_path_to_sink(app, timing, arch, mapping)?;
+
+    let mut remaining_preds: Vec<usize> = app
+        .process_ids()
+        .map(|p| app.incoming(p).len())
+        .collect();
+    let mut ready: Vec<ftes_model::ProcessId> = app
+        .process_ids()
+        .filter(|&p| remaining_preds[p.index()] == 0)
+        .collect();
+
+    let mut node_available = vec![TimeUs::ZERO; arch.node_count()];
+    // Running maximum of (t_ijh + μ_i) over the processes placed so far on
+    // each node: a process can only be delayed by re-executions of itself
+    // or of processes scheduled before it, so its worst-case end is
+    // finish + k_j · prefix_max(t + μ). This is the shared-slack bound.
+    let mut node_prefix_max = vec![TimeUs::ZERO; arch.node_count()];
+    // Serialization point per sender node for bus transmissions: a node's
+    // network interface sends one message at a time.
+    let mut node_bus_busy = vec![TimeUs::ZERO; arch.node_count()];
+    let mut proc_slots: Vec<Option<ProcessSlot>> = vec![None; n];
+    let mut msg_slots: Vec<Option<MessageSlot>> = vec![None; app.message_count()];
+    let mut scheduled = 0usize;
+
+    while !ready.is_empty() {
+        // Highest priority first; ties by process index for determinism.
+        let (idx, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                priorities[a.index()]
+                    .cmp(&priorities[b.index()])
+                    .then(b.index().cmp(&a.index()))
+            })
+            .expect("ready list is non-empty");
+        let p = ready.swap_remove(idx);
+
+        let node = mapping.node_of(p);
+        let inst = arch.node(node);
+        let spec = timing.spec(p, inst.node_type, inst.hardening)?;
+
+        // Earliest data-ready time over all inputs.
+        let mut data_ready = TimeUs::ZERO;
+        for &m in app.incoming(p) {
+            let arrival = msg_slots[m.index()]
+                .as_ref()
+                .expect("predecessors are scheduled before successors")
+                .arrival;
+            data_ready = data_ready.max(arrival);
+        }
+        let start = data_ready.max(node_available[node.index()]);
+        let finish = start + spec.wcet;
+        let k = ks[node.index()] as i64;
+        let mu = app.process(p).mu();
+        let own_slack = (spec.wcet + mu).times(k);
+        let wc_end = match slack {
+            SlackModel::Shared => {
+                let prefix = node_prefix_max[node.index()].max(spec.wcet + mu);
+                node_prefix_max[node.index()] = prefix;
+                finish + prefix.times(k)
+            }
+            SlackModel::PerProcess => finish + own_slack,
+        };
+        proc_slots[p.index()] = Some(ProcessSlot {
+            process: p,
+            node,
+            start,
+            finish,
+            wc_end,
+        });
+        node_available[node.index()] = match slack {
+            SlackModel::Shared => finish,
+            // Exclusive windows: the next process starts after the slack.
+            SlackModel::PerProcess => finish + own_slack,
+        };
+        scheduled += 1;
+
+        // Emit outputs and release successors.
+        for &m in app.outgoing(p) {
+            let msg = app.message(m);
+            let dst_node = mapping.node_of(msg.dst());
+            let (send, arrival, over_bus) = if dst_node == node {
+                (finish, finish, false)
+            } else {
+                let send = finish.max(node_bus_busy[node.index()]);
+                let arrival = bus.arrival_time(node, arch.node_count(), send, msg.tx_time());
+                node_bus_busy[node.index()] = arrival;
+                (send, arrival, true)
+            };
+            msg_slots[m.index()] = Some(MessageSlot {
+                message: m,
+                send,
+                arrival,
+                over_bus,
+            });
+            let d = msg.dst();
+            remaining_preds[d.index()] -= 1;
+            if remaining_preds[d.index()] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    debug_assert_eq!(scheduled, n, "DAG guarantees all processes schedule");
+
+    let proc_slots: Vec<ProcessSlot> = proc_slots
+        .into_iter()
+        .map(|s| s.expect("all processes scheduled"))
+        .collect();
+    let msg_slots: Vec<MessageSlot> = msg_slots
+        .into_iter()
+        .map(|s| s.expect("all messages scheduled"))
+        .collect();
+
+    // Per-graph worst-case completion and deadlines.
+    let mut graph_wc = vec![TimeUs::ZERO; app.graph_count()];
+    for p in app.process_ids() {
+        let g = app.process(p).graph().index();
+        graph_wc[g] = graph_wc[g].max(proc_slots[p.index()].wc_end);
+    }
+    let deadlines: Vec<TimeUs> = app.graph_ids().map(|g| app.graph(g).deadline()).collect();
+
+    Ok(Schedule::from_parts(
+        proc_slots,
+        msg_slots,
+        ks.to_vec(),
+        graph_wc,
+        &deadlines,
+    ))
+}
+
+/// Convenience: the worst-case schedule length for a candidate solution,
+/// without keeping the full schedule.
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_length(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+    ks: &[u32],
+    bus: BusSpec,
+) -> Result<TimeUs, ModelError> {
+    Ok(schedule(app, timing, arch, mapping, ks, bus)?.wc_length())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{paper, NodeId, NodeTypeId, ProcessId};
+
+    fn fig3_schedule(h: u8, k: u32) -> Schedule {
+        let sys = paper::fig3_system();
+        let mut arch = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+        arch.set_hardening(NodeId::new(0), ftes_model::HLevel::new(h).unwrap());
+        let mapping = Mapping::all_on(1, NodeId::new(0));
+        schedule(sys.application(), sys.timing(), &arch, &mapping, &[k], sys.bus()).unwrap()
+    }
+
+    #[test]
+    fn fig3_worst_case_lengths_match_paper() {
+        // Fig. 3a: h1, k=6 → 80 + 6·(80+20) = 680 > 360 (unschedulable).
+        let a = fig3_schedule(1, 6);
+        assert_eq!(a.wc_length(), TimeUs::from_ms(680));
+        assert!(!a.is_schedulable());
+        // Fig. 3b: h2, k=2 → 100 + 2·120 = 340 ≤ 360 (schedulable).
+        let b = fig3_schedule(2, 2);
+        assert_eq!(b.wc_length(), TimeUs::from_ms(340));
+        assert!(b.is_schedulable());
+        // Fig. 3c: h3, k=1 → 160 + 180 = 340 ≤ 360; the paper notes it
+        // completes at the same time as the h2 solution.
+        let c = fig3_schedule(3, 1);
+        assert_eq!(c.wc_length(), TimeUs::from_ms(340));
+        assert!(c.is_schedulable());
+        assert_eq!(b.wc_length(), c.wc_length());
+    }
+
+    fn fig4_schedule(variant: char, ks: &[u32]) -> Schedule {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative(variant);
+        schedule(sys.application(), sys.timing(), &arch, &mapping, ks, sys.bus()).unwrap()
+    }
+
+    #[test]
+    fn fig4_schedulability_matches_paper() {
+        // k budgets from the SFP analysis: a → (1,1); b, c → 2; d, e → 0.
+        let a = fig4_schedule('a', &[1, 1]);
+        assert_eq!(a.wc_length(), TimeUs::from_ms(330));
+        assert!(a.is_schedulable());
+
+        let b = fig4_schedule('b', &[2]);
+        assert_eq!(b.wc_length(), TimeUs::from_ms(540));
+        assert!(!b.is_schedulable());
+
+        let c = fig4_schedule('c', &[2]);
+        assert_eq!(c.wc_length(), TimeUs::from_ms(450));
+        assert!(!c.is_schedulable());
+
+        let d = fig4_schedule('d', &[0]);
+        assert_eq!(d.wc_length(), TimeUs::from_ms(390));
+        assert!(!d.is_schedulable());
+
+        let e = fig4_schedule('e', &[0]);
+        assert_eq!(e.wc_length(), TimeUs::from_ms(330));
+        assert!(e.is_schedulable());
+    }
+
+    #[test]
+    fn fig4a_no_fault_timeline() {
+        let sched = fig4_schedule('a', &[1, 1]);
+        let slot = |i: u32| sched.process_slot(ProcessId::new(i));
+        // N1: P1 0–75, P2 75–165 (wc 270); N2: P3 75–135, P4 165–240 (wc 330).
+        assert_eq!(slot(0).start, TimeUs::ZERO);
+        assert_eq!(slot(0).finish, TimeUs::from_ms(75));
+        assert_eq!(slot(1).start, TimeUs::from_ms(75));
+        assert_eq!(slot(1).finish, TimeUs::from_ms(165));
+        assert_eq!(slot(1).wc_end, TimeUs::from_ms(270));
+        assert_eq!(slot(2).start, TimeUs::from_ms(75));
+        assert_eq!(slot(2).finish, TimeUs::from_ms(135));
+        assert_eq!(slot(3).start, TimeUs::from_ms(165));
+        assert_eq!(slot(3).finish, TimeUs::from_ms(240));
+        assert_eq!(slot(3).wc_end, TimeUs::from_ms(330));
+        assert_eq!(sched.makespan(), TimeUs::from_ms(240));
+    }
+
+    #[test]
+    fn invariants_hold_on_paper_examples() {
+        let sys = paper::fig1_system();
+        for (v, ks) in [('a', vec![1, 1]), ('b', vec![2]), ('e', vec![0])] {
+            let (arch, mapping) = paper::fig4_alternative(v);
+            let sched = schedule(
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                &ks,
+                sys.bus(),
+            )
+            .unwrap();
+            assert_eq!(sched.check_invariants(sys.application(), &mapping), None);
+        }
+    }
+
+    #[test]
+    fn messages_crossing_nodes_use_the_bus() {
+        let sched = fig4_schedule('a', &[1, 1]);
+        // m2 (P1→P3) and m3 (P2→P4) cross nodes; m1, m4 stay local.
+        assert!(!sched.message_slot(ftes_model::MessageId::new(0)).over_bus);
+        assert!(sched.message_slot(ftes_model::MessageId::new(1)).over_bus);
+        assert!(sched.message_slot(ftes_model::MessageId::new(2)).over_bus);
+        assert!(!sched.message_slot(ftes_model::MessageId::new(3)).over_bus);
+    }
+
+    #[test]
+    fn ks_length_is_validated() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        assert!(schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1],
+            sys.bus()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn schedule_length_matches_full_schedule() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let len = schedule_length(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            sys.bus(),
+        )
+        .unwrap();
+        assert_eq!(len, TimeUs::from_ms(330));
+    }
+
+    #[test]
+    fn gantt_renders_every_node_and_bus() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let sched = schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            sys.bus(),
+        )
+        .unwrap();
+        let gantt = sched.render_gantt(sys.application(), arch.node_count());
+        assert!(gantt.contains("n1:"));
+        assert!(gantt.contains("n2:"));
+        assert!(gantt.contains("bus:"));
+        assert!(gantt.contains("P4"));
+    }
+
+    #[test]
+    fn per_process_slack_is_never_shorter_than_shared() {
+        let sys = paper::fig1_system();
+        for (v, ks) in [('a', vec![1u32, 1]), ('b', vec![2]), ('e', vec![0])] {
+            let (arch, mapping) = paper::fig4_alternative(v);
+            let shared = schedule(
+                sys.application(), sys.timing(), &arch, &mapping, &ks, sys.bus(),
+            )
+            .unwrap();
+            let naive = schedule_with(
+                sys.application(), sys.timing(), &arch, &mapping, &ks, sys.bus(),
+                SlackModel::PerProcess,
+            )
+            .unwrap();
+            assert!(naive.wc_length() >= shared.wc_length(), "variant {v}");
+            assert_eq!(naive.check_invariants(sys.application(), &mapping), None);
+        }
+    }
+
+    #[test]
+    fn sharing_is_what_makes_fig4a_schedulable() {
+        // Without sharing, the Fig. 4a recovery slack (two exclusive
+        // windows on N1: 90 and 105 ms) pushes the worst case past 360 ms.
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let naive = schedule_with(
+            sys.application(), sys.timing(), &arch, &mapping, &[1, 1], sys.bus(),
+            SlackModel::PerProcess,
+        )
+        .unwrap();
+        assert!(!naive.is_schedulable(), "SL = {}", naive.wc_length());
+    }
+
+    #[test]
+    fn tdma_bus_delays_cross_node_messages() {
+        use ftes_model::BusSpec;
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        // Give messages a nonzero size via TDMA slots of 5 ms: m2 from N1
+        // (slot 0) ready at 75 departs in the next round.
+        let sched = schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            BusSpec::tdma(TimeUs::from_ms(5)),
+        )
+        .unwrap();
+        // tx_time of fig1 messages is zero, so TDMA passes them through
+        // instantly; the schedule must equal the ideal-bus one.
+        assert_eq!(sched.wc_length(), TimeUs::from_ms(330));
+    }
+}

@@ -1,0 +1,181 @@
+//! Critical-path priorities for list scheduling.
+//!
+//! The mapping heuristic of the paper (Section 6.2) focuses on processes on
+//! the critical path; the off-line scheduler uses the classic
+//! *longest-path-to-sink* priority: the length of the longest chain of
+//! WCETs (plus message transmission times for inter-node edges) from a
+//! process to any sink of its graph, evaluated for the WCETs of the current
+//! architecture/mapping.
+
+use ftes_model::{
+    Application, Architecture, Mapping, ModelError, ProcessId, TimeUs, TimingDb,
+};
+
+/// Computes, for every process, the longest path from the start of that
+/// process to the end of any sink, using the WCETs of the node each process
+/// is mapped on (at the node's hardening level). Message transmission times
+/// are counted only for edges crossing nodes.
+///
+/// Returns a vector indexed by process index.
+///
+/// # Errors
+///
+/// Returns [`ModelError::MissingTiming`] when a process has no WCET on its
+/// assigned node type/level.
+pub fn longest_path_to_sink(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+) -> Result<Vec<TimeUs>, ModelError> {
+    let mut lp = vec![TimeUs::ZERO; app.process_count()];
+    // Walk the topological order backwards: successors are finalized first.
+    for &p in app.topological_order().iter().rev() {
+        let node = mapping.node_of(p);
+        let inst = arch.node(node);
+        let wcet = timing.wcet(p, inst.node_type, inst.hardening)?;
+        let mut best_tail = TimeUs::ZERO;
+        for &m in app.outgoing(p) {
+            let msg = app.message(m);
+            let succ = msg.dst();
+            let tx = if mapping.node_of(succ) == node {
+                TimeUs::ZERO
+            } else {
+                msg.tx_time()
+            };
+            best_tail = best_tail.max(tx + lp[succ.index()]);
+        }
+        lp[p.index()] = wcet + best_tail;
+    }
+    Ok(lp)
+}
+
+/// The set of processes lying on a critical path: those whose
+/// earliest-start plus longest-path-to-sink equals the graph's overall
+/// critical-path length (within the same graph). Used by the tabu-search
+/// mapping heuristic to pick re-mapping candidates.
+///
+/// # Errors
+///
+/// Propagates [`ModelError::MissingTiming`] from the path computation.
+pub fn critical_processes(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+) -> Result<Vec<ProcessId>, ModelError> {
+    let lp = longest_path_to_sink(app, timing, arch, mapping)?;
+    // Earliest start = longest path from any root up to (excluding) p.
+    let mut es = vec![TimeUs::ZERO; app.process_count()];
+    for &p in app.topological_order() {
+        let node = mapping.node_of(p);
+        let inst = arch.node(node);
+        let wcet = timing.wcet(p, inst.node_type, inst.hardening)?;
+        for &m in app.outgoing(p) {
+            let msg = app.message(m);
+            let succ = msg.dst();
+            let tx = if mapping.node_of(succ) == node {
+                TimeUs::ZERO
+            } else {
+                msg.tx_time()
+            };
+            let cand = es[p.index()] + wcet + tx;
+            if cand > es[succ.index()] {
+                es[succ.index()] = cand;
+            }
+        }
+    }
+    // Per-graph critical length.
+    let mut graph_len = vec![TimeUs::ZERO; app.graph_count()];
+    for p in app.process_ids() {
+        let g = app.process(p).graph().index();
+        graph_len[g] = graph_len[g].max(es[p.index()] + lp[p.index()]);
+    }
+    Ok(app
+        .process_ids()
+        .filter(|&p| {
+            let g = app.process(p).graph().index();
+            es[p.index()] + lp[p.index()] == graph_len[g]
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::paper;
+
+    #[test]
+    fn fig1_longest_paths_on_fig4a_mapping() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let lp = longest_path_to_sink(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        // WCETs: P1=75, P2=90 on N1^2; P3=60, P4=75 on N2^2; tx = 0.
+        // lp(P4) = 75; lp(P3) = 60+75 = 135; lp(P2) = 90+75 = 165;
+        // lp(P1) = 75 + max(165, 135) = 240.
+        assert_eq!(lp[3], TimeUs::from_ms(75));
+        assert_eq!(lp[2], TimeUs::from_ms(135));
+        assert_eq!(lp[1], TimeUs::from_ms(165));
+        assert_eq!(lp[0], TimeUs::from_ms(240));
+    }
+
+    #[test]
+    fn critical_path_is_p1_p2_p4_on_fig4a() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let crit =
+            critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        let names: Vec<&str> = crit
+            .iter()
+            .map(|&p| sys.application().process(p).name())
+            .collect();
+        assert_eq!(names, vec!["P1", "P2", "P4"]);
+    }
+
+    #[test]
+    fn single_process_path_is_its_wcet() {
+        let sys = paper::fig3_system();
+        let (arch, mapping) = (
+            ftes_model::Architecture::with_min_hardening(&[ftes_model::NodeTypeId::new(0)]),
+            ftes_model::Mapping::all_on(1, ftes_model::NodeId::new(0)),
+        );
+        let lp = longest_path_to_sink(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        assert_eq!(lp, vec![TimeUs::from_ms(80)]);
+        let crit =
+            critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        assert_eq!(crit.len(), 1);
+    }
+
+    #[test]
+    fn tx_time_counts_only_across_nodes() {
+        use ftes_model::{
+            ApplicationBuilder, Architecture, Cost, ExecSpec, HLevel, Mapping, NodeId, NodeType,
+            NodeTypeId, Platform, Prob, ProcessId, TimeUs, TimingDb,
+        };
+        let mut b = ApplicationBuilder::new("A");
+        let g = b.add_graph("G1", TimeUs::from_ms(100));
+        let p1 = b.add_process(g, TimeUs::ZERO);
+        let p2 = b.add_process(g, TimeUs::ZERO);
+        b.add_message(p1, p2, TimeUs::from_ms(7)).unwrap();
+        let app = b.build().unwrap();
+        let platform = Platform::new(vec![NodeType::new("N", vec![Cost::new(1)], 1.0).unwrap()])
+            .unwrap();
+        let mut timing = TimingDb::new(2, &platform);
+        let spec = ExecSpec::new(TimeUs::from_ms(10), Prob::ZERO).unwrap();
+        for p in [p1, p2] {
+            timing.set(p, NodeTypeId::new(0), HLevel::MIN, spec).unwrap();
+        }
+        // Same node: tx ignored.
+        let arch1 = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+        let same = Mapping::all_on(2, NodeId::new(0));
+        let lp = longest_path_to_sink(&app, &timing, &arch1, &same).unwrap();
+        assert_eq!(lp[p1.index()], TimeUs::from_ms(20));
+        // Different nodes: tx added.
+        let arch2 =
+            Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(0)]);
+        let mut split = Mapping::all_on(2, NodeId::new(0));
+        split.assign(ProcessId::new(1), NodeId::new(1));
+        let lp = longest_path_to_sink(&app, &timing, &arch2, &split).unwrap();
+        assert_eq!(lp[p1.index()], TimeUs::from_ms(27));
+    }
+}

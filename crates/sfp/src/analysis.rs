@@ -1,0 +1,241 @@
+//! System-level SFP analysis — formulas (5) and (6) of the paper.
+
+use ftes_model::{
+    Application, Architecture, Mapping, ModelError, Prob, ReliabilityGoal, TimeUs, TimingDb,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::node_failure::NodeSfp;
+use crate::rounding::Rounding;
+
+/// Collects, for every architecture node, the failure probabilities of the
+/// processes mapped on it (at the node's selected hardening level).
+///
+/// This is the bridge between the system model and the per-node
+/// [`NodeSfp`] analysis.
+///
+/// # Errors
+///
+/// Returns [`ModelError::MissingTiming`] if some process has no
+/// failure-probability entry on its assigned node type/level, and the
+/// mapping/architecture validation errors of
+/// [`Mapping::validate`].
+pub fn node_process_probs(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+) -> Result<Vec<Vec<Prob>>, ModelError> {
+    mapping.validate(app, arch, timing)?;
+    let mut per_node: Vec<Vec<Prob>> = vec![Vec::new(); arch.node_count()];
+    for p in app.process_ids() {
+        let n = mapping.node_of(p);
+        let inst = arch.node(n);
+        let prob = timing.pfail(p, inst.node_type, inst.hardening)?;
+        per_node[n.index()].push(prob);
+    }
+    Ok(per_node)
+}
+
+/// The outcome of a full system SFP analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SfpResult {
+    /// Per-node `Pr(f > k_j; N_j^h)` — the probability that node `j`'s
+    /// re-execution budget is exceeded in one iteration.
+    pub node_failure: Vec<f64>,
+    /// Formula (5): probability that at least one node exceeds its budget
+    /// in one application iteration.
+    pub p_fail_per_iteration: f64,
+    /// Formula (6) left-hand side: system reliability over the goal's time
+    /// unit τ, `(1 − p_fail_per_iteration)^(τ/T)`.
+    pub reliability_over_unit: f64,
+    /// Whether the reliability goal ρ is met.
+    pub meets_goal: bool,
+}
+
+/// Formula (5): the union of the per-node failure probabilities, assuming
+/// node failures are independent:
+/// `Pr(∪_j f > k_j) = 1 − Π_j (1 − Pr(f > k_j))`.
+pub fn union_failure(node_failure: &[f64]) -> f64 {
+    // Evaluated in the log domain (−expm1(Σ ln1p(−q))) so that tiny
+    // per-node probabilities (10⁻¹⁰ and below) do not cancel against 1.0.
+    let log_ok: f64 = node_failure
+        .iter()
+        .map(|q| (-q.clamp(0.0, 1.0)).ln_1p())
+        .sum();
+    (-f64::exp_m1(log_ok)).clamp(0.0, 1.0)
+}
+
+/// Formula (6) left-hand side: reliability over the time unit τ for an
+/// application with period `period`.
+pub fn reliability_over_unit(p_fail_iter: f64, goal: ReliabilityGoal, period: TimeUs) -> f64 {
+    let n = goal.iterations(period);
+    (n * (-p_fail_iter.clamp(0.0, 1.0)).ln_1p()).exp()
+}
+
+/// Runs the complete SFP analysis (formulas (1)–(6)) for a mapped
+/// application with the re-execution budgets `ks[j]` per architecture node.
+///
+/// # Errors
+///
+/// Propagates model lookup errors (missing timing entries, invalid
+/// mapping). `ks` must have one entry per architecture node; a mismatch is
+/// reported as [`ModelError::IncompleteMapping`].
+///
+/// # Examples
+///
+/// The Appendix A.2 computation (Fig. 4a architecture, k = (1, 1)):
+///
+/// ```
+/// use ftes_model::paper;
+/// use ftes_sfp::{analyze, Rounding};
+///
+/// let sys = paper::fig1_system();
+/// let (arch, mapping) = paper::fig4_alternative('a');
+/// let result = analyze(
+///     sys.application(), sys.timing(), &arch, &mapping,
+///     &[1, 1], sys.goal(), Rounding::Pessimistic,
+/// )?;
+/// assert!(result.meets_goal);
+/// assert!((result.reliability_over_unit - 0.99999040004).abs() < 1e-9);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn analyze(
+    app: &Application,
+    timing: &TimingDb,
+    arch: &Architecture,
+    mapping: &Mapping,
+    ks: &[u32],
+    goal: ReliabilityGoal,
+    rounding: Rounding,
+) -> Result<SfpResult, ModelError> {
+    if ks.len() != arch.node_count() {
+        return Err(ModelError::IncompleteMapping {
+            expected: arch.node_count(),
+            got: ks.len(),
+        });
+    }
+    let per_node = node_process_probs(app, timing, arch, mapping)?;
+    let node_failure: Vec<f64> = per_node
+        .into_iter()
+        .zip(ks)
+        .map(|(probs, &k)| NodeSfp::new(probs, rounding).pr_more_than(k))
+        .collect();
+    // The union is rounded up under the pessimistic mode, matching the
+    // paper's ⌈·⌉ on Pr(∪_j f > k_j) in Appendix A.2.
+    let p_fail_per_iteration = rounding.up(union_failure(&node_failure));
+    let reliability = reliability_over_unit(p_fail_per_iteration, goal, app.period());
+    Ok(SfpResult {
+        node_failure,
+        p_fail_per_iteration,
+        reliability_over_unit: reliability,
+        meets_goal: goal.is_met(p_fail_per_iteration, app.period()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::paper;
+
+    #[test]
+    fn union_of_empty_is_zero() {
+        assert_eq!(union_failure(&[]), 0.0);
+    }
+
+    #[test]
+    fn union_matches_formula_five() {
+        // Paper A.2: two nodes at 4.8e-10 each → 9.6e-10 (to print precision).
+        let u = union_failure(&[4.8e-10, 4.8e-10]);
+        assert!((u - 9.6e-10).abs() < 1e-17, "{u}");
+        // And for k = 0: ⌈1-(1-0.000024999844)²⌉ = 0.00004999907 after the
+        // paper's upward rounding at 1e-11.
+        let u0 = Rounding::Pessimistic.up(union_failure(&[0.000024999844, 0.000024999844]));
+        assert!((u0 - 0.00004999907).abs() < 1e-15, "{u0}");
+    }
+
+    #[test]
+    fn union_clamps() {
+        assert_eq!(union_failure(&[1.0, 0.5]), 1.0);
+        assert_eq!(union_failure(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn reliability_matches_paper_power() {
+        let goal = ReliabilityGoal::per_hour(1e-5).unwrap();
+        let period = TimeUs::from_ms(360);
+        // (1 - 9.6e-10)^10000 = 0.99999040004
+        let r = reliability_over_unit(9.6e-10, goal, period);
+        assert!((r - 0.99999040004).abs() < 1e-11);
+        // (1 - 0.00004999907)^10000 = 0.60652871884
+        let r0 = reliability_over_unit(0.00004999907, goal, period);
+        assert!((r0 - 0.60652871884).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_appendix_a2_full() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        // k1 = k2 = 0: goal missed with reliability ~0.6065.
+        let r0 = analyze(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[0, 0],
+            sys.goal(),
+            Rounding::Pessimistic,
+        )
+        .unwrap();
+        assert!(!r0.meets_goal);
+        assert!((r0.reliability_over_unit - 0.60652871884).abs() < 2e-4);
+        // k1 = k2 = 1: goal met with reliability 0.99999040004.
+        let r1 = analyze(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            sys.goal(),
+            Rounding::Pessimistic,
+        )
+        .unwrap();
+        assert!(r1.meets_goal);
+        assert!((r1.reliability_over_unit - 0.99999040004).abs() < 1e-9);
+        assert!((r1.node_failure[0] - 4.8e-10).abs() < 1e-16);
+        assert!((r1.node_failure[1] - 4.8e-10).abs() < 1e-16);
+    }
+
+    #[test]
+    fn analyze_rejects_wrong_k_vector() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let err = analyze(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1],
+            sys.goal(),
+            Rounding::Pessimistic,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::IncompleteMapping { .. }));
+    }
+
+    #[test]
+    fn node_process_probs_groups_by_mapping() {
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let per_node =
+            node_process_probs(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        assert_eq!(per_node.len(), 2);
+        let vals: Vec<Vec<f64>> = per_node
+            .iter()
+            .map(|v| v.iter().map(|p| p.value()).collect())
+            .collect();
+        assert_eq!(vals[0], vec![1.2e-5, 1.3e-5]); // P1, P2 on N1^2
+        assert_eq!(vals[1], vec![1.2e-5, 1.3e-5]); // P3, P4 on N2^2
+    }
+}

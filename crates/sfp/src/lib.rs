@@ -1,0 +1,55 @@
+//! # ftes-sfp — system failure probability analysis
+//!
+//! Implements Appendix A of the DATE'09 paper *Analysis and Optimization of
+//! Fault-Tolerant Embedded Systems with Hardened Processors*: the analysis
+//! that connects the **hardening level** of each computation node with the
+//! **maximum number of re-executions** needed in software to meet a
+//! reliability goal ρ = 1 − γ per time unit τ.
+//!
+//! * [`NodeSfp`] — formulas (1)–(4): probability that more faults occur on
+//!   a node than its re-execution budget `k_j` covers, summing over all
+//!   f-fault scenarios (combinations with repetitions, evaluated via
+//!   complete homogeneous symmetric polynomials);
+//! * [`analyze`] / [`union_failure`] / [`reliability_over_unit`] —
+//!   formulas (5)–(6): the system-level union over nodes and the
+//!   reliability over τ/T iterations;
+//! * [`ReExecutionOpt`] — the Section 6.3 greedy heuristic that finds the
+//!   smallest budgets `k_j` meeting ρ;
+//! * [`Rounding`] — the paper's pessimistic 10⁻¹¹ directed rounding.
+//!
+//! ## Example
+//!
+//! Reproducing the Appendix A.2 computation:
+//!
+//! ```
+//! use ftes_model::Prob;
+//! use ftes_sfp::{NodeSfp, Rounding};
+//!
+//! let probs = vec![Prob::new(1.2e-5)?, Prob::new(1.3e-5)?];
+//! let node = NodeSfp::new(probs, Rounding::Pessimistic);
+//! assert_eq!(node.pr_none(), 0.99997500015);       // Pr(0; N1²)
+//! assert_eq!(node.pr_exactly(1), 0.00002499937);   // Pr(1; N1²)
+//! assert!((node.pr_more_than(1) - 4.8e-10).abs() < 1e-16);
+//! # Ok::<(), ftes_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod multiset;
+mod node_failure;
+mod reexec;
+mod rounding;
+mod scenario;
+mod symmetric;
+
+pub use analysis::{
+    analyze, node_process_probs, reliability_over_unit, union_failure, SfpResult,
+};
+pub use multiset::{multiset_count, Multisets};
+pub use node_failure::NodeSfp;
+pub use reexec::ReExecutionOpt;
+pub use scenario::{dominant_scenarios, scenario_mass, FaultScenario};
+pub use rounding::{Rounding, QUANTUM};
+pub use symmetric::{complete_homogeneous, complete_homogeneous_naive};

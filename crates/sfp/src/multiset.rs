@@ -1,0 +1,166 @@
+//! Combinations with repetitions (finite multisets).
+//!
+//! The paper's formula (3) sums the recovery probability over all
+//! *f-fault scenarios*: combinations with repetitions of `f` faults over
+//! the processes mapped on a node, formalised as finite submultisets
+//! `(S*, m*)` of size `f` ([Stanley, *Enumerative Combinatorics*]).
+//!
+//! [`Multisets`] enumerates these scenarios explicitly. The production code
+//! path uses the symmetric-polynomial recurrence in
+//! [`symmetric`](crate::symmetric) instead (`O(m·f)` rather than
+//! `O(C(m+f-1, f))`), but the explicit enumeration is kept both as the
+//! executable specification the fast path is tested against and for
+//! generating human-readable fault scenarios.
+
+/// Iterator over all multisets of size `f` drawn from `m` elements.
+///
+/// Each item is a non-decreasing vector of `f` element indices
+/// (`[0, 0, 1]` means "element 0 fails twice, element 1 fails once").
+/// The number of items is `C(m + f − 1, f)`.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_sfp::Multisets;
+///
+/// // The paper's example: 3 faults over processes {P1, P2, P3} — one
+/// // scenario is P1 failing twice and P2 once: [0, 0, 1].
+/// let scenarios: Vec<Vec<usize>> = Multisets::new(3, 3).collect();
+/// assert_eq!(scenarios.len(), 10); // C(5, 3)
+/// assert!(scenarios.contains(&vec![0, 0, 1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Multisets {
+    m: usize,
+    state: Option<Vec<usize>>,
+}
+
+impl Multisets {
+    /// Enumerates multisets of size `f` over `m` elements.
+    ///
+    /// With `m == 0` and `f > 0` the iterator is empty; with `f == 0` it
+    /// yields exactly the empty multiset.
+    pub fn new(m: usize, f: usize) -> Self {
+        let state = if f == 0 {
+            Some(Vec::new())
+        } else if m == 0 {
+            None
+        } else {
+            Some(vec![0; f])
+        };
+        Multisets { m, state }
+    }
+}
+
+impl Iterator for Multisets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.state.take()?;
+        if !current.is_empty() {
+            // Advance to the next non-decreasing vector, odometer style.
+            let mut next = current.clone();
+            let f = next.len();
+            let mut i = f;
+            loop {
+                if i == 0 {
+                    // Wrapped past the last multiset.
+                    self.state = None;
+                    break;
+                }
+                i -= 1;
+                if next[i] + 1 < self.m {
+                    let v = next[i] + 1;
+                    for slot in next.iter_mut().skip(i) {
+                        *slot = v;
+                    }
+                    self.state = Some(next);
+                    break;
+                }
+            }
+        }
+        Some(current)
+    }
+}
+
+/// `C(m + f − 1, f)` — the number of multisets of size `f` over `m`
+/// elements, saturating at `u128::MAX`.
+pub fn multiset_count(m: usize, f: usize) -> u128 {
+    if f == 0 {
+        return 1;
+    }
+    if m == 0 {
+        return 0;
+    }
+    // C(m+f-1, f) computed incrementally.
+    let n = (m + f - 1) as u128;
+    let k = f as u128;
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_multiset_for_f_zero() {
+        let all: Vec<_> = Multisets::new(3, 0).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+        assert_eq!(multiset_count(3, 0), 1);
+    }
+
+    #[test]
+    fn no_multisets_from_empty_ground_set() {
+        assert_eq!(Multisets::new(0, 2).count(), 0);
+        assert_eq!(multiset_count(0, 2), 0);
+    }
+
+    #[test]
+    fn enumerates_pairs_from_two_elements() {
+        let all: Vec<_> = Multisets::new(2, 2).collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn paper_example_three_faults_three_processes() {
+        // f = 3 faults over P1..P3: C(5,3) = 10 scenarios, including the
+        // paper's "P1 fails twice, P2 once".
+        let all: Vec<_> = Multisets::new(3, 3).collect();
+        assert_eq!(all.len(), 10);
+        assert_eq!(multiset_count(3, 3), 10);
+        assert!(all.contains(&vec![0, 0, 1]));
+        // All vectors are non-decreasing and within range.
+        for v in &all {
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+        // All distinct.
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn count_matches_enumeration_for_small_cases() {
+        for m in 0..5 {
+            for f in 0..6 {
+                assert_eq!(
+                    Multisets::new(m, f).count() as u128,
+                    multiset_count(m, f),
+                    "m={m} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_handles_large_inputs_without_overflow() {
+        assert_eq!(multiset_count(40, 2), 820);
+        // Saturates rather than panicking.
+        let _ = multiset_count(1000, 500);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-node failure probabilities — formulas (1)–(4) of the paper.
+
+use ftes_model::Prob;
+use serde::{Deserialize, Serialize};
+
+use crate::rounding::Rounding;
+use crate::symmetric::complete_homogeneous;
+
+/// SFP analysis of a single computation node `N_j^h`.
+///
+/// Holds the failure probabilities `p_ijh` of the processes mapped on the
+/// node and evaluates:
+///
+/// * formula (1): `Pr(0; N_j^h) = Π_i (1 − p_ijh)` — no faulty processes;
+/// * formula (3): `Pr(f; N_j^h) = Pr(0) · h_f(p)` — successful recovery
+///   from exactly `f` faults;
+/// * formula (4): `Pr(f > k_j; N_j^h) = 1 − Σ_{f=0}^{k_j} Pr(f)` — the node
+///   fails, i.e. more faults occur than the re-execution budget covers.
+///
+/// # Examples
+///
+/// The Appendix A.2 numbers:
+///
+/// ```
+/// use ftes_model::Prob;
+/// use ftes_sfp::{NodeSfp, Rounding};
+///
+/// let node = NodeSfp::new(
+///     vec![Prob::new(1.2e-5)?, Prob::new(1.3e-5)?],
+///     Rounding::Pessimistic,
+/// );
+/// assert_eq!(node.pr_none(), 0.99997500015);
+/// assert_eq!(node.pr_exactly(1), 0.00002499937);
+/// assert!((node.pr_more_than(1) - 4.8e-10).abs() < 1e-16);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSfp {
+    probs: Vec<f64>,
+    rounding: Rounding,
+}
+
+impl NodeSfp {
+    /// Creates the analysis for a node whose mapped processes fail with the
+    /// given probabilities. An empty list models an unused node (which
+    /// never fails: `Pr(0) = 1`).
+    pub fn new(probs: Vec<Prob>, rounding: Rounding) -> Self {
+        NodeSfp {
+            probs: probs.into_iter().map(Prob::value).collect(),
+            rounding,
+        }
+    }
+
+    /// Number of processes mapped on the node (`Π(N_j)` in the paper).
+    pub fn process_count(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The rounding mode in use.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// Formula (1): probability that one application iteration executes on
+    /// this node without any fault.
+    pub fn pr_none(&self) -> f64 {
+        let exact: f64 = self.probs.iter().map(|p| 1.0 - p).product();
+        self.rounding.down(exact)
+    }
+
+    /// Formula (3): probability of successful recovery from *exactly* `f`
+    /// faults (all f-fault scenarios, combinations with repetitions).
+    pub fn pr_exactly(&self, f: usize) -> f64 {
+        if f == 0 {
+            return self.pr_none();
+        }
+        let h = complete_homogeneous(&self.probs, f);
+        self.rounding.down(self.pr_none() * h[f])
+    }
+
+    /// Formula (4): probability that *more than* `k` faults occur, i.e.
+    /// the node's re-execution budget `k` is insufficient.
+    ///
+    /// The subtraction uses the (pessimistically rounded-down) recovery
+    /// probabilities, so the result is rounded up, exactly as the paper
+    /// prescribes. Clamped into `[0, 1]` against floating-point noise.
+    pub fn pr_more_than(&self, k: u32) -> f64 {
+        *self
+            .pr_more_than_series(k)
+            .last()
+            .expect("series has k+1 entries")
+    }
+
+    /// `[Pr(f>0), Pr(f>1), …, Pr(f>kmax)]` in one pass — each entry is what
+    /// [`pr_more_than`](NodeSfp::pr_more_than) would return. Useful for
+    /// the re-execution optimization, which probes increasing budgets.
+    pub fn pr_more_than_series(&self, kmax: u32) -> Vec<f64> {
+        let kmax = kmax as usize;
+        let pr0 = self.pr_none();
+        let h = complete_homogeneous(&self.probs, kmax);
+        let mut series = Vec::with_capacity(kmax + 1);
+        let mut remaining = 1.0 - pr0;
+        for (f, hf) in h.iter().enumerate().skip(1) {
+            remaining -= self.rounding.down(pr0 * hf);
+            series.push(remaining.clamp(0.0, 1.0));
+            let _ = f;
+        }
+        // series currently holds Pr(f>1).. if kmax >= 1; prepend Pr(f>0).
+        let mut out = Vec::with_capacity(kmax + 1);
+        out.push((1.0 - pr0).clamp(0.0, 1.0));
+        out.extend(series);
+        out.truncate(kmax + 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(values: &[f64]) -> Vec<Prob> {
+        values.iter().map(|&v| Prob::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn appendix_a2_no_reexecution() {
+        let node = NodeSfp::new(probs(&[1.2e-5, 1.3e-5]), Rounding::Pessimistic);
+        assert_eq!(node.pr_none(), 0.99997500015);
+        // Pr(f > 0) = 1 - 0.99997500015 ≈ 2.4999850e-5 with the rounded
+        // Pr(0) (the paper prints the exact 0.000024999844; our rounded
+        // value is strictly larger = more pessimistic).
+        let pf0 = node.pr_more_than(0);
+        assert!(pf0 >= 0.000024999844);
+        assert!((pf0 - 0.000024999844).abs() < 2e-11);
+    }
+
+    #[test]
+    fn appendix_a2_one_reexecution() {
+        let node = NodeSfp::new(probs(&[1.2e-5, 1.3e-5]), Rounding::Pessimistic);
+        assert_eq!(node.pr_exactly(1), 0.00002499937);
+        let pf1 = node.pr_more_than(1);
+        assert!((pf1 - 4.8e-10).abs() < 1e-16, "{pf1}");
+    }
+
+    #[test]
+    fn series_matches_individual_queries() {
+        let node = NodeSfp::new(probs(&[1e-3, 2e-3, 3e-3]), Rounding::Pessimistic);
+        let series = node.pr_more_than_series(5);
+        assert_eq!(series.len(), 6);
+        for (k, &v) in series.iter().enumerate() {
+            assert_eq!(v, node.pr_more_than(k as u32), "k={k}");
+        }
+        // Monotone non-increasing in k.
+        for w in series.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_node_never_fails() {
+        let node = NodeSfp::new(vec![], Rounding::Pessimistic);
+        assert_eq!(node.pr_none(), 1.0);
+        assert_eq!(node.pr_more_than(0), 0.0);
+        assert_eq!(node.pr_more_than(3), 0.0);
+    }
+
+    #[test]
+    fn certain_process_failure_is_unrecoverable() {
+        let node = NodeSfp::new(probs(&[1.0]), Rounding::Exact);
+        assert_eq!(node.pr_none(), 0.0);
+        // Every Pr(f) = Pr(0)·h_f = 0, so the node fails with certainty no
+        // matter how many re-executions are budgeted.
+        assert_eq!(node.pr_more_than(10), 1.0);
+    }
+
+    #[test]
+    fn single_process_exact_mode_is_geometric() {
+        // One process with failure probability p: Pr(f) = (1-p)·p^f and
+        // Pr(f>k) = p^(k+1) exactly.
+        let p = 4e-2;
+        let node = NodeSfp::new(probs(&[p]), Rounding::Exact);
+        for k in 0..6u32 {
+            let expect = p.powi(k as i32 + 1);
+            let got = node.pr_more_than(k);
+            // The subtraction 1 − ΣPr(f) cancels at ~1e-16 absolute.
+            assert!(
+                (got - expect).abs() < 1e-15 + 1e-9 * expect,
+                "k={k}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pessimistic_dominates_exact() {
+        let values = [1.2e-5, 1.3e-5, 2.7e-4];
+        let pess = NodeSfp::new(probs(&values), Rounding::Pessimistic);
+        let exact = NodeSfp::new(probs(&values), Rounding::Exact);
+        for k in 0..4u32 {
+            assert!(
+                pess.pr_more_than(k) >= exact.pr_more_than(k) - 1e-18,
+                "pessimism must not underestimate failure at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn process_count_reported() {
+        let node = NodeSfp::new(probs(&[0.1, 0.2]), Rounding::Exact);
+        assert_eq!(node.process_count(), 2);
+        assert_eq!(node.rounding(), Rounding::Exact);
+    }
+}

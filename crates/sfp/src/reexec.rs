@@ -1,0 +1,244 @@
+//! `ReExecutionOpt` — the paper's Section 6.3 heuristic that chooses the
+//! number of re-executions per node.
+//!
+//! Starting from zero re-executions everywhere, the heuristic greedily adds
+//! one re-execution at a time *on the node where it increases system
+//! reliability the most* (i.e. where it lowers the per-iteration union
+//! failure probability the most), until the reliability goal ρ is met.
+
+use ftes_model::{Prob, ReliabilityGoal, TimeUs};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::union_failure;
+use crate::node_failure::NodeSfp;
+use crate::rounding::Rounding;
+
+/// Configuration of the re-execution optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReExecutionOpt {
+    /// Upper bound on re-executions per node. The greedy search stops and
+    /// reports failure once every node has reached this bound (or adding
+    /// re-executions stops improving reliability, which happens under
+    /// pessimistic rounding once probabilities hit the 10⁻¹¹ grid).
+    pub max_k: u32,
+    /// Rounding mode for the SFP formulas.
+    pub rounding: Rounding,
+}
+
+impl Default for ReExecutionOpt {
+    fn default() -> Self {
+        ReExecutionOpt {
+            max_k: 30,
+            rounding: Rounding::Pessimistic,
+        }
+    }
+}
+
+impl ReExecutionOpt {
+    /// Creates the optimizer with a re-execution cap and rounding mode.
+    pub fn new(max_k: u32, rounding: Rounding) -> Self {
+        ReExecutionOpt { max_k, rounding }
+    }
+
+    /// Finds the minimum-total re-execution budgets `k_j` meeting the
+    /// reliability goal for processes with the given per-node failure
+    /// probabilities, or `None` if the goal is unreachable within
+    /// [`max_k`](ReExecutionOpt::max_k) re-executions per node.
+    ///
+    /// `node_probs[j]` lists the failure probabilities of the processes
+    /// mapped on node `j` (empty for unused nodes). `period` is the
+    /// application period `T` of formula (6).
+    ///
+    /// # Examples
+    ///
+    /// The paper's Fig. 4a architecture needs one re-execution per node:
+    ///
+    /// ```
+    /// use ftes_model::{Prob, ReliabilityGoal, TimeUs};
+    /// use ftes_sfp::ReExecutionOpt;
+    ///
+    /// let p = |v| Prob::new(v).unwrap();
+    /// let ks = ReExecutionOpt::default()
+    ///     .optimize(
+    ///         &[vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]],
+    ///         ReliabilityGoal::per_hour(1e-5)?,
+    ///         TimeUs::from_ms(360),
+    ///     )
+    ///     .expect("goal is reachable");
+    /// assert_eq!(ks, vec![1, 1]);
+    /// # Ok::<(), ftes_model::ModelError>(())
+    /// ```
+    pub fn optimize(
+        &self,
+        node_probs: &[Vec<Prob>],
+        goal: ReliabilityGoal,
+        period: TimeUs,
+    ) -> Option<Vec<u32>> {
+        // Precompute, per node, the failure probability for every budget
+        // 0..=max_k in one pass.
+        let series: Vec<Vec<f64>> = node_probs
+            .iter()
+            .map(|probs| {
+                NodeSfp::new(probs.clone(), self.rounding).pr_more_than_series(self.max_k)
+            })
+            .collect();
+
+        let mut ks = vec![0u32; node_probs.len()];
+        let mut failures: Vec<f64> = series.iter().map(|s| s[0]).collect();
+
+        loop {
+            let union = self.rounding.up(union_failure(&failures));
+            if goal.is_met(union, period) {
+                return Some(ks);
+            }
+            // Pick the node where one more re-execution reduces the node
+            // failure probability the most (the paper's "largest increase
+            // in system reliability": with independent nodes, the union is
+            // minimized by the largest single-node decrease).
+            let mut best: Option<(usize, f64)> = None;
+            for (j, s) in series.iter().enumerate() {
+                let k = ks[j] as usize;
+                if k + 1 > self.max_k as usize {
+                    continue;
+                }
+                let gain = failures[j] - s[k + 1];
+                if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((j, gain));
+                }
+            }
+            let (j, _) = best?;
+            ks[j] += 1;
+            failures[j] = series[j][ks[j] as usize];
+        }
+    }
+
+    /// The minimum single-node budget `k` for a *monoprocessor* system (or
+    /// a single node analysed in isolation) to meet the goal, or `None`.
+    ///
+    /// Convenience wrapper used by the motivational examples (Fig. 2 and
+    /// Fig. 3 consider one node at a time).
+    pub fn min_k_single_node(
+        &self,
+        probs: &[Prob],
+        goal: ReliabilityGoal,
+        period: TimeUs,
+    ) -> Option<u32> {
+        self.optimize(&[probs.to_vec()], goal, period)
+            .map(|ks| ks[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn goal() -> ReliabilityGoal {
+        ReliabilityGoal::per_hour(1e-5).unwrap()
+    }
+
+    #[test]
+    fn fig3_budgets_match_paper() {
+        // Fig. 3: one process on N1, deadline/period 360 ms, ρ = 1−1e-5/h.
+        // h1 (p = 4e-2) needs k = 6; h2 (p = 4e-4) needs k = 2; h3
+        // (p = 4e-6) needs k = 1.
+        let period = TimeUs::from_ms(360);
+        let opt = ReExecutionOpt::default();
+        assert_eq!(opt.min_k_single_node(&[p(4e-2)], goal(), period), Some(6));
+        assert_eq!(opt.min_k_single_node(&[p(4e-4)], goal(), period), Some(2));
+        assert_eq!(opt.min_k_single_node(&[p(4e-6)], goal(), period), Some(1));
+    }
+
+    #[test]
+    fn fig2_budgets_match_paper() {
+        // Fig. 2 narrates k = 2 / 1 / 0 for three progressively hardened
+        // versions of N1 (Fig. 2 does not print its probabilities; these
+        // failure probabilities produce exactly that k sequence).
+        let period = TimeUs::from_ms(360);
+        let opt = ReExecutionOpt::default();
+        assert_eq!(opt.min_k_single_node(&[p(5e-4)], goal(), period), Some(2));
+        assert_eq!(opt.min_k_single_node(&[p(1.2e-5)], goal(), period), Some(1));
+        assert_eq!(
+            opt.min_k_single_node(&[p(1.2e-10)], goal(), period),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn fig4a_needs_one_reexecution_per_node() {
+        let node_probs = vec![vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]];
+        let ks = ReExecutionOpt::default()
+            .optimize(&node_probs, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert_eq!(ks, vec![1, 1]);
+    }
+
+    #[test]
+    fn fig4_monoprocessor_budgets() {
+        // Fig. 4b: all four processes on N1^2 needs k1 = 2.
+        let n1h2 = vec![vec![p(1.2e-5), p(1.3e-5), p(1.4e-5), p(1.6e-5)]];
+        let ks = ReExecutionOpt::default()
+            .optimize(&n1h2, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert_eq!(ks, vec![2]);
+        // Fig. 4d/e: all four on the most hardened version needs k = 0.
+        let n1h3 = vec![vec![p(1.2e-10), p(1.3e-10), p(1.4e-10), p(1.6e-10)]];
+        let ks = ReExecutionOpt::default()
+            .optimize(&n1h3, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert_eq!(ks, vec![0]);
+    }
+
+    #[test]
+    fn greedy_prefers_larger_reliability_increase() {
+        // Section 6.3's narration: add the re-execution where the system
+        // reliability increases most. Node 2 has much worse processes, so
+        // the first added re-execution must land there.
+        let node_probs = vec![vec![p(1e-5)], vec![p(5e-3)]];
+        let opt = ReExecutionOpt::new(30, Rounding::Exact);
+        let ks = opt
+            .optimize(&node_probs, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert!(ks[1] > ks[0], "{ks:?}");
+    }
+
+    #[test]
+    fn unused_nodes_need_no_reexecutions() {
+        let node_probs = vec![vec![], vec![p(1.2e-5)]];
+        let ks = ReExecutionOpt::default()
+            .optimize(&node_probs, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert_eq!(ks[0], 0);
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        // A certain failure can never meet the goal.
+        let node_probs = vec![vec![p(1.0)]];
+        assert_eq!(
+            ReExecutionOpt::default().optimize(&node_probs, goal(), TimeUs::from_ms(360)),
+            None
+        );
+    }
+
+    #[test]
+    fn max_k_bounds_the_search() {
+        // p = 0.5 per execution needs ~30 re-executions for 1e-9-ish
+        // budgets; cap at 3 and the search must give up.
+        let node_probs = vec![vec![p(0.5)]];
+        let opt = ReExecutionOpt::new(3, Rounding::Exact);
+        assert_eq!(opt.optimize(&node_probs, goal(), TimeUs::from_ms(360)), None);
+    }
+
+    #[test]
+    fn already_met_goal_needs_zero() {
+        let node_probs = vec![vec![p(1e-12)], vec![]];
+        let ks = ReExecutionOpt::default()
+            .optimize(&node_probs, goal(), TimeUs::from_ms(360))
+            .unwrap();
+        assert_eq!(ks, vec![0, 0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Directed rounding for pessimistic fault-tolerant design.
+//!
+//! Footnote 2 of the paper's Appendix A: *"numbers are rounded up/down with
+//! 10⁻¹¹ accuracy. It is needed for pessimism of fault-tolerant design."*
+//! Rounding every recovery probability `Pr(0)`, `Pr(f)` **down** makes the
+//! derived node failure probability `Pr(f > k)` round **up**, so the
+//! analysis never overestimates reliability. With this rule the library
+//! reproduces the Appendix A.2 example digit for digit.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's rounding grid: 10⁻¹¹.
+pub const QUANTUM: f64 = 1e-11;
+
+/// Inverse grid (10¹¹), exactly representable in `f64`, so scaling by it
+/// and dividing back is correctly rounded.
+const SCALE: f64 = 1e11;
+
+/// Tolerance in grid units absorbing `f64` representation error: a value
+/// within 10⁻⁴ grid units (10⁻¹⁵ absolute) of a grid point is treated as
+/// lying on it, so mathematically-on-grid values are fixed points.
+const TOL: f64 = 1e-4;
+
+/// How probabilities are rounded during SFP computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Rounding {
+    /// No rounding: plain `f64` arithmetic. Use for large experimental
+    /// sweeps where the 10⁻¹¹ grid would be coarser than the quantities
+    /// involved.
+    Exact,
+    /// The paper's pessimistic mode: recovery probabilities are rounded
+    /// down to the 10⁻¹¹ grid after every formula evaluation.
+    #[default]
+    Pessimistic,
+}
+
+impl Rounding {
+    /// Rounds a recovery probability down (paper's ⌊·⌋ at 10⁻¹¹).
+    #[inline]
+    pub fn down(self, x: f64) -> f64 {
+        match self {
+            Rounding::Exact => x,
+            Rounding::Pessimistic => ((x * SCALE + TOL).floor() / SCALE).min(x.max(0.0)).max(0.0),
+        }
+    }
+
+    /// Rounds a failure probability up (paper's ⌈·⌉ at 10⁻¹¹).
+    #[inline]
+    pub fn up(self, x: f64) -> f64 {
+        match self {
+            Rounding::Exact => x,
+            Rounding::Pessimistic => ((x * SCALE - TOL).ceil() / SCALE).max(x.min(1.0)).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pessimistic_reproduces_appendix_values() {
+        // (1 - 1.2e-5)(1 - 1.3e-5) = 0.999975000156, paper rounds down to
+        // 0.99997500015.
+        let exact = (1.0 - 1.2e-5) * (1.0 - 1.3e-5);
+        let rounded = Rounding::Pessimistic.down(exact);
+        assert!((rounded - 0.99997500015).abs() < 1e-16);
+        // Pr(1) = 0.99997500015 * 2.5e-5 = 2.4999375e-5 rounds down to
+        // 0.00002499937.
+        let pr1 = Rounding::Pessimistic.down(rounded * 2.5e-5);
+        assert!((pr1 - 0.00002499937).abs() < 1e-16);
+        // 1 - Pr(0) - Pr(1) = 4.8e-10 exactly on the grid.
+        let pf = 1.0 - rounded - pr1;
+        assert!((pf - 4.8e-10).abs() < 1e-16, "{pf}");
+    }
+
+    #[test]
+    fn exact_mode_is_identity() {
+        for x in [0.0, 1e-12, 0.5, 0.999975000156, 1.0] {
+            assert_eq!(Rounding::Exact.down(x), x);
+            assert_eq!(Rounding::Exact.up(x), x);
+        }
+    }
+
+    #[test]
+    fn down_never_increases_up_never_decreases() {
+        for x in [0.0, 1.234e-11, 5.5e-7, 0.123456789, 0.99999999999, 1.0] {
+            assert!(Rounding::Pessimistic.down(x) <= x);
+            assert!(Rounding::Pessimistic.up(x) >= x);
+            assert!((Rounding::Pessimistic.down(x) - x).abs() <= QUANTUM);
+            assert!((Rounding::Pessimistic.up(x) - x).abs() <= QUANTUM);
+        }
+    }
+
+    #[test]
+    fn grid_values_are_fixed_points_of_down() {
+        // Values already on the grid stay put (within one ulp of the grid
+        // representation).
+        let x = 4.8e-10;
+        let d = Rounding::Pessimistic.down(x);
+        assert!((d - x).abs() < 1e-21);
+    }
+
+    #[test]
+    fn default_is_pessimistic() {
+        assert_eq!(Rounding::default(), Rounding::Pessimistic);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dominant fault-scenario reporting.
+//!
+//! Formula (3) sums over every f-fault scenario (a multiset of faulty
+//! process executions). For design diagnostics it is useful to know *which*
+//! scenarios dominate the recovery probability — e.g. "two faults both
+//! hitting P2" vs "one fault each on P1 and P2". This module enumerates
+//! the scenarios of a given order and ranks them.
+
+use ftes_model::Prob;
+use serde::{Deserialize, Serialize};
+
+use crate::multiset::Multisets;
+
+/// One f-fault scenario: which process indices fault (with repetitions,
+/// non-decreasing) and the probability weight `Π p` of the combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Faulting process indices (into the probability slice), repetitions
+    /// meaning repeated faults of the same process.
+    pub faults: Vec<usize>,
+    /// The product of the faulting processes' failure probabilities — the
+    /// scenario's weight inside `h_f` of formula (3).
+    pub weight: f64,
+}
+
+/// Enumerates all `f`-fault scenarios over the given process failure
+/// probabilities, sorted by descending weight (ties: lexicographic fault
+/// vector), truncated to `limit` entries.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::Prob;
+/// use ftes_sfp::dominant_scenarios;
+///
+/// let probs = [Prob::new(1e-3)?, Prob::new(1e-5)?];
+/// let top = dominant_scenarios(&probs, 2, 2);
+/// // The double fault of the unreliable process dominates.
+/// assert_eq!(top[0].faults, vec![0, 0]);
+/// assert!((top[0].weight - 1e-6).abs() < 1e-18);
+/// assert_eq!(top[1].faults, vec![0, 1]);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+pub fn dominant_scenarios(probs: &[Prob], f: usize, limit: usize) -> Vec<FaultScenario> {
+    let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
+    let mut scenarios: Vec<FaultScenario> = Multisets::new(values.len(), f)
+        .map(|faults| {
+            let weight = faults.iter().map(|&i| values[i]).product();
+            FaultScenario { faults, weight }
+        })
+        .collect();
+    scenarios.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .expect("weights are finite")
+            .then_with(|| a.faults.cmp(&b.faults))
+    });
+    scenarios.truncate(limit);
+    scenarios
+}
+
+/// The total weight of all `f`-fault scenarios — `h_f(p)`, the factor of
+/// formula (3). Provided for cross-checking reports against
+/// [`complete_homogeneous`](crate::complete_homogeneous).
+pub fn scenario_mass(probs: &[Prob], f: usize) -> f64 {
+    let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
+    crate::symmetric::complete_homogeneous(&values, f)[f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_example_scenario_is_enumerated() {
+        // The appendix's narration: P1 fails twice, P2 once, over {P1,P2,P3}.
+        let probs = [p(1e-3), p(2e-3), p(3e-3)];
+        let all = dominant_scenarios(&probs, 3, usize::MAX);
+        assert_eq!(all.len(), 10); // C(5,3)
+        let target = all.iter().find(|s| s.faults == vec![0, 0, 1]).unwrap();
+        assert!((target.weight - 1e-3 * 1e-3 * 2e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sorted_by_weight_descending() {
+        let probs = [p(1e-2), p(1e-4), p(1e-6)];
+        let all = dominant_scenarios(&probs, 2, usize::MAX);
+        for w in all.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert_eq!(all[0].faults, vec![0, 0]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let probs = [p(0.1), p(0.2), p(0.3)];
+        assert_eq!(dominant_scenarios(&probs, 2, 2).len(), 2);
+        assert_eq!(dominant_scenarios(&probs, 2, 0).len(), 0);
+    }
+
+    #[test]
+    fn mass_matches_sum_of_weights() {
+        let probs = [p(0.1), p(0.2), p(0.3)];
+        let all = dominant_scenarios(&probs, 3, usize::MAX);
+        let sum: f64 = all.iter().map(|s| s.weight).sum();
+        let mass = scenario_mass(&probs, 3);
+        assert!((sum - mass).abs() < 1e-12, "{sum} vs {mass}");
+    }
+
+    #[test]
+    fn zero_faults_is_the_empty_scenario() {
+        let probs = [p(0.5)];
+        let all = dominant_scenarios(&probs, 0, 10);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].faults.is_empty());
+        assert_eq!(all[0].weight, 1.0);
+        assert_eq!(scenario_mass(&probs, 0), 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Complete homogeneous symmetric polynomials.
+//!
+//! The sum over all f-fault scenarios in the paper's formula (3) is
+//!
+//! ```text
+//! Σ_{(S*,m*) ⊂ (S,m), |S*| = f}  Π_{s* ∈ (S*,m*)} p_{s*}
+//! ```
+//!
+//! which is exactly the complete homogeneous symmetric polynomial
+//! `h_f(p_1, …, p_m)`. Instead of enumerating the `C(m+f−1, f)` multisets
+//! we evaluate it with the standard recurrence
+//!
+//! ```text
+//! H_j(f) = H_{j−1}(f) + p_j · H_j(f−1)
+//! ```
+//!
+//! (`H_j` = polynomial over the first `j` variables) in `O(m·f)` time.
+
+/// Evaluates `h_0, h_1, …, h_fmax` over the given variables.
+///
+/// Returns a vector of length `fmax + 1`; `result[f]` is `h_f(probs)`.
+/// `h_0` is 1 by convention (the empty product), even for zero variables.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_sfp::complete_homogeneous;
+///
+/// let h = complete_homogeneous(&[0.1, 0.2], 2);
+/// assert!((h[0] - 1.0).abs() < 1e-15);
+/// assert!((h[1] - 0.3).abs() < 1e-15);            // p1 + p2
+/// assert!((h[2] - 0.07).abs() < 1e-15);           // p1² + p1·p2 + p2²
+/// ```
+pub fn complete_homogeneous(probs: &[f64], fmax: usize) -> Vec<f64> {
+    let mut h = vec![0.0; fmax + 1];
+    h[0] = 1.0;
+    for &p in probs {
+        for f in 1..=fmax {
+            h[f] += p * h[f - 1];
+        }
+    }
+    h
+}
+
+/// Reference implementation via explicit multiset enumeration — the
+/// executable specification of [`complete_homogeneous`], exponential in
+/// `f`. Exposed for differential testing and for tooling that needs the
+/// individual fault scenarios.
+pub fn complete_homogeneous_naive(probs: &[f64], fmax: usize) -> Vec<f64> {
+    (0..=fmax)
+        .map(|f| {
+            crate::multiset::Multisets::new(probs.len(), f)
+                .map(|scenario| scenario.iter().map(|&i| probs[i]).product::<f64>())
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            let tol = 1e-12 * (1.0 + x.abs().max(y.abs()));
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_hand_computed_values() {
+        // Single variable: h_f = p^f.
+        let h = complete_homogeneous(&[0.5], 3);
+        assert_close(&h, &[1.0, 0.5, 0.25, 0.125]);
+        // Two variables, degree 3:
+        // h_3 = p³ + p²q + pq² + q³.
+        let (p, q) = (0.3, 0.7);
+        let h = complete_homogeneous(&[p, q], 3);
+        let h3 = p * p * p + p * p * q + p * q * q + q * q * q;
+        assert!((h[3] - h3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_variable_set() {
+        let h = complete_homogeneous(&[], 3);
+        assert_eq!(h, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fmax_zero() {
+        assert_eq!(complete_homogeneous(&[0.1, 0.2], 0), vec![1.0]);
+    }
+
+    #[test]
+    fn agrees_with_naive_enumeration() {
+        let cases: &[&[f64]] = &[
+            &[1.2e-5, 1.3e-5],
+            &[4e-2],
+            &[0.1, 0.2, 0.3, 0.4],
+            &[1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3],
+        ];
+        for probs in cases {
+            let fast = complete_homogeneous(probs, 4);
+            let slow = complete_homogeneous_naive(probs, 4);
+            assert_close(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn appendix_a2_first_order_term() {
+        // A.2: Pr(1) / Pr(0) = p1 + p2 = 2.5e-5 for N1^2.
+        let h = complete_homogeneous(&[1.2e-5, 1.3e-5], 1);
+        assert!((h[1] - 2.5e-5).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration on a synthetic workload: compares the paper's
+//! MIN / MAX / OPT strategies on one generated application and shows the
+//! hardening/re-execution trade-off each picks.
+//!
+//! ```text
+//! cargo run --release --example design_space [seed]
+//! ```
+
+use ftes::bench::{sweep_opt_config, Strategy};
+use ftes::gen::{generate_instance, ExperimentConfig};
+use ftes::opt::design_strategy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    // One condition of the paper's synthetic setup: SER = 1e-11 per cycle,
+    // HPD = 25 %, four candidate node types with five h-versions.
+    let condition = ExperimentConfig {
+        hpd: 0.25,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let system = generate_instance(&condition, 0);
+    println!(
+        "synthetic application: {} processes, {} messages, deadline {}, goal {}",
+        system.application().process_count(),
+        system.application().message_count(),
+        system.application().min_deadline(),
+        system.goal(),
+    );
+
+    for strategy in [Strategy::Min, Strategy::Max, Strategy::Opt] {
+        let cfg = sweep_opt_config(strategy);
+        match design_strategy(&system, &cfg)? {
+            Some(out) => {
+                let sol = &out.solution;
+                let levels: Vec<String> = sol
+                    .architecture
+                    .node_ids()
+                    .map(|n| sol.architecture.hardening(n).to_string())
+                    .collect();
+                println!(
+                    "{:<4} cost {:>3}  SL {:>10}  hardening [{}]  k {:?}",
+                    strategy.label(),
+                    sol.cost.units(),
+                    sol.schedule_length().to_string(),
+                    levels.join(", "),
+                    sol.ks,
+                );
+            }
+            None => println!("{:<4} no schedulable, reliable solution", strategy.label()),
+        }
+    }
+    println!("\n(OPT trades hardening against re-execution: it should match or beat");
+    println!(" both baselines in cost whenever they are feasible)");
+    Ok(())
+}

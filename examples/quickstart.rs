@@ -1,0 +1,49 @@
+//! Quickstart: optimize the paper's running example (Fig. 1).
+//!
+//! Builds the four-process application of the paper, runs the full design
+//! strategy, and prints the selected architecture, mapping, re-execution
+//! budgets and schedule.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ftes::model::paper;
+use ftes::opt::{design_strategy, OptConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Fig. 1 system: diamond task graph P1 → {P2, P3} → P4,
+    // deadline 360 ms, μ = 15 ms, reliability goal 1 − 1e-5 per hour,
+    // two node types with three h-versions each.
+    let system = paper::fig1_system();
+    println!(
+        "application: {} processes, deadline {}, goal {}",
+        system.application().process_count(),
+        system.application().min_deadline(),
+        system.goal(),
+    );
+
+    let best = design_strategy(&system, &OptConfig::default())?
+        .expect("the Fig. 1 example has feasible architectures");
+    let sol = &best.solution;
+
+    println!("\nselected architecture: {}", sol.architecture);
+    println!("architecture cost:     {}", sol.cost);
+    println!("mapping:               {}", sol.mapping);
+    println!("re-execution budgets:  {:?}", sol.ks);
+    println!(
+        "worst-case length:     {} (deadline {})",
+        sol.schedule_length(),
+        system.application().min_deadline()
+    );
+    println!(
+        "\nschedule:\n{}",
+        sol.schedule
+            .render_gantt(system.application(), sol.architecture.node_count())
+    );
+    println!(
+        "explored {} architectures ({} pruned by cost)",
+        best.stats.architectures_evaluated, best.stats.architectures_pruned
+    );
+    Ok(())
+}

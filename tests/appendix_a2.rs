@@ -1,0 +1,83 @@
+//! Digit-for-digit reproduction of the paper's Appendix A.2 computation
+//! example, via the public API only.
+
+use ftes::model::paper;
+use ftes::sfp::{analyze, node_process_probs, union_failure, NodeSfp, Rounding};
+
+fn fig4a_node_probs() -> Vec<Vec<ftes::model::Prob>> {
+    let sys = paper::fig1_system();
+    let (arch, mapping) = paper::fig4_alternative('a');
+    node_process_probs(sys.application(), sys.timing(), &arch, &mapping).unwrap()
+}
+
+#[test]
+fn probability_of_no_faults() {
+    // Pr(0; N1²) = ⌊(1 − 1.2e-5)(1 − 1.3e-5)⌋ = 0.99997500015, same for N2².
+    for probs in fig4a_node_probs() {
+        let node = NodeSfp::new(probs, Rounding::Pessimistic);
+        assert_eq!(node.pr_none(), 0.99997500015);
+    }
+}
+
+#[test]
+fn no_reexecution_misses_the_goal() {
+    // Pr(f>0) per node ≈ 0.000024999844; union ⌈…⌉ = 0.00004999907;
+    // (1 − u)^10000 = 0.60652871884 < 1 − 1e-5.
+    let sys = paper::fig1_system();
+    let (arch, mapping) = paper::fig4_alternative('a');
+    let r = analyze(
+        sys.application(),
+        sys.timing(),
+        &arch,
+        &mapping,
+        &[0, 0],
+        sys.goal(),
+        Rounding::Pessimistic,
+    )
+    .unwrap();
+    assert!(!r.meets_goal);
+    // Within the paper's own rounding noise.
+    assert!((r.p_fail_per_iteration - 0.00004999907).abs() < 5e-11);
+    assert!((r.reliability_over_unit - 0.60652871884).abs() < 2e-4);
+}
+
+#[test]
+fn one_reexecution_per_node_meets_the_goal() {
+    // Pr(1; N_j²) = 0.00002499937; Pr(f>1) = 4.8e-10 per node;
+    // union 9.6e-10; (1 − 9.6e-10)^10000 = 0.99999040004 ≥ 1 − 1e-5.
+    let sys = paper::fig1_system();
+    let (arch, mapping) = paper::fig4_alternative('a');
+
+    for probs in fig4a_node_probs() {
+        let node = NodeSfp::new(probs, Rounding::Pessimistic);
+        assert_eq!(node.pr_exactly(1), 0.00002499937);
+        assert!((node.pr_more_than(1) - 4.8e-10).abs() < 1e-16);
+    }
+
+    let r = analyze(
+        sys.application(),
+        sys.timing(),
+        &arch,
+        &mapping,
+        &[1, 1],
+        sys.goal(),
+        Rounding::Pessimistic,
+    )
+    .unwrap();
+    assert!(r.meets_goal);
+    assert!((r.p_fail_per_iteration - 9.6e-10).abs() < 1e-16);
+    assert!((r.reliability_over_unit - 0.99999040004).abs() < 1e-9);
+}
+
+#[test]
+fn union_formula_matches_paper() {
+    let u = union_failure(&[4.8e-10, 4.8e-10]);
+    assert!((u - 9.6e-10).abs() < 1e-17);
+}
+
+#[test]
+fn ten_thousand_iterations_per_hour() {
+    // τ/T = 1 h / 360 ms = 10 000 — the exponent of formula (6).
+    let sys = paper::fig1_system();
+    assert_eq!(sys.goal().iterations(sys.application().period()), 10_000.0);
+}

@@ -1,0 +1,101 @@
+//! The Section 7 cruise-controller experiment, as an integration test.
+
+use ftes::bench::{cruise_controller, sweep_opt_config, Strategy};
+use ftes::gen::{cc_architecture_types, cc_system};
+use ftes::model::Cost;
+use ftes::opt::optimize_fixed_architecture;
+use ftes::sfp::Rounding;
+
+#[test]
+fn min_is_not_schedulable() {
+    // Paper: "CC is not schedulable if the MIN strategy ... has been used."
+    let out = cruise_controller();
+    assert_eq!(out.min, None);
+}
+
+#[test]
+fn max_and_opt_are_schedulable_and_opt_is_much_cheaper() {
+    // Paper: "CC is schedulable with the MAX and OPT approaches. Moreover,
+    // our OPT strategy ... has produced results 66% better than the MAX in
+    // terms of cost."
+    let out = cruise_controller();
+    let max = out.max.expect("MAX schedulable");
+    let opt = out.opt.expect("OPT schedulable");
+    assert_eq!(max, Cost::new(75), "five h-versions of ETM+ABS+TCM");
+    assert!(opt < max);
+    let improvement = out.opt_improvement_over_max().unwrap();
+    assert!(
+        improvement >= 50.0,
+        "OPT improves {improvement:.0}% (paper: 66%)"
+    );
+}
+
+#[test]
+fn opt_solution_is_fully_valid() {
+    let sys = cc_system();
+    let sol = optimize_fixed_architecture(
+        &sys,
+        &cc_architecture_types(),
+        &sweep_opt_config(Strategy::Opt),
+    )
+    .unwrap()
+    .expect("OPT feasible");
+    sol.mapping
+        .validate(sys.application(), &sol.architecture, sys.timing())
+        .unwrap();
+    assert!(sol.is_schedulable());
+    assert!(sol.schedule_length() <= ftes::gen::CC_DEADLINE);
+    let sfp = ftes::sfp::analyze(
+        sys.application(),
+        sys.timing(),
+        &sol.architecture,
+        &sol.mapping,
+        &sol.ks,
+        sys.goal(),
+        Rounding::Exact,
+    )
+    .unwrap();
+    assert!(sfp.meets_goal);
+    // All three modules are used (the CC architecture is fixed).
+    assert_eq!(sol.architecture.node_count(), 3);
+    for node in sol.architecture.node_ids() {
+        assert!(
+            sol.mapping.processes_on(node).count() > 0,
+            "{node} must host processes"
+        );
+    }
+}
+
+#[test]
+fn min_fails_because_of_slack_not_reliability() {
+    // The reliability goal is reachable at minimum hardening (with k = 3
+    // re-executions per module) — what breaks is the deadline. This is the
+    // paper's core trade-off.
+    let sys = cc_system();
+    use ftes::model::{Architecture, NodeId};
+    let base = Architecture::with_min_hardening(&cc_architecture_types());
+    let mapping = ftes::opt::initial_mapping(&sys, &base).unwrap();
+    let probs =
+        ftes::sfp::node_process_probs(sys.application(), sys.timing(), &base, &mapping).unwrap();
+    let ks = ftes::sfp::ReExecutionOpt::new(30, Rounding::Exact)
+        .optimize(&probs, sys.goal(), sys.application().period())
+        .expect("reliability reachable in software");
+    assert!(
+        ks.iter().any(|&k| k >= 3),
+        "minimum hardening needs heavy re-execution, got {ks:?}"
+    );
+    let sched = ftes::sched::schedule(
+        sys.application(),
+        sys.timing(),
+        &base,
+        &mapping,
+        &ks,
+        sys.bus(),
+    )
+    .unwrap();
+    assert!(
+        !sched.is_schedulable(),
+        "the re-execution slack must blow the 300 ms deadline"
+    );
+    let _ = NodeId::new(0);
+}

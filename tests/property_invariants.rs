@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * SFP analysis: symmetric-polynomial fast path ≡ multiset enumeration;
+//!   failure probabilities monotone in k and in the process probabilities;
+//!   pessimistic rounding never underestimates failure.
+//! * Scheduling: schedules respect precedence/exclusivity for arbitrary
+//!   DAGs, budgets and mappings; worst-case ends dominate every ≤ k fault
+//!   replay.
+//! * Time arithmetic: scaling and rounding behave.
+
+use ftes::faultsim::simulate_with_faults;
+use ftes::model::{
+    ApplicationBuilder, Architecture, BusSpec, Cost, ExecSpec, HLevel, Mapping, NodeId, NodeType,
+    NodeTypeId, Platform, Prob, ProcessId, TimeUs, TimingDb,
+};
+use ftes::sched::schedule;
+use ftes::sfp::{
+    complete_homogeneous, complete_homogeneous_naive, union_failure, NodeSfp, Rounding,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// SFP invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn symmetric_polynomial_matches_enumeration(
+        probs in proptest::collection::vec(0.0f64..0.2, 0..5),
+        fmax in 0usize..5,
+    ) {
+        let fast = complete_homogeneous(&probs, fmax);
+        let slow = complete_homogeneous_naive(&probs, fmax);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn node_failure_is_monotone_in_k(
+        probs in proptest::collection::vec(1e-9f64..0.3, 1..6),
+        rounding in prop_oneof![Just(Rounding::Exact), Just(Rounding::Pessimistic)],
+    ) {
+        let node = NodeSfp::new(
+            probs.iter().map(|&p| Prob::new(p).unwrap()).collect(),
+            rounding,
+        );
+        let series = node.pr_more_than_series(8);
+        for w in series.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-15, "series must not increase: {series:?}");
+        }
+        for v in &series {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn pessimistic_rounding_never_underestimates_failure(
+        probs in proptest::collection::vec(1e-9f64..0.3, 1..6),
+        k in 0u32..6,
+    ) {
+        let to_probs = |r| NodeSfp::new(
+            probs.iter().map(|&p| Prob::new(p).unwrap()).collect::<Vec<_>>(), r);
+        let pess = to_probs(Rounding::Pessimistic).pr_more_than(k);
+        let exact = to_probs(Rounding::Exact).pr_more_than(k);
+        prop_assert!(pess >= exact - 1e-15, "pessimism violated: {pess} < {exact}");
+    }
+
+    #[test]
+    fn union_bounds(node_failures in proptest::collection::vec(0.0f64..1.0, 0..6)) {
+        let u = union_failure(&node_failures);
+        prop_assert!((0.0..=1.0).contains(&u));
+        // Union dominates each component and is below the sum.
+        for &q in &node_failures {
+            prop_assert!(u >= q - 1e-12);
+        }
+        let sum: f64 = node_failures.iter().sum();
+        prop_assert!(u <= sum.min(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn rounding_brackets_the_value(x in 0.0f64..1.0) {
+        let r = Rounding::Pessimistic;
+        prop_assert!(r.down(x) <= x + 1e-15);
+        prop_assert!(r.up(x) >= x - 1e-15);
+        prop_assert!((r.down(x) - x).abs() <= 1.1e-11);
+        prop_assert!((r.up(x) - x).abs() <= 1.1e-11);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling invariants on random DAGs
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandomCase {
+    wcets: Vec<i64>,          // per process, ms (also defines count)
+    edges: Vec<(usize, usize)>, // forward edges i < j
+    mapping: Vec<usize>,      // process -> node in 0..3
+    ks: Vec<u32>,             // per node
+    faults: Vec<u32>,         // per process, <= budget when checked
+}
+
+fn random_case() -> impl Strategy<Value = RandomCase> {
+    (2usize..10).prop_flat_map(|n| {
+        let wcets = proptest::collection::vec(1i64..30, n);
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+        let mapping = proptest::collection::vec(0usize..3, n);
+        let ks = proptest::collection::vec(0u32..3, 3);
+        let faults = proptest::collection::vec(0u32..3, n);
+        (wcets, edges, mapping, ks, faults).prop_map(|(wcets, edges, mapping, ks, faults)| {
+            let edges = edges
+                .into_iter()
+                .filter(|&(a, b)| a < b)
+                .collect::<Vec<_>>();
+            RandomCase {
+                wcets,
+                edges,
+                mapping,
+                ks,
+                faults,
+            }
+        })
+    })
+}
+
+fn build_system(case: &RandomCase) -> (ftes::model::Application, Platform, TimingDb, Mapping) {
+    let n = case.wcets.len();
+    let mut b = ApplicationBuilder::new("prop");
+    let g = b.add_graph("G", TimeUs::from_ms(100_000));
+    let pids: Vec<ProcessId> = (0..n)
+        .map(|i| b.add_process(g, TimeUs::from_ms((case.wcets[i] / 10).max(1))))
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for &(a, bb) in &case.edges {
+        if seen.insert((a, bb)) {
+            b.add_message(pids[a], pids[bb], TimeUs::from_ms(1)).unwrap();
+        }
+    }
+    let app = b.build().unwrap();
+
+    let platform = Platform::new(
+        (0..3)
+            .map(|i| NodeType::new(format!("N{i}"), vec![Cost::new(1)], 1.0).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let mut timing = TimingDb::new(n, &platform);
+    for (i, &w) in case.wcets.iter().enumerate() {
+        for t in 0..3u32 {
+            timing
+                .set(
+                    ProcessId::new(i as u32),
+                    NodeTypeId::new(t),
+                    HLevel::MIN,
+                    ExecSpec::new(TimeUs::from_ms(w), Prob::new(1e-6).unwrap()).unwrap(),
+                )
+                .unwrap();
+        }
+    }
+    let mapping = Mapping::new(
+        case.mapping
+            .iter()
+            .map(|&m| NodeId::new(m as u32))
+            .collect(),
+    );
+    (app, platform, timing, mapping)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_satisfy_structural_invariants(case in random_case()) {
+        let (app, _platform, timing, mapping) = build_system(&case);
+        let arch = Architecture::with_min_hardening(&[
+            NodeTypeId::new(0), NodeTypeId::new(1), NodeTypeId::new(2),
+        ]);
+        let sched = schedule(&app, &timing, &arch, &mapping, &case.ks, BusSpec::ideal()).unwrap();
+        prop_assert_eq!(sched.check_invariants(&app, &mapping), None);
+        prop_assert!(sched.makespan() <= sched.wc_length());
+    }
+
+    #[test]
+    fn fault_replay_respects_wc_bounds(case in random_case()) {
+        let (app, _platform, timing, mapping) = build_system(&case);
+        let arch = Architecture::with_min_hardening(&[
+            NodeTypeId::new(0), NodeTypeId::new(1), NodeTypeId::new(2),
+        ]);
+        let sched = schedule(&app, &timing, &arch, &mapping, &case.ks, BusSpec::ideal()).unwrap();
+
+        // Clamp the fault plan to the per-node budgets.
+        let mut remaining = case.ks.clone();
+        let mut faults = vec![0u32; app.process_count()];
+        for p in app.process_ids() {
+            let node = mapping.node_of(p).index();
+            let f = case.faults[p.index()].min(remaining[node]);
+            faults[p.index()] = f;
+            remaining[node] -= f;
+        }
+        let run = simulate_with_faults(&app, &mapping, &sched, &faults);
+        for p in app.process_ids() {
+            prop_assert!(
+                run.completion[p.index()] <= sched.process_slot(p).wc_end,
+                "{} finished {} after wc_end {}",
+                p, run.completion[p.index()], sched.process_slot(p).wc_end
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_length_monotone_in_budgets(case in random_case()) {
+        let (app, _platform, timing, mapping) = build_system(&case);
+        let arch = Architecture::with_min_hardening(&[
+            NodeTypeId::new(0), NodeTypeId::new(1), NodeTypeId::new(2),
+        ]);
+        let zero = vec![0u32; 3];
+        let s0 = schedule(&app, &timing, &arch, &mapping, &zero, BusSpec::ideal()).unwrap();
+        let sk = schedule(&app, &timing, &arch, &mapping, &case.ks, BusSpec::ideal()).unwrap();
+        prop_assert!(sk.wc_length() >= s0.wc_length());
+        // No-fault part is identical: slack never shifts start times.
+        for p in app.process_ids() {
+            prop_assert_eq!(sk.process_slot(p).start, s0.process_slot(p).start);
+            prop_assert_eq!(sk.process_slot(p).finish, s0.process_slot(p).finish);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Time arithmetic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn time_scale_is_monotone(ms in 0i64..1_000_000, f in 0.0f64..4.0) {
+        let t = TimeUs::from_ms(ms);
+        let scaled = t.scale(f);
+        prop_assert!(!scaled.is_negative());
+        if f >= 1.0 {
+            prop_assert!(scaled >= t);
+        } else {
+            prop_assert!(scaled <= t);
+        }
+    }
+
+    #[test]
+    fn prob_constructor_accepts_unit_interval(p in 0.0f64..=1.0) {
+        prop_assert!(Prob::new(p).is_ok());
+    }
+}

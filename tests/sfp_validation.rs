@@ -1,0 +1,119 @@
+//! Cross-validation of the analytic SFP analysis (Appendix A) against
+//! Monte-Carlo simulation of the fault process, plus diagnostics on the
+//! dominant fault scenarios.
+
+use ftes::faultsim::estimate_system_failure;
+use ftes::model::Prob;
+use ftes::sfp::{
+    dominant_scenarios, scenario_mass, complete_homogeneous, union_failure, NodeSfp, Rounding,
+};
+
+fn probs(values: &[f64]) -> Vec<Prob> {
+    values.iter().map(|&v| Prob::new(v).unwrap()).collect()
+}
+
+fn analytic(node_probs: &[Vec<Prob>], ks: &[u32]) -> f64 {
+    let failures: Vec<f64> = node_probs
+        .iter()
+        .zip(ks)
+        .map(|(p, &k)| NodeSfp::new(p.clone(), Rounding::Exact).pr_more_than(k))
+        .collect();
+    union_failure(&failures)
+}
+
+/// Formulas (1)–(5) agree with direct simulation of the recovery process
+/// across budgets and node configurations.
+#[test]
+fn analytic_sfp_matches_simulation() {
+    let configurations: Vec<(Vec<Vec<Prob>>, Vec<u32>)> = vec![
+        (vec![probs(&[0.1, 0.05])], vec![0]),
+        (vec![probs(&[0.1, 0.05])], vec![1]),
+        (vec![probs(&[0.2, 0.15, 0.1])], vec![2]),
+        (vec![probs(&[0.1]), probs(&[0.2, 0.05])], vec![1, 1]),
+        (vec![probs(&[0.3, 0.3]), probs(&[0.02])], vec![2, 0]),
+    ];
+    for (node_probs, ks) in configurations {
+        let exact = analytic(&node_probs, &ks);
+        let estimated = estimate_system_failure(&node_probs, &ks, 400_000, 99);
+        assert!(
+            (exact - estimated).abs() < 0.05 * exact + 0.002,
+            "config {ks:?}: analytic {exact} vs simulated {estimated}"
+        );
+    }
+}
+
+/// The scenario report is consistent with the symmetric-polynomial mass
+/// used inside formula (3), on the paper's Fig. 4a probabilities.
+#[test]
+fn scenario_report_on_fig4a() {
+    let sys = ftes::model::paper::fig1_system();
+    let (arch, mapping) = ftes::model::paper::fig4_alternative('a');
+    let per_node =
+        ftes::sfp::node_process_probs(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+
+    let scenarios = dominant_scenarios(&per_node[0], 2, usize::MAX);
+    // Two processes → C(3,2) = 3 two-fault scenarios.
+    assert_eq!(scenarios.len(), 3);
+    // The double fault of P2 (p = 1.3e-5) dominates.
+    assert_eq!(scenarios[0].faults, vec![1, 1]);
+    let sum: f64 = scenarios.iter().map(|s| s.weight).sum();
+    let mass = scenario_mass(&per_node[0], 2);
+    assert!((sum - mass).abs() < 1e-18);
+    // And the mass equals h_2 from the DP.
+    let values: Vec<f64> = per_node[0].iter().map(|p| p.value()).collect();
+    assert!((mass - complete_homogeneous(&values, 2)[2]).abs() < 1e-18);
+}
+
+/// Pessimistic rounding makes the analysis strictly more conservative than
+/// the simulated truth — never less.
+#[test]
+fn pessimism_is_conservative_against_simulation() {
+    let node_probs = vec![probs(&[0.08, 0.04, 0.02])];
+    for k in 0..3u32 {
+        let pessimistic =
+            NodeSfp::new(node_probs[0].clone(), Rounding::Pessimistic).pr_more_than(k);
+        let simulated = estimate_system_failure(&node_probs, &[k], 300_000, 7);
+        assert!(
+            pessimistic >= simulated - 0.003,
+            "k={k}: pessimistic {pessimistic} below simulated {simulated}"
+        );
+    }
+}
+
+/// End to end on a generated system: the re-execution budgets chosen by
+/// the optimizer keep the *simulated* failure rate within the goal.
+#[test]
+fn optimized_budgets_hold_up_in_simulation() {
+    use ftes::bench::{sweep_opt_config, Strategy};
+    let sys = ftes::gen::generate_instance(&ftes::gen::ExperimentConfig::default(), 2);
+    let Some(out) = ftes::opt::design_strategy(&sys, &sweep_opt_config(Strategy::Opt)).unwrap()
+    else {
+        panic!("instance 2 is feasible under the committed seed");
+    };
+    let sol = &out.solution;
+    let per_node = ftes::sfp::node_process_probs(
+        sys.application(),
+        sys.timing(),
+        &sol.architecture,
+        &sol.mapping,
+    )
+    .unwrap();
+    // The analytic per-iteration failure is tiny (≤ ~1e-9); simulation
+    // cannot resolve it directly, so simulate a *degraded* variant (every
+    // probability × 1000) and check the analytic model tracks it there too
+    // (same code path, measurable probabilities).
+    let boosted: Vec<Vec<Prob>> = per_node
+        .iter()
+        .map(|v| {
+            v.iter()
+                .map(|p| Prob::clamped(p.value() * 1e3))
+                .collect()
+        })
+        .collect();
+    let exact = analytic(&boosted, &sol.ks);
+    let simulated = estimate_system_failure(&boosted, &sol.ks, 300_000, 5);
+    assert!(
+        (exact - simulated).abs() < 0.1 * exact + 0.002,
+        "boosted: analytic {exact} vs simulated {simulated}"
+    );
+}
