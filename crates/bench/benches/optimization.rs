@@ -27,9 +27,7 @@ fn bench_mapping_algorithm(c: &mut Criterion) {
         let cfg = sweep_opt_config(Strategy::Opt);
         let n = sys.application().process_count();
         group.bench_with_input(BenchmarkId::new("procs", n), &sys, |b, sys| {
-            b.iter(|| {
-                mapping_algorithm(sys, &base, Objective::ScheduleLength, &cfg, None).unwrap()
-            })
+            b.iter(|| mapping_algorithm(sys, &base, Objective::ScheduleLength, &cfg, None).unwrap())
         });
     }
     group.finish();

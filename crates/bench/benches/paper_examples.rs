@@ -24,8 +24,7 @@ fn bench_fig3(c: &mut Criterion) {
                 let k = reexec
                     .min_k_single_node(&[p], sys.goal(), sys.application().period())
                     .unwrap();
-                let mut arch =
-                    ftes_model::Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+                let mut arch = ftes_model::Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
                 arch.set_hardening(NodeId::new(0), level);
                 let sched = ftes_sched::schedule(
                     sys.application(),
@@ -59,7 +58,9 @@ fn bench_fig4(c: &mut Criterion) {
             let mut schedulable = Vec::new();
             for v in ['a', 'b', 'c', 'd', 'e'] {
                 let (arch, mapping) = paper::fig4_alternative(v);
-                let sol = evaluate_fixed(&sys, &arch, &mapping, &cfg).unwrap().unwrap();
+                let sol = evaluate_fixed(&sys, &arch, &mapping, &cfg)
+                    .unwrap()
+                    .unwrap();
                 schedulable.push(sol.is_schedulable());
             }
             assert_eq!(schedulable, vec![true, false, false, false, true]);

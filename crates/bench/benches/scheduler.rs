@@ -30,9 +30,8 @@ fn bench_synthetic(c: &mut Criterion) {
     for index in [0u64, 1] {
         // index 0 → 20 processes, index 1 → 40 processes.
         let sys = generate_instance(&ExperimentConfig::default(), index);
-        let arch = ftes_model::Architecture::with_min_hardening(
-            &sys.platform().ids_fastest_first()[..3],
-        );
+        let arch =
+            ftes_model::Architecture::with_min_hardening(&sys.platform().ids_fastest_first()[..3]);
         let mapping = initial_mapping(&sys, &arch).unwrap();
         let n = sys.application().process_count();
         group.bench_with_input(
@@ -63,13 +62,8 @@ fn bench_priorities(c: &mut Criterion) {
     let mapping = initial_mapping(&sys, &arch).unwrap();
     c.bench_function("longest_path_40procs", |b| {
         b.iter(|| {
-            longest_path_to_sink(
-                black_box(sys.application()),
-                sys.timing(),
-                &arch,
-                &mapping,
-            )
-            .unwrap()
+            longest_path_to_sink(black_box(sys.application()), sys.timing(), &arch, &mapping)
+                .unwrap()
         })
     });
 }

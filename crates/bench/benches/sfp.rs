@@ -34,7 +34,10 @@ fn bench_symmetric(c: &mut Criterion) {
 fn bench_node_sfp(c: &mut Criterion) {
     let mut group = c.benchmark_group("node_failure");
     for &n in &[10usize, 20, 40] {
-        let p: Vec<Prob> = probs(n).into_iter().map(|v| Prob::new(v).unwrap()).collect();
+        let p: Vec<Prob> = probs(n)
+            .into_iter()
+            .map(|v| Prob::new(v).unwrap())
+            .collect();
         group.bench_with_input(BenchmarkId::new("series_k30", n), &p, |b, p| {
             b.iter(|| {
                 NodeSfp::new(p.clone(), Rounding::Pessimistic).pr_more_than_series(black_box(30))

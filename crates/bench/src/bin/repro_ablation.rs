@@ -46,8 +46,7 @@ fn main() {
         let Ok(mapping) = initial_mapping(&sys, &arch) else {
             continue;
         };
-        let Ok(probs) = node_process_probs(sys.application(), sys.timing(), &arch, &mapping)
-        else {
+        let Ok(probs) = node_process_probs(sys.application(), sys.timing(), &arch, &mapping) else {
             continue;
         };
         let Some(ks) = ReExecutionOpt::new(30, Rounding::Exact).optimize(

@@ -42,7 +42,11 @@ fn fig3() {
         println!(
             "  N1^{h}: p = {p}, k = {k}, worst case = {} -> {}   (paper: k = {}, {})",
             sched.wc_length(),
-            if sched.is_schedulable() { "meets D" } else { "misses D" },
+            if sched.is_schedulable() {
+                "meets D"
+            } else {
+                "misses D"
+            },
             [6, 2, 1][usize::from(h - 1)],
             ["misses D (680 ms)", "meets D (340 ms)", "meets D (340 ms)"][usize::from(h - 1)],
         );
@@ -71,7 +75,11 @@ fn fig4() {
             sol.cost,
             sol.ks,
             sol.schedule_length(),
-            if sol.is_schedulable() { "schedulable" } else { "unschedulable" },
+            if sol.is_schedulable() {
+                "schedulable"
+            } else {
+                "unschedulable"
+            },
         );
     }
     println!();
@@ -110,7 +118,11 @@ fn appendix_a2() {
         println!(
             "  {label}: reliability over 1h = {:.11} -> {}",
             r.reliability_over_unit,
-            if r.meets_goal { "meets rho" } else { "misses rho" },
+            if r.meets_goal {
+                "meets rho"
+            } else {
+                "misses rho"
+            },
         );
     }
     println!("  (paper: 0.60652871884 -> misses; 0.99999040004 -> meets)");

@@ -107,8 +107,8 @@ pub fn run_condition(
         .min(n_apps.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut best_cost = vec![None; n_apps];
-    let slots: Vec<parking_lot::Mutex<Option<Cost>>> =
-        (0..n_apps).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<Cost>>> =
+        (0..n_apps).map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -120,12 +120,12 @@ pub fn run_condition(
                 let system = generate_instance(condition, i as u64);
                 let outcome = design_strategy(&system, &opt_cfg)
                     .expect("synthetic systems are structurally valid");
-                *slots[i].lock() = outcome.map(|o| o.solution.cost);
+                *slots[i].lock().unwrap() = outcome.map(|o| o.solution.cost);
             });
         }
     });
     for (dst, slot) in best_cost.iter_mut().zip(&slots) {
-        *dst = *slot.lock();
+        *dst = *slot.lock().unwrap();
     }
     ConditionResult { best_cost }
 }

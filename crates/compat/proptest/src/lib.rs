@@ -1,0 +1,188 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `crates/compat/README.md`). The shim keeps proptest's surface syntax —
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, `collection::vec` and `ProptestConfig` — but
+//! runs a plain generate-and-check loop: deterministic ChaCha-seeded random
+//! cases, **no shrinking**. A failing case panics with the generated inputs
+//! attached, so failures are reproducible (the seed is derived from the
+//! test name) even though they are not minimal.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset of upstream syntax used in this workspace: an
+/// optional leading `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let values = (
+                    $( $crate::strategy::Strategy::generate(&($strategy), &mut rng), )*
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ( $($arg,)* ) = values.clone();
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} with inputs:\n{:#?}",
+                        stringify!($name), case + 1, config.cases, values,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Picks uniformly among the given strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, f in 0.5f64..=1.5) {
+            prop_assert!(x < 10);
+            prop_assert!((0.5..=1.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for e in &v {
+                prop_assert!((0..5).contains(e));
+            }
+        }
+
+        #[test]
+        fn flat_map_and_map_compose(case in (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(0u32..9, n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(case.0, case.1.len());
+        }
+
+        #[test]
+        fn oneof_picks_only_given_values(v in prop_oneof![Just(3u8), Just(7u8)]) {
+            prop_assert!(v == 3 || v == 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_honored(_x in 0u32..2) {
+            // Runs 17 times; nothing to assert beyond not panicking.
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn failing_properties_are_detected(x in 10u32..20) {
+            // Must fire on the very first generated case.
+            prop_assert!(x < 10, "generated {x}");
+        }
+    }
+
+    #[test]
+    fn runner_executes_the_configured_number_of_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static COUNT: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(23))]
+            #[allow(clippy::no_effect_underscore_binding)]
+            fn counted(_x in 0u32..5) {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        counted();
+        assert_eq!(COUNT.load(Ordering::Relaxed), 23);
+    }
+
+    #[test]
+    fn deterministic_rng_is_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("name_a");
+        let mut b = crate::test_runner::TestRng::deterministic("name_a");
+        let mut c = crate::test_runner::TestRng::deterministic("name_c");
+        let s = 0u64..1_000_000;
+        let va: Vec<u64> = (0..10).map(|_| s.generate(&mut a)).collect();
+        let vb: Vec<u64> = (0..10).map(|_| s.generate(&mut b)).collect();
+        let vc: Vec<u64> = (0..10).map(|_| s.generate(&mut c)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,63 @@
+//! Test configuration and the deterministic RNG behind the shim's runner.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream's default; keeps coverage comparable.
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases, otherwise default.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Deterministic generator: seeded from the test name, so every `cargo
+/// test` run replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample below 0");
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

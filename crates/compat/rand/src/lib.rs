@@ -1,0 +1,310 @@
+//! Offline shim for `rand` (0.8-compatible subset).
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `crates/compat/README.md`). This shim provides the subset the workspace
+//! uses: [`RngCore`], [`SeedableRng`] (with the splitmix64-based
+//! `seed_from_u64` expansion), the [`Rng`] extension trait
+//! (`gen_range`/`gen_bool`/`gen`) and `distributions::{Distribution,
+//! Uniform}`. Streams are deterministic per seed but are NOT bit-compatible
+//! with upstream `rand`; nothing in the workspace depends on upstream
+//! streams.
+
+/// Core random-number-generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed
+/// (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanding it over the full seed
+    /// with splitmix64 (as upstream `rand` does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension over [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value in the given range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool needs a probability, got {p}"
+        );
+        unit_f64(self) < p
+    }
+
+    /// A uniform value of a [`Standard`](distributions::Standard)-sampled type.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of one `next_u64`.
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Distributions (subset of `rand::distributions`).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// Types that produce values of `T` given a generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type (subset: `f64` in `[0,1)`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Uniform distribution over a half-open or inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: uniform::SampleUniform + PartialOrd + Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_uniform(self.low, self.high, self.inclusive, rng)
+        }
+    }
+
+    /// Uniform-sampling machinery (subset of `rand::distributions::uniform`).
+    pub mod uniform {
+        use super::super::{unit_f64, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Uniform value in `[low, high)` (or `[low, high]` if `inclusive`).
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128 + if inclusive { 1 } else { 0 };
+                        let span = hi - lo;
+                        assert!(span > 0, "cannot sample from empty range");
+                        // Modulo bias is ≤ span/2^64 — irrelevant for the
+                        // synthetic-benchmark spans used here.
+                        let off = (rng.next_u64() as i128) % span;
+                        (lo + off) as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        _inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "cannot sample from empty range");
+                        let u = unit_f64(rng) as $t;
+                        low + (high - low) * u
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_float!(f32, f64);
+
+        /// Range arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(*self.start(), *self.end(), true, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 step: decorrelates the sequential counter.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        let mut rng = Counter(42);
+        let u = Uniform::new(f64::MIN_POSITIVE, 1.0);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((f64::MIN_POSITIVE..1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_length() {
+        for len in 0..20 {
+            let mut rng = Counter(5);
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline shim for `serde`.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `crates/compat/README.md`). No code in this workspace *calls* a
+//! serializer yet — the model types only derive the traits so downstream
+//! users can serialize them — so the shim reduces `Serialize`/`Deserialize`
+//! to blanket-implemented marker traits and the derives to no-ops. Swapping
+//! the real serde back in is a one-line change in the root manifest's
+//! `[workspace.dependencies]`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! minimal local stand-ins for its external dependencies (see
+//! `crates/compat/README.md`). The real derives generate
+//! `Serialize`/`Deserialize` impls; here the traits are blanket-implemented
+//! marker traits (see the sibling `serde` shim), so the derives expand to
+//! nothing. `attributes(serde)` keeps `#[serde(...)]` helper attributes
+//! accepted on deriving types.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the shim's `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the shim's `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

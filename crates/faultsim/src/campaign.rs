@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn monte_carlo_close_to_analytic_for_large_p() {
-        let p = Platform::new(vec![NodeType::new("A", vec![Cost::new(1)], 1.0).unwrap()])
-            .unwrap();
+        let p = Platform::new(vec![NodeType::new("A", vec![Cost::new(1)], 1.0).unwrap()]).unwrap();
         // Huge SER so the probability is large enough to estimate.
         let ser = vec![SerModel::new(1e-6, 10.0, 100e6); 1];
         let base = vec![vec![TimeUs::from_ms(10)]]; // 1e6 cycles → p ≈ 0.63
@@ -210,12 +209,18 @@ mod tests {
         // Profile for 3 levels at HPD=100%: [0.01, 0.505, 1.0].
         let pid = ProcessId::new(0);
         let j = NodeTypeId::new(0);
-        assert_eq!(db.wcet(pid, j, HLevel::new(1).unwrap()).unwrap(), TimeUs::from_ms(101));
+        assert_eq!(
+            db.wcet(pid, j, HLevel::new(1).unwrap()).unwrap(),
+            TimeUs::from_ms(101)
+        );
         assert_eq!(
             db.wcet(pid, j, HLevel::new(2).unwrap()).unwrap(),
             TimeUs::from_ms_f64(150.5)
         );
-        assert_eq!(db.wcet(pid, j, HLevel::new(3).unwrap()).unwrap(), TimeUs::from_ms(200));
+        assert_eq!(
+            db.wcet(pid, j, HLevel::new(3).unwrap()).unwrap(),
+            TimeUs::from_ms(200)
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-
 /// Outcome of injecting one process execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecutionOutcome {
@@ -61,7 +60,10 @@ impl Injector {
         assert!(runs > 0, "campaign needs at least one run");
         let mut faults = 0u64;
         for _ in 0..runs {
-            if matches!(self.execute(cycles, ser), ExecutionOutcome::FaultDetected { .. }) {
+            if matches!(
+                self.execute(cycles, ser),
+                ExecutionOutcome::FaultDetected { .. }
+            ) {
                 faults += 1;
             }
         }

@@ -44,12 +44,7 @@ fn simulate_node<R: Rng>(probs: &[f64], k: u32, rng: &mut R) -> bool {
 /// # Panics
 ///
 /// Panics if `ks` and `node_probs` have different lengths or `runs == 0`.
-pub fn estimate_system_failure(
-    node_probs: &[Vec<Prob>],
-    ks: &[u32],
-    runs: u64,
-    seed: u64,
-) -> f64 {
+pub fn estimate_system_failure(node_probs: &[Vec<Prob>], ks: &[u32], runs: u64, seed: u64) -> f64 {
     assert_eq!(node_probs.len(), ks.len(), "one budget per node");
     assert!(runs > 0, "need at least one simulated iteration");
     let values: Vec<Vec<f64>> = node_probs

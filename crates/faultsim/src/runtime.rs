@@ -33,7 +33,11 @@ pub struct SimulationRun {
 impl SimulationRun {
     /// The latest completion over all processes.
     pub fn makespan(&self) -> TimeUs {
-        self.completion.iter().copied().max().unwrap_or(TimeUs::ZERO)
+        self.completion
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(TimeUs::ZERO)
     }
 }
 
@@ -177,7 +181,10 @@ mod tests {
         let sys = paper::fig3_system();
         let mut arch =
             ftes_model::Architecture::with_min_hardening(&[ftes_model::NodeTypeId::new(0)]);
-        arch.set_hardening(ftes_model::NodeId::new(0), ftes_model::HLevel::new(2).unwrap());
+        arch.set_hardening(
+            ftes_model::NodeId::new(0),
+            ftes_model::HLevel::new(2).unwrap(),
+        );
         let mapping = ftes_model::Mapping::all_on(1, ftes_model::NodeId::new(0));
         let sched = schedule(
             sys.application(),
@@ -190,7 +197,10 @@ mod tests {
         .unwrap();
         let run = simulate_with_faults(sys.application(), &mapping, &sched, &[2]);
         assert_eq!(run.completion[0], TimeUs::from_ms(340));
-        assert_eq!(run.completion[0], sched.process_slot(ProcessId::new(0)).wc_end);
+        assert_eq!(
+            run.completion[0],
+            sched.process_slot(ProcessId::new(0)).wc_end
+        );
         assert_eq!(run.reexecutions, 2);
     }
 

@@ -168,7 +168,9 @@ mod tests {
             assert_eq!(nt.h_count(), 5);
             for h in 1..=5u8 {
                 assert_eq!(
-                    nt.cost(ftes_model::HLevel::new(h).unwrap()).unwrap().units(),
+                    nt.cost(ftes_model::HLevel::new(h).unwrap())
+                        .unwrap()
+                        .units(),
                     base * u64::from(h)
                 );
             }

@@ -87,9 +87,9 @@ pub fn generate_dag<R: Rng>(config: &DagConfig, rng: &mut R) -> GeneratedDag {
     let mut pids: Vec<ProcessId> = Vec::with_capacity(config.processes);
     let mut layer = 0usize;
     let mut in_layer = 0f64;
-    for i in 0..config.processes {
+    for (i, &wcet) in base_wcet.iter().enumerate() {
         let mu_frac = rng.gen_range(config.mu_fraction.0..=config.mu_fraction.1);
-        let mu = base_wcet[i].scale(mu_frac);
+        let mu = wcet.scale(mu_frac);
         pids.push(b.add_process(g, mu));
         layer_of.push(layer);
         in_layer += 1.0;

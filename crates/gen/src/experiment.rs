@@ -10,9 +10,7 @@
 //! HPD.
 
 use ftes_faultsim::{build_timing_db, hpd_profile, ProbSource};
-use ftes_model::{
-    Application, BusSpec, ReliabilityGoal, System, TimeUs,
-};
+use ftes_model::{Application, BusSpec, ReliabilityGoal, System, TimeUs};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -88,11 +86,7 @@ pub fn generate_instance(config: &ExperimentConfig, index: u64) -> System {
     let application =
         reassign_deadline(&dag.application, deadline).expect("deadline reassignment is valid");
 
-    let base_rows: Vec<Vec<TimeUs>> = dag
-        .base_wcet
-        .iter()
-        .map(|&w| gp.wcet_row(w))
-        .collect();
+    let base_rows: Vec<Vec<TimeUs>> = dag.base_wcet.iter().map(|&w| gp.wcet_row(w)).collect();
     let timing = build_timing_db(
         &base_rows,
         &gp.platform,
@@ -113,11 +107,7 @@ pub fn generate_instance(config: &ExperimentConfig, index: u64) -> System {
 
 /// A simple schedule lower bound from base WCETs: the larger of the
 /// critical-path length and the average per-node load.
-pub fn schedule_lower_bound(
-    app: &Application,
-    base_wcet: &[TimeUs],
-    node_count: usize,
-) -> TimeUs {
+pub fn schedule_lower_bound(app: &Application, base_wcet: &[TimeUs], node_count: usize) -> TimeUs {
     let mut lp = vec![TimeUs::ZERO; app.process_count()];
     for &p in app.topological_order().iter().rev() {
         let tail = app
@@ -189,7 +179,10 @@ mod tests {
         for i in 0..5 {
             let a = generate_instance(&base, i);
             let b = generate_instance(&high_ser, i);
-            assert_eq!(a.application().min_deadline(), b.application().min_deadline());
+            assert_eq!(
+                a.application().min_deadline(),
+                b.application().min_deadline()
+            );
             assert_eq!(a.application().period(), b.application().period());
             assert_eq!(a.goal(), b.goal());
             // Structure identical too.
@@ -244,10 +237,7 @@ mod tests {
             harsh.timing().wcet(p, j, h1).unwrap()
         );
         // ...but much slower at h5 under HPD = 100 %.
-        assert!(
-            harsh.timing().wcet(p, j, h5).unwrap()
-                > gentle.timing().wcet(p, j, h5).unwrap()
-        );
+        assert!(harsh.timing().wcet(p, j, h5).unwrap() > gentle.timing().wcet(p, j, h5).unwrap());
     }
 
     #[test]
@@ -259,7 +249,10 @@ mod tests {
             // Rough check: the deadline is comfortably above the largest
             // single WCET and below the total serial work × factor.
             let d = sys.application().min_deadline();
-            assert!(d > TimeUs::from_ms(20), "deadline {d} too tight ({n} procs)");
+            assert!(
+                d > TimeUs::from_ms(20),
+                "deadline {d} too tight ({n} procs)"
+            );
         }
     }
 

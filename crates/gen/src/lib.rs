@@ -36,7 +36,5 @@ pub use cruise_control::{
     CC_PROCESSES,
 };
 pub use dag::{generate_dag, DagConfig, GeneratedDag};
-pub use experiment::{
-    generate_instance, schedule_lower_bound, ExperimentConfig,
-};
+pub use experiment::{generate_instance, schedule_lower_bound, ExperimentConfig};
 pub use platform::{generate_platform, GeneratedPlatform, PlatformConfig};

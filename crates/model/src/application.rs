@@ -272,12 +272,16 @@ impl Application {
 
     /// Direct successors of `p` in its task graph.
     pub fn successors(&self, p: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
-        self.succ[p.index()].iter().map(|&m| self.messages[m.index()].dst())
+        self.succ[p.index()]
+            .iter()
+            .map(|&m| self.messages[m.index()].dst())
     }
 
     /// Direct predecessors of `p` in its task graph.
     pub fn predecessors(&self, p: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
-        self.pred[p.index()].iter().map(|&m| self.messages[m.index()].src())
+        self.pred[p.index()]
+            .iter()
+            .map(|&m| self.messages[m.index()].src())
     }
 
     /// `true` if `p` has no predecessors (an input/root process).

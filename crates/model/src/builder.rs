@@ -352,7 +352,10 @@ mod tests {
         let bogus = ProcessId::new(42);
         assert!(matches!(
             b.add_message(p1, bogus, TimeUs::ZERO).unwrap_err(),
-            ModelError::UnknownEntity { kind: "process", .. }
+            ModelError::UnknownEntity {
+                kind: "process",
+                ..
+            }
         ));
     }
 

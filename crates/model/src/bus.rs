@@ -91,10 +91,9 @@ impl BusSpec {
                 };
                 let mut start = offset + TimeUs::from_us(k * round_us);
                 // Whole slots needed to ship tx_time.
-                let slots_needed =
-                    (tx_time.as_us() + slot.as_us() - 1) / slot.as_us();
+                let slots_needed = (tx_time.as_us() + slot.as_us() - 1) / slot.as_us();
                 // The message completes in the slots of rounds k .. k+slots_needed-1.
-                start = start + TimeUs::from_us((slots_needed - 1) * round_us);
+                start += TimeUs::from_us((slots_needed - 1) * round_us);
                 start + slot
             }
         }

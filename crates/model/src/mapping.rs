@@ -160,14 +160,15 @@ mod tests {
         let mut timing = TimingDb::new(2, &platform);
         let spec = ExecSpec::new(TimeUs::from_ms(10), Prob::ZERO).unwrap();
         for p in app.process_ids() {
-            timing.set(p, NodeTypeId::new(0), HLevel::MIN, spec).unwrap();
+            timing
+                .set(p, NodeTypeId::new(0), HLevel::MIN, spec)
+                .unwrap();
         }
         // P2 additionally runs on N2; P1 does not.
         timing
             .set(ProcessId::new(1), NodeTypeId::new(1), HLevel::MIN, spec)
             .unwrap();
-        let arch =
-            Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+        let arch = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
         (app, arch, timing)
     }
 
@@ -212,7 +213,10 @@ mod tests {
         let short = Mapping::new(vec![NodeId::new(0)]);
         assert!(matches!(
             short.validate(&app, &arch, &timing).unwrap_err(),
-            ModelError::IncompleteMapping { expected: 2, got: 1 }
+            ModelError::IncompleteMapping {
+                expected: 2,
+                got: 1
+            }
         ));
         let dangling = Mapping::all_on(2, NodeId::new(9));
         assert!(matches!(

@@ -232,12 +232,7 @@ mod tests {
     use super::*;
 
     fn n1() -> NodeType {
-        NodeType::new(
-            "N1",
-            vec![Cost::new(16), Cost::new(32), Cost::new(64)],
-            1.0,
-        )
-        .unwrap()
+        NodeType::new("N1", vec![Cost::new(16), Cost::new(32), Cost::new(64)], 1.0).unwrap()
     }
 
     #[test]
@@ -261,7 +256,11 @@ mod tests {
         assert_eq!(nt.cost(HLevel::new(2).unwrap()).unwrap(), Cost::new(32));
         assert!(matches!(
             nt.cost(HLevel::new(4).unwrap()).unwrap_err(),
-            ModelError::HardeningOutOfRange { h: 4, available: 3, .. }
+            ModelError::HardeningOutOfRange {
+                h: 4,
+                available: 3,
+                ..
+            }
         ));
     }
 

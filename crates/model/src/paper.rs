@@ -33,8 +33,11 @@ fn h(level: u8) -> HLevel {
 }
 
 fn spec(ms: i64, p: f64) -> ExecSpec {
-    ExecSpec::new(TimeUs::from_ms(ms), Prob::new(p).expect("fixture probability"))
-        .expect("fixture WCET")
+    ExecSpec::new(
+        TimeUs::from_ms(ms),
+        Prob::new(p).expect("fixture probability"),
+    )
+    .expect("fixture WCET")
 }
 
 /// The application of Fig. 1: the diamond `P1 → {P2, P3} → P4` with
@@ -59,18 +62,8 @@ pub fn fig1_application() -> crate::Application {
 /// (costs 20/40/80), three h-versions each. `N2` is the faster type.
 pub fn fig1_platform() -> Platform {
     Platform::new(vec![
-        NodeType::new(
-            "N1",
-            vec![Cost::new(16), Cost::new(32), Cost::new(64)],
-            1.2,
-        )
-        .expect("N1"),
-        NodeType::new(
-            "N2",
-            vec![Cost::new(20), Cost::new(40), Cost::new(80)],
-            1.0,
-        )
-        .expect("N2"),
+        NodeType::new("N1", vec![Cost::new(16), Cost::new(32), Cost::new(64)], 1.2).expect("N1"),
+        NodeType::new("N2", vec![Cost::new(20), Cost::new(40), Cost::new(80)], 1.0).expect("N2"),
     ])
     .expect("fig1 platform")
 }
@@ -276,7 +269,11 @@ mod tests {
         let expected = [('a', 72), ('b', 32), ('c', 40), ('d', 64), ('e', 80)];
         for (v, cost) in expected {
             let (arch, mapping) = fig4_alternative(v);
-            assert_eq!(arch.cost(&platform).unwrap(), Cost::new(cost), "variant {v}");
+            assert_eq!(
+                arch.cost(&platform).unwrap(),
+                Cost::new(cost),
+                "variant {v}"
+            );
             mapping
                 .validate(&fig1_application(), &arch, &fig1_timing())
                 .unwrap_or_else(|e| panic!("variant {v}: {e}"));
@@ -298,10 +295,7 @@ mod tests {
         assert_eq!(db.wcet(p1, n1, h(3)).unwrap(), TimeUs::from_ms(160));
         assert_eq!(db.pfail(p1, n1, h(2)).unwrap().value(), 4e-4);
         assert_eq!(
-            fig3_platform()
-                .node_type(n1)
-                .cost(h(3))
-                .unwrap(),
+            fig3_platform().node_type(n1).cost(h(3)).unwrap(),
             Cost::new(40)
         );
     }
@@ -312,6 +306,9 @@ mod tests {
         assert_eq!(s1.application().message_count(), 4);
         let s3 = fig3_system();
         assert_eq!(s3.application().process_count(), 1);
-        assert_eq!(s3.application().process(ProcessId::new(0)).mu(), TimeUs::from_ms(20));
+        assert_eq!(
+            s3.application().process(ProcessId::new(0)).mu(),
+            TimeUs::from_ms(20)
+        );
     }
 }

@@ -80,10 +80,8 @@ impl TimingDb {
             .node_type_ids()
             .map(|id| platform.node_type(id).h_count())
             .collect();
-        let per_process: Vec<Vec<Option<ExecSpec>>> = h_counts
-            .iter()
-            .map(|&hc| vec![None; hc as usize])
-            .collect();
+        let per_process: Vec<Vec<Option<ExecSpec>>> =
+            h_counts.iter().map(|&hc| vec![None; hc as usize]).collect();
         TimingDb {
             n_processes,
             h_counts,
@@ -250,7 +248,11 @@ mod tests {
         let platform = small_platform();
         let db = TimingDb::new(2, &platform);
         let err = db
-            .spec(ProcessId::new(1), NodeTypeId::new(1), HLevel::new(1).unwrap())
+            .spec(
+                ProcessId::new(1),
+                NodeTypeId::new(1),
+                HLevel::new(1).unwrap(),
+            )
             .unwrap_err();
         assert_eq!(
             err,
@@ -260,7 +262,13 @@ mod tests {
                 h: 1
             }
         );
-        assert!(db.get(ProcessId::new(0), NodeTypeId::new(0), HLevel::new(1).unwrap()).is_none());
+        assert!(db
+            .get(
+                ProcessId::new(0),
+                NodeTypeId::new(0),
+                HLevel::new(1).unwrap()
+            )
+            .is_none());
     }
 
     #[test]
@@ -315,10 +323,20 @@ mod tests {
         let platform = small_platform();
         let mut db = TimingDb::new(1, &platform);
         let p = ProcessId::new(0);
-        db.set(p, NodeTypeId::new(0), HLevel::new(1).unwrap(), spec_ms(10, 0.0))
-            .unwrap();
-        db.set(p, NodeTypeId::new(0), HLevel::new(2).unwrap(), spec_ms(12, 0.0))
-            .unwrap();
+        db.set(
+            p,
+            NodeTypeId::new(0),
+            HLevel::new(1).unwrap(),
+            spec_ms(10, 0.0),
+        )
+        .unwrap();
+        db.set(
+            p,
+            NodeTypeId::new(0),
+            HLevel::new(2).unwrap(),
+            spec_ms(12, 0.0),
+        )
+        .unwrap();
         assert_eq!(
             db.validate_complete().unwrap_err(),
             ModelError::MissingTiming {
@@ -327,8 +345,13 @@ mod tests {
                 h: 1
             }
         );
-        db.set(p, NodeTypeId::new(1), HLevel::new(1).unwrap(), spec_ms(9, 0.0))
-            .unwrap();
+        db.set(
+            p,
+            NodeTypeId::new(1),
+            HLevel::new(1).unwrap(),
+            spec_ms(9, 0.0),
+        )
+        .unwrap();
         assert!(db.validate_complete().is_ok());
     }
 

@@ -58,8 +58,14 @@ pub fn architectures_with_n_nodes(platform: &Platform, n: usize) -> Vec<Vec<Node
     // Sort by total speed factor (smaller = faster), then lexicographically
     // on the speed-order indices for determinism.
     result.sort_by(|a, b| {
-        let fa: f64 = a.iter().map(|id| platform.node_type(*id).speed_factor()).sum();
-        let fb: f64 = b.iter().map(|id| platform.node_type(*id).speed_factor()).sum();
+        let fa: f64 = a
+            .iter()
+            .map(|id| platform.node_type(*id).speed_factor())
+            .sum();
+        let fb: f64 = b
+            .iter()
+            .map(|id| platform.node_type(*id).speed_factor())
+            .sum();
         fa.partial_cmp(&fb)
             .expect("speed factors are finite")
             .then_with(|| {
@@ -133,6 +139,9 @@ mod tests {
     #[test]
     fn zero_nodes_yields_the_empty_architecture() {
         let p = platform();
-        assert_eq!(architectures_with_n_nodes(&p, 0), vec![Vec::<NodeTypeId>::new()]);
+        assert_eq!(
+            architectures_with_n_nodes(&p, 0),
+            vec![Vec::<NodeTypeId>::new()]
+        );
     }
 }

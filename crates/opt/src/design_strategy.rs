@@ -110,14 +110,12 @@ pub fn design_strategy(
             }
             // Line 9: optimize cost starting from the schedulable mapping.
             let seed = sl_out.solution.mapping.clone();
-            let cost_out =
-                mapping_algorithm(system, &base, Objective::Cost, config, Some(seed))?;
+            let cost_out = mapping_algorithm(system, &base, Objective::Cost, config, Some(seed))?;
             let candidate = match cost_out {
                 Some(out) if out.schedulable => out.solution,
                 _ => sl_out.solution,
             };
-            if candidate.is_schedulable()
-                && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
+            if candidate.is_schedulable() && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
             {
                 best = Some(candidate);
             }
@@ -148,7 +146,11 @@ mod tests {
             .expect("feasible");
         let sol = &out.solution;
         assert!(sol.is_schedulable());
-        assert!(sol.cost <= Cost::new(72), "cost {} worse than paper", sol.cost);
+        assert!(
+            sol.cost <= Cost::new(72),
+            "cost {} worse than paper",
+            sol.cost
+        );
         assert_eq!(sol.architecture.node_count(), 2);
         assert!(sol.schedule_length() <= TimeUs::from_ms(360));
         assert!(out.stats.architectures_evaluated >= 1);

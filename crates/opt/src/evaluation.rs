@@ -120,6 +120,9 @@ mod tests {
             max_k: crate::config::MaxK(0),
             ..OptConfig::default()
         };
-        assert_eq!(evaluate_fixed(&sys, &arch, &mapping, &config).unwrap(), None);
+        assert_eq!(
+            evaluate_fixed(&sys, &arch, &mapping, &config).unwrap(),
+            None
+        );
     }
 }

@@ -23,9 +23,7 @@ use crate::redundancy::{redundancy_opt, RedundancyOutcome};
 /// unschedulable ones in `Cost` mode.
 fn score(outcome: &RedundancyOutcome, objective: Objective) -> (u8, u128) {
     match objective {
-        Objective::ScheduleLength => {
-            (0, outcome.solution.schedule_length().as_us().max(0) as u128)
-        }
+        Objective::ScheduleLength => (0, outcome.solution.schedule_length().as_us().max(0) as u128),
         Objective::Cost => {
             if outcome.schedulable {
                 (0, outcome.solution.cost.units() as u128)
@@ -44,10 +42,7 @@ fn score(outcome: &RedundancyOutcome, objective: Objective) -> (u8, u128) {
 ///
 /// Returns [`ModelError::UnmappableProcess`] if some process runs on none
 /// of the architecture's node types.
-pub fn initial_mapping(
-    system: &System,
-    arch: &Architecture,
-) -> Result<Mapping, ModelError> {
+pub fn initial_mapping(system: &System, arch: &Architecture) -> Result<Mapping, ModelError> {
     let app = system.application();
     let timing = system.timing();
     let mut assignment = vec![NodeId::new(0); app.process_count()];
@@ -143,12 +138,8 @@ pub fn mapping_algorithm(
         // Candidates: critical-path processes of the *current* solution
         // (using its optimized hardening levels for the WCETs), ordered by
         // waiting priority.
-        let mut candidates = critical_processes(
-            app,
-            timing,
-            &current_out.solution.architecture,
-            &current,
-        )?;
+        let mut candidates =
+            critical_processes(app, timing, &current_out.solution.architecture, &current)?;
         candidates.sort_by_key(|p| std::cmp::Reverse(waiting[p.index()]));
         candidates.truncate(config.tabu.max_candidates);
 
@@ -170,10 +161,9 @@ pub fn mapping_algorithm(
                 } else {
                     &mut best_move
                 };
-                if slot
-                    .as_ref()
-                    .map_or(true, |(_, _, b)| score(&out, objective) < score(b, objective))
-                {
+                if slot.as_ref().map_or(true, |(_, _, b)| {
+                    score(&out, objective) < score(b, objective)
+                }) {
                     *slot = Some((p, node, out));
                 }
             }
@@ -248,7 +238,11 @@ mod tests {
             .unwrap()
             .expect("reachable");
         assert!(out.schedulable);
-        assert!(out.solution.cost <= ftes_model::Cost::new(72), "{}", out.solution.cost);
+        assert!(
+            out.solution.cost <= ftes_model::Cost::new(72),
+            "{}",
+            out.solution.cost
+        );
         assert!(out.solution.schedule_length() <= TimeUs::from_ms(360));
         // The result must satisfy the reliability goal per the SFP analysis.
         let sol = &out.solution;
@@ -326,7 +320,9 @@ mod tests {
             policy: crate::config::HardeningPolicy::FixedMax,
             ..OptConfig::default()
         };
-        let bad = redundancy_opt(&sys, &base_d, &map_d, &cfg_min).unwrap().unwrap();
+        let bad = redundancy_opt(&sys, &base_d, &map_d, &cfg_min)
+            .unwrap()
+            .unwrap();
         assert!(!bad.schedulable);
         assert!(solution_score(&good, Objective::Cost) < solution_score(&bad, Objective::Cost));
     }

@@ -86,8 +86,8 @@ fn optimize_levels(
     let mut best_any: Option<Solution> = None;
 
     let consider = |sol: Solution,
-                        best_schedulable: &mut Option<Solution>,
-                        best_any: &mut Option<Solution>| {
+                    best_schedulable: &mut Option<Solution>,
+                    best_any: &mut Option<Solution>| {
         if sol.is_schedulable()
             && best_schedulable
                 .as_ref()
@@ -252,7 +252,11 @@ mod tests {
         let arch = &out.solution.architecture;
         assert!(arch.node_ids().all(|n| arch.hardening(n) == HLevel::MIN));
         // Min hardening has p ~ 1e-3: many re-executions needed.
-        assert!(out.solution.ks.iter().any(|&k| k >= 2), "{:?}", out.solution.ks);
+        assert!(
+            out.solution.ks.iter().any(|&k| k >= 2),
+            "{:?}",
+            out.solution.ks
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@
 //! under node-local fault semantics — `ftes-faultsim`'s runtime simulator
 //! checks it by injection (see the property tests).
 
-use ftes_model::{
-    Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb,
-};
+use ftes_model::{Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb};
 
 use crate::priority::longest_path_to_sink;
 use crate::schedule::{MessageSlot, ProcessSlot, Schedule};
@@ -112,10 +110,8 @@ pub fn schedule_with(
     let n = app.process_count();
     let priorities = longest_path_to_sink(app, timing, arch, mapping)?;
 
-    let mut remaining_preds: Vec<usize> = app
-        .process_ids()
-        .map(|p| app.incoming(p).len())
-        .collect();
+    let mut remaining_preds: Vec<usize> =
+        app.process_ids().map(|p| app.incoming(p).len()).collect();
     let mut ready: Vec<ftes_model::ProcessId> = app
         .process_ids()
         .filter(|&p| remaining_preds[p.index()] == 0)
@@ -267,7 +263,15 @@ mod tests {
         let mut arch = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
         arch.set_hardening(NodeId::new(0), ftes_model::HLevel::new(h).unwrap());
         let mapping = Mapping::all_on(1, NodeId::new(0));
-        schedule(sys.application(), sys.timing(), &arch, &mapping, &[k], sys.bus()).unwrap()
+        schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[k],
+            sys.bus(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -291,7 +295,15 @@ mod tests {
     fn fig4_schedule(variant: char, ks: &[u32]) -> Schedule {
         let sys = paper::fig1_system();
         let (arch, mapping) = paper::fig4_alternative(variant);
-        schedule(sys.application(), sys.timing(), &arch, &mapping, ks, sys.bus()).unwrap()
+        schedule(
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            ks,
+            sys.bus(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -421,11 +433,21 @@ mod tests {
         for (v, ks) in [('a', vec![1u32, 1]), ('b', vec![2]), ('e', vec![0])] {
             let (arch, mapping) = paper::fig4_alternative(v);
             let shared = schedule(
-                sys.application(), sys.timing(), &arch, &mapping, &ks, sys.bus(),
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                &ks,
+                sys.bus(),
             )
             .unwrap();
             let naive = schedule_with(
-                sys.application(), sys.timing(), &arch, &mapping, &ks, sys.bus(),
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                &ks,
+                sys.bus(),
                 SlackModel::PerProcess,
             )
             .unwrap();
@@ -441,7 +463,12 @@ mod tests {
         let sys = paper::fig1_system();
         let (arch, mapping) = paper::fig4_alternative('a');
         let naive = schedule_with(
-            sys.application(), sys.timing(), &arch, &mapping, &[1, 1], sys.bus(),
+            sys.application(),
+            sys.timing(),
+            &arch,
+            &mapping,
+            &[1, 1],
+            sys.bus(),
             SlackModel::PerProcess,
         )
         .unwrap();

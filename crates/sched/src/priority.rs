@@ -7,9 +7,7 @@
 //! process to any sink of its graph, evaluated for the WCETs of the current
 //! architecture/mapping.
 
-use ftes_model::{
-    Application, Architecture, Mapping, ModelError, ProcessId, TimeUs, TimingDb,
-};
+use ftes_model::{Application, Architecture, Mapping, ModelError, ProcessId, TimeUs, TimingDb};
 
 /// Computes, for every process, the longest path from the start of that
 /// process to the end of any sink, using the WCETs of the node each process
@@ -123,8 +121,7 @@ mod tests {
     fn critical_path_is_p1_p2_p4_on_fig4a() {
         let sys = paper::fig1_system();
         let (arch, mapping) = paper::fig4_alternative('a');
-        let crit =
-            critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        let crit = critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
         let names: Vec<&str> = crit
             .iter()
             .map(|&p| sys.application().process(p).name())
@@ -141,8 +138,7 @@ mod tests {
         );
         let lp = longest_path_to_sink(sys.application(), sys.timing(), &arch, &mapping).unwrap();
         assert_eq!(lp, vec![TimeUs::from_ms(80)]);
-        let crit =
-            critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
+        let crit = critical_processes(sys.application(), sys.timing(), &arch, &mapping).unwrap();
         assert_eq!(crit.len(), 1);
     }
 
@@ -158,12 +154,14 @@ mod tests {
         let p2 = b.add_process(g, TimeUs::ZERO);
         b.add_message(p1, p2, TimeUs::from_ms(7)).unwrap();
         let app = b.build().unwrap();
-        let platform = Platform::new(vec![NodeType::new("N", vec![Cost::new(1)], 1.0).unwrap()])
-            .unwrap();
+        let platform =
+            Platform::new(vec![NodeType::new("N", vec![Cost::new(1)], 1.0).unwrap()]).unwrap();
         let mut timing = TimingDb::new(2, &platform);
         let spec = ExecSpec::new(TimeUs::from_ms(10), Prob::ZERO).unwrap();
         for p in [p1, p2] {
-            timing.set(p, NodeTypeId::new(0), HLevel::MIN, spec).unwrap();
+            timing
+                .set(p, NodeTypeId::new(0), HLevel::MIN, spec)
+                .unwrap();
         }
         // Same node: tx ignored.
         let arch1 = Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
@@ -171,8 +169,7 @@ mod tests {
         let lp = longest_path_to_sink(&app, &timing, &arch1, &same).unwrap();
         assert_eq!(lp[p1.index()], TimeUs::from_ms(20));
         // Different nodes: tx added.
-        let arch2 =
-            Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(0)]);
+        let arch2 = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(0)]);
         let mut split = Mapping::all_on(2, NodeId::new(0));
         split.assign(ProcessId::new(1), NodeId::new(1));
         let lp = longest_path_to_sink(&app, &timing, &arch2, &split).unwrap();

@@ -1,8 +1,6 @@
 //! Static schedules with recovery slack.
 
-use ftes_model::{
-    Application, GraphId, Mapping, MessageId, NodeId, ProcessId, TimeUs,
-};
+use ftes_model::{Application, GraphId, Mapping, MessageId, NodeId, ProcessId, TimeUs};
 use serde::{Deserialize, Serialize};
 
 /// Placement of one process in the static schedule.
@@ -68,10 +66,7 @@ impl Schedule {
             .map(|s| s.wc_end)
             .max()
             .unwrap_or(TimeUs::ZERO);
-        let schedulable = graph_wc
-            .iter()
-            .zip(deadlines)
-            .all(|(wc, d)| wc <= d);
+        let schedulable = graph_wc.iter().zip(deadlines).all(|(wc, d)| wc <= d);
         Schedule {
             processes,
             messages,
@@ -159,7 +154,11 @@ impl Schedule {
                 return Some(format!("{p} has inconsistent times {slot:?}"));
             }
             if slot.node != mapping.node_of(p) {
-                return Some(format!("{p} scheduled on {} but mapped on {}", slot.node, mapping.node_of(p)));
+                return Some(format!(
+                    "{p} scheduled on {} but mapped on {}",
+                    slot.node,
+                    mapping.node_of(p)
+                ));
             }
             for &m in app.incoming(p) {
                 let ms = self.messages[m.index()];
@@ -188,7 +187,10 @@ impl Schedule {
             std::collections::BTreeMap::new();
         for p in app.process_ids() {
             let s = self.processes[p.index()];
-            by_node.entry(s.node).or_default().push((s.start, s.finish, p));
+            by_node
+                .entry(s.node)
+                .or_default()
+                .push((s.start, s.finish, p));
         }
         for (node, mut spans) in by_node {
             spans.sort();
@@ -210,11 +212,8 @@ impl Schedule {
         let mut out = String::new();
         for n in 0..n_nodes {
             let node = NodeId::new(n as u32);
-            let mut slots: Vec<&ProcessSlot> = self
-                .processes
-                .iter()
-                .filter(|s| s.node == node)
-                .collect();
+            let mut slots: Vec<&ProcessSlot> =
+                self.processes.iter().filter(|s| s.node == node).collect();
             slots.sort_by_key(|s| s.start);
             let _ = write!(out, "{node}: ");
             for s in slots {

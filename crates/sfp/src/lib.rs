@@ -44,12 +44,10 @@ mod rounding;
 mod scenario;
 mod symmetric;
 
-pub use analysis::{
-    analyze, node_process_probs, reliability_over_unit, union_failure, SfpResult,
-};
+pub use analysis::{analyze, node_process_probs, reliability_over_unit, union_failure, SfpResult};
 pub use multiset::{multiset_count, Multisets};
 pub use node_failure::NodeSfp;
 pub use reexec::ReExecutionOpt;
-pub use scenario::{dominant_scenarios, scenario_mass, FaultScenario};
 pub use rounding::{Rounding, QUANTUM};
+pub use scenario::{dominant_scenarios, scenario_mass, FaultScenario};
 pub use symmetric::{complete_homogeneous, complete_homogeneous_naive};

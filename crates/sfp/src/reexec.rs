@@ -78,9 +78,7 @@ impl ReExecutionOpt {
         // 0..=max_k in one pass.
         let series: Vec<Vec<f64>> = node_probs
             .iter()
-            .map(|probs| {
-                NodeSfp::new(probs.clone(), self.rounding).pr_more_than_series(self.max_k)
-            })
+            .map(|probs| NodeSfp::new(probs.clone(), self.rounding).pr_more_than_series(self.max_k))
             .collect();
 
         let mut ks = vec![0u32; node_probs.len()];
@@ -230,7 +228,10 @@ mod tests {
         // budgets; cap at 3 and the search must give up.
         let node_probs = vec![vec![p(0.5)]];
         let opt = ReExecutionOpt::new(3, Rounding::Exact);
-        assert_eq!(opt.optimize(&node_probs, goal(), TimeUs::from_ms(360)), None);
+        assert_eq!(
+            opt.optimize(&node_probs, goal(), TimeUs::from_ms(360)),
+            None
+        );
     }
 
     #[test]

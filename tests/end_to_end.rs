@@ -66,7 +66,10 @@ fn opt_dominates_the_baselines() {
         for baseline in [Strategy::Min, Strategy::Max] {
             if let Some(base_cost) = run(baseline) {
                 let opt_cost = opt.unwrap_or_else(|| {
-                    panic!("app {index}: OPT infeasible but {} feasible", baseline.label())
+                    panic!(
+                        "app {index}: OPT infeasible but {} feasible",
+                        baseline.label()
+                    )
                 });
                 assert!(
                     opt_cost <= base_cost,

@@ -57,8 +57,7 @@ fn fig3_hardware_vs_software_recovery() {
             .expect("reachable");
         assert_eq!(k, k_paper, "h{h}");
 
-        let mut arch =
-            ftes::model::Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
+        let mut arch = ftes::model::Architecture::with_min_hardening(&[NodeTypeId::new(0)]);
         arch.set_hardening(NodeId::new(0), HLevel::new(h).unwrap());
         let mapping = Mapping::all_on(1, NodeId::new(0));
         let sched = schedule(
@@ -71,11 +70,7 @@ fn fig3_hardware_vs_software_recovery() {
         )
         .unwrap();
         assert_eq!(sched.wc_length(), TimeUs::from_ms(wc_ms), "h{h}");
-        assert_eq!(
-            sched.is_schedulable(),
-            wc_ms <= 360,
-            "h{h} schedulability"
-        );
+        assert_eq!(sched.is_schedulable(), wc_ms <= 360, "h{h} schedulability");
     }
 }
 
@@ -115,12 +110,16 @@ fn section_6_1_narration() {
     let cfg = OptConfig::default();
 
     let (base_a, map_a) = paper::fig4_alternative('a');
-    let out_a = redundancy_opt(&sys, &base_a, &map_a, &cfg).unwrap().unwrap();
+    let out_a = redundancy_opt(&sys, &base_a, &map_a, &cfg)
+        .unwrap()
+        .unwrap();
     assert!(out_a.schedulable);
     assert_eq!(out_a.solution.cost, Cost::new(72));
 
     let (base_e, map_e) = paper::fig4_alternative('e');
-    let out_e = redundancy_opt(&sys, &base_e, &map_e, &cfg).unwrap().unwrap();
+    let out_e = redundancy_opt(&sys, &base_e, &map_e, &cfg)
+        .unwrap()
+        .unwrap();
     assert!(out_e.schedulable);
     assert_eq!(
         out_e.solution.architecture.hardening(NodeId::new(0)),
@@ -128,7 +127,9 @@ fn section_6_1_narration() {
     );
 
     let (base_d, map_d) = paper::fig4_alternative('d');
-    let out_d = redundancy_opt(&sys, &base_d, &map_d, &cfg).unwrap().unwrap();
+    let out_d = redundancy_opt(&sys, &base_d, &map_d, &cfg)
+        .unwrap()
+        .unwrap();
     assert!(!out_d.schedulable, "all-on-N1 must be discarded");
 }
 

@@ -94,11 +94,11 @@ proptest! {
 
 #[derive(Debug, Clone)]
 struct RandomCase {
-    wcets: Vec<i64>,          // per process, ms (also defines count)
+    wcets: Vec<i64>,            // per process, ms (also defines count)
     edges: Vec<(usize, usize)>, // forward edges i < j
-    mapping: Vec<usize>,      // process -> node in 0..3
-    ks: Vec<u32>,             // per node
-    faults: Vec<u32>,         // per process, <= budget when checked
+    mapping: Vec<usize>,        // process -> node in 0..3
+    ks: Vec<u32>,               // per node
+    faults: Vec<u32>,           // per process, <= budget when checked
 }
 
 fn random_case() -> impl Strategy<Value = RandomCase> {
@@ -134,7 +134,8 @@ fn build_system(case: &RandomCase) -> (ftes::model::Application, Platform, Timin
     let mut seen = std::collections::BTreeSet::new();
     for &(a, bb) in &case.edges {
         if seen.insert((a, bb)) {
-            b.add_message(pids[a], pids[bb], TimeUs::from_ms(1)).unwrap();
+            b.add_message(pids[a], pids[bb], TimeUs::from_ms(1))
+                .unwrap();
         }
     }
     let app = b.build().unwrap();

@@ -5,7 +5,7 @@
 use ftes::faultsim::estimate_system_failure;
 use ftes::model::Prob;
 use ftes::sfp::{
-    dominant_scenarios, scenario_mass, complete_homogeneous, union_failure, NodeSfp, Rounding,
+    complete_homogeneous, dominant_scenarios, scenario_mass, union_failure, NodeSfp, Rounding,
 };
 
 fn probs(values: &[f64]) -> Vec<Prob> {
@@ -104,11 +104,7 @@ fn optimized_budgets_hold_up_in_simulation() {
     // (same code path, measurable probabilities).
     let boosted: Vec<Vec<Prob>> = per_node
         .iter()
-        .map(|v| {
-            v.iter()
-                .map(|p| Prob::clamped(p.value() * 1e3))
-                .collect()
-        })
+        .map(|v| v.iter().map(|p| Prob::clamped(p.value() * 1e3)).collect())
         .collect();
     let exact = analytic(&boosted, &sol.ks);
     let simulated = estimate_system_failure(&boosted, &sol.ks, 300_000, 5);
