@@ -1,0 +1,209 @@
+//! Perf harness for the design-space exploration: times `design_strategy`
+//! on the paper systems and a synthetic batch under three pipelines —
+//!
+//! * `scratch`     — from-scratch evaluation, sequential (the pre-PR 2
+//!   baseline, `EvalMode::Scratch` + `Threads(1)`);
+//! * `incremental` — memo cache + incremental SFP, sequential;
+//! * `parallel`    — incremental + the worker-pool architecture
+//!   exploration (`Threads(0)` = all cores).
+//!
+//! All three return bit-identical solutions (verified per run); the
+//! interesting output is the wall-clock trajectory, written as
+//! machine-readable JSON so future PRs can compare against it.
+//!
+//! ```text
+//! repro_perf [--smoke] [--apps N] [--out PATH]
+//! ```
+//!
+//! Defaults: 12 synthetic applications, output to `BENCH_PR2.json`.
+//! `--smoke` shrinks the batch to 2 applications for CI (the harness is
+//! exercised end to end; the timings are not meaningful).
+
+use std::time::Instant;
+
+use ftes_bench::sweep_opt_config;
+use ftes_bench::Strategy;
+use ftes_gen::{generate_instance, ExperimentConfig};
+use ftes_model::System;
+use ftes_opt::{design_strategy, EvalMode, OptConfig, Threads};
+
+/// One timed run of `design_strategy` over a set of systems.
+struct ModeResult {
+    seconds: f64,
+    costs: Vec<Option<u64>>,
+    architectures_evaluated: u64,
+    architectures_pruned: u64,
+    evaluations: u64,
+    cache_hits: u64,
+    sfp_nodes_computed: u64,
+    sfp_nodes_reused: u64,
+}
+
+fn run_mode(systems: &[System], config: &OptConfig) -> ModeResult {
+    let start = Instant::now();
+    let mut result = ModeResult {
+        seconds: 0.0,
+        costs: Vec::with_capacity(systems.len()),
+        architectures_evaluated: 0,
+        architectures_pruned: 0,
+        evaluations: 0,
+        cache_hits: 0,
+        sfp_nodes_computed: 0,
+        sfp_nodes_reused: 0,
+    };
+    for system in systems {
+        let outcome = design_strategy(system, config).expect("generated systems are valid");
+        match outcome {
+            Some(out) => {
+                result.costs.push(Some(out.solution.cost.units()));
+                result.architectures_evaluated += u64::from(out.stats.architectures_evaluated);
+                result.architectures_pruned += u64::from(out.stats.architectures_pruned);
+                result.evaluations += out.stats.eval.evaluations;
+                result.cache_hits += out.stats.eval.cache_hits;
+                result.sfp_nodes_computed += out.stats.eval.sfp_nodes_computed;
+                result.sfp_nodes_reused += out.stats.eval.sfp_nodes_reused;
+            }
+            None => result.costs.push(None),
+        }
+    }
+    result.seconds = start.elapsed().as_secs_f64();
+    result
+}
+
+fn mode_json(name: &str, mode: &ModeResult) -> String {
+    let archs = mode.architectures_evaluated + mode.architectures_pruned;
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"wall_seconds\": {:.6},\n",
+            "      \"architectures_evaluated\": {},\n",
+            "      \"architectures_pruned\": {},\n",
+            "      \"architectures_per_second\": {:.3},\n",
+            "      \"candidate_evaluations\": {},\n",
+            "      \"cache_hits\": {},\n",
+            "      \"sfp_nodes_computed\": {},\n",
+            "      \"sfp_nodes_reused\": {}\n",
+            "    }}"
+        ),
+        name,
+        mode.seconds,
+        mode.architectures_evaluated,
+        mode.architectures_pruned,
+        archs as f64 / mode.seconds.max(1e-12),
+        mode.evaluations,
+        mode.cache_hits,
+        mode.sfp_nodes_computed,
+        mode.sfp_nodes_reused,
+    )
+}
+
+/// Times the three pipelines over one set of systems and renders the JSON
+/// object body (plus a human-readable summary on stderr).
+fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> String {
+    let scratch_cfg = OptConfig {
+        eval_mode: EvalMode::Scratch,
+        threads: Threads(1),
+        ..*base
+    };
+    let incremental_cfg = OptConfig {
+        eval_mode: EvalMode::Incremental,
+        threads: Threads(1),
+        ..*base
+    };
+    let parallel_cfg = OptConfig {
+        eval_mode: EvalMode::Incremental,
+        threads: Threads(0),
+        ..*base
+    };
+
+    let scratch = run_mode(systems, &scratch_cfg);
+    let incremental = run_mode(systems, &incremental_cfg);
+    let parallel = run_mode(systems, &parallel_cfg);
+
+    assert_eq!(
+        scratch.costs, incremental.costs,
+        "{label}: incremental diverged from scratch"
+    );
+    assert_eq!(
+        scratch.costs, parallel.costs,
+        "{label}: parallel diverged from scratch"
+    );
+
+    let speedup_incremental = scratch.seconds / incremental.seconds.max(1e-12);
+    let speedup_parallel = scratch.seconds / parallel.seconds.max(1e-12);
+    eprintln!(
+        "{label}: scratch {:.3}s | incremental {:.3}s ({speedup_incremental:.2}x) | \
+         parallel {:.3}s ({speedup_parallel:.2}x) | cache hits {}/{} | sfp reuse {}/{}",
+        scratch.seconds,
+        incremental.seconds,
+        parallel.seconds,
+        incremental.cache_hits,
+        incremental.evaluations,
+        incremental.sfp_nodes_reused,
+        incremental.sfp_nodes_computed + incremental.sfp_nodes_reused,
+    );
+
+    format!(
+        "  \"{}\": {{\n{},\n{},\n{},\n    \"speedup_incremental\": {:.3},\n    \"speedup_parallel\": {:.3}\n  }}",
+        label,
+        mode_json("scratch", &scratch),
+        mode_json("incremental", &incremental),
+        mode_json("parallel", &parallel),
+        speedup_incremental,
+        speedup_parallel,
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut apps = 12usize;
+    let mut out = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--apps" => {
+                apps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--apps needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: repro_perf [--smoke] [--apps N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        apps = apps.min(2);
+    }
+
+    // The paper's two walked examples, at the paper's configuration.
+    let paper_systems = vec![
+        ftes_model::paper::fig1_system(),
+        ftes_model::paper::fig3_system(),
+    ];
+    let paper_json = bench_set("paper", &paper_systems, &OptConfig::default());
+
+    // The synthetic Section 7 batch (alternating 20/40-process graphs on
+    // the default condition), under the sweep configuration the Fig. 6
+    // machinery uses.
+    let condition = ExperimentConfig::default();
+    let synthetic: Vec<System> = (0..apps as u64)
+        .map(|i| generate_instance(&condition, i))
+        .collect();
+    let synthetic_json = bench_set("synthetic", &synthetic, &sweep_opt_config(Strategy::Opt));
+
+    let threads = Threads(0).resolve();
+    let json = format!(
+        "{{\n  \"bench\": \"repro_perf\",\n  \"pr\": 2,\n  \"smoke\": {smoke},\n  \
+         \"apps\": {apps},\n  \"worker_threads\": {threads},\n{paper_json},\n{synthetic_json}\n}}\n",
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,98 @@
+//! An FxHash-style hasher for hot-loop hash maps.
+//!
+//! The optimization caches hash small keys (mapping vectors, probability
+//! bit patterns) millions of times per search; SipHash's per-call setup
+//! dominates at those sizes. This is the classic Firefox/rustc
+//! multiply-rotate hash — not DoS-resistant, which is fine for keys the
+//! search itself generates. Std-only stand-in for the `fxhash`/
+//! `rustc-hash` crates (unavailable offline).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The classic multiply-rotate word hasher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_ne_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let build = FastBuildHasher::default();
+        let a = vec![1u32, 2, 3];
+        assert_eq!(build.hash_one(&a), build.hash_one(a.clone()));
+        assert_ne!(build.hash_one(&a), build.hash_one(vec![1u32, 2, 4]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FastHashMap<Vec<u64>, u32> = FastHashMap::default();
+        map.insert(vec![1, 2, 3], 7);
+        assert_eq!(map.get(&vec![1, 2, 3]), Some(&7));
+        assert_eq!(map.get(&vec![1, 2]), None);
+    }
+}

@@ -46,6 +46,7 @@ mod architecture;
 mod builder;
 mod bus;
 mod error;
+pub mod fasthash;
 mod goal;
 mod ids;
 mod mapping;
@@ -68,4 +69,4 @@ pub use node::{Cost, NodeType, Platform};
 pub use prob::Prob;
 pub use system::System;
 pub use time::TimeUs;
-pub use timing::{ExecSpec, TimingDb};
+pub use timing::{ExecSpec, FlatTiming, TimingDb, TimingSource};

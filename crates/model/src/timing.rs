@@ -360,3 +360,102 @@ mod tests {
         assert!(ExecSpec::new(TimeUs::from_ms(-1), Prob::ZERO).is_err());
     }
 }
+
+/// Read-only access to the `(process, node type, h)` timing table.
+///
+/// Implemented by [`TimingDb`] (the canonical nested storage) and
+/// [`FlatTiming`] (a contiguous snapshot for hot loops). Both return the
+/// identical [`ExecSpec`] values for identical coordinates, so generic
+/// consumers produce bit-identical results either way.
+pub trait TimingSource {
+    /// The entry for `(p, j, h)`, as an error when missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    fn spec(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<ExecSpec, ModelError>;
+
+    /// The WCET `t_ijh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    fn wcet(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<TimeUs, ModelError> {
+        Ok(self.spec(p, j, h)?.wcet)
+    }
+
+    /// The failure probability `p_ijh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTiming`] when the entry is absent.
+    fn pfail(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<Prob, ModelError> {
+        Ok(self.spec(p, j, h)?.pfail)
+    }
+}
+
+impl TimingSource for TimingDb {
+    fn spec(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<ExecSpec, ModelError> {
+        TimingDb::spec(self, p, j, h)
+    }
+}
+
+/// A contiguous snapshot of a [`TimingDb`]: one flat array with arithmetic
+/// indexing, so the two lookups every candidate evaluation performs per
+/// process (WCET for the schedule, `p_ijh` for the SFP analysis) are a
+/// single predictable load instead of a three-level pointer chase.
+///
+/// Build once per search over a fixed system; lookups return exactly what
+/// the source [`TimingDb`] would.
+#[derive(Debug, Clone)]
+pub struct FlatTiming {
+    /// Prefix offsets per node type into one process's row; the last entry
+    /// is the row stride.
+    offsets: Vec<u32>,
+    specs: Vec<Option<ExecSpec>>,
+}
+
+impl FlatTiming {
+    /// Snapshots `db` into flat storage.
+    pub fn new(db: &TimingDb) -> Self {
+        let mut offsets = Vec::with_capacity(db.h_counts.len() + 1);
+        let mut total = 0u32;
+        for &hc in &db.h_counts {
+            offsets.push(total);
+            total += u32::from(hc);
+        }
+        offsets.push(total);
+        let stride = total as usize;
+        let mut specs = vec![None; stride * db.n_processes];
+        for (pi, per_process) in db.entries.iter().enumerate() {
+            for (ji, levels) in per_process.iter().enumerate() {
+                for (hi, entry) in levels.iter().enumerate() {
+                    specs[pi * stride + offsets[ji] as usize + hi] = *entry;
+                }
+            }
+        }
+        FlatTiming { offsets, specs }
+    }
+
+    fn get(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Option<ExecSpec> {
+        let ji = j.index();
+        let lo = *self.offsets.get(ji)? as usize;
+        let hi_bound = *self.offsets.get(ji + 1)? as usize;
+        let slot = lo + h.index();
+        if slot >= hi_bound {
+            return None;
+        }
+        let stride = *self.offsets.last().expect("offsets never empty") as usize;
+        self.specs.get(p.index() * stride + slot).copied().flatten()
+    }
+}
+
+impl TimingSource for FlatTiming {
+    fn spec(&self, p: ProcessId, j: NodeTypeId, h: HLevel) -> Result<ExecSpec, ModelError> {
+        self.get(p, j, h).ok_or(ModelError::MissingTiming {
+            process: p.index(),
+            node_type: j.index(),
+            h: h.get(),
+        })
+    }
+}

@@ -62,6 +62,53 @@ impl Default for TabuConfig {
     }
 }
 
+/// Which candidate-evaluation pipeline the heuristics run on.
+///
+/// Both modes return **bit-identical** results; `Scratch` exists as the
+/// executable specification (and perf baseline) of the incremental engine,
+/// mirroring the `complete_homogeneous_naive` pattern in `ftes-sfp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvalMode {
+    /// The incremental engine: per-node SFP series caches with one-node
+    /// delta updates plus a memo cache over (architecture, mapping)
+    /// candidates, so re-probed candidates are never evaluated twice.
+    #[default]
+    Incremental,
+    /// Evaluate every candidate from scratch (the pre-optimization
+    /// pipeline): full SFP re-analysis and schedule rebuild per probe.
+    Scratch,
+}
+
+/// Worker-thread count for the architecture exploration of
+/// [`design_strategy`](crate::design_strategy).
+///
+/// `Threads(1)` (the default) explores sequentially; `Threads(0)` uses all
+/// available parallelism; any other value pins the pool size. The parallel
+/// exploration reduces candidates deterministically (by cost with the
+/// sequential walk order as tie-break), so the chosen solution does not
+/// depend on thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Threads(pub usize);
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads(1)
+    }
+}
+
+impl Threads {
+    /// The effective worker count (resolves `0` to the machine's available
+    /// parallelism).
+    pub fn resolve(self) -> usize {
+        match self.0 {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
 /// Configuration shared by all optimization entry points.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct OptConfig {
@@ -78,6 +125,10 @@ pub struct OptConfig {
     /// (`None` = up to the number of platform node types, the paper's
     /// `|N|`).
     pub max_nodes: Option<usize>,
+    /// Candidate-evaluation pipeline (incremental vs from-scratch).
+    pub eval_mode: EvalMode,
+    /// Worker threads for the architecture exploration (1 = sequential).
+    pub threads: Threads,
 }
 
 /// Newtype holding the re-execution cap with a sensible default.
@@ -102,6 +153,15 @@ mod tests {
         assert_eq!(cfg.max_k.0, 30);
         assert!(cfg.tabu.max_iterations >= cfg.tabu.max_no_improve);
         assert_eq!(cfg.max_nodes, None);
+        assert_eq!(cfg.eval_mode, EvalMode::Incremental);
+        assert_eq!(cfg.threads, Threads(1));
+    }
+
+    #[test]
+    fn threads_resolve() {
+        assert_eq!(Threads(1).resolve(), 1);
+        assert_eq!(Threads(7).resolve(), 7);
+        assert!(Threads(0).resolve() >= 1);
     }
 
     #[test]

@@ -12,14 +12,35 @@
 //!
 //! The paper's MIN and MAX baselines are the same exploration with the
 //! hardening policy pinned (Section 7).
+//!
+//! ## Parallel exploration
+//!
+//! With [`Threads`](crate::config::Threads) ≠ 1, the architectures of each
+//! node count are fanned out across a `std::thread::scope` worker pool
+//! pulling indices from a shared queue, with `Cbest` in an `AtomicU64` so
+//! every worker prunes against the globally best cost found so far. The
+//! result is **bit-identical to the sequential walk** for any thread
+//! count: workers produce per-architecture *hints*, and a deterministic
+//! single-threaded reduce replays the sequential accept/prune/stop walk of
+//! Fig. 5 over them in enumeration order — candidates are ranked by (cost,
+//! walk order), never by arrival order. A worker skips an architecture
+//! only when the skip is provably order-independent (its minimum cost is
+//! at least the batch-start `Cbest`, or strictly above the live atomic);
+//! if the replay nevertheless needs a skipped slot, it evaluates it on the
+//! spot. Evaluation itself is stateless-deterministic, so a hint computed
+//! by any worker equals what the replay would compute inline.
 
-use ftes_model::{Architecture, Cost, ModelError, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ftes_model::{Architecture, Cost, ModelError, NodeTypeId, System};
 use serde::{Deserialize, Serialize};
 
 use crate::arch_iter::architectures_with_n_nodes;
 use crate::config::{Objective, OptConfig};
 use crate::evaluation::Solution;
-use crate::mapping_opt::mapping_algorithm;
+use crate::incremental::{Candidate, EvalStats, Evaluator};
+use crate::mapping_opt::mapping_algorithm_with;
 
 /// Statistics of one design-space exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -28,6 +49,10 @@ pub struct ExplorationStats {
     pub architectures_evaluated: u32,
     /// Architectures skipped by the `Cbest` cost pruning.
     pub architectures_pruned: u32,
+    /// Candidate-evaluation counters of the incremental engine, summed
+    /// over all workers (these depend on worker timing, unlike the
+    /// architecture counters, which replay the sequential walk exactly).
+    pub eval: EvalStats,
 }
 
 /// Outcome of [`design_strategy`]: the cheapest schedulable, reliable
@@ -40,9 +65,24 @@ pub struct DesignOutcome {
     pub stats: ExplorationStats,
 }
 
+/// Result of the Fig. 5 inner loop (lines 7–13) for one architecture.
+enum ArchOutcome {
+    /// Mapping optimization ran; `None` = reliability goal unreachable on
+    /// this architecture (Fig. 5 discards it silently).
+    Evaluated(Option<Arc<Candidate>>),
+    /// Not schedulable even at the best schedule-length mapping: Fig. 5
+    /// line 15 — the walk of this node count stops and `n` grows.
+    Unschedulable,
+}
+
 /// Runs the full design strategy on a system: selects node types,
 /// hardening levels, mapping and re-execution budgets minimizing the
 /// architecture cost subject to deadlines and the reliability goal.
+///
+/// Architectures are explored with `config.threads` workers — the result
+/// is independent of the thread count — and candidates are evaluated
+/// through the incremental engine unless `config.eval_mode` opts into the
+/// from-scratch specification path.
 ///
 /// Returns `Ok(None)` when no explored architecture yields a schedulable
 /// solution that meets the reliability goal.
@@ -77,59 +117,191 @@ pub fn design_strategy(
         .max_nodes
         .unwrap_or_else(|| platform.node_type_count())
         .max(1);
+    let threads = config.threads.resolve().max(1);
 
-    let mut best: Option<Solution> = None;
+    let mut best: Option<Arc<Candidate>> = None;
     let mut stats = ExplorationStats::default();
+    let mut evaluators: Vec<Evaluator<'_>> = (0..threads)
+        .map(|_| Evaluator::new(system, config))
+        .collect();
 
     let mut n = 1usize;
-    while n <= max_nodes {
+    loop {
+        let archs = architectures_with_n_nodes(platform, n);
+        if archs.is_empty() {
+            break; // more slots than node types: nothing left to enumerate
+        }
+        let min_costs: Vec<Cost> = archs
+            .iter()
+            .map(|types| Architecture::with_min_hardening(types).cost(platform))
+            .collect::<Result<_, _>>()?;
+        let cbest_start = best.as_ref().map_or(Cost::MAX, |s| s.cost);
+
+        let mut hints: Vec<Option<ArchOutcome>> = if threads > 1 && archs.len() > 1 {
+            explore_batch_parallel(&archs, &min_costs, cbest_start, &mut evaluators)?
+        } else {
+            (0..archs.len()).map(|_| None).collect()
+        };
+
+        // Deterministic reduce: replay the sequential walk of Fig. 5 over
+        // the hints, in enumeration order, evaluating any slot the workers
+        // skipped but the sequential walk needs.
         let mut advance_n = false;
-        for types in architectures_with_n_nodes(platform, n) {
-            let base = Architecture::with_min_hardening(&types);
+        let mut evaluated_this_n = 0u32;
+        for i in 0..archs.len() {
+            let cbest = best.as_ref().map_or(Cost::MAX, |s| s.cost);
             // Fig. 5 line 6: prune if even the min-hardening cost cannot
             // beat the best-so-far.
-            let min_cost = base.cost(platform)?;
-            let cbest = best.as_ref().map_or(Cost::MAX, |s| s.cost);
-            if min_cost >= cbest {
+            if min_costs[i] >= cbest {
                 stats.architectures_pruned += 1;
                 continue;
             }
             stats.architectures_evaluated += 1;
-
-            // Line 7: shortest schedule for the best mapping.
-            let Some(sl_out) =
-                mapping_algorithm(system, &base, Objective::ScheduleLength, config, None)?
-            else {
-                continue; // reliability goal unreachable on this architecture
+            evaluated_this_n += 1;
+            let outcome = match hints[i].take() {
+                Some(outcome) => outcome,
+                None => explore_one(&mut evaluators[0], &archs[i])?,
             };
-            if !sl_out.schedulable {
-                // Line 15: not schedulable even at the best mapping —
-                // more computation nodes are needed.
-                advance_n = true;
-                break;
-            }
-            // Line 9: optimize cost starting from the schedulable mapping.
-            let seed = sl_out.solution.mapping.clone();
-            let cost_out = mapping_algorithm(system, &base, Objective::Cost, config, Some(seed))?;
-            let candidate = match cost_out {
-                Some(out) if out.schedulable => out.solution,
-                _ => sl_out.solution,
-            };
-            if candidate.is_schedulable() && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
-            {
-                best = Some(candidate);
+            match outcome {
+                ArchOutcome::Unschedulable => {
+                    // Line 15: not schedulable even at the best mapping —
+                    // more computation nodes are needed. The remaining
+                    // (slower) same-n architectures are not walked.
+                    advance_n = true;
+                    break;
+                }
+                ArchOutcome::Evaluated(Some(candidate)) => {
+                    if candidate.is_schedulable()
+                        && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
+                    {
+                        best = Some(candidate);
+                    }
+                }
+                ArchOutcome::Evaluated(None) => {}
             }
         }
-        let _ = advance_n;
+
         n += 1;
+        if n > max_nodes {
+            break;
+        }
+        // Fig. 5 line 15, made explicit: grow `n` when some architecture
+        // demanded more nodes (`advance_n`) or when this node count still
+        // had affordable architectures to walk. If every architecture was
+        // cost-pruned and none asked for more nodes, every larger
+        // architecture is a superset of a pruned one and costs at least as
+        // much — the exploration is exhausted.
+        if !advance_n && evaluated_this_n == 0 {
+            break;
+        }
     }
 
+    for evaluator in &evaluators {
+        stats.eval.merge(evaluator.stats());
+    }
+    // Materialize the winning candidate's full schedule once, at the very
+    // end — probe evaluations only ever carried the schedulability verdict.
+    let best = match best {
+        Some(candidate) => Some(evaluators[0].materialize(&candidate)?),
+        None => None,
+    };
     Ok(best.map(|solution| DesignOutcome { solution, stats }))
+}
+
+/// Fans one node-count batch out across a worker pool. Returns one hint
+/// per architecture in enumeration order; `None` marks slots a worker
+/// skipped (cost-pruned or past a discovered line-15 stop), which the
+/// reduce re-derives or evaluates inline as needed.
+fn explore_batch_parallel(
+    archs: &[Vec<NodeTypeId>],
+    min_costs: &[Cost],
+    cbest_start: Cost,
+    evaluators: &mut [Evaluator<'_>],
+) -> Result<Vec<Option<ArchOutcome>>, ModelError> {
+    // Fig. 5 line 6 across threads: the shared best-so-far cost. Workers
+    // lower it as candidates complete and prune against it.
+    let cbest_atomic = AtomicU64::new(cbest_start.units());
+    let next = AtomicUsize::new(0);
+    // Lowest index seen unschedulable so far: the sequential walk stops
+    // there, so later slots are (heuristically) not worth exploring.
+    let truncate_at = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<ArchOutcome, ModelError>>>> =
+        (0..archs.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for evaluator in evaluators.iter_mut() {
+            let slots = &slots;
+            let next = &next;
+            let truncate_at = &truncate_at;
+            let cbest_atomic = &cbest_atomic;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= archs.len() {
+                    break;
+                }
+                if i > truncate_at.load(Ordering::Acquire) {
+                    continue;
+                }
+                // Skip only when order-independent: at or above the
+                // batch-start bound (the sequential walk prunes against a
+                // Cbest at least this good), or strictly above the live
+                // atomic (any candidate would be strictly worse than the
+                // final best). Indices are handed out in order, so the
+                // live bound only ever reflects earlier slots — exactly
+                // what the sequential walk would have seen.
+                let live = Cost::new(cbest_atomic.load(Ordering::Relaxed));
+                if min_costs[i] >= cbest_start || min_costs[i] > live {
+                    continue;
+                }
+                let outcome = explore_one(evaluator, &archs[i]);
+                match &outcome {
+                    Ok(ArchOutcome::Unschedulable) => {
+                        truncate_at.fetch_min(i, Ordering::Release);
+                    }
+                    Ok(ArchOutcome::Evaluated(Some(candidate))) if candidate.is_schedulable() => {
+                        cbest_atomic.fetch_min(candidate.cost.units(), Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .iter()
+        .map(|slot| slot.lock().unwrap().take().transpose())
+        .collect()
+}
+
+/// Runs the Fig. 5 inner loop (lines 7–13) for one architecture.
+fn explore_one(
+    evaluator: &mut Evaluator<'_>,
+    types: &[NodeTypeId],
+) -> Result<ArchOutcome, ModelError> {
+    let base = Architecture::with_min_hardening(types);
+    // Line 7: shortest schedule for the best mapping.
+    let Some(sl_out) = mapping_algorithm_with(evaluator, &base, Objective::ScheduleLength, None)?
+    else {
+        return Ok(ArchOutcome::Evaluated(None)); // reliability goal unreachable
+    };
+    if !sl_out.schedulable {
+        return Ok(ArchOutcome::Unschedulable);
+    }
+    // Line 9: optimize cost starting from the schedulable mapping.
+    let seed = sl_out.solution.mapping.clone();
+    let cost_out = mapping_algorithm_with(evaluator, &base, Objective::Cost, Some(seed))?;
+    let candidate = match cost_out {
+        Some(out) if out.schedulable => out.solution,
+        _ => sl_out.solution,
+    };
+    Ok(ArchOutcome::Evaluated(Some(candidate)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Threads;
     use ftes_model::{paper, HLevel, NodeId, TimeUs};
 
     #[test]
@@ -249,5 +421,59 @@ mod tests {
         // Restricted to one node, the best is Fig. 4e: N2^3 at cost 80.
         assert_eq!(out.solution.cost, Cost::new(80));
         assert_eq!(out.solution.architecture.node_count(), 1);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_exactly() {
+        for system in [paper::fig1_system(), paper::fig3_system()] {
+            let seq = design_strategy(&system, &OptConfig::default()).unwrap();
+            for threads in [2, 4, 0] {
+                let config = OptConfig {
+                    threads: Threads(threads),
+                    ..OptConfig::default()
+                };
+                let par = design_strategy(&system, &config).unwrap();
+                match (&seq, &par) {
+                    (Some(s), Some(p)) => {
+                        assert_eq!(s.solution, p.solution, "threads={threads}");
+                        assert_eq!(
+                            s.stats.architectures_evaluated, p.stats.architectures_evaluated,
+                            "threads={threads}"
+                        );
+                        assert_eq!(
+                            s.stats.architectures_pruned, p.stats.architectures_pruned,
+                            "threads={threads}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("divergent feasibility: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_mode_matches_incremental_exactly() {
+        use crate::config::EvalMode;
+        for system in [paper::fig1_system(), paper::fig3_system()] {
+            let incr = design_strategy(&system, &OptConfig::default()).unwrap();
+            let config = OptConfig {
+                eval_mode: EvalMode::Scratch,
+                ..OptConfig::default()
+            };
+            let scratch = design_strategy(&system, &config).unwrap();
+            match (&incr, &scratch) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.solution, b.solution);
+                    assert_eq!(
+                        a.stats.architectures_evaluated,
+                        b.stats.architectures_evaluated
+                    );
+                    assert_eq!(a.stats.architectures_pruned, b.stats.architectures_pruned);
+                }
+                (None, None) => {}
+                other => panic!("divergent feasibility: {other:?}"),
+            }
+        }
     }
 }

@@ -51,10 +51,12 @@ pub fn optimize_fixed_architecture(
     }
     let seed = sl_out.solution.mapping.clone();
     let cost_out = mapping_algorithm(system, &base, Objective::Cost, config, Some(seed))?;
-    Ok(Some(match cost_out {
+    let candidate = match cost_out {
         Some(out) if out.schedulable && out.solution.cost <= sl_out.solution.cost => out.solution,
         _ => sl_out.solution,
-    }))
+    };
+    // Materialize the winner's schedule through the specification path.
+    Ok(Some(candidate.materialize(system)?))
 }
 
 #[cfg(test)]

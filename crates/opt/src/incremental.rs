@@ -1,0 +1,498 @@
+//! The incremental candidate-evaluation engine.
+//!
+//! Every probe of the Section 6 heuristics — a hardening step in
+//! `RedundancyOpt`, a tabu re-mapping move, an aspiration re-probe — runs
+//! the same pipeline: derive per-node process failure probabilities, find
+//! the re-execution budgets, build the schedule, read the cost. The
+//! from-scratch pipeline ([`evaluate_fixed`]) redoes all of it per probe,
+//! although consecutive probes differ in a single node's hardening level
+//! or a single process re-mapping.
+//!
+//! [`Evaluator`] exploits that structure on two levels:
+//!
+//! 1. **Memo cache.** Results are cached per (architecture, mapping)
+//!    candidate, behind `Arc` so hits are pointer copies. The
+//!    increase/reduction phases of the hardening trade-off and the tabu
+//!    search re-probe the same candidates constantly (the reduction phase
+//!    re-visits the increase phase's endpoint, tabu iterations re-try
+//!    recently evaluated moves, the `Cost` pass re-walks the
+//!    `ScheduleLength` pass's neighbourhood); each repeat is a lookup.
+//! 2. **Incremental SFP.** On a miss, the per-node `Pr(f > k)` series are
+//!    delta-synced through [`SystemSfp`]: the candidate is diffed against
+//!    the previously synced one and only the touched nodes are updated —
+//!    `O(changed)` instead of `O(all nodes × max_k)` — where `SystemSfp`'s
+//!    own configuration memo and lazy series extension make even a touched
+//!    node cheap when its configuration was seen before or its budget
+//!    stays small.
+//!
+//! Mapping validation is hoisted out of the inner loops: a (node-types,
+//! mapping) pair is validated once, not once per hardening probe.
+//!
+//! Results are **bit-identical** to [`evaluate_fixed`], which stays
+//! available (via [`EvalMode::Scratch`]) as the executable specification;
+//! `tests/incremental_differential.rs` pins the equivalence.
+
+use std::sync::Arc;
+
+use ftes_model::fasthash::FastHashMap;
+
+use ftes_model::{
+    Architecture, Cost, FlatTiming, Mapping, ModelError, NodeId, NodeInstance, Prob, System,
+    TimeUs, TimingSource,
+};
+use ftes_sched::{Scheduler, SlackModel};
+use ftes_sfp::SystemSfp;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{EvalMode, OptConfig};
+use crate::evaluation::{evaluate_fixed, Solution};
+
+/// Soft bound on memoized candidates; the cache is dropped wholesale when
+/// it grows past this (keeps worst-case memory bounded without an LRU).
+const CACHE_CAP: usize = 1 << 16;
+
+/// A scored candidate: everything the search ranks solutions by, without
+/// the materialized schedule.
+///
+/// Candidate probes only ever consume the worst-case length, the
+/// schedulability verdict, the budgets and the cost; the full
+/// [`Schedule`](ftes_sched::Schedule) is expensive to materialize and is
+/// only needed for solutions that survive the search — call
+/// [`Evaluator::materialize`] (or [`evaluate_fixed`]) to obtain the
+/// corresponding [`Solution`]. Field names mirror [`Solution`] so
+/// consumers read `candidate.cost`, `candidate.ks`, … identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Selected architecture with hardening levels.
+    pub architecture: Architecture,
+    /// Process-to-node mapping.
+    pub mapping: Mapping,
+    /// Re-execution budgets `k_j` per architecture node.
+    pub ks: Vec<u32>,
+    /// Worst-case schedule length `SL`.
+    pub wc_length: TimeUs,
+    /// Whether all deadlines are met in the worst case.
+    pub schedulable: bool,
+    /// Total architecture cost.
+    pub cost: Cost,
+}
+
+impl Candidate {
+    /// Worst-case schedule length `SL` (mirrors
+    /// [`Solution::schedule_length`]).
+    pub fn schedule_length(&self) -> TimeUs {
+        self.wc_length
+    }
+
+    /// `true` if all deadlines are met in the worst case (mirrors
+    /// [`Solution::is_schedulable`]).
+    pub fn is_schedulable(&self) -> bool {
+        self.schedulable
+    }
+
+    /// Materializes the full [`Solution`] (including the static schedule)
+    /// for this candidate, through the from-scratch specification
+    /// scheduler — bit-identical to what [`evaluate_fixed`] returns for
+    /// the same candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn materialize(&self, system: &System) -> Result<Solution, ModelError> {
+        let schedule = ftes_sched::schedule(
+            system.application(),
+            system.timing(),
+            &self.architecture,
+            &self.mapping,
+            &self.ks,
+            system.bus(),
+        )?;
+        Ok(Solution {
+            architecture: self.architecture.clone(),
+            mapping: self.mapping.clone(),
+            ks: self.ks.clone(),
+            schedule,
+            cost: self.cost,
+        })
+    }
+
+    /// Extracts the scored fields from a fully materialized solution.
+    pub fn of_solution(solution: Solution) -> Self {
+        Candidate {
+            wc_length: solution.schedule_length(),
+            schedulable: solution.is_schedulable(),
+            architecture: solution.architecture,
+            mapping: solution.mapping,
+            ks: solution.ks,
+            cost: solution.cost,
+        }
+    }
+}
+
+/// Counters of the incremental engine, aggregated per [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Candidate evaluations requested (cache hits included).
+    pub evaluations: u64,
+    /// Requests served from the (architecture, mapping) memo cache.
+    pub cache_hits: u64,
+    /// Node deltas applied (a cache-missing candidate touches only its
+    /// changed nodes).
+    pub sfp_nodes_computed: u64,
+    /// Node series reused unchanged across consecutive probes.
+    pub sfp_nodes_reused: u64,
+    /// Node deltas resolved from the SFP configuration memo.
+    pub series_memo_hits: u64,
+    /// Node series prefixes actually computed or extended.
+    pub series_computed: u64,
+}
+
+impl EvalStats {
+    /// Merges another evaluator's counters (used when several workers each
+    /// own an evaluator).
+    pub fn merge(&mut self, other: EvalStats) {
+        self.evaluations += other.evaluations;
+        self.cache_hits += other.cache_hits;
+        self.sfp_nodes_computed += other.sfp_nodes_computed;
+        self.sfp_nodes_reused += other.sfp_nodes_reused;
+        self.series_memo_hits += other.series_memo_hits;
+        self.series_computed += other.series_computed;
+    }
+
+    /// Full evaluations actually executed (requests minus memo hits).
+    pub fn evaluations_executed(&self) -> u64 {
+        self.evaluations - self.cache_hits
+    }
+}
+
+/// Stateful candidate evaluator shared across the probes of one search.
+///
+/// Construct once per search (or per worker thread) and feed every
+/// candidate through [`evaluate`](Evaluator::evaluate); the evaluator
+/// carries the memo cache and the incremental SFP state across probes. In
+/// [`EvalMode::Scratch`] it degrades to calling [`evaluate_fixed`] per
+/// probe, bit-identically but without any reuse.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    system: &'a System,
+    config: &'a OptConfig,
+    /// Memo: architecture → mapping → candidate (`None` = reliability
+    /// goal unreachable). Nested so lookups need no owned key.
+    cache: FastHashMap<Architecture, FastHashMap<Mapping, Option<Arc<Candidate>>>>,
+    cached: usize,
+    /// Contiguous timing snapshot for the hot lookups.
+    flat: FlatTiming,
+    /// Incremental per-node SFP series, synced to the candidate described
+    /// by `synced_nodes`/`synced_map`.
+    sfp: SystemSfp,
+    synced: bool,
+    synced_nodes: Vec<NodeInstance>,
+    synced_map: Vec<NodeId>,
+    /// The last (node types, mapping) pair that passed validation.
+    validated: bool,
+    validated_types: Vec<ftes_model::NodeTypeId>,
+    validated_map: Vec<NodeId>,
+    /// Reusable per-probe scratch buffers.
+    touched: Vec<bool>,
+    per_node: Vec<Vec<Prob>>,
+    scheduler: Scheduler,
+    stats: EvalStats,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for one system under one configuration.
+    pub fn new(system: &'a System, config: &'a OptConfig) -> Self {
+        Evaluator {
+            system,
+            config,
+            cache: FastHashMap::default(),
+            cached: 0,
+            flat: FlatTiming::new(system.timing()),
+            sfp: SystemSfp::new(0, config.max_k.0, config.rounding),
+            synced: false,
+            synced_nodes: Vec::new(),
+            synced_map: Vec::new(),
+            validated: false,
+            validated_types: Vec::new(),
+            validated_map: Vec::new(),
+            touched: Vec::new(),
+            per_node: Vec::new(),
+            scheduler: Scheduler::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The system under evaluation.
+    pub fn system(&self) -> &'a System {
+        self.system
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &'a OptConfig {
+        self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        let mut stats = self.stats;
+        stats.series_memo_hits = self.sfp.memo_hits();
+        stats.series_computed = self.sfp.series_computed();
+        stats
+    }
+
+    /// Evaluates one fully-specified candidate — the drop-in equivalent of
+    /// [`evaluate_fixed`] (same results bit for bit), with memoization and
+    /// incremental SFP re-analysis in [`EvalMode::Incremental`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (invalid mapping, missing timing entries).
+    pub fn evaluate(
+        &mut self,
+        arch: &Architecture,
+        mapping: &Mapping,
+    ) -> Result<Option<Arc<Candidate>>, ModelError> {
+        self.stats.evaluations += 1;
+        if self.config.eval_mode == EvalMode::Scratch {
+            return Ok(evaluate_fixed(self.system, arch, mapping, self.config)?
+                .map(|solution| Arc::new(Candidate::of_solution(solution))));
+        }
+
+        if let Some(hit) = self.cache.get(arch).and_then(|m| m.get(mapping)) {
+            self.stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+
+        let app = self.system.application();
+        let timing = self.system.timing();
+
+        // Validation depends only on the node *types* and the mapping, not
+        // on hardening levels — hoist it out of the hardening probes.
+        let types_match = self.validated
+            && self
+                .validated_types
+                .iter()
+                .eq(arch.nodes().iter().map(|n| &n.node_type))
+            && self.validated_map == mapping.as_slice();
+        if !types_match {
+            mapping.validate(app, arch, timing)?;
+            self.validated_types.clear();
+            self.validated_types
+                .extend(arch.nodes().iter().map(|n| n.node_type));
+            self.validated_map
+                .clone_from_slice_reusing(mapping.as_slice());
+            self.validated = true;
+        }
+
+        // Delta-sync the SFP state: diff this candidate against the last
+        // synced one and recompute only the touched nodes (a hardening
+        // step touches one node, a re-mapping move two).
+        let node_count = arch.node_count();
+        self.touched.clear();
+        self.touched.resize(node_count, true);
+        if self.synced
+            && self.synced_nodes.len() == node_count
+            && self.synced_map.len() == mapping.process_count()
+        {
+            for (j, flag) in self.touched.iter_mut().enumerate() {
+                *flag = self.synced_nodes[j] != arch.node(NodeId::new(j as u32));
+            }
+            for (p, &old) in self.synced_map.iter().enumerate() {
+                let new = mapping.node_of(ftes_model::ProcessId::new(p as u32));
+                if old != new {
+                    self.touched[old.index()] = true;
+                    self.touched[new.index()] = true;
+                }
+            }
+        }
+        self.sfp.set_node_count(node_count);
+
+        // Per-node process failure probabilities for the touched nodes, in
+        // process-id order — the exact grouping `node_process_probs`
+        // produces.
+        if self.per_node.len() < node_count {
+            self.per_node.resize_with(node_count, Vec::new);
+        }
+        for probs in self.per_node.iter_mut() {
+            probs.clear();
+        }
+        for p in app.process_ids() {
+            let n = mapping.node_of(p);
+            if self.touched[n.index()] {
+                let inst = arch.node(n);
+                self.per_node[n.index()].push(self.flat.pfail(
+                    p,
+                    inst.node_type,
+                    inst.hardening,
+                )?);
+            }
+        }
+        for j in 0..node_count {
+            if self.touched[j] {
+                self.sfp.set_node_probs(j, &self.per_node[j]);
+                self.stats.sfp_nodes_computed += 1;
+            } else {
+                self.stats.sfp_nodes_reused += 1;
+            }
+        }
+        self.synced_nodes.clone_from_slice_reusing(arch.nodes());
+        self.synced_map.clone_from_slice_reusing(mapping.as_slice());
+        self.synced = true;
+
+        let candidate = match self.sfp.optimize(self.system.goal(), app.period()) {
+            None => None,
+            Some(ks) => {
+                let verdict = self.scheduler.run_light(
+                    app,
+                    &self.flat,
+                    arch,
+                    mapping,
+                    &ks,
+                    self.system.bus(),
+                    SlackModel::Shared,
+                )?;
+                let cost = arch.cost(self.system.platform())?;
+                Some(Arc::new(Candidate {
+                    architecture: arch.clone(),
+                    mapping: mapping.clone(),
+                    ks,
+                    wc_length: verdict.wc_length,
+                    schedulable: verdict.schedulable,
+                    cost,
+                }))
+            }
+        };
+
+        if self.cached >= CACHE_CAP {
+            self.cache.clear();
+            self.cached = 0;
+        }
+        if let Some(inner) = self.cache.get_mut(arch) {
+            inner.insert(mapping.clone(), candidate.clone());
+        } else {
+            let mut inner = FastHashMap::default();
+            inner.insert(mapping.clone(), candidate.clone());
+            self.cache.insert(arch.clone(), inner);
+        }
+        self.cached += 1;
+        Ok(candidate)
+    }
+
+    /// Materializes a surviving candidate's [`Solution`] — see
+    /// [`Candidate::materialize`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn materialize(&self, candidate: &Candidate) -> Result<Solution, ModelError> {
+        candidate.materialize(self.system)
+    }
+}
+
+/// `clone_from`-style buffer reuse for plain-old-data slices.
+trait CloneFromSliceReusing<T: Copy> {
+    fn clone_from_slice_reusing(&mut self, src: &[T]);
+}
+
+impl<T: Copy> CloneFromSliceReusing<T> for Vec<T> {
+    fn clone_from_slice_reusing(&mut self, src: &[T]) {
+        self.clear();
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{paper, HLevel};
+
+    #[test]
+    fn matches_evaluate_fixed_on_all_fig4_variants() {
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut ev = Evaluator::new(&sys, &config);
+        for v in ['a', 'b', 'c', 'd', 'e'] {
+            let (arch, mapping) = paper::fig4_alternative(v);
+            let incr = ev.evaluate(&arch, &mapping).unwrap();
+            let scratch = evaluate_fixed(&sys, &arch, &mapping, &config).unwrap();
+            assert_eq!(
+                incr.as_deref().cloned(),
+                scratch
+                    .clone()
+                    .map(Candidate::of_solution)
+                    .as_ref()
+                    .cloned(),
+                "variant {v}"
+            );
+            // The materialized solution must equal the from-scratch one.
+            if let (Some(candidate), Some(solution)) = (&incr, &scratch) {
+                assert_eq!(&ev.materialize(candidate).unwrap(), solution, "variant {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_probes_hit_the_cache() {
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut ev = Evaluator::new(&sys, &config);
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let first = ev.evaluate(&arch, &mapping).unwrap();
+        let second = ev.evaluate(&arch, &mapping).unwrap();
+        assert_eq!(first, second);
+        let stats = ev.stats();
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.evaluations_executed(), 1);
+    }
+
+    #[test]
+    fn one_node_hardening_delta_recomputes_one_node() {
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut ev = Evaluator::new(&sys, &config);
+        let (mut arch, mapping) = paper::fig4_alternative('a');
+        ev.evaluate(&arch, &mapping).unwrap();
+        let after_first = ev.stats();
+        assert_eq!(
+            after_first.sfp_nodes_computed, 2,
+            "cold start computes both"
+        );
+
+        arch.set_hardening(NodeId::new(0), HLevel::new(3).unwrap());
+        let incr = ev.evaluate(&arch, &mapping).unwrap();
+        let stats = ev.stats();
+        assert_eq!(stats.sfp_nodes_computed, 3, "only node 0 recomputed");
+        assert_eq!(stats.sfp_nodes_reused, 1, "node 1 reused");
+        let scratch = evaluate_fixed(&sys, &arch, &mapping, &config).unwrap();
+        assert_eq!(
+            incr.as_deref().cloned(),
+            scratch.map(Candidate::of_solution)
+        );
+    }
+
+    #[test]
+    fn scratch_mode_bypasses_the_cache() {
+        let sys = paper::fig1_system();
+        let config = OptConfig {
+            eval_mode: EvalMode::Scratch,
+            ..OptConfig::default()
+        };
+        let mut ev = Evaluator::new(&sys, &config);
+        let (arch, mapping) = paper::fig4_alternative('a');
+        ev.evaluate(&arch, &mapping).unwrap();
+        ev.evaluate(&arch, &mapping).unwrap();
+        assert_eq!(ev.stats().cache_hits, 0);
+        assert_eq!(ev.stats().evaluations, 2);
+    }
+
+    #[test]
+    fn invalid_mapping_is_still_rejected() {
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut ev = Evaluator::new(&sys, &config);
+        let (arch, _) = paper::fig4_alternative('a');
+        let short = Mapping::new(vec![NodeId::new(0)]);
+        assert!(ev.evaluate(&arch, &short).is_err());
+    }
+}

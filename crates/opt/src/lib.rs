@@ -19,6 +19,14 @@
 //! [`HardeningPolicy`]: `Optimize` (OPT), `FixedMin` (MIN), `FixedMax`
 //! (MAX).
 //!
+//! Candidates are evaluated through the incremental engine ([`Evaluator`]:
+//! an (architecture, mapping) memo cache over one-node-delta SFP
+//! re-analysis via [`ftes_sfp::SystemSfp`]), and the architecture
+//! exploration optionally fans out across a worker pool ([`Threads`]) with
+//! shared atomic `Cbest` pruning. Both are bit-identical to the
+//! from-scratch sequential pipeline, which remains selectable as the
+//! executable specification via [`EvalMode::Scratch`].
+//!
 //! ## Example
 //!
 //! ```
@@ -40,13 +48,15 @@ mod config;
 mod design_strategy;
 mod evaluation;
 mod fixed_arch;
+mod incremental;
 mod mapping_opt;
 mod redundancy;
 
 pub use arch_iter::architectures_with_n_nodes;
-pub use config::{HardeningPolicy, MaxK, Objective, OptConfig, TabuConfig};
+pub use config::{EvalMode, HardeningPolicy, MaxK, Objective, OptConfig, TabuConfig, Threads};
 pub use design_strategy::{design_strategy, DesignOutcome, ExplorationStats};
 pub use evaluation::{evaluate_fixed, Solution};
 pub use fixed_arch::optimize_fixed_architecture;
-pub use mapping_opt::{initial_mapping, mapping_algorithm, solution_score};
-pub use redundancy::{redundancy_opt, RedundancyOutcome};
+pub use incremental::{Candidate, EvalStats, Evaluator};
+pub use mapping_opt::{initial_mapping, mapping_algorithm, mapping_algorithm_with, solution_score};
+pub use redundancy::{redundancy_opt, redundancy_opt_with, RedundancyOutcome};

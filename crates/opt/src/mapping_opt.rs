@@ -16,7 +16,8 @@ use ftes_model::{Architecture, Mapping, ModelError, NodeId, System, TimeUs};
 use ftes_sched::critical_processes;
 
 use crate::config::{Objective, OptConfig};
-use crate::redundancy::{redundancy_opt, RedundancyOutcome};
+use crate::incremental::Evaluator;
+use crate::redundancy::{redundancy_opt_with, RedundancyOutcome};
 
 /// Ordering key for candidate solutions under a given objective. Lower is
 /// better; the leading tier makes schedulable solutions always beat
@@ -107,6 +108,24 @@ pub fn mapping_algorithm(
     config: &OptConfig,
     start: Option<Mapping>,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let mut evaluator = Evaluator::new(system, config);
+    mapping_algorithm_with(&mut evaluator, base, objective, start)
+}
+
+/// [`mapping_algorithm`] on a caller-provided [`Evaluator`], sharing the
+/// memo cache across the tabu iterations — and, when the caller reuses one
+/// evaluator for both the `ScheduleLength` and `Cost` passes (as the
+/// design strategy does), across passes: the redundancy optimization of a
+/// mapping is objective-independent, so the second pass's re-probes of the
+/// first pass's neighbourhood are pure cache hits.
+pub fn mapping_algorithm_with(
+    evaluator: &mut Evaluator<'_>,
+    base: &Architecture,
+    objective: Objective,
+    start: Option<Mapping>,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let system = evaluator.system();
+    let config = evaluator.config();
     let app = system.application();
     let timing = system.timing();
     let n = app.process_count();
@@ -116,7 +135,7 @@ pub fn mapping_algorithm(
         None => initial_mapping(system, base)?,
     };
     let mut current = initial.clone();
-    let Some(mut current_out) = redundancy_opt(system, base, &current, config)? else {
+    let Some(mut current_out) = redundancy_opt_with(evaluator, base, &current)? else {
         return Ok(None);
     };
     let mut best_out = current_out.clone();
@@ -151,9 +170,11 @@ pub fn mapping_algorithm(
                 if node == from || !timing.supports(p, base.node_type(node)) {
                     continue;
                 }
-                let mut trial = current.clone();
-                trial.assign(p, node);
-                let Some(out) = redundancy_opt(system, base, &trial, config)? else {
+                // Mutate + undo instead of cloning the mapping per trial.
+                current.assign(p, node);
+                let trial_out = redundancy_opt_with(evaluator, base, &current);
+                current.assign(p, from);
+                let Some(out) = trial_out? else {
                     continue;
                 };
                 let slot = if tabu[p.index()] > 0 {
@@ -213,6 +234,7 @@ pub fn solution_score(outcome: &RedundancyOutcome, objective: Objective) -> (u8,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::redundancy::redundancy_opt;
     use ftes_model::{paper, HLevel, NodeTypeId, ProcessId};
 
     #[test]

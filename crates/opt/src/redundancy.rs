@@ -15,16 +15,26 @@
 //! Candidates whose reliability goal is unreachable (no re-execution budget
 //! suffices) are discarded, exactly like unschedulable ones.
 
+use std::sync::Arc;
+
 use ftes_model::{Architecture, Mapping, ModelError, NodeId, System};
 
 use crate::config::{HardeningPolicy, OptConfig};
-use crate::evaluation::{evaluate_fixed, Solution};
+use crate::incremental::{Candidate, Evaluator};
 
 /// Result of the redundancy optimization for one mapping.
+///
+/// The winning candidate is behind an `Arc`: the tabu search copies
+/// outcomes around freely (slot tracking, aspiration, best-so-far), and
+/// sharing keeps those copies pointer-sized. The candidate carries
+/// everything the search scores by (cost, budgets, worst-case length,
+/// schedulability); materialize the full [`Solution`](crate::Solution)
+/// via [`Evaluator::materialize`] when the static schedule itself is
+/// needed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RedundancyOutcome {
-    /// The best solution found (schedulable if any candidate was).
-    pub solution: Solution,
+    /// The best candidate found (schedulable if any was).
+    pub solution: Arc<Candidate>,
     /// Whether `solution` meets all deadlines.
     pub schedulable: bool,
 }
@@ -46,12 +56,25 @@ pub fn redundancy_opt(
     mapping: &Mapping,
     config: &OptConfig,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let mut evaluator = Evaluator::new(system, config);
+    redundancy_opt_with(&mut evaluator, base, mapping)
+}
+
+/// [`redundancy_opt`] on a caller-provided [`Evaluator`], so the memo
+/// cache and incremental SFP state persist across the probes of an
+/// enclosing search (the tabu mapping loop, the architecture exploration).
+pub fn redundancy_opt_with(
+    evaluator: &mut Evaluator<'_>,
+    base: &Architecture,
+    mapping: &Mapping,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    let system = evaluator.system();
     let platform = system.platform();
-    match config.policy {
+    match evaluator.config().policy {
         HardeningPolicy::FixedMin => {
             let mut arch = base.clone();
             arch.set_min_hardening();
-            let sol = evaluate_fixed(system, &arch, mapping, config)?;
+            let sol = evaluator.evaluate(&arch, mapping)?;
             Ok(sol.map(|solution| RedundancyOutcome {
                 schedulable: solution.is_schedulable(),
                 solution,
@@ -60,40 +83,39 @@ pub fn redundancy_opt(
         HardeningPolicy::FixedMax => {
             let types: Vec<_> = base.nodes().iter().map(|n| n.node_type).collect();
             let arch = Architecture::with_max_hardening(&types, platform);
-            let sol = evaluate_fixed(system, &arch, mapping, config)?;
+            let sol = evaluator.evaluate(&arch, mapping)?;
             Ok(sol.map(|solution| RedundancyOutcome {
                 schedulable: solution.is_schedulable(),
                 solution,
             }))
         }
-        HardeningPolicy::Optimize => optimize_levels(system, base, mapping, config),
+        HardeningPolicy::Optimize => optimize_levels(evaluator, base, mapping),
     }
 }
 
 fn optimize_levels(
-    system: &System,
+    evaluator: &mut Evaluator<'_>,
     base: &Architecture,
     mapping: &Mapping,
-    config: &OptConfig,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
-    let platform = system.platform();
+    let platform = evaluator.system().platform();
     let mut arch = base.clone();
     arch.set_min_hardening();
 
     // Track the best candidate in two tiers: the cheapest schedulable one,
     // and (as a fallback) the one with the shortest schedule.
-    let mut best_schedulable: Option<Solution> = None;
-    let mut best_any: Option<Solution> = None;
+    let mut best_schedulable: Option<Arc<Candidate>> = None;
+    let mut best_any: Option<Arc<Candidate>> = None;
 
-    let consider = |sol: Solution,
-                    best_schedulable: &mut Option<Solution>,
-                    best_any: &mut Option<Solution>| {
+    let consider = |sol: Arc<Candidate>,
+                    best_schedulable: &mut Option<Arc<Candidate>>,
+                    best_any: &mut Option<Arc<Candidate>>| {
         if sol.is_schedulable()
             && best_schedulable
                 .as_ref()
                 .map_or(true, |b| sol.cost < b.cost)
         {
-            *best_schedulable = Some(sol.clone());
+            *best_schedulable = Some(Arc::clone(&sol));
         }
         if best_any
             .as_ref()
@@ -104,28 +126,31 @@ fn optimize_levels(
     };
 
     // --- Increase phase -------------------------------------------------
-    let mut current = evaluate_fixed(system, &arch, mapping, config)?;
+    let mut current = evaluator.evaluate(&arch, mapping)?;
     if let Some(sol) = current.clone() {
         consider(sol, &mut best_schedulable, &mut best_any);
     }
     loop {
-        let schedulable_now = current.as_ref().is_some_and(Solution::is_schedulable);
+        let schedulable_now = current.as_deref().is_some_and(Candidate::is_schedulable);
         if schedulable_now {
             break;
         }
-        // Try raising each node by one level; keep the variant with the
+        // Try raising each node by one level (mutate + undo rather than
+        // cloning the architecture per trial); keep the variant with the
         // shortest schedule (or the first reachable one if none was).
-        let mut best_step: Option<(NodeId, Solution)> = None;
-        for node in arch.node_ids() {
+        let mut best_step: Option<(NodeId, Arc<Candidate>)> = None;
+        for slot in 0..arch.node_count() {
+            let node = NodeId::new(slot as u32);
             let inst = arch.node(node);
             let nt = platform.node_type(inst.node_type);
             let up = inst.hardening.up();
             if !nt.has_level(up) {
                 continue;
             }
-            let mut trial = arch.clone();
-            trial.set_hardening(node, up);
-            if let Some(sol) = evaluate_fixed(system, &trial, mapping, config)? {
+            arch.set_hardening(node, up);
+            let trial = evaluator.evaluate(&arch, mapping)?;
+            arch.set_hardening(node, inst.hardening);
+            if let Some(sol) = trial {
                 if best_step
                     .as_ref()
                     .map_or(true, |(_, b)| sol.schedule_length() < b.schedule_length())
@@ -138,7 +163,7 @@ fn optimize_levels(
             break; // no level can be raised (or none reaches the goal)
         };
         arch.set_hardening(node, arch.hardening(node).up());
-        consider(sol.clone(), &mut best_schedulable, &mut best_any);
+        consider(Arc::clone(&sol), &mut best_schedulable, &mut best_any);
         current = Some(sol);
     }
 
@@ -150,14 +175,17 @@ fn optimize_levels(
             .architecture
             .clone();
         loop {
-            let mut best_step: Option<Solution> = None;
-            for node in arch.node_ids() {
-                let Some(down) = arch.hardening(node).down() else {
+            let mut best_step: Option<Arc<Candidate>> = None;
+            for slot in 0..arch.node_count() {
+                let node = NodeId::new(slot as u32);
+                let before = arch.hardening(node);
+                let Some(down) = before.down() else {
                     continue;
                 };
-                let mut trial = arch.clone();
-                trial.set_hardening(node, down);
-                if let Some(sol) = evaluate_fixed(system, &trial, mapping, config)? {
+                arch.set_hardening(node, down);
+                let trial = evaluator.evaluate(&arch, mapping)?;
+                arch.set_hardening(node, before);
+                if let Some(sol) = trial {
                     if sol.is_schedulable()
                         && best_step.as_ref().map_or(true, |b| sol.cost < b.cost)
                     {

@@ -37,6 +37,8 @@ mod list_scheduler;
 mod priority;
 mod schedule;
 
-pub use list_scheduler::{schedule, schedule_length, schedule_with, SlackModel};
+pub use list_scheduler::{
+    schedule, schedule_length, schedule_with, ScheduleVerdict, Scheduler, SlackModel,
+};
 pub use priority::{critical_processes, longest_path_to_sink};
 pub use schedule::{MessageSlot, ProcessSlot, Schedule};

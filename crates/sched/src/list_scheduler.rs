@@ -19,9 +19,10 @@
 //! under node-local fault semantics — `ftes-faultsim`'s runtime simulator
 //! checks it by injection (see the property tests).
 
-use ftes_model::{Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb};
+use ftes_model::{
+    Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb, TimingSource,
+};
 
-use crate::priority::longest_path_to_sink;
 use crate::schedule::{MessageSlot, ProcessSlot, Schedule};
 
 /// Builds the static schedule for one application iteration.
@@ -100,140 +101,364 @@ pub fn schedule_with(
     slack: SlackModel,
 ) -> Result<Schedule, ModelError> {
     mapping.validate(app, arch, timing)?;
-    if ks.len() != arch.node_count() {
-        return Err(ModelError::IncompleteMapping {
-            expected: arch.node_count(),
-            got: ks.len(),
-        });
+    Scheduler::new().run(app, timing, arch, mapping, ks, bus, slack)
+}
+
+/// The list scheduler with reusable intermediate buffers.
+///
+/// [`schedule`] / [`schedule_with`] construct one per call; hot loops (the
+/// design-space exploration evaluates thousands of candidates per second)
+/// keep one around and call [`run`](Scheduler::run) directly, skipping the
+/// per-call mapping validation (the caller is expected to have validated)
+/// and all intermediate allocations. The produced [`Schedule`] is
+/// identical to [`schedule_with`]'s for valid inputs.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    priorities: Vec<TimeUs>,
+    remaining_preds: Vec<usize>,
+    ready: Vec<ftes_model::ProcessId>,
+    node_available: Vec<TimeUs>,
+    node_prefix_max: Vec<TimeUs>,
+    node_bus_busy: Vec<TimeUs>,
+    deadlines: Vec<TimeUs>,
+    msg_arrival: Vec<TimeUs>,
+    graph_wc: Vec<TimeUs>,
+}
+
+/// The schedulability verdict of [`Scheduler::run_light`]: exactly the
+/// two numbers the design-space search scores candidates by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleVerdict {
+    /// Worst-case schedule length `SL` (equals
+    /// [`Schedule::wc_length`](crate::Schedule::wc_length)).
+    pub wc_length: TimeUs,
+    /// Whether every graph meets its deadline (equals
+    /// [`Schedule::is_schedulable`](crate::Schedule::is_schedulable)).
+    pub schedulable: bool,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with empty buffers.
+    pub fn new() -> Self {
+        Scheduler::default()
     }
 
-    let n = app.process_count();
-    let priorities = longest_path_to_sink(app, timing, arch, mapping)?;
-
-    let mut remaining_preds: Vec<usize> =
-        app.process_ids().map(|p| app.incoming(p).len()).collect();
-    let mut ready: Vec<ftes_model::ProcessId> = app
-        .process_ids()
-        .filter(|&p| remaining_preds[p.index()] == 0)
-        .collect();
-
-    let mut node_available = vec![TimeUs::ZERO; arch.node_count()];
-    // Running maximum of (t_ijh + μ_i) over the processes placed so far on
-    // each node: a process can only be delayed by re-executions of itself
-    // or of processes scheduled before it, so its worst-case end is
-    // finish + k_j · prefix_max(t + μ). This is the shared-slack bound.
-    let mut node_prefix_max = vec![TimeUs::ZERO; arch.node_count()];
-    // Serialization point per sender node for bus transmissions: a node's
-    // network interface sends one message at a time.
-    let mut node_bus_busy = vec![TimeUs::ZERO; arch.node_count()];
-    let mut proc_slots: Vec<Option<ProcessSlot>> = vec![None; n];
-    let mut msg_slots: Vec<Option<MessageSlot>> = vec![None; app.message_count()];
-    let mut scheduled = 0usize;
-
-    while !ready.is_empty() {
-        // Highest priority first; ties by process index for determinism.
-        let (idx, _) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
-                priorities[a.index()]
-                    .cmp(&priorities[b.index()])
-                    .then(b.index().cmp(&a.index()))
-            })
-            .expect("ready list is non-empty");
-        let p = ready.swap_remove(idx);
-
-        let node = mapping.node_of(p);
-        let inst = arch.node(node);
-        let spec = timing.spec(p, inst.node_type, inst.hardening)?;
-
-        // Earliest data-ready time over all inputs.
-        let mut data_ready = TimeUs::ZERO;
-        for &m in app.incoming(p) {
-            let arrival = msg_slots[m.index()]
-                .as_ref()
-                .expect("predecessors are scheduled before successors")
-                .arrival;
-            data_ready = data_ready.max(arrival);
-        }
-        let start = data_ready.max(node_available[node.index()]);
-        let finish = start + spec.wcet;
-        let k = ks[node.index()] as i64;
-        let mu = app.process(p).mu();
-        let own_slack = (spec.wcet + mu).times(k);
-        let wc_end = match slack {
-            SlackModel::Shared => {
-                let prefix = node_prefix_max[node.index()].max(spec.wcet + mu);
-                node_prefix_max[node.index()] = prefix;
-                finish + prefix.times(k)
-            }
-            SlackModel::PerProcess => finish + own_slack,
-        };
-        proc_slots[p.index()] = Some(ProcessSlot {
-            process: p,
-            node,
-            start,
-            finish,
-            wc_end,
-        });
-        node_available[node.index()] = match slack {
-            SlackModel::Shared => finish,
-            // Exclusive windows: the next process starts after the slack.
-            SlackModel::PerProcess => finish + own_slack,
-        };
-        scheduled += 1;
-
-        // Emit outputs and release successors.
-        for &m in app.outgoing(p) {
-            let msg = app.message(m);
-            let dst_node = mapping.node_of(msg.dst());
-            let (send, arrival, over_bus) = if dst_node == node {
-                (finish, finish, false)
-            } else {
-                let send = finish.max(node_bus_busy[node.index()]);
-                let arrival = bus.arrival_time(node, arch.node_count(), send, msg.tx_time());
-                node_bus_busy[node.index()] = arrival;
-                (send, arrival, true)
-            };
-            msg_slots[m.index()] = Some(MessageSlot {
-                message: m,
-                send,
-                arrival,
-                over_bus,
+    /// Builds the static schedule — the buffer-reusing core of
+    /// [`schedule_with`], without the mapping validation (callers are
+    /// expected to have validated; an invalid mapping panics on an
+    /// out-of-range index instead of returning the validation error).
+    ///
+    /// # Errors
+    ///
+    /// Returns model errors for missing timing entries or a `ks` vector
+    /// whose length differs from the architecture's node count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<T: TimingSource>(
+        &mut self,
+        app: &Application,
+        timing: &T,
+        arch: &Architecture,
+        mapping: &Mapping,
+        ks: &[u32],
+        bus: BusSpec,
+        slack: SlackModel,
+    ) -> Result<Schedule, ModelError> {
+        if ks.len() != arch.node_count() {
+            return Err(ModelError::IncompleteMapping {
+                expected: arch.node_count(),
+                got: ks.len(),
             });
-            let d = msg.dst();
-            remaining_preds[d.index()] -= 1;
-            if remaining_preds[d.index()] == 0 {
-                ready.push(d);
+        }
+
+        let n = app.process_count();
+        crate::priority::longest_path_to_sink_into(
+            app,
+            timing,
+            arch,
+            mapping,
+            &mut self.priorities,
+        )?;
+        let priorities = &self.priorities;
+
+        self.remaining_preds.clear();
+        self.remaining_preds
+            .extend(app.process_ids().map(|p| app.incoming(p).len()));
+        let remaining_preds = &mut self.remaining_preds;
+        self.ready.clear();
+        self.ready.extend(
+            app.process_ids()
+                .filter(|&p| remaining_preds[p.index()] == 0),
+        );
+        let ready = &mut self.ready;
+
+        let node_count = arch.node_count();
+        self.node_available.clear();
+        self.node_available.resize(node_count, TimeUs::ZERO);
+        let node_available = &mut self.node_available;
+        // Running maximum of (t_ijh + μ_i) over the processes placed so far
+        // on each node: a process can only be delayed by re-executions of
+        // itself or of processes scheduled before it, so its worst-case end
+        // is finish + k_j · prefix_max(t + μ). This is the shared-slack
+        // bound.
+        self.node_prefix_max.clear();
+        self.node_prefix_max.resize(node_count, TimeUs::ZERO);
+        let node_prefix_max = &mut self.node_prefix_max;
+        // Serialization point per sender node for bus transmissions: a
+        // node's network interface sends one message at a time.
+        self.node_bus_busy.clear();
+        self.node_bus_busy.resize(node_count, TimeUs::ZERO);
+        let node_bus_busy = &mut self.node_bus_busy;
+
+        // Output slots, written in place (every index is assigned exactly
+        // once — the DAG guarantees each process and message schedules).
+        let placeholder = ProcessSlot {
+            process: ftes_model::ProcessId::new(0),
+            node: ftes_model::NodeId::new(0),
+            start: TimeUs::ZERO,
+            finish: TimeUs::ZERO,
+            wc_end: TimeUs::ZERO,
+        };
+        let mut proc_slots: Vec<ProcessSlot> = vec![placeholder; n];
+        let msg_placeholder = MessageSlot {
+            message: ftes_model::MessageId::new(0),
+            send: TimeUs::ZERO,
+            arrival: TimeUs::ZERO,
+            over_bus: false,
+        };
+        let mut msg_slots: Vec<MessageSlot> = vec![msg_placeholder; app.message_count()];
+        let mut scheduled = 0usize;
+
+        while !ready.is_empty() {
+            // Highest priority first; ties by process index for determinism.
+            let (idx, _) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    priorities[a.index()]
+                        .cmp(&priorities[b.index()])
+                        .then(b.index().cmp(&a.index()))
+                })
+                .expect("ready list is non-empty");
+            let p = ready.swap_remove(idx);
+
+            let node = mapping.node_of(p);
+            let inst = arch.node(node);
+            let spec = timing.spec(p, inst.node_type, inst.hardening)?;
+
+            // Earliest data-ready time over all inputs.
+            let mut data_ready = TimeUs::ZERO;
+            for &m in app.incoming(p) {
+                data_ready = data_ready.max(msg_slots[m.index()].arrival);
+            }
+            let start = data_ready.max(node_available[node.index()]);
+            let finish = start + spec.wcet;
+            let k = ks[node.index()] as i64;
+            let mu = app.process(p).mu();
+            let own_slack = (spec.wcet + mu).times(k);
+            let wc_end = match slack {
+                SlackModel::Shared => {
+                    let prefix = node_prefix_max[node.index()].max(spec.wcet + mu);
+                    node_prefix_max[node.index()] = prefix;
+                    finish + prefix.times(k)
+                }
+                SlackModel::PerProcess => finish + own_slack,
+            };
+            proc_slots[p.index()] = ProcessSlot {
+                process: p,
+                node,
+                start,
+                finish,
+                wc_end,
+            };
+            node_available[node.index()] = match slack {
+                SlackModel::Shared => finish,
+                // Exclusive windows: the next process starts after the slack.
+                SlackModel::PerProcess => finish + own_slack,
+            };
+            scheduled += 1;
+
+            // Emit outputs and release successors.
+            for &m in app.outgoing(p) {
+                let msg = app.message(m);
+                let dst_node = mapping.node_of(msg.dst());
+                let (send, arrival, over_bus) = if dst_node == node {
+                    (finish, finish, false)
+                } else {
+                    let send = finish.max(node_bus_busy[node.index()]);
+                    let arrival = bus.arrival_time(node, node_count, send, msg.tx_time());
+                    node_bus_busy[node.index()] = arrival;
+                    (send, arrival, true)
+                };
+                msg_slots[m.index()] = MessageSlot {
+                    message: m,
+                    send,
+                    arrival,
+                    over_bus,
+                };
+                let d = msg.dst();
+                remaining_preds[d.index()] -= 1;
+                if remaining_preds[d.index()] == 0 {
+                    ready.push(d);
+                }
             }
         }
+        debug_assert_eq!(scheduled, n, "DAG guarantees all processes schedule");
+
+        // Per-graph worst-case completion and deadlines.
+        let mut graph_wc = vec![TimeUs::ZERO; app.graph_count()];
+        for p in app.process_ids() {
+            let g = app.process(p).graph().index();
+            graph_wc[g] = graph_wc[g].max(proc_slots[p.index()].wc_end);
+        }
+        self.deadlines.clear();
+        self.deadlines
+            .extend(app.graph_ids().map(|g| app.graph(g).deadline()));
+
+        Ok(Schedule::from_parts(
+            proc_slots,
+            msg_slots,
+            ks.to_vec(),
+            graph_wc,
+            &self.deadlines,
+        ))
     }
-    debug_assert_eq!(scheduled, n, "DAG guarantees all processes schedule");
 
-    let proc_slots: Vec<ProcessSlot> = proc_slots
-        .into_iter()
-        .map(|s| s.expect("all processes scheduled"))
-        .collect();
-    let msg_slots: Vec<MessageSlot> = msg_slots
-        .into_iter()
-        .map(|s| s.expect("all messages scheduled"))
-        .collect();
+    /// The schedulability verdict only — the same list-scheduling walk as
+    /// [`run`](Scheduler::run) without materializing the slot vectors, so
+    /// a candidate probe allocates nothing. `wc_length` and `schedulable`
+    /// are bit-identical to the full schedule's (the sched unit tests and
+    /// the `incremental_differential` suite pin this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Scheduler::run).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_light<T: TimingSource>(
+        &mut self,
+        app: &Application,
+        timing: &T,
+        arch: &Architecture,
+        mapping: &Mapping,
+        ks: &[u32],
+        bus: BusSpec,
+        slack: SlackModel,
+    ) -> Result<ScheduleVerdict, ModelError> {
+        if ks.len() != arch.node_count() {
+            return Err(ModelError::IncompleteMapping {
+                expected: arch.node_count(),
+                got: ks.len(),
+            });
+        }
 
-    // Per-graph worst-case completion and deadlines.
-    let mut graph_wc = vec![TimeUs::ZERO; app.graph_count()];
-    for p in app.process_ids() {
-        let g = app.process(p).graph().index();
-        graph_wc[g] = graph_wc[g].max(proc_slots[p.index()].wc_end);
+        crate::priority::longest_path_to_sink_into(
+            app,
+            timing,
+            arch,
+            mapping,
+            &mut self.priorities,
+        )?;
+        let priorities = &self.priorities;
+
+        self.remaining_preds.clear();
+        self.remaining_preds
+            .extend(app.process_ids().map(|p| app.incoming(p).len()));
+        let remaining_preds = &mut self.remaining_preds;
+        self.ready.clear();
+        self.ready.extend(
+            app.process_ids()
+                .filter(|&p| remaining_preds[p.index()] == 0),
+        );
+        let ready = &mut self.ready;
+
+        let node_count = arch.node_count();
+        self.node_available.clear();
+        self.node_available.resize(node_count, TimeUs::ZERO);
+        let node_available = &mut self.node_available;
+        self.node_prefix_max.clear();
+        self.node_prefix_max.resize(node_count, TimeUs::ZERO);
+        let node_prefix_max = &mut self.node_prefix_max;
+        self.node_bus_busy.clear();
+        self.node_bus_busy.resize(node_count, TimeUs::ZERO);
+        let node_bus_busy = &mut self.node_bus_busy;
+        self.msg_arrival.clear();
+        self.msg_arrival.resize(app.message_count(), TimeUs::ZERO);
+        let msg_arrival = &mut self.msg_arrival;
+        self.graph_wc.clear();
+        self.graph_wc.resize(app.graph_count(), TimeUs::ZERO);
+        let graph_wc = &mut self.graph_wc;
+
+        while !ready.is_empty() {
+            let (idx, _) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    priorities[a.index()]
+                        .cmp(&priorities[b.index()])
+                        .then(b.index().cmp(&a.index()))
+                })
+                .expect("ready list is non-empty");
+            let p = ready.swap_remove(idx);
+
+            let node = mapping.node_of(p);
+            let inst = arch.node(node);
+            let spec = timing.spec(p, inst.node_type, inst.hardening)?;
+
+            let mut data_ready = TimeUs::ZERO;
+            for &m in app.incoming(p) {
+                data_ready = data_ready.max(msg_arrival[m.index()]);
+            }
+            let start = data_ready.max(node_available[node.index()]);
+            let finish = start + spec.wcet;
+            let k = ks[node.index()] as i64;
+            let mu = app.process(p).mu();
+            let own_slack = (spec.wcet + mu).times(k);
+            let wc_end = match slack {
+                SlackModel::Shared => {
+                    let prefix = node_prefix_max[node.index()].max(spec.wcet + mu);
+                    node_prefix_max[node.index()] = prefix;
+                    finish + prefix.times(k)
+                }
+                SlackModel::PerProcess => finish + own_slack,
+            };
+            let g = app.process(p).graph().index();
+            graph_wc[g] = graph_wc[g].max(wc_end);
+            node_available[node.index()] = match slack {
+                SlackModel::Shared => finish,
+                SlackModel::PerProcess => finish + own_slack,
+            };
+
+            for &m in app.outgoing(p) {
+                let msg = app.message(m);
+                let dst_node = mapping.node_of(msg.dst());
+                msg_arrival[m.index()] = if dst_node == node {
+                    finish
+                } else {
+                    let send = finish.max(node_bus_busy[node.index()]);
+                    let arrival = bus.arrival_time(node, node_count, send, msg.tx_time());
+                    node_bus_busy[node.index()] = arrival;
+                    arrival
+                };
+                let d = msg.dst();
+                remaining_preds[d.index()] -= 1;
+                if remaining_preds[d.index()] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+
+        let mut wc_length = TimeUs::ZERO;
+        let mut schedulable = true;
+        for (gi, &wc) in graph_wc.iter().enumerate() {
+            wc_length = wc_length.max(wc);
+            if wc > app.graph(ftes_model::GraphId::new(gi as u32)).deadline() {
+                schedulable = false;
+            }
+        }
+        Ok(ScheduleVerdict {
+            wc_length,
+            schedulable,
+        })
     }
-    let deadlines: Vec<TimeUs> = app.graph_ids().map(|g| app.graph(g).deadline()).collect();
-
-    Ok(Schedule::from_parts(
-        proc_slots,
-        msg_slots,
-        ks.to_vec(),
-        graph_wc,
-        &deadlines,
-    ))
 }
 
 /// Convenience: the worst-case schedule length for a candidate solution,
@@ -389,6 +614,99 @@ mod tests {
             sys.bus()
         )
         .is_err());
+    }
+
+    #[test]
+    fn run_light_verdict_matches_full_schedule() {
+        // The light walk must agree bit for bit with the materialized
+        // schedule on every paper example, under both slack models.
+        let fig1 = paper::fig1_system();
+        let fig3 = paper::fig3_system();
+        let cases: Vec<(&ftes_model::System, Architecture, Mapping, Vec<u32>)> = vec![
+            {
+                let (a, m) = paper::fig4_alternative('a');
+                (&fig1, a, m, vec![1, 1])
+            },
+            {
+                let (a, m) = paper::fig4_alternative('b');
+                (&fig1, a, m, vec![2])
+            },
+            {
+                let (a, m) = paper::fig4_alternative('d');
+                (&fig1, a, m, vec![0])
+            },
+            {
+                let (a, m) = paper::fig4_alternative('e');
+                (&fig1, a, m, vec![0])
+            },
+            (
+                &fig3,
+                Architecture::with_min_hardening(&[NodeTypeId::new(0)]),
+                Mapping::all_on(1, NodeId::new(0)),
+                vec![6],
+            ),
+        ];
+        let mut scheduler = Scheduler::new();
+        for (sys, arch, mapping, ks) in cases {
+            for slack in [SlackModel::Shared, SlackModel::PerProcess] {
+                let full = scheduler
+                    .run(
+                        sys.application(),
+                        sys.timing(),
+                        &arch,
+                        &mapping,
+                        &ks,
+                        sys.bus(),
+                        slack,
+                    )
+                    .unwrap();
+                let light = scheduler
+                    .run_light(
+                        sys.application(),
+                        sys.timing(),
+                        &arch,
+                        &mapping,
+                        &ks,
+                        sys.bus(),
+                        slack,
+                    )
+                    .unwrap();
+                assert_eq!(light.wc_length, full.wc_length());
+                assert_eq!(light.schedulable, full.is_schedulable());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_timing_produces_identical_schedules() {
+        use ftes_model::FlatTiming;
+        let sys = paper::fig1_system();
+        let (arch, mapping) = paper::fig4_alternative('a');
+        let flat = FlatTiming::new(sys.timing());
+        let mut scheduler = Scheduler::new();
+        let via_db = scheduler
+            .run(
+                sys.application(),
+                sys.timing(),
+                &arch,
+                &mapping,
+                &[1, 1],
+                sys.bus(),
+                SlackModel::Shared,
+            )
+            .unwrap();
+        let via_flat = scheduler
+            .run(
+                sys.application(),
+                &flat,
+                &arch,
+                &mapping,
+                &[1, 1],
+                sys.bus(),
+                SlackModel::Shared,
+            )
+            .unwrap();
+        assert_eq!(via_db, via_flat);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! process to any sink of its graph, evaluated for the WCETs of the current
 //! architecture/mapping.
 
-use ftes_model::{Application, Architecture, Mapping, ModelError, ProcessId, TimeUs, TimingDb};
+use ftes_model::{
+    Application, Architecture, Mapping, ModelError, ProcessId, TimeUs, TimingDb, TimingSource,
+};
 
 /// Computes, for every process, the longest path from the start of that
 /// process to the end of any sink, using the WCETs of the node each process
@@ -26,7 +28,26 @@ pub fn longest_path_to_sink(
     arch: &Architecture,
     mapping: &Mapping,
 ) -> Result<Vec<TimeUs>, ModelError> {
-    let mut lp = vec![TimeUs::ZERO; app.process_count()];
+    let mut lp = Vec::new();
+    longest_path_to_sink_into(app, timing, arch, mapping, &mut lp)?;
+    Ok(lp)
+}
+
+/// [`longest_path_to_sink`] into a caller-provided buffer (cleared and
+/// refilled), so hot loops can reuse the allocation.
+///
+/// # Errors
+///
+/// Same as [`longest_path_to_sink`].
+pub(crate) fn longest_path_to_sink_into<T: TimingSource>(
+    app: &Application,
+    timing: &T,
+    arch: &Architecture,
+    mapping: &Mapping,
+    lp: &mut Vec<TimeUs>,
+) -> Result<(), ModelError> {
+    lp.clear();
+    lp.resize(app.process_count(), TimeUs::ZERO);
     // Walk the topological order backwards: successors are finalized first.
     for &p in app.topological_order().iter().rev() {
         let node = mapping.node_of(p);
@@ -45,7 +66,7 @@ pub fn longest_path_to_sink(
         }
         lp[p.index()] = wcet + best_tail;
     }
-    Ok(lp)
+    Ok(())
 }
 
 /// The set of processes lying on a critical path: those whose

@@ -15,6 +15,10 @@
 //!   reliability over τ/T iterations;
 //! * [`ReExecutionOpt`] — the Section 6.3 greedy heuristic that finds the
 //!   smallest budgets `k_j` meeting ρ;
+//! * [`SystemSfp`] — the incremental engine behind the design-space
+//!   exploration: per-node series caches with one-node delta updates, so a
+//!   hardening or mapping change recomputes `O(changed)` instead of
+//!   `O(all nodes × max_k)`;
 //! * [`Rounding`] — the paper's pessimistic 10⁻¹¹ directed rounding.
 //!
 //! ## Example
@@ -43,6 +47,7 @@ mod reexec;
 mod rounding;
 mod scenario;
 mod symmetric;
+mod system;
 
 pub use analysis::{analyze, node_process_probs, reliability_over_unit, union_failure, SfpResult};
 pub use multiset::{multiset_count, Multisets};
@@ -51,3 +56,4 @@ pub use reexec::ReExecutionOpt;
 pub use rounding::{Rounding, QUANTUM};
 pub use scenario::{dominant_scenarios, scenario_mass, FaultScenario};
 pub use symmetric::{complete_homogeneous, complete_homogeneous_naive};
+pub use system::SystemSfp;

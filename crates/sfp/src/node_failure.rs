@@ -95,23 +95,26 @@ impl NodeSfp {
     /// [`pr_more_than`](NodeSfp::pr_more_than) would return. Useful for
     /// the re-execution optimization, which probes increasing budgets.
     pub fn pr_more_than_series(&self, kmax: u32) -> Vec<f64> {
-        let kmax = kmax as usize;
-        let pr0 = self.pr_none();
-        let h = complete_homogeneous(&self.probs, kmax);
-        let mut series = Vec::with_capacity(kmax + 1);
-        let mut remaining = 1.0 - pr0;
-        for (f, hf) in h.iter().enumerate().skip(1) {
-            remaining -= self.rounding.down(pr0 * hf);
-            series.push(remaining.clamp(0.0, 1.0));
-            let _ = f;
-        }
-        // series currently holds Pr(f>1).. if kmax >= 1; prepend Pr(f>0).
-        let mut out = Vec::with_capacity(kmax + 1);
-        out.push((1.0 - pr0).clamp(0.0, 1.0));
-        out.extend(series);
-        out.truncate(kmax + 1);
-        out
+        series_from_values(&self.probs, self.rounding, kmax as usize)
     }
+}
+
+/// The [`pr_more_than_series`](NodeSfp::pr_more_than_series) kernel over
+/// raw probability values — shared with the incremental
+/// [`SystemSfp`](crate::SystemSfp) so both paths run the identical
+/// floating-point sequence.
+pub(crate) fn series_from_values(probs: &[f64], rounding: Rounding, kmax: usize) -> Vec<f64> {
+    let exact: f64 = probs.iter().map(|p| 1.0 - p).product();
+    let pr0 = rounding.down(exact);
+    let h = complete_homogeneous(probs, kmax);
+    let mut out = Vec::with_capacity(kmax + 1);
+    let mut remaining = 1.0 - pr0;
+    out.push(remaining.clamp(0.0, 1.0));
+    for hf in h.iter().skip(1) {
+        remaining -= rounding.down(pr0 * hf);
+        out.push(remaining.clamp(0.0, 1.0));
+    }
+    out
 }
 
 #[cfg(test)]

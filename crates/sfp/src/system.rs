@@ -1,0 +1,494 @@
+//! `SystemSfp` — incremental system-level SFP analysis.
+//!
+//! The design-space exploration of Section 6 probes thousands of candidate
+//! solutions that differ from their predecessor in **one node**: the
+//! hardening trade-off raises or lowers a single node's level, and a tabu
+//! move re-maps one process (touching its old and new node). The
+//! from-scratch pipeline ([`analyze`](crate::analyze) /
+//! [`ReExecutionOpt`](crate::ReExecutionOpt)) re-derives every node's
+//! `Pr(f > k)` series up to `max_k` for each probe —
+//! `O(nodes × processes × max_k)` float work of which almost everything is
+//! identical to the previous probe, and of which the deep-`k` tail is
+//! never consulted when the greedy budget search stops at small `k`.
+//!
+//! [`SystemSfp`] makes that structure explicit. Per node it holds the
+//! failure probabilities of the mapped processes, the **lazily extended**
+//! prefix of the [`pr_more_than_series`](crate::NodeSfp::pr_more_than_series)
+//! values, and the log-domain union terms `ln(1 − Pr(f > k))` consumed by
+//! formula (5). Three caching levels compound:
+//!
+//! 1. [`set_node_probs`](SystemSfp::set_node_probs) is a one-node delta
+//!    update — other nodes keep their series untouched;
+//! 2. a **configuration memo** keyed by the exact probability bit patterns
+//!    resolves nodes the search has analyzed before (the hardening walk
+//!    and tabu moves revisit few distinct per-node configurations);
+//! 3. series are computed only as deep as a query actually demands
+//!    (`Pr(f > k)` is prefix-stable in the computation, so a deeper
+//!    recomputation reproduces the shallow values bit for bit).
+//!
+//! The incremental path is **bit-identical** to the from-scratch one: the
+//! series values come from the same kernel as [`NodeSfp`](crate::NodeSfp),
+//! the union is the same left-to-right log-domain sum as
+//! [`union_failure`](crate::union_failure), and the greedy budget search
+//! mirrors [`ReExecutionOpt::optimize`](crate::ReExecutionOpt::optimize)
+//! step for step. The from-scratch implementations remain the executable
+//! specification (mirroring `complete_homogeneous_naive`); the
+//! differential suite in `tests/incremental_differential.rs` holds the two
+//! paths together.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ftes_model::{Prob, ReliabilityGoal, TimeUs};
+
+use crate::analysis::{reliability_over_unit, SfpResult};
+use crate::node_failure::series_from_values;
+use crate::rounding::Rounding;
+
+/// Soft bound on memoized node configurations; the memo is dropped
+/// wholesale when it grows past this.
+const MEMO_CAP: usize = 1 << 12;
+
+/// Cached per-node state: the mapped processes' failure probabilities, the
+/// computed prefix of the `Pr(f > k)` series, and the log-domain union
+/// terms. Shared via `Arc` between the per-node slots and the
+/// configuration memo.
+#[derive(Debug)]
+struct NodeState {
+    /// Failure probabilities of the processes mapped on the node, in
+    /// process-id order (the order [`node_process_probs`] produces).
+    ///
+    /// [`node_process_probs`]: crate::node_process_probs
+    probs: Vec<f64>,
+    /// `series[k] = Pr(f > k; N_j^h)` for the computed prefix `k <= k_done`
+    /// (`series.len() = k_done + 1`; extended on demand).
+    series: Vec<f64>,
+    /// `log_ok[k] = ln(1 − series[k])`, the node's term of the log-domain
+    /// union sum of formula (5). Same length as `series`.
+    log_ok: Vec<f64>,
+}
+
+impl NodeState {
+    fn compute(probs: Vec<f64>, k_done: usize, rounding: Rounding) -> Arc<Self> {
+        let series = series_from_values(&probs, rounding, k_done);
+        let log_ok = series
+            .iter()
+            .map(|&q| (-q.clamp(0.0, 1.0)).ln_1p())
+            .collect();
+        Arc::new(NodeState {
+            probs,
+            series,
+            log_ok,
+        })
+    }
+}
+
+/// Memo key: the exact bit patterns of a node's probability list. Two
+/// lists hash/compare equal iff they would produce the identical series,
+/// so a memo hit can never change results.
+type NodeKey = Vec<u64>;
+
+fn key_of(probs: &[f64]) -> NodeKey {
+    probs.iter().map(|p| p.to_bits()).collect()
+}
+
+/// Stateful, incrementally-updatable SFP analysis of a whole architecture.
+///
+/// Owns one lazily-extended `Pr(f > k)` series per architecture node plus
+/// the log-domain partial terms of [`union_failure`](crate::union_failure).
+/// Point updates ([`set_node_probs`](SystemSfp::set_node_probs)) recompute
+/// only the touched node; queries ([`optimize`](SystemSfp::optimize),
+/// [`analyze`](SystemSfp::analyze)) run off the caches and extend them on
+/// demand, which is why they take `&mut self`.
+///
+/// # Examples
+///
+/// The Fig. 4a architecture, then a one-node hardening change:
+///
+/// ```
+/// use ftes_model::{Prob, ReliabilityGoal, TimeUs};
+/// use ftes_sfp::{Rounding, SystemSfp};
+///
+/// let p = |v| Prob::new(v).unwrap();
+/// let mut sys = SystemSfp::new(2, 30, Rounding::Pessimistic);
+/// sys.set_node_probs(0, &[p(1.2e-5), p(1.3e-5)]);
+/// sys.set_node_probs(1, &[p(1.2e-5), p(1.3e-5)]);
+/// let goal = ReliabilityGoal::per_hour(1e-5)?;
+/// let ks = sys.optimize(goal, TimeUs::from_ms(360)).expect("reachable");
+/// assert_eq!(ks, vec![1, 1]);
+///
+/// // Harden node 0: only node 0's series is recomputed.
+/// sys.set_node_probs(0, &[p(1.2e-10), p(1.3e-10)]);
+/// let ks = sys.optimize(goal, TimeUs::from_ms(360)).expect("reachable");
+/// assert_eq!(ks, vec![0, 1]);
+/// # Ok::<(), ftes_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSfp {
+    max_k: u32,
+    rounding: Rounding,
+    nodes: Vec<Arc<NodeState>>,
+    /// The configuration memo: the "cached candidate scoring" layer.
+    memo: HashMap<NodeKey, Arc<NodeState>>,
+    memo_hits: u64,
+    series_computed: u64,
+}
+
+impl SystemSfp {
+    /// Creates the analyzer for `node_count` initially-empty nodes (an
+    /// empty node never fails) with budgets searched up to `max_k`.
+    pub fn new(node_count: usize, max_k: u32, rounding: Rounding) -> Self {
+        let empty = NodeState::compute(Vec::new(), 0, rounding);
+        SystemSfp {
+            max_k,
+            rounding,
+            nodes: vec![empty; node_count],
+            memo: HashMap::new(),
+            memo_hits: 0,
+            series_computed: 0,
+        }
+    }
+
+    /// Builds the analyzer from per-node process failure probabilities (as
+    /// produced by [`node_process_probs`](crate::node_process_probs)).
+    pub fn from_node_probs(node_probs: &[Vec<Prob>], max_k: u32, rounding: Rounding) -> Self {
+        let mut sys = SystemSfp::new(node_probs.len(), max_k, rounding);
+        for (j, probs) in node_probs.iter().enumerate() {
+            sys.set_node_probs(j, probs);
+        }
+        sys
+    }
+
+    /// Number of analyzed nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured budget bound.
+    pub fn max_k(&self) -> u32 {
+        self.max_k
+    }
+
+    /// The rounding mode in use.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// Times a [`set_node_probs`](SystemSfp::set_node_probs) call resolved
+    /// from the configuration memo instead of recomputing.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Times a node series (prefix) was actually computed or extended.
+    pub fn series_computed(&self) -> u64 {
+        self.series_computed
+    }
+
+    /// Resizes to `node_count` nodes; new slots start empty, removed slots
+    /// are dropped. Existing nodes keep their cached series.
+    pub fn set_node_count(&mut self, node_count: usize) {
+        if node_count < self.nodes.len() {
+            self.nodes.truncate(node_count);
+        } else if node_count > self.nodes.len() {
+            let empty = NodeState::compute(Vec::new(), 0, self.rounding);
+            self.nodes.resize(node_count, empty);
+        }
+    }
+
+    /// The failure probabilities currently cached for node `j`, in
+    /// process-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn node_probs(&self, j: usize) -> &[f64] {
+        &self.nodes[j].probs
+    }
+
+    /// The **computed prefix** of node `j`'s `Pr(f > k)` series
+    /// (`series()[k]` for `k < series().len()`; at least `Pr(f > 0)` is
+    /// always present). Use [`pr_more_than`](SystemSfp::pr_more_than) to
+    /// force a specific depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn series(&self, j: usize) -> &[f64] {
+        &self.nodes[j].series
+    }
+
+    /// `Pr(f > k)` of node `j`, extending the cached series as needed —
+    /// bit-identical to [`NodeSfp::pr_more_than`](crate::NodeSfp::pr_more_than)
+    /// on the same probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn pr_more_than(&mut self, j: usize, k: u32) -> f64 {
+        self.ensure_k(j, k as usize);
+        self.nodes[j].series[k as usize]
+    }
+
+    /// Replaces node `j`'s process failure probabilities — the one-node
+    /// delta update. A configuration seen before this search is a memo
+    /// lookup; a fresh one costs `O(|probs|)` now (series prefix of depth
+    /// 0) plus lazy extension on demand. Every other node's cache is
+    /// untouched either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_node_probs(&mut self, j: usize, probs: &[Prob]) {
+        let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
+        let key = key_of(&values);
+        if let Some(state) = self.memo.get(&key) {
+            self.memo_hits += 1;
+            self.nodes[j] = Arc::clone(state);
+            return;
+        }
+        let state = NodeState::compute(values, 0, self.rounding);
+        self.series_computed += 1;
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+        }
+        self.memo.insert(key, Arc::clone(&state));
+        self.nodes[j] = state;
+    }
+
+    /// Extends node `j`'s series so that `series[k]` exists. Values are
+    /// prefix-stable: a deeper recomputation reproduces every shallower
+    /// entry bit for bit, so laziness never changes results.
+    fn ensure_k(&mut self, j: usize, k: usize) {
+        let have = self.nodes[j].series.len();
+        if k < have {
+            return;
+        }
+        // Geometric growth bounds the number of recomputations per
+        // configuration at O(log max_k).
+        let target = (have.max(1) * 2).max(k).min(self.max_k as usize);
+        let state = NodeState::compute(self.nodes[j].probs.clone(), target, self.rounding);
+        self.series_computed += 1;
+        self.memo.insert(key_of(&state.probs), Arc::clone(&state));
+        self.nodes[j] = state;
+    }
+
+    /// Formula (5) for the budget vector `ks`: the union failure
+    /// probability per iteration, **before** the pessimistic rounding-up.
+    ///
+    /// Bit-identical to [`union_failure`](crate::union_failure) over the
+    /// per-node `Pr(f > k_j)` values: the cached log terms are the same
+    /// `ln_1p` results, summed in the same node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks` has the wrong length or any `ks[j] > max_k`.
+    pub fn union_failure(&mut self, ks: &[u32]) -> f64 {
+        assert_eq!(ks.len(), self.nodes.len(), "one budget per node");
+        for (j, &k) in ks.iter().enumerate() {
+            self.ensure_k(j, k as usize);
+        }
+        self.union_of_cached(ks)
+    }
+
+    /// The union over already-ensured budgets (no extension).
+    fn union_of_cached(&self, ks: &[u32]) -> f64 {
+        let log_ok: f64 = self
+            .nodes
+            .iter()
+            .zip(ks)
+            .map(|(node, &k)| node.log_ok[k as usize])
+            .sum();
+        (-f64::exp_m1(log_ok)).clamp(0.0, 1.0)
+    }
+
+    /// The greedy budget search of Section 6.3 off the cached series —
+    /// step-identical to [`ReExecutionOpt::optimize`] (the executable
+    /// specification), which rebuilds every series up to `max_k` per call.
+    ///
+    /// [`ReExecutionOpt::optimize`]: crate::ReExecutionOpt::optimize
+    pub fn optimize(&mut self, goal: ReliabilityGoal, period: TimeUs) -> Option<Vec<u32>> {
+        let mut ks = vec![0u32; self.nodes.len()];
+        loop {
+            let union = self.rounding.up(self.union_of_cached(&ks));
+            if goal.is_met(union, period) {
+                return Some(ks);
+            }
+            // Largest single-node decrease of the failure probability, the
+            // same selection rule (and tie-break: strictly-greater gain
+            // wins, first node kept on ties) as the from-scratch search.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, k) in ks.iter().map(|&k| k as usize).enumerate() {
+                if k + 1 > self.max_k as usize {
+                    continue;
+                }
+                self.ensure_k(j, k + 1);
+                let series = &self.nodes[j].series;
+                let gain = series[k] - series[k + 1];
+                if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((j, gain));
+                }
+            }
+            let (j, _) = best?;
+            ks[j] += 1;
+        }
+    }
+
+    /// The full [`SfpResult`] for the budget vector `ks`, off the cache —
+    /// bit-identical to [`analyze`](crate::analyze) on the same system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks` has the wrong length or any `ks[j] > max_k`.
+    pub fn analyze(&mut self, ks: &[u32], goal: ReliabilityGoal, period: TimeUs) -> SfpResult {
+        assert_eq!(ks.len(), self.nodes.len(), "one budget per node");
+        for (j, &k) in ks.iter().enumerate() {
+            self.ensure_k(j, k as usize);
+        }
+        let node_failure: Vec<f64> = self
+            .nodes
+            .iter()
+            .zip(ks)
+            .map(|(node, &k)| node.series[k as usize])
+            .collect();
+        let p_fail_per_iteration = self.rounding.up(self.union_of_cached(ks));
+        SfpResult {
+            node_failure,
+            p_fail_per_iteration,
+            reliability_over_unit: reliability_over_unit(p_fail_per_iteration, goal, period),
+            meets_goal: goal.is_met(p_fail_per_iteration, period),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::union_failure;
+    use crate::node_failure::NodeSfp;
+    use crate::reexec::ReExecutionOpt;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn goal() -> ReliabilityGoal {
+        ReliabilityGoal::per_hour(1e-5).unwrap()
+    }
+
+    #[test]
+    fn matches_reexecution_opt_from_scratch() {
+        let node_probs = vec![vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]];
+        let mut sys = SystemSfp::from_node_probs(&node_probs, 30, Rounding::Pessimistic);
+        let incr = sys.optimize(goal(), TimeUs::from_ms(360));
+        let scratch = ReExecutionOpt::default().optimize(&node_probs, goal(), TimeUs::from_ms(360));
+        assert_eq!(incr, scratch);
+        assert_eq!(incr, Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn lazy_series_prefix_is_bit_identical_to_nodesfp() {
+        let probs = vec![p(1e-3), p(2e-3), p(3e-3)];
+        let reference = NodeSfp::new(probs.clone(), Rounding::Pessimistic).pr_more_than_series(8);
+        let mut sys = SystemSfp::from_node_probs(&[probs], 8, Rounding::Pessimistic);
+        // Query in an arbitrary order; every answer must equal the
+        // eagerly-built reference series.
+        for k in [0u32, 3, 1, 8, 5] {
+            assert_eq!(sys.pr_more_than(0, k), reference[k as usize], "k={k}");
+        }
+        assert_eq!(sys.series(0), &reference[..sys.series(0).len()]);
+    }
+
+    #[test]
+    fn delta_update_equals_rebuild() {
+        let mut sys = SystemSfp::from_node_probs(
+            &[vec![p(1e-4), p(2e-4)], vec![p(5e-3)]],
+            10,
+            Rounding::Pessimistic,
+        );
+        sys.set_node_probs(1, &[p(1.2e-5), p(1.3e-5)]);
+        let mut rebuilt = SystemSfp::from_node_probs(
+            &[vec![p(1e-4), p(2e-4)], vec![p(1.2e-5), p(1.3e-5)]],
+            10,
+            Rounding::Pessimistic,
+        );
+        for j in 0..2 {
+            for k in 0..=10u32 {
+                assert_eq!(
+                    sys.pr_more_than(j, k),
+                    rebuilt.pr_more_than(j, k),
+                    "node {j} k {k}"
+                );
+            }
+        }
+        assert_eq!(
+            sys.optimize(goal(), TimeUs::from_ms(360)),
+            rebuilt.optimize(goal(), TimeUs::from_ms(360))
+        );
+    }
+
+    #[test]
+    fn union_matches_global_function_bitwise() {
+        let mut sys = SystemSfp::from_node_probs(
+            &[vec![p(1e-3)], vec![p(2e-4), p(3e-4)], vec![]],
+            8,
+            Rounding::Pessimistic,
+        );
+        for ks in [[0, 0, 0], [1, 0, 2], [3, 8, 0]] {
+            let failures: Vec<f64> = (0..3).map(|j| sys.pr_more_than(j, ks[j])).collect();
+            assert_eq!(sys.union_failure(&ks), union_failure(&failures), "{ks:?}");
+        }
+    }
+
+    #[test]
+    fn analyze_matches_appendix_numbers() {
+        let mut sys = SystemSfp::from_node_probs(
+            &[vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]],
+            30,
+            Rounding::Pessimistic,
+        );
+        let r = sys.analyze(&[1, 1], goal(), TimeUs::from_ms(360));
+        assert!(r.meets_goal);
+        assert!((r.reliability_over_unit - 0.99999040004).abs() < 1e-9);
+        assert!((r.node_failure[0] - 4.8e-10).abs() < 1e-16);
+    }
+
+    #[test]
+    fn memo_resolves_revisited_configurations() {
+        let mut sys = SystemSfp::new(2, 10, Rounding::Pessimistic);
+        sys.set_node_probs(0, &[p(1e-3), p(2e-3)]);
+        sys.set_node_probs(1, &[p(4e-3)]);
+        let computed = sys.series_computed();
+        // Swap the two configurations: both are memo hits.
+        sys.set_node_probs(0, &[p(4e-3)]);
+        sys.set_node_probs(1, &[p(1e-3), p(2e-3)]);
+        assert_eq!(sys.series_computed(), computed);
+        assert_eq!(sys.memo_hits(), 2);
+    }
+
+    #[test]
+    fn resizing_keeps_and_empties_nodes() {
+        let mut sys =
+            SystemSfp::from_node_probs(&[vec![p(1e-3)], vec![p(2e-3)]], 5, Rounding::Exact);
+        let kept = sys.pr_more_than(0, 3);
+        sys.set_node_count(3);
+        assert_eq!(sys.node_count(), 3);
+        assert_eq!(sys.pr_more_than(0, 3), kept);
+        assert_eq!(sys.pr_more_than(2, 0), 0.0, "fresh node never fails");
+        sys.set_node_count(1);
+        assert_eq!(sys.node_count(), 1);
+        assert_eq!(sys.pr_more_than(0, 3), kept);
+    }
+
+    #[test]
+    fn empty_system_meets_any_goal_with_zero_budgets() {
+        let mut sys = SystemSfp::new(2, 4, Rounding::Pessimistic);
+        assert_eq!(sys.optimize(goal(), TimeUs::from_ms(100)), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn unreachable_goal_is_reported() {
+        let mut sys = SystemSfp::from_node_probs(&[vec![p(1.0)]], 5, Rounding::Pessimistic);
+        assert_eq!(sys.optimize(goal(), TimeUs::from_ms(360)), None);
+    }
+}
