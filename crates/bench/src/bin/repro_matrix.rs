@@ -1,0 +1,68 @@
+//! Scenario-matrix sweep: runs the (bus model × platform heterogeneity ×
+//! deadline tightness × cell size) matrix through the MIN/MAX/OPT design
+//! strategies and writes per-cell structured results.
+//!
+//! ```text
+//! repro_matrix [--smoke] [--arc UNITS] [--out PATH]
+//! ```
+//!
+//! Defaults: the full 36-cell matrix ([`ScenarioMatrix::full`]), acceptance
+//! evaluated at ArC = 20 units, output to `BENCH_PR3.json`. `--smoke`
+//! switches to the 4-cell CI matrix ([`ScenarioMatrix::smoke`]); the
+//! harness is exercised end to end, the timings are not meaningful.
+//!
+//! Every cell funnels through the same incremental engine as the Fig. 6
+//! sweeps (`run_strategy_over` → `design_strategy`); the per-application
+//! costs and worst-case schedule lengths in the JSON are deterministic for
+//! a fixed seed, so two consecutive runs differ only in `wall_seconds`.
+
+use ftes_bench::{run_matrix, Strategy};
+use ftes_gen::ScenarioMatrix;
+use ftes_model::Cost;
+
+fn main() {
+    let mut smoke = false;
+    let mut arc = 20u64;
+    let mut out = "BENCH_PR3.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--arc" => {
+                arc = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--arc needs a number of cost units");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: repro_matrix [--smoke] [--arc UNITS] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let matrix = if smoke {
+        ScenarioMatrix::smoke()
+    } else {
+        ScenarioMatrix::full()
+    };
+    eprintln!(
+        "running {} cells ({} buses x {} platforms x {} utilizations x {} cell sizes)",
+        matrix.cell_count(),
+        matrix.buses.len(),
+        matrix.platforms.len(),
+        matrix.utilizations.len(),
+        matrix.app_counts.len(),
+    );
+
+    let report = run_matrix(&matrix, &Strategy::ALL, Cost::new(arc), true);
+    print!("{}", report.render_table());
+
+    let json = report.bench_json(3, smoke);
+    std::fs::write(&out, &json).expect("write BENCH json");
+    eprintln!("wrote {out}");
+}

@@ -12,7 +12,7 @@
 
 use ftes_gen::{generate_instance, ExperimentConfig};
 use ftes_model::Cost;
-use ftes_opt::{design_strategy, HardeningPolicy, OptConfig, TabuConfig};
+use ftes_opt::{design_strategy, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig};
 use ftes_sfp::Rounding;
 use serde::{Deserialize, Serialize};
 
@@ -93,21 +93,26 @@ impl ConditionResult {
     }
 }
 
-/// Runs one strategy over `n_apps` synthetic applications of a condition,
-/// in parallel across OS threads.
-pub fn run_condition(
-    condition: &ExperimentConfig,
+/// Runs one strategy over `n_apps` instances produced by `generate`, in
+/// parallel across OS threads. Outcomes are returned in index order (the
+/// worker assignment never leaks into the result), so any consumer —
+/// [`run_condition`], the scenario-matrix runner — gets deterministic
+/// results for a deterministic generator.
+pub fn run_strategy_over<F>(
+    generate: F,
     n_apps: usize,
     strategy: Strategy,
-) -> ConditionResult {
+) -> Vec<Option<DesignOutcome>>
+where
+    F: Fn(u64) -> ftes_model::System + Sync,
+{
     let opt_cfg = sweep_opt_config(strategy);
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n_apps.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut best_cost = vec![None; n_apps];
-    let slots: Vec<std::sync::Mutex<Option<Cost>>> =
+    let slots: Vec<std::sync::Mutex<Option<Option<DesignOutcome>>>> =
         (0..n_apps).map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
@@ -117,17 +122,33 @@ pub fn run_condition(
                 if i >= n_apps {
                     break;
                 }
-                let system = generate_instance(condition, i as u64);
+                let system = generate(i as u64);
                 let outcome = design_strategy(&system, &opt_cfg)
                     .expect("synthetic systems are structurally valid");
-                *slots[i].lock().unwrap() = outcome.map(|o| o.solution.cost);
+                *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
-    for (dst, slot) in best_cost.iter_mut().zip(&slots) {
-        *dst = *slot.lock().unwrap();
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every index was run"))
+        .collect()
+}
+
+/// Runs one strategy over `n_apps` synthetic applications of a condition,
+/// in parallel across OS threads.
+pub fn run_condition(
+    condition: &ExperimentConfig,
+    n_apps: usize,
+    strategy: Strategy,
+) -> ConditionResult {
+    let outcomes = run_strategy_over(|i| generate_instance(condition, i), n_apps, strategy);
+    ConditionResult {
+        best_cost: outcomes
+            .into_iter()
+            .map(|o| o.map(|o| o.solution.cost))
+            .collect(),
     }
-    ConditionResult { best_cost }
 }
 
 /// One row of the Fig. 6 output: a condition plus the acceptance of each

@@ -5,18 +5,27 @@
 //! * [`experiment`] — the acceptance-rate machinery (strategies, parallel
 //!   condition runner, ArC filtering);
 //! * [`figures`] — one function per figure: [`figures::fig6a`]–
-//!   [`figures::fig6d`] and [`figures::cruise_controller`].
+//!   [`figures::fig6d`] and [`figures::cruise_controller`];
+//! * [`matrix`] — the scenario-matrix runner: expands a
+//!   [`ScenarioMatrix`](ftes_gen::ScenarioMatrix) (bus model × platform
+//!   heterogeneity × deadline tightness × cell size) and runs every cell
+//!   through the same engine, emitting a summary table, a byte-stable
+//!   golden snapshot and the `BENCH_PR3.json` artifact.
 //!
-//! The `repro_fig6` and `repro_cc` binaries print the regenerated
-//! figures/tables; `EXPERIMENTS.md` records measured-vs-paper values.
+//! The `repro_fig6`, `repro_cc` and `repro_matrix` binaries print the
+//! regenerated figures/tables; `EXPERIMENTS.md` records measured-vs-paper
+//! values.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiment;
 pub mod figures;
+pub mod matrix;
 
 pub use experiment::{
-    acceptance_row, run_condition, sweep_opt_config, AcceptanceRow, ConditionResult, Strategy,
+    acceptance_row, run_condition, run_strategy_over, sweep_opt_config, AcceptanceRow,
+    ConditionResult, Strategy,
 };
 pub use figures::{cruise_controller, fig6a, fig6b, fig6c, fig6d, CcOutcome};
+pub use matrix::{run_cell, run_cell_strategy, run_matrix, CellResult, MatrixReport, StrategyCell};

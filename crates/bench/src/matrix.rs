@@ -1,0 +1,334 @@
+//! The scenario-matrix runner: expands a [`ScenarioMatrix`] into cells,
+//! funnels every cell through the same design-strategy engine the Fig. 6
+//! sweeps use, and renders the results as a summary table, a golden-file
+//! JSON snapshot (timing-free, byte-stable) and a benchmark JSON artifact
+//! (`BENCH_PR3.json`, with wall-clock timings).
+//!
+//! One cell = one [`Scenario`] (bus model × platform heterogeneity ×
+//! deadline tightness × application count). Per cell each requested
+//! [`Strategy`] is run over the cell's applications in parallel (the
+//! worker fan-out of [`run_strategy_over`]); recorded per application are
+//! the best architecture cost and the worst-case schedule length, from
+//! which acceptance at any maximum architecture cost `ArC` derives.
+
+use ftes_gen::{Scenario, ScenarioMatrix};
+use ftes_model::Cost;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{run_strategy_over, Strategy};
+
+/// Result of one strategy over one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyCell {
+    /// The strategy this row was produced by.
+    pub strategy: Strategy,
+    /// Best feasible cost per application index (`None` = no schedulable,
+    /// reliable solution).
+    pub best_cost: Vec<Option<u64>>,
+    /// Worst-case schedule length (µs) of the found solution per
+    /// application index.
+    pub schedule_len_us: Vec<Option<i64>>,
+    /// Wall-clock seconds this strategy took on the cell.
+    pub wall_seconds: f64,
+}
+
+impl StrategyCell {
+    /// Percentage of the cell's applications accepted under a maximum
+    /// architecture cost `arc` (feasible *and* affordable).
+    pub fn acceptance(&self, arc: Cost) -> f64 {
+        if self.best_cost.is_empty() {
+            return 0.0;
+        }
+        let accepted = self
+            .best_cost
+            .iter()
+            .filter(|c| c.is_some_and(|c| c <= arc.units()))
+            .count();
+        100.0 * accepted as f64 / self.best_cost.len() as f64
+    }
+
+    /// Mean best cost over the feasible applications, if any.
+    pub fn mean_cost(&self) -> Option<f64> {
+        let feasible: Vec<u64> = self.best_cost.iter().copied().flatten().collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        Some(feasible.iter().sum::<u64>() as f64 / feasible.len() as f64)
+    }
+}
+
+/// Results of all requested strategies on one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell descriptor.
+    pub scenario: Scenario,
+    /// One row per requested strategy, in request order.
+    pub strategies: Vec<StrategyCell>,
+}
+
+impl CellResult {
+    /// The cell's stable label (see [`Scenario::label`]).
+    pub fn label(&self) -> String {
+        self.scenario.label()
+    }
+}
+
+/// A completed matrix run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// One entry per cell, in matrix expansion order.
+    pub cells: Vec<CellResult>,
+    /// The maximum architecture cost the summary table evaluates
+    /// acceptance at.
+    pub arc: Cost,
+}
+
+/// Runs one strategy over one cell.
+pub fn run_cell_strategy(scenario: &Scenario, strategy: Strategy) -> StrategyCell {
+    let start = std::time::Instant::now();
+    let outcomes = run_strategy_over(|i| scenario.generate(i), scenario.apps, strategy);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    StrategyCell {
+        strategy,
+        best_cost: outcomes
+            .iter()
+            .map(|o| o.as_ref().map(|o| o.solution.cost.units()))
+            .collect(),
+        schedule_len_us: outcomes
+            .iter()
+            .map(|o| o.as_ref().map(|o| o.solution.schedule_length().as_us()))
+            .collect(),
+        wall_seconds,
+    }
+}
+
+/// Runs every requested strategy over one cell.
+pub fn run_cell(scenario: &Scenario, strategies: &[Strategy]) -> CellResult {
+    CellResult {
+        scenario: scenario.clone(),
+        strategies: strategies
+            .iter()
+            .map(|&s| run_cell_strategy(scenario, s))
+            .collect(),
+    }
+}
+
+/// Expands `matrix` and runs every cell; `progress` (when `true`) prints
+/// one line per completed cell to stderr.
+pub fn run_matrix(
+    matrix: &ScenarioMatrix,
+    strategies: &[Strategy],
+    arc: Cost,
+    progress: bool,
+) -> MatrixReport {
+    let cells = matrix.cells();
+    let total = cells.len();
+    let mut results = Vec::with_capacity(total);
+    for (i, scenario) in cells.iter().enumerate() {
+        let cell = run_cell(scenario, strategies);
+        if progress {
+            let spent: f64 = cell.strategies.iter().map(|s| s.wall_seconds).sum();
+            eprintln!("[{}/{}] {} ({:.2}s)", i + 1, total, cell.label(), spent);
+        }
+        results.push(cell);
+    }
+    MatrixReport {
+        cells: results,
+        arc,
+    }
+}
+
+impl MatrixReport {
+    /// Human-readable summary: one row per cell, acceptance at `arc` and
+    /// mean feasible cost per strategy.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .cells
+            .iter()
+            .map(|c| c.label().len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!(
+            "{:<width$}  acceptance at ArC = {}\n",
+            "cell",
+            self.arc.units(),
+            width = width
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!("{:<width$} ", cell.label(), width = width));
+            for s in &cell.strategies {
+                let mean = s
+                    .mean_cost()
+                    .map_or("   -".to_string(), |m| format!("{m:4.1}"));
+                out.push_str(&format!(
+                    "  {} {:5.1}% (c\u{0304} {})",
+                    s.strategy.label(),
+                    s.acceptance(self.arc),
+                    mean
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The timing-free JSON snapshot the golden-file harness byte-compares
+    /// (deterministic for a deterministic engine: no wall-clock values).
+    pub fn golden_json(&self) -> String {
+        self.render_json(false, None)
+    }
+
+    /// The benchmark artifact JSON (`BENCH_PR<N>.json`): the golden fields
+    /// plus per-strategy wall-clock seconds and run metadata.
+    pub fn bench_json(&self, pr: u32, smoke: bool) -> String {
+        self.render_json(true, Some((pr, smoke)))
+    }
+
+    fn render_json(&self, timings: bool, meta: Option<(u32, bool)>) -> String {
+        let mut out = String::from("{\n");
+        if let Some((pr, smoke)) = meta {
+            out.push_str(&format!(
+                "  \"bench\": \"repro_matrix\",\n  \"pr\": {pr},\n  \"smoke\": {smoke},\n"
+            ));
+        }
+        out.push_str(&format!(
+            "  \"arc\": {},\n  \"cells\": [\n",
+            self.arc.units()
+        ));
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let s = &cell.scenario;
+            out.push_str(&format!(
+                concat!(
+                    "    {{\n",
+                    "      \"scenario\": \"{}\",\n",
+                    "      \"bus\": \"{}\",\n",
+                    "      \"platform\": \"{}\",\n",
+                    "      \"utilization\": \"{}\",\n",
+                    "      \"apps\": {},\n",
+                    "      \"strategies\": {{\n"
+                ),
+                cell.label(),
+                s.bus.label(),
+                s.platform.label(),
+                s.utilization.label(),
+                s.apps,
+            ));
+            for (si, row) in cell.strategies.iter().enumerate() {
+                out.push_str(&format!(
+                    concat!(
+                        "        \"{}\": {{\n",
+                        "          \"acceptance\": {:.1},\n",
+                        "          \"best_cost\": [{}],\n",
+                        "          \"schedule_len_us\": [{}]"
+                    ),
+                    row.strategy.label(),
+                    row.acceptance(self.arc),
+                    join_opts(&row.best_cost),
+                    join_opts(&row.schedule_len_us),
+                ));
+                if timings {
+                    out.push_str(&format!(
+                        ",\n          \"wall_seconds\": {:.6}",
+                        row.wall_seconds
+                    ));
+                }
+                out.push_str("\n        }");
+                out.push_str(if si + 1 < cell.strategies.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      }\n    }");
+            out.push_str(if ci + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn join_opts<T: std::fmt::Display>(values: &[Option<T>]) -> String {
+    values
+        .iter()
+        .map(|v| v.as_ref().map_or("null".to_string(), T::to_string))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_gen::{BusProfile, Heterogeneity, Utilization};
+
+    fn tiny_cell() -> Scenario {
+        Scenario::new(
+            BusProfile::Ideal,
+            Heterogeneity::Mild,
+            Utilization::Relaxed,
+            2,
+        )
+    }
+
+    #[test]
+    fn acceptance_and_mean_cost_derive_from_per_app_costs() {
+        let row = StrategyCell {
+            strategy: Strategy::Opt,
+            best_cost: vec![Some(10), None, Some(30), Some(20)],
+            schedule_len_us: vec![Some(1), None, Some(3), Some(2)],
+            wall_seconds: 0.0,
+        };
+        assert_eq!(row.acceptance(Cost::new(20)), 50.0);
+        assert_eq!(row.acceptance(Cost::new(9)), 0.0);
+        assert_eq!(row.mean_cost(), Some(20.0));
+        let empty = StrategyCell {
+            strategy: Strategy::Min,
+            best_cost: vec![None, None],
+            schedule_len_us: vec![None, None],
+            wall_seconds: 0.0,
+        };
+        assert_eq!(empty.acceptance(Cost::new(100)), 0.0);
+        assert_eq!(empty.mean_cost(), None);
+    }
+
+    #[test]
+    fn cell_run_matches_the_condition_runner_on_the_default_cell() {
+        // The (Ideal, Mild, Relaxed) cell is exactly the Fig. 6 default
+        // condition: the matrix runner must reproduce run_condition's costs.
+        let scenario = tiny_cell();
+        let cell = run_cell_strategy(&scenario, Strategy::Opt);
+        let reference = crate::experiment::run_condition(
+            &ftes_gen::ExperimentConfig::default(),
+            scenario.apps,
+            Strategy::Opt,
+        );
+        let costs: Vec<Option<u64>> = reference
+            .best_cost
+            .iter()
+            .map(|c| c.map(|c| c.units()))
+            .collect();
+        assert_eq!(cell.best_cost, costs);
+    }
+
+    #[test]
+    fn golden_json_is_deterministic_and_timing_free() {
+        let scenario = tiny_cell();
+        let report = MatrixReport {
+            cells: vec![run_cell(&scenario, &[Strategy::Opt])],
+            arc: Cost::new(20),
+        };
+        let again = MatrixReport {
+            cells: vec![run_cell(&scenario, &[Strategy::Opt])],
+            arc: Cost::new(20),
+        };
+        assert_eq!(report.golden_json(), again.golden_json());
+        assert!(!report.golden_json().contains("wall_seconds"));
+        assert!(report.bench_json(3, true).contains("wall_seconds"));
+        assert!(report.render_table().contains("OPT"));
+    }
+}

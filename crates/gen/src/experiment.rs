@@ -63,24 +63,45 @@ pub fn generate_instance(config: &ExperimentConfig, index: u64) -> System {
         processes: if index % 2 == 0 { 20 } else { 40 },
         ..DagConfig::default()
     };
+    let platform_cfg = PlatformConfig {
+        node_types: config.node_types,
+        ser_h1: config.ser_h1,
+        ..PlatformConfig::default()
+    };
+    generate_instance_core(config, &dag_cfg, &platform_cfg, BusSpec::ideal(), index)
+}
+
+/// The parameterized instance generator behind [`generate_instance`] and
+/// the scenario layer ([`crate::Scenario::generate`]): same RNG streams,
+/// same deadline/goal assignment, but with an explicit DAG configuration,
+/// platform configuration and bus specification.
+///
+/// The deadline lower bound is computed from the *base* WCETs (fastest
+/// node, no degradation) and ignores communication, so the same `(seed,
+/// index)` yields the same graph, deadline and reliability goal across
+/// every bus model and platform heterogeneity profile — scenario cells
+/// stay comparable along those axes, exactly like the paper's SER/HPD
+/// independence requirement.
+pub(crate) fn generate_instance_core(
+    config: &ExperimentConfig,
+    dag_cfg: &DagConfig,
+    platform_cfg: &PlatformConfig,
+    bus: BusSpec,
+    index: u64,
+) -> System {
     // Independent, per-purpose RNG streams so that SER/HPD never shift the
     // sampling of structure, deadline or goal.
     let mut dag_rng = stream(config.seed, index, 1);
     let mut platform_rng = stream(config.seed, index, 2);
     let mut assign_rng = stream(config.seed, index, 3);
 
-    let dag = generate_dag(&dag_cfg, &mut dag_rng);
-    let platform_cfg = PlatformConfig {
-        node_types: config.node_types,
-        ser_h1: config.ser_h1,
-        ..PlatformConfig::default()
-    };
-    let gp = generate_platform(&platform_cfg, &mut platform_rng);
+    let dag = generate_dag(dag_cfg, &mut dag_rng);
+    let gp = generate_platform(platform_cfg, &mut platform_rng);
 
     // Deadline from a SER/HPD-independent lower bound.
     let factor = assign_rng.gen_range(config.deadline_factor.0..=config.deadline_factor.1);
     let gamma = assign_rng.gen_range(config.gamma.0..=config.gamma.1);
-    let lb = schedule_lower_bound(&dag.application, &dag.base_wcet, config.node_types);
+    let lb = schedule_lower_bound(&dag.application, &dag.base_wcet, platform_cfg.node_types);
     let deadline = lb.scale(factor);
 
     let application =
@@ -100,7 +121,7 @@ pub fn generate_instance(config: &ExperimentConfig, index: u64) -> System {
         gp.platform,
         timing,
         ReliabilityGoal::per_hour(gamma).expect("gamma range is valid"),
-        BusSpec::ideal(),
+        bus,
     )
     .expect("generated system is consistent")
 }

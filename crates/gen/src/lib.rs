@@ -11,7 +11,10 @@
 //!   reliability goals held **independent** of SER and HPD as the paper
 //!   prescribes;
 //! * [`cc_system`] — the 32-process cruise-controller case study on
-//!   ETM/ABS/TCM with the published parameters.
+//!   ETM/ABS/TCM with the published parameters;
+//! * [`Scenario`] / [`ScenarioMatrix`] — multi-axis condition sweeps (bus
+//!   model incl. TDMA slot lengths, platform heterogeneity, deadline
+//!   tightness, cell size) expanding into comparable, fully seeded cells.
 //!
 //! ## Example
 //!
@@ -30,6 +33,7 @@ mod cruise_control;
 mod dag;
 mod experiment;
 mod platform;
+mod scenario;
 
 pub use cruise_control::{
     cc_application, cc_architecture_types, cc_platform, cc_system, CC_DEADLINE, CC_MODULES,
@@ -38,3 +42,4 @@ pub use cruise_control::{
 pub use dag::{generate_dag, DagConfig, GeneratedDag};
 pub use experiment::{generate_instance, schedule_lower_bound, ExperimentConfig};
 pub use platform::{generate_platform, GeneratedPlatform, PlatformConfig};
+pub use scenario::{BusProfile, Heterogeneity, Scenario, ScenarioMatrix, Utilization};

@@ -1,0 +1,474 @@
+//! Scenario descriptors: multi-axis condition sweeps beyond the paper's
+//! homogeneous single-bus setup.
+//!
+//! The Section 7 experiments fix one platform shape (mildly heterogeneous
+//! speeds, contention-free bus) and sweep only SER/HPD. A [`Scenario`]
+//! generalizes one experimental *cell* along four more axes:
+//!
+//! * **bus model** ([`BusProfile`]) — contention-free vs TDMA rounds at a
+//!   chosen slot length;
+//! * **platform heterogeneity** ([`Heterogeneity`]) — identical nodes vs
+//!   spread speed/cost profiles;
+//! * **application count** — how many synthetic applications the cell runs;
+//! * **deadline tightness** ([`Utilization`]) — how much slack the
+//!   deadline assignment leaves over the schedule lower bound.
+//!
+//! A [`ScenarioMatrix`] enumerates the cross product into concrete cells.
+//! Generation is fully seeded: the same `(seed, index)` produces the same
+//! task graph, deadline and reliability goal in *every* cell, so results
+//! are comparable along each axis (the bus and heterogeneity axes re-price
+//! an identical workload rather than sampling a new one).
+
+use ftes_model::{BusSpec, System, TimeUs};
+use serde::{Deserialize, Serialize};
+
+use crate::dag::DagConfig;
+use crate::experiment::{generate_instance_core, ExperimentConfig};
+use crate::platform::PlatformConfig;
+
+/// The bus-model axis of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BusProfile {
+    /// Contention-free bus (the paper's setup).
+    #[default]
+    Ideal,
+    /// TTP-style TDMA rounds with the given slot length.
+    Tdma {
+        /// Length of each node's slot.
+        slot: TimeUs,
+    },
+}
+
+impl BusProfile {
+    /// The [`BusSpec`] this profile denotes.
+    pub fn spec(self) -> BusSpec {
+        match self {
+            BusProfile::Ideal => BusSpec::ideal(),
+            BusProfile::Tdma { slot } => BusSpec::tdma(slot),
+        }
+    }
+
+    /// Stable label used in cell names and golden files.
+    pub fn label(self) -> String {
+        match self {
+            BusProfile::Ideal => "ideal".to_string(),
+            BusProfile::Tdma { slot } => format!("tdma{}us", slot.as_us()),
+        }
+    }
+}
+
+/// The platform-heterogeneity axis: how far node speeds and costs spread.
+///
+/// Concrete [`PlatformConfig`] parameters derive from the variant; the
+/// first node type is always the 1.0-speed reference, so `Homogeneous`
+/// collapses every type to identical speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Heterogeneity {
+    /// All node types run at the reference speed (uniform platform).
+    Homogeneous,
+    /// The paper-calibrated default: speed factors up to 1.6×.
+    #[default]
+    Mild,
+    /// Strongly heterogeneous: speed factors up to 3×, costs 1–6 units.
+    Wide,
+}
+
+impl Heterogeneity {
+    /// Upper bound of the node speed-factor spread.
+    pub fn max_speed_factor(self) -> f64 {
+        match self {
+            Heterogeneity::Homogeneous => 1.0,
+            Heterogeneity::Mild => 1.6,
+            Heterogeneity::Wide => 3.0,
+        }
+    }
+
+    /// Initial (h = 1) cost range in units.
+    pub fn base_cost(self) -> (u64, u64) {
+        match self {
+            Heterogeneity::Homogeneous | Heterogeneity::Mild => (1, 4),
+            Heterogeneity::Wide => (1, 6),
+        }
+    }
+
+    /// Stable label used in cell names and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Heterogeneity::Homogeneous => "hom",
+            Heterogeneity::Mild => "mild",
+            Heterogeneity::Wide => "wide",
+        }
+    }
+}
+
+/// The deadline-tightness axis: the range the per-application deadline
+/// factor (deadline = factor × lower bound) is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Utilization {
+    /// The paper-calibrated default range (1.25–3.0×).
+    #[default]
+    Relaxed,
+    /// Tight deadlines (1.05–1.6×): little slack for recovery or TDMA
+    /// waiting.
+    Tight,
+}
+
+impl Utilization {
+    /// The deadline-factor range this profile denotes.
+    pub fn deadline_factor(self) -> (f64, f64) {
+        match self {
+            Utilization::Relaxed => (1.25, 3.0),
+            Utilization::Tight => (1.05, 1.6),
+        }
+    }
+
+    /// Stable label used in cell names and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Utilization::Relaxed => "relaxed",
+            Utilization::Tight => "tight",
+        }
+    }
+}
+
+/// One fully-specified experimental cell: a point of the scenario matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The bus model the cell prices communication with.
+    pub bus: BusProfile,
+    /// The platform heterogeneity profile.
+    pub platform: Heterogeneity,
+    /// Deadline tightness. This axis owns the deadline-factor range:
+    /// [`generate`](Scenario::generate) supersedes `base.deadline_factor`
+    /// with [`Utilization::deadline_factor`].
+    pub utilization: Utilization,
+    /// Number of synthetic applications the cell runs.
+    pub apps: usize,
+    /// SER/HPD condition, node-type count, γ range and master seed.
+    /// `base.deadline_factor` is ignored — the `utilization` axis supplies
+    /// it, so one cell never mixes two sources of deadline tightness.
+    pub base: ExperimentConfig,
+}
+
+impl Scenario {
+    /// A scenario of the paper's default condition with the given axes.
+    pub fn new(
+        bus: BusProfile,
+        platform: Heterogeneity,
+        utilization: Utilization,
+        apps: usize,
+    ) -> Self {
+        Scenario {
+            bus,
+            platform,
+            utilization,
+            apps,
+            base: ExperimentConfig::default(),
+        }
+    }
+
+    /// Stable cell label, unique within a matrix: all four axes joined.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-{}-{}apps",
+            self.bus.label(),
+            self.platform.label(),
+            self.utilization.label(),
+            self.apps
+        )
+    }
+
+    /// The platform generator configuration this scenario induces.
+    pub fn platform_config(&self) -> PlatformConfig {
+        PlatformConfig {
+            node_types: self.base.node_types,
+            ser_h1: self.base.ser_h1,
+            max_speed_factor: self.platform.max_speed_factor(),
+            base_cost: self.platform.base_cost(),
+            ..PlatformConfig::default()
+        }
+    }
+
+    /// Generates the `index`-th problem instance of this cell.
+    ///
+    /// Applications alternate between 20 and 40 processes like
+    /// [`generate_instance`](crate::generate_instance); the same `(seed,
+    /// index)` yields the same task graph, deadline and reliability goal
+    /// across all bus profiles and heterogeneity levels. The deadline
+    /// factor comes from the [`utilization`](Scenario::utilization) axis,
+    /// overriding whatever `base.deadline_factor` holds.
+    pub fn generate(&self, index: u64) -> System {
+        let dag_cfg = DagConfig {
+            processes: if index % 2 == 0 { 20 } else { 40 },
+            ..DagConfig::default()
+        };
+        let config = ExperimentConfig {
+            deadline_factor: self.utilization.deadline_factor(),
+            ..self.base
+        };
+        generate_instance_core(
+            &config,
+            &dag_cfg,
+            &self.platform_config(),
+            self.bus.spec(),
+            index,
+        )
+    }
+}
+
+/// A declarative (bus × heterogeneity × utilization × app-count) matrix;
+/// [`cells`](ScenarioMatrix::cells) expands the cross product in a fixed,
+/// documented order (bus outermost, app count innermost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Bus-model axis.
+    pub buses: Vec<BusProfile>,
+    /// Platform-heterogeneity axis.
+    pub platforms: Vec<Heterogeneity>,
+    /// Deadline-tightness axis.
+    pub utilizations: Vec<Utilization>,
+    /// Application-count axis (cell sizes).
+    pub app_counts: Vec<usize>,
+    /// Condition shared by every cell (SER, HPD, node types, seed).
+    pub base: ExperimentConfig,
+}
+
+impl ScenarioMatrix {
+    /// The full PR 3 sweep: 3 buses × 3 heterogeneity profiles × 2
+    /// tightness levels × 2 cell sizes = 36 cells. TDMA slot lengths
+    /// bracket the synthetic message size (≈ 0.5 ms): one slot that fits a
+    /// typical message and one 4× coarser.
+    pub fn full() -> Self {
+        ScenarioMatrix {
+            buses: vec![
+                BusProfile::Ideal,
+                BusProfile::Tdma {
+                    slot: TimeUs::from_us(500),
+                },
+                BusProfile::Tdma {
+                    slot: TimeUs::from_ms(2),
+                },
+            ],
+            platforms: vec![
+                Heterogeneity::Homogeneous,
+                Heterogeneity::Mild,
+                Heterogeneity::Wide,
+            ],
+            utilizations: vec![Utilization::Relaxed, Utilization::Tight],
+            app_counts: vec![4, 8],
+            base: ExperimentConfig::default(),
+        }
+    }
+
+    /// A CI-sized smoke matrix: one TDMA and one heterogeneous axis value,
+    /// 2 applications per cell (2 × 2 × 1 × 1 = 4 cells).
+    pub fn smoke() -> Self {
+        ScenarioMatrix {
+            buses: vec![
+                BusProfile::Ideal,
+                BusProfile::Tdma {
+                    slot: TimeUs::from_ms(1),
+                },
+            ],
+            platforms: vec![Heterogeneity::Mild, Heterogeneity::Wide],
+            utilizations: vec![Utilization::Relaxed],
+            app_counts: vec![2],
+            base: ExperimentConfig::default(),
+        }
+    }
+
+    /// Number of cells the matrix expands to.
+    pub fn cell_count(&self) -> usize {
+        self.buses.len() * self.platforms.len() * self.utilizations.len() * self.app_counts.len()
+    }
+
+    /// Expands the cross product into concrete scenarios, bus outermost,
+    /// then platform, then utilization, then app count.
+    pub fn cells(&self) -> Vec<Scenario> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &bus in &self.buses {
+            for &platform in &self.platforms {
+                for &utilization in &self.utilizations {
+                    for &apps in &self.app_counts {
+                        cells.push(Scenario {
+                            bus,
+                            platform,
+                            utilization,
+                            apps,
+                            base: self.base,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_instance;
+    use ftes_model::{HLevel, NodeTypeId, ProcessId};
+
+    fn default_scenario(bus: BusProfile, platform: Heterogeneity) -> Scenario {
+        Scenario::new(bus, platform, Utilization::Relaxed, 2)
+    }
+
+    #[test]
+    fn default_cell_reproduces_generate_instance() {
+        // The (Ideal, Mild, Relaxed) cell is the paper's setup: its
+        // instances must be bit-identical to `generate_instance`.
+        let s = default_scenario(BusProfile::Ideal, Heterogeneity::Mild);
+        let cfg = ExperimentConfig::default();
+        for index in 0..3 {
+            assert_eq!(s.generate(index), generate_instance(&cfg, index));
+        }
+    }
+
+    #[test]
+    fn bus_axis_changes_only_the_bus() {
+        let ideal = default_scenario(BusProfile::Ideal, Heterogeneity::Wide);
+        let tdma = default_scenario(
+            BusProfile::Tdma {
+                slot: TimeUs::from_ms(1),
+            },
+            Heterogeneity::Wide,
+        );
+        let a = ideal.generate(1);
+        let b = tdma.generate(1);
+        assert_eq!(b.bus(), BusSpec::tdma(TimeUs::from_ms(1)));
+        assert_eq!(a.application(), b.application());
+        assert_eq!(a.platform(), b.platform());
+        assert_eq!(a.timing(), b.timing());
+        assert_eq!(a.goal(), b.goal());
+    }
+
+    #[test]
+    fn homogeneous_platforms_have_uniform_wcets() {
+        let s = default_scenario(BusProfile::Ideal, Heterogeneity::Homogeneous);
+        let sys = s.generate(0);
+        let h1 = HLevel::MIN;
+        for p in sys.application().process_ids() {
+            let reference = sys.timing().wcet(p, NodeTypeId::new(0), h1).unwrap();
+            for j in 1..sys.platform().node_type_count() {
+                assert_eq!(
+                    sys.timing().wcet(p, NodeTypeId::new(j as u32), h1).unwrap(),
+                    reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_platforms_spread_wcets_further_than_mild() {
+        // Same graph, same base WCETs: the widest per-process WCET spread
+        // under `Wide` must be at least the `Mild` spread, and some process
+        // must exceed the mild 1.6× cap.
+        let mild = default_scenario(BusProfile::Ideal, Heterogeneity::Mild).generate(0);
+        let wide = default_scenario(BusProfile::Ideal, Heterogeneity::Wide).generate(0);
+        let h1 = HLevel::MIN;
+        let spread = |sys: &ftes_model::System, p: ProcessId| {
+            let mut lo = TimeUs::MAX;
+            let mut hi = TimeUs::ZERO;
+            for j in 0..sys.platform().node_type_count() {
+                let w = sys.timing().wcet(p, NodeTypeId::new(j as u32), h1).unwrap();
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+            (lo, hi)
+        };
+        let mut wide_exceeds_mild_cap = false;
+        for p in mild.application().process_ids() {
+            let (lo_m, hi_m) = spread(&mild, p);
+            let (lo_w, hi_w) = spread(&wide, p);
+            assert!(hi_m <= lo_m.scale(1.6001), "mild spread too wide");
+            if hi_w > lo_w.scale(1.6001) {
+                wide_exceeds_mild_cap = true;
+            }
+        }
+        assert!(wide_exceeds_mild_cap, "wide profile never exceeded 1.6x");
+    }
+
+    #[test]
+    fn axes_leave_graph_deadline_and_goal_invariant() {
+        // Deadline comparability across the bus and heterogeneity axes.
+        let cells = ScenarioMatrix::full().cells();
+        let reference = cells[0].generate(2);
+        for cell in &cells {
+            let sys = Scenario {
+                utilization: cells[0].utilization,
+                ..cell.clone()
+            }
+            .generate(2);
+            assert_eq!(
+                sys.application().min_deadline(),
+                reference.application().min_deadline(),
+                "cell {}",
+                cell.label()
+            );
+            assert_eq!(sys.goal(), reference.goal());
+            assert_eq!(
+                sys.application().message_count(),
+                reference.application().message_count()
+            );
+        }
+    }
+
+    #[test]
+    fn tight_utilization_shrinks_deadlines() {
+        let relaxed = Scenario::new(
+            BusProfile::Ideal,
+            Heterogeneity::Mild,
+            Utilization::Relaxed,
+            2,
+        );
+        let tight = Scenario::new(
+            BusProfile::Ideal,
+            Heterogeneity::Mild,
+            Utilization::Tight,
+            2,
+        );
+        for index in 0..4 {
+            assert!(
+                tight.generate(index).application().min_deadline()
+                    <= relaxed.generate(index).application().min_deadline()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_expansion_covers_the_cross_product_with_unique_labels() {
+        let matrix = ScenarioMatrix::full();
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), matrix.cell_count());
+        assert_eq!(cells.len(), 36);
+        let mut labels: Vec<String> = cells.iter().map(Scenario::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len(), "duplicate cell labels");
+    }
+
+    #[test]
+    fn smoke_matrix_is_small_but_covers_tdma_and_heterogeneous_cells() {
+        let matrix = ScenarioMatrix::smoke();
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), 4);
+        assert!(cells
+            .iter()
+            .any(|c| matches!(c.bus, BusProfile::Tdma { .. })));
+        assert!(cells.iter().any(|c| c.platform == Heterogeneity::Wide));
+        assert!(cells.iter().all(|c| c.apps <= 2));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = default_scenario(
+            BusProfile::Tdma {
+                slot: TimeUs::from_us(500),
+            },
+            Heterogeneity::Wide,
+        );
+        assert_eq!(s.generate(3), s.generate(3));
+    }
+}

@@ -162,4 +162,104 @@ mod tests {
     fn default_is_ideal() {
         assert_eq!(BusSpec::default(), BusSpec::ideal());
     }
+
+    #[test]
+    fn tdma_zero_tx_passes_through_even_between_slots() {
+        // A zero-length message never touches the bus, even when it becomes
+        // ready in the middle of a foreign slot.
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        for ready_ms in [0, 1, 2, 3, 5, 7] {
+            let ready = TimeUs::from_ms(ready_ms);
+            assert_eq!(
+                bus.arrival_time(NodeId::new(0), 3, ready, TimeUs::ZERO),
+                ready
+            );
+            assert_eq!(
+                bus.arrival_time(NodeId::new(2), 3, ready, TimeUs::ZERO),
+                ready
+            );
+        }
+    }
+
+    #[test]
+    fn tdma_ready_exactly_at_slot_start_ships_in_that_slot() {
+        // 3 nodes, 2 ms slots: node 2's slots start at 2, 8, 14, …; a
+        // message that becomes ready exactly at a slot boundary must not be
+        // pushed a full round.
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(1), 3, TimeUs::from_ms(2), TimeUs::from_ms(1)),
+            TimeUs::from_ms(4)
+        );
+        // One microsecond later it has missed the slot and waits a round.
+        assert_eq!(
+            bus.arrival_time(
+                NodeId::new(1),
+                3,
+                TimeUs::from_ms(2) + TimeUs::from_us(1),
+                TimeUs::from_ms(1)
+            ),
+            TimeUs::from_ms(10)
+        );
+    }
+
+    #[test]
+    fn tdma_tx_exactly_one_slot_fills_it() {
+        // tx == slot needs exactly one slot, not two.
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 2, TimeUs::ZERO, TimeUs::from_ms(2)),
+            TimeUs::from_ms(2)
+        );
+        // One microsecond more spills into the next round's slot.
+        assert_eq!(
+            bus.arrival_time(
+                NodeId::new(0),
+                2,
+                TimeUs::ZERO,
+                TimeUs::from_ms(2) + TimeUs::from_us(1)
+            ),
+            TimeUs::from_ms(6)
+        );
+    }
+
+    #[test]
+    fn tdma_multi_round_messages_count_whole_rounds() {
+        // 3 nodes, 1 ms slots (3 ms round): a 5 ms message from node 0
+        // needs ⌈5/1⌉ = 5 slots, i.e. rounds 0‥4; it completes at the end
+        // of node 0's slot in round 4: 4·3 + 1 = 13 ms.
+        let bus = BusSpec::tdma(TimeUs::from_ms(1));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 3, TimeUs::ZERO, TimeUs::from_ms(5)),
+            TimeUs::from_ms(13)
+        );
+        // Same message from the last node: first slot starts at 2 ms, so
+        // everything shifts by the sender offset.
+        assert_eq!(
+            bus.arrival_time(NodeId::new(2), 3, TimeUs::ZERO, TimeUs::from_ms(5)),
+            TimeUs::from_ms(15)
+        );
+    }
+
+    #[test]
+    fn tdma_single_node_round_degenerates_to_back_to_back_slots() {
+        // With one node the round equals the slot: the bus is a sequence of
+        // contiguous slots owned by the sender.
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        assert_eq!(
+            bus.arrival_time(NodeId::new(0), 1, TimeUs::from_ms(1), TimeUs::from_ms(3)),
+            TimeUs::from_ms(6) // next slot starts at 2; 2 slots → ends at 6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn tdma_rejects_non_positive_slots() {
+        BusSpec::tdma(TimeUs::ZERO).arrival_time(
+            NodeId::new(0),
+            2,
+            TimeUs::ZERO,
+            TimeUs::from_ms(1),
+        );
+    }
 }

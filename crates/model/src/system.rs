@@ -90,6 +90,19 @@ impl System {
     pub fn bus(&self) -> BusSpec {
         self.bus
     }
+
+    /// The same problem instance under a different bus specification.
+    ///
+    /// Scenario sweeps re-price the communication of one generated system
+    /// under several bus models; everything else (application, platform,
+    /// timing, goal) is shared unchanged.
+    #[must_use]
+    pub fn with_bus(&self, bus: BusSpec) -> Self {
+        System {
+            bus,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +133,16 @@ mod tests {
         assert_eq!(sys.goal().gamma(), 1e-5);
         assert_eq!(sys.bus(), BusSpec::ideal());
         assert_eq!(sys.timing().process_count(), 4);
+    }
+
+    #[test]
+    fn with_bus_swaps_only_the_bus() {
+        let sys = crate::paper::fig1_system();
+        let tdma = sys.with_bus(BusSpec::tdma(TimeUs::from_ms(2)));
+        assert_eq!(tdma.bus(), BusSpec::tdma(TimeUs::from_ms(2)));
+        assert_eq!(tdma.application(), sys.application());
+        assert_eq!(tdma.platform(), sys.platform());
+        assert_eq!(tdma.timing(), sys.timing());
+        assert_eq!(tdma.goal(), sys.goal());
     }
 }

@@ -487,6 +487,86 @@ mod tests {
     }
 
     #[test]
+    fn matches_evaluate_fixed_under_tdma_bus_with_real_tx_times() {
+        // The bus-aware path of the incremental engine: on a system whose
+        // messages have genuine transmission times and a TDMA bus, every
+        // probe of a search-shaped sequence (hardening bumps + re-mapping
+        // moves) must equal the from-scratch pipeline bit for bit.
+        use ftes_model::{
+            ApplicationBuilder, BusSpec, Cost as MCost, ExecSpec, NodeType, NodeTypeId, Platform,
+            Prob, ProcessId, ReliabilityGoal, TimingDb,
+        };
+        let mut b = ApplicationBuilder::new("tdma");
+        let g = b.add_graph("G1", TimeUs::from_ms(120));
+        let p: Vec<ProcessId> = (0..4)
+            .map(|_| b.add_process(g, TimeUs::from_ms(1)))
+            .collect();
+        b.add_message(p[0], p[1], TimeUs::from_ms(2)).unwrap();
+        b.add_message(p[0], p[2], TimeUs::from_ms(3)).unwrap();
+        b.add_message(p[1], p[3], TimeUs::from_ms(1)).unwrap();
+        b.add_message(p[2], p[3], TimeUs::from_ms(2)).unwrap();
+        let app = b.build().unwrap();
+        let platform = Platform::new(vec![
+            NodeType::new("N1", vec![MCost::new(4), MCost::new(8)], 1.0).unwrap(),
+            NodeType::new("N2", vec![MCost::new(2), MCost::new(4)], 1.5).unwrap(),
+        ])
+        .unwrap();
+        let mut timing = TimingDb::new(4, &platform);
+        for (pi, &pid) in p.iter().enumerate() {
+            for (ji, speed) in [(0usize, 1.0f64), (1, 1.5)] {
+                for (hi, pf) in [(1u8, 4e-4), (2, 4e-6)] {
+                    let wcet = TimeUs::from_ms(8 + 3 * pi as i64).scale(speed * f64::from(hi));
+                    timing
+                        .set(
+                            pid,
+                            NodeTypeId::new(ji as u32),
+                            HLevel::new(hi).unwrap(),
+                            ExecSpec::new(wcet, Prob::new(pf).unwrap()).unwrap(),
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        let system = System::new(
+            app,
+            platform,
+            timing,
+            ReliabilityGoal::per_hour(1e-5).unwrap(),
+            BusSpec::tdma(TimeUs::from_ms(2)),
+        )
+        .unwrap();
+
+        let config = OptConfig::default();
+        let mut ev = Evaluator::new(&system, &config);
+        let mut arch = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(1)]);
+        let mut mapping = ftes_model::Mapping::all_on(4, NodeId::new(0));
+        // A probe walk that exercises re-mapping (bus traffic appears and
+        // disappears) and hardening deltas on both nodes.
+        let moves: [(u32, u32, u8); 6] = [
+            (1, 1, 1),
+            (2, 1, 2),
+            (1, 0, 2),
+            (3, 1, 1),
+            (2, 0, 1),
+            (0, 1, 2),
+        ];
+        for (proc_i, node_i, level) in moves {
+            mapping.assign(ProcessId::new(proc_i), NodeId::new(node_i));
+            arch.set_hardening(NodeId::new(node_i), HLevel::new(level).unwrap());
+            let incr = ev.evaluate(&arch, &mapping).unwrap();
+            let scratch = evaluate_fixed(&system, &arch, &mapping, &config).unwrap();
+            assert_eq!(
+                incr.as_deref().cloned(),
+                scratch.clone().map(Candidate::of_solution),
+                "probe ({proc_i},{node_i},{level})"
+            );
+            if let (Some(candidate), Some(solution)) = (&incr, &scratch) {
+                assert_eq!(&ev.materialize(candidate).unwrap(), solution);
+            }
+        }
+    }
+
+    #[test]
     fn invalid_mapping_is_still_rejected() {
         let sys = paper::fig1_system();
         let config = OptConfig::default();

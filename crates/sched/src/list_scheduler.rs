@@ -813,4 +813,103 @@ mod tests {
         // instantly; the schedule must equal the ideal-bus one.
         assert_eq!(sched.wc_length(), TimeUs::from_ms(330));
     }
+
+    /// A two-node system whose messages have real transmission times, so
+    /// TDMA slot alignment actually shapes the schedule (unlike the paper
+    /// examples, whose message delays are folded into the WCETs).
+    fn tdma_test_system() -> (
+        ftes_model::Application,
+        ftes_model::TimingDb,
+        Architecture,
+        Mapping,
+    ) {
+        use ftes_model::{
+            ApplicationBuilder, Cost, ExecSpec, HLevel, NodeType, NodeTypeId, Platform, Prob,
+            TimingDb,
+        };
+        let mut b = ApplicationBuilder::new("tdma");
+        let g = b.add_graph("G1", TimeUs::from_ms(200));
+        let p1 = b.add_process(g, TimeUs::from_ms(1));
+        let p2 = b.add_process(g, TimeUs::from_ms(1));
+        let p3 = b.add_process(g, TimeUs::from_ms(1));
+        // Two cross-node messages from the same sender (serialized on its
+        // interface) plus a fan-in edge.
+        b.add_message(p1, p2, TimeUs::from_ms(3)).unwrap();
+        b.add_message(p1, p3, TimeUs::from_ms(1)).unwrap();
+        b.add_message(p2, p3, TimeUs::from_ms(1)).unwrap();
+        let app = b.build().unwrap();
+        let platform =
+            Platform::new(vec![NodeType::new("N", vec![Cost::new(1)], 1.0).unwrap()]).unwrap();
+        let mut timing = TimingDb::new(3, &platform);
+        let spec = ExecSpec::new(TimeUs::from_ms(10), Prob::new(1e-5).unwrap()).unwrap();
+        for p in [p1, p2, p3] {
+            timing
+                .set(p, NodeTypeId::new(0), HLevel::MIN, spec)
+                .unwrap();
+        }
+        let arch = Architecture::with_min_hardening(&[NodeTypeId::new(0), NodeTypeId::new(0)]);
+        let mut mapping = Mapping::all_on(3, NodeId::new(0));
+        mapping.assign(ProcessId::new(1), NodeId::new(1));
+        (app, timing, arch, mapping)
+    }
+
+    #[test]
+    fn tdma_slot_alignment_shapes_the_schedule() {
+        use ftes_model::{BusSpec, MessageId};
+        let (app, timing, arch, mapping) = tdma_test_system();
+        let bus = BusSpec::tdma(TimeUs::from_ms(2));
+        let sched = schedule(&app, &timing, &arch, &mapping, &[0, 0], bus).unwrap();
+        // P1 (node 0) finishes at 10 ms. m1 (P1→P2, 3 ms) needs 2 slots of
+        // node 0 (slots at 12–14 and 16–18): arrival 18 ms — exactly what
+        // BusSpec::arrival_time prices.
+        let m1 = sched.message_slot(MessageId::new(0));
+        assert!(m1.over_bus);
+        assert_eq!(
+            m1.arrival,
+            bus.arrival_time(NodeId::new(0), 2, TimeUs::from_ms(10), TimeUs::from_ms(3))
+        );
+        assert_eq!(m1.arrival, TimeUs::from_ms(18));
+        // m2 (P1→P3) stays on node 0: delivered at P1's finish.
+        assert!(!sched.message_slot(MessageId::new(1)).over_bus);
+        // m3 (P2→P3, node 1 → node 0) waits for node 1's slot.
+        let m3 = sched.message_slot(MessageId::new(2));
+        assert!(m3.over_bus);
+        assert_eq!(
+            m3.arrival,
+            bus.arrival_time(NodeId::new(1), 2, m3.send, TimeUs::from_ms(1))
+        );
+        // The ideal bus would finish strictly earlier.
+        let ideal = schedule(&app, &timing, &arch, &mapping, &[0, 0], BusSpec::ideal()).unwrap();
+        assert!(ideal.wc_length() < sched.wc_length());
+    }
+
+    #[test]
+    fn run_light_matches_run_under_tdma_with_real_tx_times() {
+        // The regression pin for the light walk's bus pricing: across slot
+        // lengths, budgets and slack models, the allocation-free verdict
+        // must equal the materialized schedule bit for bit on a system
+        // where TDMA slot alignment genuinely moves messages.
+        use ftes_model::BusSpec;
+        let (app, timing, arch, mapping) = tdma_test_system();
+        let mut scheduler = Scheduler::new();
+        for slot_ms in [1, 2, 3, 5, 7] {
+            for ks in [[0u32, 0], [1, 0], [2, 1]] {
+                for slack in [SlackModel::Shared, SlackModel::PerProcess] {
+                    let bus = BusSpec::tdma(TimeUs::from_ms(slot_ms));
+                    let full = scheduler
+                        .run(&app, &timing, &arch, &mapping, &ks, bus, slack)
+                        .unwrap();
+                    let light = scheduler
+                        .run_light(&app, &timing, &arch, &mapping, &ks, bus, slack)
+                        .unwrap();
+                    assert_eq!(
+                        light.wc_length,
+                        full.wc_length(),
+                        "slot {slot_ms}ms ks {ks:?} {slack:?}"
+                    );
+                    assert_eq!(light.schedulable, full.is_schedulable());
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,117 @@
+//! Golden-file regression harness for the scenario matrix.
+//!
+//! A pinned 6-cell mini-matrix — covering the ideal bus, two TDMA slot
+//! lengths, homogeneous/mild/wide platforms and both deadline-tightness
+//! levels — is run through all three strategies, and the timing-free JSON
+//! snapshot ([`MatrixReport::golden_json`]) is compared **byte for byte**
+//! against the committed snapshot in `tests/golden/`. Acceptance ratios
+//! and worst-case schedule lengths are both pinned, so any drift in the
+//! generator, the TDMA bus arithmetic, the SFP analysis, the scheduler or
+//! the search heuristics fails this suite.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_scenarios
+//! ```
+//!
+//! and commit the rewritten `tests/golden/mini_matrix.json` alongside the
+//! change that moved it.
+
+use ftes::bench::{run_matrix, MatrixReport, Strategy};
+use ftes::gen::{BusProfile, Heterogeneity, ScenarioMatrix, Utilization};
+use ftes::model::{Cost, TimeUs};
+
+/// The pinned mini-matrix: 6 cells (3 buses × 2 platforms, one tightness
+/// axis value each), 2 applications per cell.
+fn mini_matrix() -> (ScenarioMatrix, ScenarioMatrix) {
+    let relaxed = ScenarioMatrix {
+        buses: vec![
+            BusProfile::Ideal,
+            BusProfile::Tdma {
+                slot: TimeUs::from_ms(1),
+            },
+        ],
+        platforms: vec![Heterogeneity::Mild, Heterogeneity::Wide],
+        utilizations: vec![Utilization::Relaxed],
+        app_counts: vec![2],
+        base: ftes::gen::ExperimentConfig::default(),
+    };
+    let tight = ScenarioMatrix {
+        buses: vec![BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        }],
+        platforms: vec![Heterogeneity::Homogeneous, Heterogeneity::Mild],
+        utilizations: vec![Utilization::Tight],
+        app_counts: vec![2],
+        base: ftes::gen::ExperimentConfig::default(),
+    };
+    (relaxed, tight)
+}
+
+fn run_mini_matrix() -> MatrixReport {
+    let (relaxed, tight) = mini_matrix();
+    let mut report = run_matrix(&relaxed, &Strategy::ALL, Cost::new(20), false);
+    let tail = run_matrix(&tight, &Strategy::ALL, Cost::new(20), false);
+    report.cells.extend(tail.cells);
+    report
+}
+
+fn golden_path() -> std::path::PathBuf {
+    // The test is registered under `crates/ftes`; the goldens live at the
+    // repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/mini_matrix.json")
+}
+
+#[test]
+fn mini_matrix_matches_the_committed_golden_snapshot() {
+    let report = run_mini_matrix();
+    assert_eq!(
+        report.cells.len(),
+        6,
+        "the mini-matrix is pinned at 6 cells"
+    );
+    // The pinned matrix must keep exercising the new scenario space.
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| matches!(c.scenario.bus, BusProfile::Tdma { .. })));
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| c.scenario.platform == Heterogeneity::Wide));
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| c.scenario.utilization == Utilization::Tight));
+
+    let rendered = report.golden_json();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "scenario-matrix results drifted from tests/golden/mini_matrix.json; \
+         if the change is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_scenarios` and commit the diff"
+    );
+}
+
+#[test]
+fn mini_matrix_is_bit_stable_across_runs() {
+    // Two consecutive in-process runs must render identical snapshots —
+    // the determinism the golden comparison relies on (worker scheduling
+    // and thread counts must never leak into results).
+    let a = run_mini_matrix().golden_json();
+    let b = run_mini_matrix().golden_json();
+    assert_eq!(a, b);
+}

@@ -9,7 +9,11 @@
 //!   on search-shaped probe sequences (hardening steps, re-mapping moves)
 //!   over random systems from `ftes-gen`;
 //! * parallel `design_strategy` against the sequential walk on random
-//!   systems — same solution, same stats totals, any thread count.
+//!   systems — same solution, same stats totals, any thread count;
+//! * the whole engine over the scenario space (TDMA buses, heterogeneous
+//!   platforms, tight deadlines): incremental ≡ scratch, parallel ≡
+//!   sequential, and `Scheduler::run_light` ≡ `Scheduler::run` — the
+//!   light walk prices TDMA bus slots identically to the full scheduler.
 
 use ftes::gen::{generate_instance, ExperimentConfig};
 use ftes::model::{
@@ -180,7 +184,7 @@ proptest! {
             if timing.supports(p, arch.node_type(n)) {
                 mapping.assign(p, n);
             }
-            let levels = platform.node_type(arch.node_type(n)).h_count() as u8;
+            let levels = platform.node_type(arch.node_type(n)).h_count();
             let level = HLevel::new(level_pick % levels.max(1) + 1).unwrap();
             arch.set_hardening(n, level);
 
@@ -283,6 +287,144 @@ proptest! {
                     b.stats.architectures_evaluated
                 );
                 prop_assert_eq!(a.stats.architectures_pruned, b.stats.architectures_pruned);
+            }
+            other => prop_assert!(false, "divergent feasibility: {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario space: TDMA buses and heterogeneous platforms
+// ---------------------------------------------------------------------
+
+use ftes::gen::{BusProfile, Heterogeneity, Scenario, Utilization};
+use ftes::sched::{Scheduler, SlackModel};
+
+/// Maps proptest picks onto a scenario cell: ideal vs two TDMA slot
+/// lengths, all three heterogeneity profiles, both tightness levels.
+fn scenario_cell(bus_pick: u8, plat_pick: u8, util_pick: u8, seed: u64) -> Scenario {
+    let bus = [
+        BusProfile::Ideal,
+        BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        },
+        BusProfile::Tdma {
+            slot: TimeUs::from_ms(2),
+        },
+    ][bus_pick as usize % 3];
+    let platform = [
+        Heterogeneity::Homogeneous,
+        Heterogeneity::Mild,
+        Heterogeneity::Wide,
+    ][plat_pick as usize % 3];
+    let utilization = [Utilization::Relaxed, Utilization::Tight][util_pick as usize % 2];
+    let mut cell = Scenario::new(bus, platform, utilization, 1);
+    cell.base.seed = seed;
+    cell
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Incremental ≡ scratch evaluation, and the full scheduler ≡ the
+    /// allocation-free light walk, over the TDMA/heterogeneous scenario
+    /// space — the new cells must not open a gap anywhere in the engine.
+    #[test]
+    fn evaluator_and_run_light_match_scratch_on_scenario_space(
+        index in 0u64..4,
+        bus_pick in 0u8..3,
+        plat_pick in 0u8..3,
+        util_pick in 0u8..2,
+        seed in 1u64..1000,
+        moves in proptest::collection::vec((0u8..40, 0u8..4, 0u8..5), 6..14),
+    ) {
+        let cell = scenario_cell(bus_pick, plat_pick, util_pick, seed);
+        let system = cell.generate(index);
+        let config = quick_config();
+        let platform = system.platform();
+        let app = system.application();
+        let timing = system.timing();
+
+        let ids = platform.ids_fastest_first();
+        let types = [ids[0], ids[1]];
+        let mut arch = Architecture::with_min_hardening(&types);
+        let mut mapping = initial_mapping(&system, &arch).unwrap();
+
+        let mut evaluator = Evaluator::new(&system, &config);
+        let mut scheduler = Scheduler::new();
+        for (proc_pick, node_pick, level_pick) in moves {
+            let p = ProcessId::new(u32::from(proc_pick) % app.process_count() as u32);
+            let n = NodeId::new(u32::from(node_pick) % arch.node_count() as u32);
+            if timing.supports(p, arch.node_type(n)) {
+                mapping.assign(p, n);
+            }
+            let levels = platform.node_type(arch.node_type(n)).h_count();
+            let level = HLevel::new(level_pick % levels.max(1) + 1).unwrap();
+            arch.set_hardening(n, level);
+
+            let incremental = evaluator.evaluate(&arch, &mapping).unwrap();
+            let scratch = evaluate_fixed(&system, &arch, &mapping, &config).unwrap();
+            prop_assert_eq!(
+                incremental.as_deref().cloned(),
+                scratch.clone().map(Candidate::of_solution)
+            );
+
+            // The materialized schedule and the light verdict must agree
+            // on the found budgets — TDMA slot pricing included.
+            if let Some(sol) = &scratch {
+                let full = scheduler
+                    .run(
+                        app, timing, &arch, &mapping, &sol.ks, system.bus(),
+                        SlackModel::Shared,
+                    )
+                    .unwrap();
+                let light = scheduler
+                    .run_light(
+                        app, timing, &arch, &mapping, &sol.ks, system.bus(),
+                        SlackModel::Shared,
+                    )
+                    .unwrap();
+                prop_assert_eq!(light.wc_length, full.wc_length());
+                prop_assert_eq!(light.schedulable, full.is_schedulable());
+                prop_assert_eq!(full.wc_length(), sol.schedule.wc_length());
+            }
+        }
+    }
+
+    /// Parallel ≡ sequential and incremental ≡ scratch `design_strategy`
+    /// on TDMA/heterogeneous cells.
+    #[test]
+    fn design_strategy_is_mode_invariant_on_scenario_space(
+        index in 0u64..3,
+        bus_pick in 1u8..3,    // always a TDMA bus: the new axis
+        plat_pick in 0u8..3,
+        util_pick in 0u8..2,
+        threads in prop_oneof![Just(2usize), Just(4), Just(0)],
+    ) {
+        let cell = scenario_cell(bus_pick, plat_pick, util_pick, 0xF7E5);
+        let system = cell.generate(index);
+        let sequential_cfg = quick_config();
+        let parallel_cfg = OptConfig { threads: Threads(threads), ..sequential_cfg };
+        let scratch_cfg = OptConfig { eval_mode: EvalMode::Scratch, ..sequential_cfg };
+
+        let sequential = design_strategy(&system, &sequential_cfg).unwrap();
+        let parallel = design_strategy(&system, &parallel_cfg).unwrap();
+        let scratch = design_strategy(&system, &scratch_cfg).unwrap();
+
+        match (&sequential, &parallel, &scratch) {
+            (None, None, None) => {}
+            (Some(s), Some(p), Some(f)) => {
+                prop_assert_eq!(&s.solution, &p.solution);
+                prop_assert_eq!(&s.solution, &f.solution);
+                prop_assert_eq!(
+                    s.stats.architectures_evaluated,
+                    p.stats.architectures_evaluated
+                );
+                prop_assert_eq!(s.stats.architectures_pruned, p.stats.architectures_pruned);
+                prop_assert_eq!(
+                    s.stats.architectures_evaluated,
+                    f.stats.architectures_evaluated
+                );
             }
             other => prop_assert!(false, "divergent feasibility: {:?}", other),
         }
