@@ -1,68 +1,217 @@
 //! Scenario-matrix sweep: runs the (bus model × platform heterogeneity ×
-//! deadline tightness × cell size) matrix through the MIN/MAX/OPT design
-//! strategies and writes per-cell structured results.
+//! deadline tightness × graph shape × message load × fault load × cell
+//! size) matrix through the MIN/MAX/OPT design strategies on the parallel
+//! streaming runner and writes per-cell structured results.
 //!
 //! ```text
-//! repro_matrix [--smoke] [--arc UNITS] [--out PATH]
+//! repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS]
+//!              [--threads N] [--shard I/N] [--out PATH]
 //! ```
 //!
-//! Defaults: the full 36-cell matrix ([`ScenarioMatrix::full`]), acceptance
-//! evaluated at ArC = 20 units, output to `BENCH_PR3.json`. `--smoke`
-//! switches to the 4-cell CI matrix ([`ScenarioMatrix::smoke`]); the
-//! harness is exercised end to end, the timings are not meaningful.
+//! Defaults: the full 216-cell v2 matrix ([`ScenarioMatrix::full_v2`]),
+//! acceptance evaluated at ArC = 20 units, all cores, output to
+//! `BENCH_PR4.json`.
 //!
-//! Every cell funnels through the same incremental engine as the Fig. 6
-//! sweeps (`run_strategy_over` → `design_strategy`); the per-application
-//! costs and worst-case schedule lengths in the JSON are deterministic for
-//! a fixed seed, so two consecutive runs differ only in `wall_seconds`.
+//! * `--smoke` switches to the 16-cell CI matrix
+//!   ([`ScenarioMatrix::smoke`], one non-default value per axis family);
+//!   the harness is exercised end to end, the timings are not meaningful.
+//! * `--pr3` reruns the PR 3 sweep (36 cells, v2 axes at their defaults).
+//! * `--axes bus,platform,util,shape,message,fault` restricts which v2
+//!   axes are swept; unlisted axes collapse to their first value. E.g.
+//!   `--axes shape,message` sweeps graph shape × message load only.
+//! * `--threads N` caps the **total** core budget (cell pool × per-cell
+//!   app fan-out × design threads share it; results are bit-identical
+//!   for any value, 0 = all cores).
+//! * `--shard I/N` runs only every N-th cell starting at I (stride
+//!   sharding keeps each shard covering all axis values). Each shard
+//!   writes a complete JSON document; the shards' cells are disjoint and
+//!   together cover the full matrix, so a merge that re-orders cells by
+//!   their matrix position (e.g. by `scenario` label) reproduces the
+//!   unsharded run's deterministic fields exactly — plain file
+//!   concatenation does not.
+//!
+//! Cells are streamed: each finished cell is rendered and appended to the
+//! output file in deterministic cell order while later cells are still
+//! running, so memory stays bounded at any matrix size. The per-app costs
+//! and worst-case schedule lengths in the JSON are deterministic for a
+//! fixed seed; two consecutive runs differ only in `wall_seconds`.
 
-use ftes_bench::{run_matrix, Strategy};
+use std::io::Write as _;
+
+use ftes_bench::{
+    cell_json, json_footer, json_header, render_table_row, run_cells_streaming, MatrixRunConfig,
+    Shard, Strategy,
+};
 use ftes_gen::ScenarioMatrix;
 use ftes_model::Cost;
+use ftes_opt::Threads;
+
+fn parse_shard(spec: &str) -> Option<Shard> {
+    let (i, n) = spec.split_once('/')?;
+    let shard = Shard {
+        index: i.parse().ok()?,
+        count: n.parse().ok()?,
+    };
+    (shard.count >= 1 && shard.index < shard.count).then_some(shard)
+}
+
+/// Collapses every v2 axis not named in `keep` to its first value.
+fn restrict_axes(mut matrix: ScenarioMatrix, keep: &str) -> ScenarioMatrix {
+    let keep: Vec<&str> = keep.split(',').map(str::trim).collect();
+    for name in &keep {
+        assert!(
+            ["bus", "platform", "util", "shape", "message", "fault"].contains(name),
+            "unknown axis {name} (expected bus, platform, util, shape, message or fault)"
+        );
+    }
+    if !keep.contains(&"bus") {
+        matrix.buses.truncate(1);
+    }
+    if !keep.contains(&"platform") {
+        matrix.platforms.truncate(1);
+    }
+    if !keep.contains(&"util") {
+        matrix.utilizations.truncate(1);
+    }
+    if !keep.contains(&"shape") {
+        matrix.shapes.truncate(1);
+    }
+    if !keep.contains(&"message") {
+        matrix.messages.truncate(1);
+    }
+    if !keep.contains(&"fault") {
+        matrix.faults.truncate(1);
+    }
+    matrix
+}
 
 fn main() {
     let mut smoke = false;
+    let mut pr3 = false;
+    let mut axes: Option<String> = None;
     let mut arc = 20u64;
-    let mut out = "BENCH_PR3.json".to_string();
+    let mut threads = Threads(0);
+    let mut shard = None;
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--pr3" => pr3 = true,
+            "--axes" => axes = Some(args.next().expect("--axes needs a comma-separated list")),
             "--arc" => {
                 arc = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--arc needs a number of cost units");
             }
+            "--threads" => {
+                threads = Threads(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a core count (0 = all)"),
+                );
+            }
+            "--shard" => {
+                shard = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(parse_shard)
+                        .expect("--shard needs I/N with 0 <= I < N"),
+                );
+            }
             "--out" => {
-                out = args.next().expect("--out needs a path");
+                out = Some(args.next().expect("--out needs a path"));
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: repro_matrix [--smoke] [--arc UNITS] [--out PATH]");
+                eprintln!(
+                    "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
+                     [--threads N] [--shard I/N] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let matrix = if smoke {
+    if smoke && pr3 {
+        // Ambiguous, and the default filename would overwrite the
+        // committed full PR 3 artifact with smoke-quality data.
+        eprintln!("--smoke and --pr3 are mutually exclusive");
+        std::process::exit(2);
+    }
+    let mut matrix = if smoke {
         ScenarioMatrix::smoke()
-    } else {
+    } else if pr3 {
         ScenarioMatrix::full()
+    } else {
+        ScenarioMatrix::full_v2()
     };
+    if let Some(keep) = &axes {
+        matrix = restrict_axes(matrix, keep);
+    }
+    let pr = if pr3 { 3 } else { 4 };
+    let out = out.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
+
+    let cells = matrix.cells();
+    let config = MatrixRunConfig {
+        arc: Cost::new(arc),
+        threads,
+        shard,
+        progress: true,
+    };
+    let owned = config.owned_count(&cells);
     eprintln!(
-        "running {} cells ({} buses x {} platforms x {} utilizations x {} cell sizes)",
+        "running {owned} of {} cells ({} buses x {} platforms x {} utilizations x {} shapes \
+         x {} messages x {} faults x {} cell sizes) on {} core(s)",
         matrix.cell_count(),
         matrix.buses.len(),
         matrix.platforms.len(),
         matrix.utilizations.len(),
+        matrix.shapes.len(),
+        matrix.messages.len(),
+        matrix.faults.len(),
         matrix.app_counts.len(),
+        threads.resolve(),
     );
 
-    let report = run_matrix(&matrix, &Strategy::ALL, Cost::new(arc), true);
-    print!("{}", report.render_table());
+    // Stream: render and append each cell as it completes (in cell
+    // order), instead of holding the whole report in memory.
+    let file = std::fs::File::create(&out).expect("create output file");
+    let mut writer = std::io::BufWriter::new(file);
+    writer
+        .write_all(json_header(config.arc, Some((pr, smoke))).as_bytes())
+        .expect("write header");
+    let label_width = cells
+        .iter()
+        .map(|c| c.label().len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut table = format!(
+        "{:<label_width$}  acceptance at ArC = {arc}\n",
+        "cell",
+        label_width = label_width
+    );
+    let start = std::time::Instant::now();
+    // Progress lines come from the runner itself (config.progress).
+    run_cells_streaming(&cells, &Strategy::ALL, &config, |i, cell| {
+        if i > 0 {
+            writer.write_all(b",\n").expect("write separator");
+        }
+        writer
+            .write_all(cell_json(&cell, config.arc, true).as_bytes())
+            .expect("write cell");
+        table.push_str(&render_table_row(&cell, config.arc, label_width));
+    });
+    writer
+        .write_all(json_footer().as_bytes())
+        .expect("write footer");
+    writer.flush().expect("flush output");
 
-    let json = report.bench_json(3, smoke);
-    std::fs::write(&out, &json).expect("write BENCH json");
-    eprintln!("wrote {out}");
+    print!("{table}");
+    eprintln!(
+        "wrote {out} ({owned} cells in {:.1}s)",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -12,7 +12,9 @@
 
 use ftes_gen::{generate_instance, ExperimentConfig};
 use ftes_model::Cost;
-use ftes_opt::{design_strategy, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig};
+use ftes_opt::{
+    design_strategy, CoreBudget, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig,
+};
 use ftes_sfp::Rounding;
 use serde::{Deserialize, Serialize};
 
@@ -94,10 +96,10 @@ impl ConditionResult {
 }
 
 /// Runs one strategy over `n_apps` instances produced by `generate`, in
-/// parallel across OS threads. Outcomes are returned in index order (the
-/// worker assignment never leaks into the result), so any consumer —
-/// [`run_condition`], the scenario-matrix runner — gets deterministic
-/// results for a deterministic generator.
+/// parallel across OS threads (the machine's full core budget). Outcomes
+/// are returned in index order (the worker assignment never leaks into
+/// the result), so any consumer — [`run_condition`], the scenario-matrix
+/// runner — gets deterministic results for a deterministic generator.
 pub fn run_strategy_over<F>(
     generate: F,
     n_apps: usize,
@@ -106,11 +108,30 @@ pub fn run_strategy_over<F>(
 where
     F: Fn(u64) -> ftes_model::System + Sync,
 {
-    let opt_cfg = sweep_opt_config(strategy);
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n_apps.max(1));
+    run_strategy_over_budgeted(generate, n_apps, strategy, CoreBudget::available())
+}
+
+/// [`run_strategy_over`] constrained to a [`CoreBudget`]: the app-level
+/// fan-out claims at most `budget` workers, and whatever the fan-out
+/// leaves per worker is handed down to `design_strategy` as its
+/// [`Threads`](ftes_opt::Threads) knob — so app-level and
+/// architecture-level parallelism share one budget instead of
+/// multiplying (the `threads²` oversubscription hazard). Results are
+/// bit-identical for any budget (both pools reduce deterministically).
+pub fn run_strategy_over_budgeted<F>(
+    generate: F,
+    n_apps: usize,
+    strategy: Strategy,
+    budget: CoreBudget,
+) -> Vec<Option<DesignOutcome>>
+where
+    F: Fn(u64) -> ftes_model::System + Sync,
+{
+    let (threads, per_app) = budget.fan_out(n_apps.max(1));
+    let opt_cfg = OptConfig {
+        threads: per_app.threads(),
+        ..sweep_opt_config(strategy)
+    };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<std::sync::Mutex<Option<Option<DesignOutcome>>>> =
         (0..n_apps).map(|_| std::sync::Mutex::new(None)).collect();

@@ -8,9 +8,12 @@
 //!   [`figures::fig6d`] and [`figures::cruise_controller`];
 //! * [`matrix`] — the scenario-matrix runner: expands a
 //!   [`ScenarioMatrix`](ftes_gen::ScenarioMatrix) (bus model × platform
-//!   heterogeneity × deadline tightness × cell size) and runs every cell
-//!   through the same engine, emitting a summary table, a byte-stable
-//!   golden snapshot and the `BENCH_PR3.json` artifact.
+//!   heterogeneity × deadline tightness × graph shape × message load ×
+//!   fault load × cell size) and runs every cell through the same engine
+//!   on a parallel streaming worker pool (in-order emission, bounded
+//!   memory, one shared core budget, bit-identical to sequential),
+//!   emitting a summary table, a byte-stable golden snapshot and the
+//!   `BENCH_PR<N>.json` artifacts.
 //!
 //! The `repro_fig6`, `repro_cc` and `repro_matrix` binaries print the
 //! regenerated figures/tables; `EXPERIMENTS.md` records measured-vs-paper
@@ -24,8 +27,12 @@ pub mod figures;
 pub mod matrix;
 
 pub use experiment::{
-    acceptance_row, run_condition, run_strategy_over, sweep_opt_config, AcceptanceRow,
-    ConditionResult, Strategy,
+    acceptance_row, run_condition, run_strategy_over, run_strategy_over_budgeted, sweep_opt_config,
+    AcceptanceRow, ConditionResult, Strategy,
 };
 pub use figures::{cruise_controller, fig6a, fig6b, fig6c, fig6d, CcOutcome};
-pub use matrix::{run_cell, run_cell_strategy, run_matrix, CellResult, MatrixReport, StrategyCell};
+pub use matrix::{
+    cell_json, json_footer, json_header, render_table_row, run_cell, run_cell_budgeted,
+    run_cell_strategy, run_cell_strategy_budgeted, run_cells, run_cells_streaming, run_matrix,
+    CellResult, MatrixReport, MatrixRunConfig, Shard, StrategyCell,
+};

@@ -40,6 +40,6 @@ mod ser;
 
 pub use campaign::{build_timing_db, hpd_profile, ProbSource};
 pub use injector::{ExecutionOutcome, Injector};
-pub use mc_validate::estimate_system_failure;
+pub use mc_validate::{binomial_sigma, estimate_system_failure};
 pub use runtime::{simulate_with_faults, SimulationRun};
 pub use ser::SerModel;

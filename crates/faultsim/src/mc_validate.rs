@@ -65,6 +65,20 @@ pub fn estimate_system_failure(node_probs: &[Vec<Prob>], ks: &[u32], runs: u64, 
     failures as f64 / runs as f64
 }
 
+/// The standard deviation of a Monte-Carlo failure-rate estimate of a
+/// true probability `p` over `runs` independent iterations (binomial
+/// sampling error) — the yardstick for seeded confidence bounds in the
+/// oracle tests.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or `p` is outside `[0, 1]`.
+pub fn binomial_sigma(p: f64, runs: u64) -> f64 {
+    assert!(runs > 0, "need at least one simulated iteration");
+    assert!((0.0..=1.0).contains(&p), "not a probability: {p}");
+    (p * (1.0 - p) / runs as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

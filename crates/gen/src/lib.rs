@@ -14,7 +14,8 @@
 //!   ETM/ABS/TCM with the published parameters;
 //! * [`Scenario`] / [`ScenarioMatrix`] — multi-axis condition sweeps (bus
 //!   model incl. TDMA slot lengths, platform heterogeneity, deadline
-//!   tightness, cell size) expanding into comparable, fully seeded cells.
+//!   tightness, graph shape, message load, SER × HPD fault load, cell
+//!   size) expanding into comparable, fully seeded cells.
 //!
 //! ## Example
 //!
@@ -42,4 +43,7 @@ pub use cruise_control::{
 pub use dag::{generate_dag, DagConfig, GeneratedDag};
 pub use experiment::{generate_instance, schedule_lower_bound, ExperimentConfig};
 pub use platform::{generate_platform, GeneratedPlatform, PlatformConfig};
-pub use scenario::{BusProfile, Heterogeneity, Scenario, ScenarioMatrix, Utilization};
+pub use scenario::{
+    BusProfile, FaultLoad, GraphShape, Heterogeneity, MessageLoad, Scenario, ScenarioMatrix,
+    Utilization,
+};

@@ -3,7 +3,7 @@
 //!
 //! The Section 7 experiments fix one platform shape (mildly heterogeneous
 //! speeds, contention-free bus) and sweep only SER/HPD. A [`Scenario`]
-//! generalizes one experimental *cell* along four more axes:
+//! generalizes one experimental *cell* along seven more axes:
 //!
 //! * **bus model** ([`BusProfile`]) — contention-free vs TDMA rounds at a
 //!   chosen slot length;
@@ -11,13 +11,23 @@
 //!   spread speed/cost profiles;
 //! * **application count** — how many synthetic applications the cell runs;
 //! * **deadline tightness** ([`Utilization`]) — how much slack the
-//!   deadline assignment leaves over the schedule lower bound.
+//!   deadline assignment leaves over the schedule lower bound;
+//! * **graph shape** ([`GraphShape`]) — deep chains vs wide fans vs densely
+//!   cross-linked layers (the [`DagConfig`] width / extra-edge sweep);
+//! * **message load** ([`MessageLoad`]) — the `tx_fraction` sweep scaling
+//!   every message's transmission time, which is what makes the TDMA bus
+//!   axis bite;
+//! * **fault load** ([`FaultLoad`]) — per-cell SER × HPD cross products
+//!   overriding the base condition (fault probability × the WCET price of
+//!   hardening against it).
 //!
 //! A [`ScenarioMatrix`] enumerates the cross product into concrete cells.
 //! Generation is fully seeded: the same `(seed, index)` produces the same
-//! task graph, deadline and reliability goal in *every* cell, so results
-//! are comparable along each axis (the bus and heterogeneity axes re-price
-//! an identical workload rather than sampling a new one).
+//! task graph, deadline and reliability goal in *every* cell that shares
+//! the generation axes, so results are comparable along each pricing axis
+//! (bus, heterogeneity, fault load and message load re-price an identical
+//! workload rather than sampling a new one; graph shape is a *generation*
+//! axis and samples a fresh graph per shape).
 
 use ftes_model::{BusSpec, System, TimeUs};
 use serde::{Deserialize, Serialize};
@@ -131,6 +141,145 @@ impl Utilization {
     }
 }
 
+/// The graph-shape axis: how the layered DAG generator distributes
+/// processes over layers and how densely it cross-links them.
+///
+/// This is a **generation** axis: unlike the pricing axes it consumes the
+/// structure RNG differently, so each shape samples its own task graph
+/// (deterministically per `(seed, index)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GraphShape {
+    /// Narrow layers (average width 1.5): deep, chain-like graphs with
+    /// long critical paths.
+    Deep,
+    /// The paper-calibrated default (width 3.0, extra-edge probability
+    /// 0.25).
+    #[default]
+    Paper,
+    /// Wide layers (average width 6.0): fan-shaped graphs exposing
+    /// parallelism.
+    Fan,
+    /// Default width but a 0.6 extra-edge probability: densely
+    /// cross-linked layers with many messages.
+    Dense,
+}
+
+impl GraphShape {
+    /// Average number of processes per layer ([`DagConfig::width`]).
+    pub fn width(self) -> f64 {
+        match self {
+            GraphShape::Deep => 1.5,
+            GraphShape::Paper | GraphShape::Dense => 3.0,
+            GraphShape::Fan => 6.0,
+        }
+    }
+
+    /// Probability of an extra non-tree edge
+    /// ([`DagConfig::extra_edge_prob`]).
+    pub fn extra_edge_prob(self) -> f64 {
+        match self {
+            GraphShape::Dense => 0.6,
+            _ => 0.25,
+        }
+    }
+
+    /// Stable label used in cell names and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphShape::Deep => "deep",
+            GraphShape::Paper => "std",
+            GraphShape::Fan => "fan",
+            GraphShape::Dense => "dense",
+        }
+    }
+}
+
+/// The message-load axis: every message's transmission time as a fraction
+/// of the average base WCET ([`DagConfig::tx_fraction`]).
+///
+/// A pricing axis for the bus: the graph structure, WCETs, deadline and
+/// reliability goal are untouched (transmission times are derived, not
+/// sampled), so sweeping the load re-prices an identical workload — this
+/// is what makes the TDMA slot-length axis actually bite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MessageLoad {
+    /// Zero-cost messages: precedence constraints only.
+    Zero,
+    /// The paper-calibrated default (5 % of the average WCET).
+    #[default]
+    Paper,
+    /// Heavy traffic (20 % of the average WCET).
+    Heavy,
+    /// Bulk traffic (50 % of the average WCET): communication rivals
+    /// computation.
+    Bulk,
+}
+
+impl MessageLoad {
+    /// The transmission-time fraction this load denotes.
+    pub fn tx_fraction(self) -> f64 {
+        match self {
+            MessageLoad::Zero => 0.0,
+            MessageLoad::Paper => 0.05,
+            MessageLoad::Heavy => 0.20,
+            MessageLoad::Bulk => 0.50,
+        }
+    }
+
+    /// Stable label used in cell names and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageLoad::Zero => "tx0",
+            MessageLoad::Paper => "tx5",
+            MessageLoad::Heavy => "tx20",
+            MessageLoad::Bulk => "tx50",
+        }
+    }
+}
+
+/// The fault-load axis: the SER × HPD cross product of the cell.
+///
+/// A pricing axis: SER scales the failure probabilities, HPD the WCET
+/// inflation of higher hardening levels; graph, deadline and reliability
+/// goal stay fixed (the paper's SER/HPD independence requirement).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum FaultLoad {
+    /// Inherit `ser_h1` and `hpd` from the base [`ExperimentConfig`].
+    #[default]
+    Base,
+    /// Override the base condition with an explicit SER × HPD point.
+    SerHpd {
+        /// Average SER per cycle at minimum hardening (paper:
+        /// 10⁻¹⁰…10⁻¹²).
+        ser_h1: f64,
+        /// Hardening performance degradation at the maximum level
+        /// (paper: 0.05…1.0).
+        hpd: f64,
+    },
+}
+
+impl FaultLoad {
+    /// The `(ser_h1, hpd)` pair this load denotes under `base`.
+    pub fn resolve(self, base: &ExperimentConfig) -> (f64, f64) {
+        match self {
+            FaultLoad::Base => (base.ser_h1, base.hpd),
+            FaultLoad::SerHpd { ser_h1, hpd } => (ser_h1, hpd),
+        }
+    }
+
+    /// Stable label used in cell names and golden files. Full-precision
+    /// rendering (`1e-10`, `1.04e-10`, `hpd5`, `hpd5.1`) so distinct
+    /// fault loads never collide on one label.
+    pub fn label(self) -> String {
+        match self {
+            FaultLoad::Base => "serbase".to_string(),
+            FaultLoad::SerHpd { ser_h1, hpd } => {
+                format!("ser{ser_h1:e}-hpd{}", hpd * 100.0)
+            }
+        }
+    }
+}
+
 /// One fully-specified experimental cell: a point of the scenario matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -142,16 +291,26 @@ pub struct Scenario {
     /// [`generate`](Scenario::generate) supersedes `base.deadline_factor`
     /// with [`Utilization::deadline_factor`].
     pub utilization: Utilization,
+    /// Graph shape of the generated task graphs (the only generation
+    /// axis: each shape samples its own graph).
+    pub shape: GraphShape,
+    /// Message transmission-time load (`tx_fraction` sweep).
+    pub message: MessageLoad,
+    /// SER × HPD cross product; `Base` inherits the base condition.
+    pub fault: FaultLoad,
     /// Number of synthetic applications the cell runs.
     pub apps: usize,
     /// SER/HPD condition, node-type count, γ range and master seed.
     /// `base.deadline_factor` is ignored — the `utilization` axis supplies
-    /// it, so one cell never mixes two sources of deadline tightness.
+    /// it, so one cell never mixes two sources of deadline tightness —
+    /// and `base.ser_h1`/`base.hpd` are superseded when
+    /// [`fault`](Scenario::fault) is not [`FaultLoad::Base`].
     pub base: ExperimentConfig,
 }
 
 impl Scenario {
-    /// A scenario of the paper's default condition with the given axes.
+    /// A scenario of the paper's default condition with the given axes
+    /// (the v2 axes — shape, message and fault load — at their defaults).
     pub fn new(
         bus: BusProfile,
         platform: Heterogeneity,
@@ -162,27 +321,51 @@ impl Scenario {
             bus,
             platform,
             utilization,
+            shape: GraphShape::default(),
+            message: MessageLoad::default(),
+            fault: FaultLoad::default(),
             apps,
             base: ExperimentConfig::default(),
         }
     }
 
-    /// Stable cell label, unique within a matrix: all four axes joined.
+    /// Stable cell label, unique within a matrix: all seven axes joined.
     pub fn label(&self) -> String {
         format!(
-            "{}-{}-{}-{}apps",
+            "{}-{}-{}-{}-{}-{}-{}apps",
             self.bus.label(),
             self.platform.label(),
             self.utilization.label(),
+            self.shape.label(),
+            self.message.label(),
+            self.fault.label(),
             self.apps
         )
+    }
+
+    /// The `(ser_h1, hpd)` condition of this cell: the fault-load axis
+    /// resolved against the base configuration.
+    pub fn fault_condition(&self) -> (f64, f64) {
+        self.fault.resolve(&self.base)
+    }
+
+    /// The DAG generator configuration this scenario induces for the
+    /// `index`-th application.
+    pub fn dag_config(&self, index: u64) -> DagConfig {
+        DagConfig {
+            processes: if index % 2 == 0 { 20 } else { 40 },
+            width: self.shape.width(),
+            extra_edge_prob: self.shape.extra_edge_prob(),
+            tx_fraction: self.message.tx_fraction(),
+            ..DagConfig::default()
+        }
     }
 
     /// The platform generator configuration this scenario induces.
     pub fn platform_config(&self) -> PlatformConfig {
         PlatformConfig {
             node_types: self.base.node_types,
-            ser_h1: self.base.ser_h1,
+            ser_h1: self.fault_condition().0,
             max_speed_factor: self.platform.max_speed_factor(),
             base_cost: self.platform.base_cost(),
             ..PlatformConfig::default()
@@ -194,21 +377,23 @@ impl Scenario {
     /// Applications alternate between 20 and 40 processes like
     /// [`generate_instance`](crate::generate_instance); the same `(seed,
     /// index)` yields the same task graph, deadline and reliability goal
-    /// across all bus profiles and heterogeneity levels. The deadline
-    /// factor comes from the [`utilization`](Scenario::utilization) axis,
-    /// overriding whatever `base.deadline_factor` holds.
+    /// across all bus profiles, heterogeneity levels, message loads and
+    /// fault loads — only the graph-shape axis re-samples the graph. The
+    /// deadline factor comes from the
+    /// [`utilization`](Scenario::utilization) axis and the SER/HPD
+    /// condition from the [`fault`](Scenario::fault) axis, overriding
+    /// whatever `base` holds.
     pub fn generate(&self, index: u64) -> System {
-        let dag_cfg = DagConfig {
-            processes: if index % 2 == 0 { 20 } else { 40 },
-            ..DagConfig::default()
-        };
+        let (ser_h1, hpd) = self.fault_condition();
         let config = ExperimentConfig {
             deadline_factor: self.utilization.deadline_factor(),
+            ser_h1,
+            hpd,
             ..self.base
         };
         generate_instance_core(
             &config,
-            &dag_cfg,
+            &self.dag_config(index),
             &self.platform_config(),
             self.bus.spec(),
             index,
@@ -216,9 +401,10 @@ impl Scenario {
     }
 }
 
-/// A declarative (bus × heterogeneity × utilization × app-count) matrix;
-/// [`cells`](ScenarioMatrix::cells) expands the cross product in a fixed,
-/// documented order (bus outermost, app count innermost).
+/// A declarative (bus × heterogeneity × utilization × shape × message ×
+/// fault × app-count) matrix; [`cells`](ScenarioMatrix::cells) expands the
+/// cross product in a fixed, documented order (bus outermost, app count
+/// innermost).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioMatrix {
     /// Bus-model axis.
@@ -227,6 +413,12 @@ pub struct ScenarioMatrix {
     pub platforms: Vec<Heterogeneity>,
     /// Deadline-tightness axis.
     pub utilizations: Vec<Utilization>,
+    /// Graph-shape axis.
+    pub shapes: Vec<GraphShape>,
+    /// Message-load (`tx_fraction`) axis.
+    pub messages: Vec<MessageLoad>,
+    /// Fault-load (SER × HPD) axis.
+    pub faults: Vec<FaultLoad>,
     /// Application-count axis (cell sizes).
     pub app_counts: Vec<usize>,
     /// Condition shared by every cell (SER, HPD, node types, seed).
@@ -235,9 +427,10 @@ pub struct ScenarioMatrix {
 
 impl ScenarioMatrix {
     /// The full PR 3 sweep: 3 buses × 3 heterogeneity profiles × 2
-    /// tightness levels × 2 cell sizes = 36 cells. TDMA slot lengths
-    /// bracket the synthetic message size (≈ 0.5 ms): one slot that fits a
-    /// typical message and one 4× coarser.
+    /// tightness levels × 2 cell sizes = 36 cells, with the v2 axes at
+    /// their defaults. TDMA slot lengths bracket the synthetic message
+    /// size (≈ 0.5 ms): one slot that fits a typical message and one 4×
+    /// coarser.
     pub fn full() -> Self {
         ScenarioMatrix {
             buses: vec![
@@ -255,13 +448,52 @@ impl ScenarioMatrix {
                 Heterogeneity::Wide,
             ],
             utilizations: vec![Utilization::Relaxed, Utilization::Tight],
+            shapes: vec![GraphShape::Paper],
+            messages: vec![MessageLoad::Paper],
+            faults: vec![FaultLoad::Base],
             app_counts: vec![4, 8],
             base: ExperimentConfig::default(),
         }
     }
 
-    /// A CI-sized smoke matrix: one TDMA and one heterogeneous axis value,
-    /// 2 applications per cell (2 × 2 × 1 × 1 = 4 cells).
+    /// The full v2 sweep over the new axes: 2 buses × 2 platforms × 2
+    /// tightness levels × 3 shapes × 3 message loads × 3 fault loads ×
+    /// 1 cell size = 216 cells. The fault axis crosses the paper's SER
+    /// extremes with its HPD extremes; the message axis spans
+    /// zero-traffic to bulk-traffic so the TDMA slot pricing actually
+    /// bites.
+    pub fn full_v2() -> Self {
+        ScenarioMatrix {
+            buses: vec![
+                BusProfile::Ideal,
+                BusProfile::Tdma {
+                    slot: TimeUs::from_us(500),
+                },
+            ],
+            platforms: vec![Heterogeneity::Mild, Heterogeneity::Wide],
+            utilizations: vec![Utilization::Relaxed, Utilization::Tight],
+            shapes: vec![GraphShape::Deep, GraphShape::Paper, GraphShape::Fan],
+            messages: vec![MessageLoad::Zero, MessageLoad::Paper, MessageLoad::Bulk],
+            faults: vec![
+                FaultLoad::Base,
+                FaultLoad::SerHpd {
+                    ser_h1: 1e-10,
+                    hpd: 1.0,
+                },
+                FaultLoad::SerHpd {
+                    ser_h1: 1e-12,
+                    hpd: 0.05,
+                },
+            ],
+            app_counts: vec![2],
+            base: ExperimentConfig::default(),
+        }
+    }
+
+    /// A CI-sized smoke matrix covering every axis family: one TDMA and
+    /// one heterogeneous value plus one non-default shape, message and
+    /// fault value, 2 applications per cell (2 × 1 × 1 × 2 × 2 × 2 = 16
+    /// cells).
     pub fn smoke() -> Self {
         ScenarioMatrix {
             buses: vec![
@@ -270,8 +502,17 @@ impl ScenarioMatrix {
                     slot: TimeUs::from_ms(1),
                 },
             ],
-            platforms: vec![Heterogeneity::Mild, Heterogeneity::Wide],
+            platforms: vec![Heterogeneity::Wide],
             utilizations: vec![Utilization::Relaxed],
+            shapes: vec![GraphShape::Paper, GraphShape::Fan],
+            messages: vec![MessageLoad::Paper, MessageLoad::Bulk],
+            faults: vec![
+                FaultLoad::Base,
+                FaultLoad::SerHpd {
+                    ser_h1: 1e-10,
+                    hpd: 1.0,
+                },
+            ],
             app_counts: vec![2],
             base: ExperimentConfig::default(),
         }
@@ -279,24 +520,39 @@ impl ScenarioMatrix {
 
     /// Number of cells the matrix expands to.
     pub fn cell_count(&self) -> usize {
-        self.buses.len() * self.platforms.len() * self.utilizations.len() * self.app_counts.len()
+        self.buses.len()
+            * self.platforms.len()
+            * self.utilizations.len()
+            * self.shapes.len()
+            * self.messages.len()
+            * self.faults.len()
+            * self.app_counts.len()
     }
 
     /// Expands the cross product into concrete scenarios, bus outermost,
-    /// then platform, then utilization, then app count.
+    /// then platform, utilization, shape, message, fault, then app count.
     pub fn cells(&self) -> Vec<Scenario> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for &bus in &self.buses {
             for &platform in &self.platforms {
                 for &utilization in &self.utilizations {
-                    for &apps in &self.app_counts {
-                        cells.push(Scenario {
-                            bus,
-                            platform,
-                            utilization,
-                            apps,
-                            base: self.base,
-                        });
+                    for &shape in &self.shapes {
+                        for &message in &self.messages {
+                            for &fault in &self.faults {
+                                for &apps in &self.app_counts {
+                                    cells.push(Scenario {
+                                        bus,
+                                        platform,
+                                        utilization,
+                                        shape,
+                                        message,
+                                        fault,
+                                        apps,
+                                        base: self.base,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -450,15 +706,165 @@ mod tests {
     }
 
     #[test]
-    fn smoke_matrix_is_small_but_covers_tdma_and_heterogeneous_cells() {
+    fn smoke_matrix_is_small_but_covers_every_axis_family() {
         let matrix = ScenarioMatrix::smoke();
         let cells = matrix.cells();
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 16);
         assert!(cells
             .iter()
             .any(|c| matches!(c.bus, BusProfile::Tdma { .. })));
         assert!(cells.iter().any(|c| c.platform == Heterogeneity::Wide));
+        assert!(cells.iter().any(|c| c.shape != GraphShape::Paper));
+        assert!(cells.iter().any(|c| c.message != MessageLoad::Paper));
+        assert!(cells.iter().any(|c| c.fault != FaultLoad::Base));
         assert!(cells.iter().all(|c| c.apps <= 2));
+    }
+
+    #[test]
+    fn full_v2_covers_at_least_200_cells_with_unique_labels() {
+        let matrix = ScenarioMatrix::full_v2();
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), matrix.cell_count());
+        assert!(cells.len() >= 200, "{} cells", cells.len());
+        let mut labels: Vec<String> = cells.iter().map(Scenario::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len(), "duplicate cell labels");
+    }
+
+    #[test]
+    fn message_load_reprices_an_identical_workload() {
+        // tx_fraction is derived, not sampled: the graph structure, WCETs,
+        // deadline and goal are bit-identical across message loads; only
+        // the message transmission times move (proportionally).
+        let base = default_scenario(BusProfile::Ideal, Heterogeneity::Mild);
+        let heavy = Scenario {
+            message: MessageLoad::Bulk,
+            ..base.clone()
+        };
+        let a = base.generate(1);
+        let b = heavy.generate(1);
+        let (app_a, app_b) = (a.application(), b.application());
+        assert_eq!(app_a.process_count(), app_b.process_count());
+        assert_eq!(app_a.message_count(), app_b.message_count());
+        assert_eq!(app_a.min_deadline(), app_b.min_deadline());
+        assert_eq!(a.goal(), b.goal());
+        assert_eq!(a.timing(), b.timing());
+        let mut some_tx_grew = false;
+        for m in app_a.message_ids() {
+            let (ma, mb) = (app_a.message(m), app_b.message(m));
+            assert_eq!(ma.src(), mb.src());
+            assert_eq!(ma.dst(), mb.dst());
+            assert!(mb.tx_time() >= ma.tx_time());
+            some_tx_grew |= mb.tx_time() > ma.tx_time();
+        }
+        assert!(some_tx_grew, "bulk load never exceeded the paper load");
+    }
+
+    #[test]
+    fn zero_message_load_disables_bus_traffic() {
+        let cell = Scenario {
+            message: MessageLoad::Zero,
+            ..default_scenario(BusProfile::Ideal, Heterogeneity::Mild)
+        };
+        let sys = cell.generate(0);
+        for m in sys.application().message_ids() {
+            assert_eq!(sys.application().message(m).tx_time(), TimeUs::ZERO);
+        }
+    }
+
+    #[test]
+    fn fault_load_leaves_structure_deadline_and_goal_invariant() {
+        let base = default_scenario(BusProfile::Ideal, Heterogeneity::Mild);
+        let harsh = Scenario {
+            fault: FaultLoad::SerHpd {
+                ser_h1: 1e-10,
+                hpd: 1.0,
+            },
+            ..base.clone()
+        };
+        for index in 0..3 {
+            let a = base.generate(index);
+            let b = harsh.generate(index);
+            assert_eq!(a.application(), b.application());
+            assert_eq!(a.goal(), b.goal());
+            // Higher SER ⇒ strictly larger failure probability at h1.
+            let p = ProcessId::new(0);
+            let j = NodeTypeId::new(0);
+            let pa = a.timing().pfail(p, j, HLevel::MIN).unwrap().value();
+            let pb = b.timing().pfail(p, j, HLevel::MIN).unwrap().value();
+            assert!(pb > pa * 5.0, "{pb} vs {pa}");
+        }
+    }
+
+    #[test]
+    fn fault_load_base_matches_the_base_condition_bitwise() {
+        let explicit = Scenario {
+            fault: FaultLoad::SerHpd {
+                ser_h1: ExperimentConfig::default().ser_h1,
+                hpd: ExperimentConfig::default().hpd,
+            },
+            ..default_scenario(BusProfile::Ideal, Heterogeneity::Mild)
+        };
+        let inherited = default_scenario(BusProfile::Ideal, Heterogeneity::Mild);
+        assert_eq!(explicit.generate(2), inherited.generate(2));
+    }
+
+    #[test]
+    fn graph_shape_controls_width_and_depth() {
+        // The layer assignment is deterministic given (n, width): a Fan
+        // cell has at least as many roots (first-layer processes) as a
+        // Deep cell, and its critical path (in layers) is shorter.
+        let deep = Scenario {
+            shape: GraphShape::Deep,
+            ..default_scenario(BusProfile::Ideal, Heterogeneity::Mild)
+        };
+        let fan = Scenario {
+            shape: GraphShape::Fan,
+            ..default_scenario(BusProfile::Ideal, Heterogeneity::Mild)
+        };
+        for index in 0..2 {
+            let roots = |sys: &ftes_model::System| {
+                sys.application()
+                    .process_ids()
+                    .filter(|&p| sys.application().is_root(p))
+                    .count()
+            };
+            let a = deep.generate(index);
+            let b = fan.generate(index);
+            assert!(
+                roots(&b) > roots(&a),
+                "fan {} vs deep {}",
+                roots(&b),
+                roots(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn axis_labels_are_stable() {
+        assert_eq!(GraphShape::Deep.label(), "deep");
+        assert_eq!(GraphShape::Paper.label(), "std");
+        assert_eq!(GraphShape::Fan.label(), "fan");
+        assert_eq!(GraphShape::Dense.label(), "dense");
+        assert_eq!(MessageLoad::Zero.label(), "tx0");
+        assert_eq!(MessageLoad::Bulk.label(), "tx50");
+        assert_eq!(FaultLoad::Base.label(), "serbase");
+        assert_eq!(
+            FaultLoad::SerHpd {
+                ser_h1: 1e-10,
+                hpd: 1.0
+            }
+            .label(),
+            "ser1e-10-hpd100"
+        );
+        let cell = Scenario::new(
+            BusProfile::Ideal,
+            Heterogeneity::Mild,
+            Utilization::Relaxed,
+            2,
+        );
+        assert_eq!(cell.label(), "ideal-mild-relaxed-std-tx5-serbase-2apps");
     }
 
     #[test]

@@ -109,6 +109,63 @@ impl Threads {
     }
 }
 
+/// A core budget shared between nested worker pools.
+///
+/// Fan-outs nest throughout the stack: the scenario-matrix runner fans
+/// out over cells, each cell fans out over applications
+/// (`run_strategy_over`), and each design run may fan out over
+/// architectures ([`Threads`] in [`OptConfig`]). Naively sizing every
+/// level at `available_parallelism` oversubscribes the machine
+/// quadratically (the `threads²` hazard). A `CoreBudget` is threaded
+/// down instead: every level claims a fan-out with [`fan_out`] and hands
+/// the per-worker remainder to the level below, so the **product** of
+/// live workers across all levels never exceeds the budget.
+///
+/// [`fan_out`]: CoreBudget::fan_out
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreBudget(usize);
+
+impl CoreBudget {
+    /// A budget of `cores` (clamped to at least one).
+    pub fn new(cores: usize) -> Self {
+        CoreBudget(cores.max(1))
+    }
+
+    /// The machine's full available parallelism.
+    pub fn available() -> Self {
+        CoreBudget::new(Threads(0).resolve())
+    }
+
+    /// Cores in this budget.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Splits the budget over a fan-out of (at most) `tasks` parallel
+    /// workers: returns the worker count to spawn and the budget **each**
+    /// worker may consume in nested fan-outs. The invariant
+    /// `workers × inner.get() ≤ self.get()` holds for every input, and
+    /// composes: chaining `fan_out` through any nesting keeps the product
+    /// of all live workers within the original budget.
+    pub fn fan_out(self, tasks: usize) -> (usize, CoreBudget) {
+        let workers = self.0.min(tasks.max(1));
+        (workers, CoreBudget::new(self.0 / workers))
+    }
+
+    /// The [`Threads`] knob this budget affords a single nested
+    /// `design_strategy` run.
+    pub fn threads(self) -> Threads {
+        Threads(self.0)
+    }
+}
+
+impl Default for CoreBudget {
+    /// Defaults to a single core (sequential), mirroring `Threads(1)`.
+    fn default() -> Self {
+        CoreBudget(1)
+    }
+}
+
 /// Configuration shared by all optimization entry points.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct OptConfig {
@@ -162,6 +219,56 @@ mod tests {
         assert_eq!(Threads(1).resolve(), 1);
         assert_eq!(Threads(7).resolve(), 7);
         assert!(Threads(0).resolve() >= 1);
+    }
+
+    #[test]
+    fn core_budget_fan_out_never_oversubscribes() {
+        for total in 1..=64usize {
+            for tasks in [1usize, 2, 3, 5, 8, 64, 1000] {
+                let (workers, inner) = CoreBudget::new(total).fan_out(tasks);
+                assert!(workers >= 1 && workers <= tasks);
+                assert!(
+                    workers * inner.get() <= total,
+                    "{total} cores, {tasks} tasks -> {workers} x {}",
+                    inner.get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_budget_composes_across_nesting() {
+        // The threads² hazard: an outer pool (matrix cells) times an inner
+        // pool (apps per cell) times design_strategy threads must stay
+        // within the original budget for ANY nesting depth.
+        for total in [1usize, 2, 3, 4, 7, 8, 16, 48] {
+            for outer_tasks in [1usize, 2, 4, 36, 216] {
+                for inner_tasks in [1usize, 2, 4, 8] {
+                    let budget = CoreBudget::new(total);
+                    let (cell_workers, per_cell) = budget.fan_out(outer_tasks);
+                    let (app_workers, per_app) = per_cell.fan_out(inner_tasks);
+                    let design_threads = per_app.threads().resolve();
+                    assert!(
+                        cell_workers * app_workers * design_threads <= total,
+                        "{total} cores: {cell_workers} x {app_workers} x {design_threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_budget_basics() {
+        assert_eq!(CoreBudget::new(0).get(), 1);
+        assert_eq!(CoreBudget::default().get(), 1);
+        assert!(CoreBudget::available().get() >= 1);
+        let (w, inner) = CoreBudget::new(8).fan_out(3);
+        assert_eq!(w, 3);
+        assert_eq!(inner.get(), 2);
+        let (w, inner) = CoreBudget::new(2).fan_out(16);
+        assert_eq!(w, 2);
+        assert_eq!(inner.get(), 1);
+        assert_eq!(CoreBudget::new(4).threads(), Threads(4));
     }
 
     #[test]

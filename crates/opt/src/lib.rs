@@ -53,7 +53,9 @@ mod mapping_opt;
 mod redundancy;
 
 pub use arch_iter::architectures_with_n_nodes;
-pub use config::{EvalMode, HardeningPolicy, MaxK, Objective, OptConfig, TabuConfig, Threads};
+pub use config::{
+    CoreBudget, EvalMode, HardeningPolicy, MaxK, Objective, OptConfig, TabuConfig, Threads,
+};
 pub use design_strategy::{design_strategy, DesignOutcome, ExplorationStats};
 pub use evaluation::{evaluate_fixed, Solution};
 pub use fixed_arch::optimize_fixed_architecture;

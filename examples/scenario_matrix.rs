@@ -1,19 +1,24 @@
 //! Scenario-matrix walkthrough: price the same workload under different
-//! bus models and platform profiles, then run a small matrix sweep.
+//! bus models, message loads and fault loads, then run a small parallel
+//! matrix sweep.
 //!
 //! ```text
 //! cargo run --release --example scenario_matrix
 //! ```
 
 use ftes::bench::{run_matrix, Strategy};
-use ftes::gen::{BusProfile, Heterogeneity, Scenario, ScenarioMatrix, Utilization};
+use ftes::gen::{
+    BusProfile, FaultLoad, Heterogeneity, MessageLoad, Scenario, ScenarioMatrix, Utilization,
+};
 use ftes::model::{Cost, TimeUs};
 use ftes::opt::{design_strategy, OptConfig};
 
 fn main() {
     // One cell = one fully-specified experimental condition. The same
-    // (seed, index) yields the same task graph in every cell, so the axes
-    // re-price an identical workload.
+    // (seed, index) yields the same task graph in every cell that shares
+    // the generation axes, so the pricing axes — bus, heterogeneity,
+    // message load, SER x HPD fault load — re-price an identical
+    // workload.
     let ideal = Scenario::new(
         BusProfile::Ideal,
         Heterogeneity::Mild,
@@ -26,25 +31,37 @@ fn main() {
         },
         ..ideal.clone()
     };
+    let bulk = Scenario {
+        message: MessageLoad::Bulk,
+        ..tdma.clone()
+    };
+    let harsh = Scenario {
+        fault: FaultLoad::SerHpd {
+            ser_h1: 1e-10,
+            hpd: 1.0,
+        },
+        ..ideal.clone()
+    };
 
-    println!("one workload, two buses:");
-    for scenario in [&ideal, &tdma] {
+    println!("one workload, four pricings:");
+    for scenario in [&ideal, &tdma, &bulk, &harsh] {
         let system = scenario.generate(0);
         match design_strategy(&system, &OptConfig::default()).expect("generated system is valid") {
             Some(best) => println!(
-                "  {:<28} cost {:>3}  SL {:>7}",
+                "  {:<44} cost {:>3}  SL {:>7}",
                 scenario.label(),
                 best.solution.cost,
                 best.solution.schedule_length(),
             ),
-            // Coarse TDMA rounds can make a workload infeasible outright —
-            // exactly the effect the bus axis measures.
-            None => println!("  {:<28} no feasible architecture", scenario.label()),
+            // Coarse TDMA rounds or bulk traffic can make a workload
+            // infeasible outright — exactly the effect those axes measure.
+            None => println!("  {:<44} no feasible architecture", scenario.label()),
         }
     }
 
-    // A small declarative matrix: 2 buses x 2 platforms x 1 tightness x
-    // one cell size = 4 cells, each run through MIN/MAX/OPT.
+    // A small declarative matrix covering every axis family (16 cells),
+    // each cell run through MIN/MAX/OPT on the parallel streaming runner
+    // (results are bit-identical for any thread count).
     let matrix = ScenarioMatrix::smoke();
     println!(
         "\nsmoke matrix ({} cells), acceptance at ArC = 20:",

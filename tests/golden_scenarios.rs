@@ -1,13 +1,14 @@
 //! Golden-file regression harness for the scenario matrix.
 //!
-//! A pinned 6-cell mini-matrix — covering the ideal bus, two TDMA slot
-//! lengths, homogeneous/mild/wide platforms and both deadline-tightness
-//! levels — is run through all three strategies, and the timing-free JSON
-//! snapshot ([`MatrixReport::golden_json`]) is compared **byte for byte**
-//! against the committed snapshot in `tests/golden/`. Acceptance ratios
-//! and worst-case schedule lengths are both pinned, so any drift in the
-//! generator, the TDMA bus arithmetic, the SFP analysis, the scheduler or
-//! the search heuristics fails this suite.
+//! A pinned 9-cell mini-matrix — covering the ideal bus, two TDMA slot
+//! lengths, homogeneous/mild/wide platforms, both deadline-tightness
+//! levels, and one pinned cell per v2 axis (graph shape, message load,
+//! SER × HPD fault load) — is run through all three strategies, and the
+//! timing-free JSON snapshot ([`MatrixReport::golden_json`]) is compared
+//! **byte for byte** against the committed snapshot in `tests/golden/`.
+//! Acceptance ratios and worst-case schedule lengths are both pinned, so
+//! any drift in the generator, the TDMA bus arithmetic, the SFP analysis,
+//! the scheduler or the search heuristics fails this suite.
 //!
 //! To regenerate after an *intentional* behaviour change:
 //!
@@ -18,13 +19,16 @@
 //! and commit the rewritten `tests/golden/mini_matrix.json` alongside the
 //! change that moved it.
 
-use ftes::bench::{run_matrix, MatrixReport, Strategy};
-use ftes::gen::{BusProfile, Heterogeneity, ScenarioMatrix, Utilization};
+use ftes::bench::{run_cells, MatrixReport, MatrixRunConfig, Strategy};
+use ftes::gen::{
+    BusProfile, FaultLoad, GraphShape, Heterogeneity, MessageLoad, Scenario, ScenarioMatrix,
+    Utilization,
+};
 use ftes::model::{Cost, TimeUs};
 
-/// The pinned mini-matrix: 6 cells (3 buses × 2 platforms, one tightness
-/// axis value each), 2 applications per cell.
-fn mini_matrix() -> (ScenarioMatrix, ScenarioMatrix) {
+/// The pinned mini-matrix: the six PR 3 cells (3 buses × 2 platforms, one
+/// tightness axis value each) plus one pinned cell per v2 axis.
+fn mini_matrix_cells() -> Vec<Scenario> {
     let relaxed = ScenarioMatrix {
         buses: vec![
             BusProfile::Ideal,
@@ -34,6 +38,9 @@ fn mini_matrix() -> (ScenarioMatrix, ScenarioMatrix) {
         ],
         platforms: vec![Heterogeneity::Mild, Heterogeneity::Wide],
         utilizations: vec![Utilization::Relaxed],
+        shapes: vec![GraphShape::Paper],
+        messages: vec![MessageLoad::Paper],
+        faults: vec![FaultLoad::Base],
         app_counts: vec![2],
         base: ftes::gen::ExperimentConfig::default(),
     };
@@ -43,18 +50,64 @@ fn mini_matrix() -> (ScenarioMatrix, ScenarioMatrix) {
         }],
         platforms: vec![Heterogeneity::Homogeneous, Heterogeneity::Mild],
         utilizations: vec![Utilization::Tight],
+        shapes: vec![GraphShape::Paper],
+        messages: vec![MessageLoad::Paper],
+        faults: vec![FaultLoad::Base],
         app_counts: vec![2],
         base: ftes::gen::ExperimentConfig::default(),
     };
-    (relaxed, tight)
+
+    let mut cells = relaxed.cells();
+    cells.extend(tight.cells());
+    // One pinned cell per v2 axis. Graph shape: a fan-shaped graph on a
+    // tight TDMA cell; message load: bulk traffic where the TDMA slot
+    // pricing bites; fault load: the paper's harshest SER × HPD corner.
+    cells.push(Scenario {
+        shape: GraphShape::Fan,
+        ..Scenario::new(
+            BusProfile::Tdma {
+                slot: TimeUs::from_ms(1),
+            },
+            Heterogeneity::Wide,
+            Utilization::Tight,
+            2,
+        )
+    });
+    cells.push(Scenario {
+        message: MessageLoad::Bulk,
+        ..Scenario::new(
+            BusProfile::Tdma {
+                slot: TimeUs::from_us(500),
+            },
+            Heterogeneity::Mild,
+            Utilization::Relaxed,
+            2,
+        )
+    });
+    cells.push(Scenario {
+        fault: FaultLoad::SerHpd {
+            ser_h1: 1e-10,
+            hpd: 1.0,
+        },
+        ..Scenario::new(
+            BusProfile::Ideal,
+            Heterogeneity::Wide,
+            Utilization::Relaxed,
+            2,
+        )
+    });
+    cells
 }
 
 fn run_mini_matrix() -> MatrixReport {
-    let (relaxed, tight) = mini_matrix();
-    let mut report = run_matrix(&relaxed, &Strategy::ALL, Cost::new(20), false);
-    let tail = run_matrix(&tight, &Strategy::ALL, Cost::new(20), false);
-    report.cells.extend(tail.cells);
-    report
+    run_cells(
+        &mini_matrix_cells(),
+        &Strategy::ALL,
+        &MatrixRunConfig {
+            arc: Cost::new(20),
+            ..MatrixRunConfig::default()
+        },
+    )
 }
 
 fn golden_path() -> std::path::PathBuf {
@@ -68,8 +121,8 @@ fn mini_matrix_matches_the_committed_golden_snapshot() {
     let report = run_mini_matrix();
     assert_eq!(
         report.cells.len(),
-        6,
-        "the mini-matrix is pinned at 6 cells"
+        9,
+        "the mini-matrix is pinned at 9 cells"
     );
     // The pinned matrix must keep exercising the new scenario space.
     assert!(report
@@ -84,6 +137,18 @@ fn mini_matrix_matches_the_committed_golden_snapshot() {
         .cells
         .iter()
         .any(|c| c.scenario.utilization == Utilization::Tight));
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| c.scenario.shape != GraphShape::Paper));
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| c.scenario.message != MessageLoad::Paper));
+    assert!(report
+        .cells
+        .iter()
+        .any(|c| c.scenario.fault != FaultLoad::Base));
 
     let rendered = report.golden_json();
     let path = golden_path();

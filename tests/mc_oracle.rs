@@ -1,0 +1,181 @@
+//! End-to-end Monte-Carlo oracle: the dormant `faultsim::mc_validate`
+//! simulator promoted into the integration suite.
+//!
+//! The analytic SFP pipeline (Appendix A formulas (1)–(5)) is the basis
+//! of every optimization decision in this repo; the fault-injection
+//! simulator computes the *same* per-iteration system failure
+//! probability by brute force (every execution faults independently with
+//! its `p_ijh`, a node fails when its faults exceed `k_j`). This test
+//! closes the loop **end to end** on a scenario-v2 cell: optimize with
+//! the incremental engine, then cross-check the analytic SFP of the
+//! *winning* solution — its real architecture, hardening levels, mapping
+//! and re-execution budgets — against seeded simulation, within a
+//! binomial confidence bound. A bug anywhere in the probability plumbing
+//! (timing DB, `node_process_probs` grouping, `NodeSfp` recurrences,
+//! union) that the differential suites miss because both sides share it
+//! would show up here as analytic-vs-simulated disagreement.
+
+use ftes::bench::{sweep_opt_config, Strategy};
+use ftes::faultsim::{binomial_sigma, estimate_system_failure};
+use ftes::gen::{BusProfile, Heterogeneity, Scenario, Utilization};
+use ftes::model::{Prob, TimeUs};
+use ftes::opt::design_strategy;
+use ftes::sfp::{analyze, node_process_probs, union_failure, NodeSfp, Rounding};
+
+/// Per-iteration analytic system failure for explicit budgets, computed
+/// with exact arithmetic (the simulator has no rounding mode).
+fn analytic_failure(probs: &[Vec<Prob>], ks: &[u32]) -> f64 {
+    let failures: Vec<f64> = probs
+        .iter()
+        .zip(ks)
+        .map(|(node, &k)| NodeSfp::new(node.clone(), Rounding::Exact).pr_more_than(k))
+        .collect();
+    union_failure(&failures)
+}
+
+#[test]
+fn optimized_solution_sfp_agrees_with_fault_injection() {
+    // A Tight/TDMA cell at the paper's harshest SER corner (10⁻¹⁰ per
+    // cycle) so the fault mass is measurable by simulation; index 1 is a
+    // 40-process application. (The Wide platform is exercised by the
+    // second oracle test — the full Tight × Wide × fine-slot-TDMA corner
+    // admits no solution at all under the sweep budget.)
+    let mut cell = Scenario::new(
+        BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        },
+        Heterogeneity::Mild,
+        Utilization::Tight,
+        1,
+    );
+    cell.base.ser_h1 = 1e-10;
+    let system = cell.generate(1);
+
+    let out = design_strategy(&system, &sweep_opt_config(Strategy::Opt))
+        .expect("generated system is structurally valid")
+        .expect("the cell admits a feasible solution");
+    let sol = &out.solution;
+    assert!(sol.is_schedulable());
+
+    // The analytic SFP of the winning solution must meet the goal…
+    let sfp = analyze(
+        system.application(),
+        system.timing(),
+        &sol.architecture,
+        &sol.mapping,
+        &sol.ks,
+        system.goal(),
+        Rounding::Exact,
+    )
+    .expect("winning solution is analyzable");
+    assert!(sfp.meets_goal, "optimizer returned an infeasible solution");
+
+    let probs = node_process_probs(
+        system.application(),
+        system.timing(),
+        &sol.architecture,
+        &sol.mapping,
+    )
+    .expect("winning mapping is valid");
+    assert_eq!(probs.len(), sol.ks.len());
+
+    const RUNS: u64 = 200_000;
+
+    // …and the simulator must agree the residual failure mass at the
+    // chosen budgets is negligible: with per-iteration failure p and
+    // RUNS iterations the expected failure count is RUNS × p; a seeded
+    // Poisson-style bound of mean + 5·σ simulated failures covers it.
+    let at_budget = analytic_failure(&probs, &sol.ks);
+    let est = estimate_system_failure(&probs, &sol.ks, RUNS, 0xF7E5);
+    let mean = RUNS as f64 * at_budget;
+    assert!(
+        est * RUNS as f64 <= (mean + 5.0 * mean.sqrt()).max(5.0),
+        "simulation saw {} failures, analytic expects {mean:.3}",
+        est * RUNS as f64
+    );
+
+    // Strip the software fault tolerance (k = 0 everywhere): the raw
+    // fault mass of the winning architecture is measurable, and analytic
+    // vs simulated must agree within a 5σ binomial confidence bound.
+    let zeros = vec![0u32; probs.len()];
+    let exact0 = analytic_failure(&probs, &zeros);
+    assert!(
+        exact0 > 1e-7,
+        "harsh-SER cell lost its fault mass ({exact0:.3e}): the oracle has no power"
+    );
+    let est0 = estimate_system_failure(&probs, &zeros, RUNS, 0xF7E5);
+    let bound = 5.0 * binomial_sigma(exact0, RUNS) + 1e-9;
+    assert!(
+        (est0 - exact0).abs() < bound,
+        "simulated {est0:.6e} vs analytic {exact0:.6e} (bound {bound:.2e})"
+    );
+
+    // Partial budgets: the winning budget on the first node only (zeros
+    // elsewhere) must land between the two extremes — dropping budgets
+    // can only increase the failure mass — analytically and in
+    // simulation.
+    let mut partial = zeros.clone();
+    partial[0] = sol.ks[0];
+    let exact_partial = analytic_failure(&probs, &partial);
+    assert!(exact_partial <= exact0);
+    assert!(exact_partial >= at_budget);
+    let est_partial = estimate_system_failure(&probs, &partial, RUNS, 0x5EED);
+    assert!(
+        (est_partial - exact_partial).abs() < 5.0 * binomial_sigma(exact_partial, RUNS) + 1e-9,
+        "simulated {est_partial:.6e} vs analytic {exact_partial:.6e}"
+    );
+}
+
+#[test]
+fn oracle_holds_across_strategies_on_the_same_cell() {
+    // MIN (no hardening: highest probabilities) and MAX (full hardening:
+    // lowest) bracket OPT; the simulator must track the analytic k = 0
+    // fault mass for each strategy's winning solution. A Wide-platform
+    // TDMA cell completes the Tight/Wide/TDMA coverage of the oracle.
+    let mut cell = Scenario::new(
+        BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        },
+        Heterogeneity::Wide,
+        Utilization::Relaxed,
+        1,
+    );
+    cell.base.ser_h1 = 1e-10;
+    let system = cell.generate(1);
+
+    const RUNS: u64 = 120_000;
+    let mut masses = Vec::new();
+    for strategy in [Strategy::Min, Strategy::Max] {
+        let Some(out) = design_strategy(&system, &sweep_opt_config(strategy))
+            .expect("generated system is structurally valid")
+        else {
+            continue; // MIN may be infeasible on a tight cell — fine.
+        };
+        let sol = &out.solution;
+        let probs = node_process_probs(
+            system.application(),
+            system.timing(),
+            &sol.architecture,
+            &sol.mapping,
+        )
+        .unwrap();
+        let zeros = vec![0u32; probs.len()];
+        let exact = analytic_failure(&probs, &zeros);
+        let est = estimate_system_failure(&probs, &zeros, RUNS, 7 + exact.to_bits() as u64);
+        assert!(
+            (est - exact).abs() < 5.0 * binomial_sigma(exact, RUNS) + 1e-9,
+            "{}: simulated {est:.6e} vs analytic {exact:.6e}",
+            strategy.label()
+        );
+        masses.push((strategy, exact));
+    }
+    assert!(
+        !masses.is_empty(),
+        "no strategy was feasible: oracle vacuous"
+    );
+    // MAX hardening strictly reduces the raw fault mass vs MIN when both
+    // are feasible.
+    if masses.len() == 2 {
+        assert!(masses[1].1 < masses[0].1, "{masses:?}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests for the scenario-v2 axes.
+//!
+//! Three families of invariants lock the new axes down:
+//!
+//! * **Seed stability** — the same `(seed, index)` yields the same task
+//!   graph, deadline and reliability goal in every cell that differs only
+//!   in *pricing* axes (bus, platform heterogeneity, fault load, message
+//!   load), so axis sweeps compare like with like;
+//! * **Axis independence** — each axis moves only its own quantity:
+//!   message load only transmission times, fault load only failure
+//!   probabilities and hardened WCETs, the bus only the bus spec;
+//! * **Parameter monotonicity** — `tx_fraction` orders per-message
+//!   transmission times, graph width orders root counts, SER orders
+//!   failure probabilities.
+
+use ftes::gen::{
+    BusProfile, FaultLoad, GraphShape, Heterogeneity, MessageLoad, Scenario, Utilization,
+};
+use ftes::model::{HLevel, NodeTypeId, ProcessId, System, TimeUs};
+use proptest::prelude::*;
+
+fn bus(pick: u8) -> BusProfile {
+    [
+        BusProfile::Ideal,
+        BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        },
+        BusProfile::Tdma {
+            slot: TimeUs::from_ms(2),
+        },
+    ][pick as usize % 3]
+}
+
+fn platform(pick: u8) -> Heterogeneity {
+    [
+        Heterogeneity::Homogeneous,
+        Heterogeneity::Mild,
+        Heterogeneity::Wide,
+    ][pick as usize % 3]
+}
+
+fn shape(pick: u8) -> GraphShape {
+    [
+        GraphShape::Deep,
+        GraphShape::Paper,
+        GraphShape::Fan,
+        GraphShape::Dense,
+    ][pick as usize % 4]
+}
+
+fn message(pick: u8) -> MessageLoad {
+    [
+        MessageLoad::Zero,
+        MessageLoad::Paper,
+        MessageLoad::Heavy,
+        MessageLoad::Bulk,
+    ][pick as usize % 4]
+}
+
+fn fault(pick: u8) -> FaultLoad {
+    [
+        FaultLoad::Base,
+        FaultLoad::SerHpd {
+            ser_h1: 1e-10,
+            hpd: 1.0,
+        },
+        FaultLoad::SerHpd {
+            ser_h1: 1e-12,
+            hpd: 0.05,
+        },
+    ][pick as usize % 3]
+}
+
+/// A fully random scenario cell over every axis, with a random seed.
+fn cell(picks: (u8, u8, u8, u8, u8), seed: u64) -> Scenario {
+    let (b, p, s, m, f) = picks;
+    let mut cell = Scenario::new(bus(b), platform(p), Utilization::Relaxed, 1);
+    cell.shape = shape(s);
+    cell.message = message(m);
+    cell.fault = fault(f);
+    cell.base.seed = seed;
+    cell
+}
+
+fn structure_fingerprint(sys: &System) -> (usize, usize, TimeUs, Vec<(ProcessId, ProcessId)>) {
+    let app = sys.application();
+    (
+        app.process_count(),
+        app.message_count(),
+        app.min_deadline(),
+        app.message_ids()
+            .map(|m| (app.message(m).src(), app.message(m).dst()))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seed stability: cells differing ONLY in pricing axes (bus,
+    /// platform, message, fault) generate the identical graph structure,
+    /// deadline and reliability goal for the same `(seed, index)`.
+    #[test]
+    fn pricing_axes_preserve_workload_identity(
+        index in 0u64..4,
+        seed in 1u64..10_000,
+        shape_pick in 0u8..4,
+        a in (0u8..3, 0u8..3, 0u8..4, 0u8..3),
+        b in (0u8..3, 0u8..3, 0u8..4, 0u8..3),
+    ) {
+        let mk = |(bp, pp, mp, fp): (u8, u8, u8, u8)| {
+            cell((bp, pp, shape_pick, mp, fp), seed)
+        };
+        let (sys_a, sys_b) = (mk(a).generate(index), mk(b).generate(index));
+        prop_assert_eq!(structure_fingerprint(&sys_a), structure_fingerprint(&sys_b));
+        prop_assert_eq!(sys_a.goal(), sys_b.goal());
+        prop_assert_eq!(sys_a.application().period(), sys_b.application().period());
+    }
+
+    /// Generation is a pure function of the cell: the same cell generates
+    /// bit-identical systems, and pricing-default cells reproduce the
+    /// PR 3 behaviour exactly.
+    #[test]
+    fn generation_is_deterministic_per_cell(
+        index in 0u64..4,
+        seed in 1u64..10_000,
+        picks in (0u8..3, 0u8..3, 0u8..4, 0u8..4, 0u8..3),
+    ) {
+        let c = cell(picks, seed);
+        prop_assert_eq!(c.generate(index), c.generate(index));
+    }
+
+    /// Axis independence, message side: sweeping the message load moves
+    /// ONLY transmission times — and monotonically in `tx_fraction`.
+    #[test]
+    fn message_load_is_monotone_and_isolated(
+        index in 0u64..4,
+        seed in 1u64..10_000,
+        bus_pick in 0u8..3,
+        plat_pick in 0u8..3,
+        shape_pick in 0u8..4,
+    ) {
+        let loads = [
+            MessageLoad::Zero,
+            MessageLoad::Paper,
+            MessageLoad::Heavy,
+            MessageLoad::Bulk,
+        ];
+        let systems: Vec<System> = loads
+            .iter()
+            .map(|&m| {
+                let mut c = cell((bus_pick, plat_pick, shape_pick, 0, 0), seed);
+                c.message = m;
+                c.generate(index)
+            })
+            .collect();
+        for pair in systems.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            prop_assert_eq!(structure_fingerprint(lo), structure_fingerprint(hi));
+            prop_assert_eq!(lo.timing(), hi.timing());
+            prop_assert_eq!(lo.goal(), hi.goal());
+            let app_lo = lo.application();
+            let app_hi = hi.application();
+            for m in app_lo.message_ids() {
+                prop_assert!(app_hi.message(m).tx_time() >= app_lo.message(m).tx_time());
+            }
+        }
+        // Zero really is zero; Bulk is 10x the paper fraction.
+        let app0 = systems[0].application();
+        for m in app0.message_ids() {
+            prop_assert_eq!(app0.message(m).tx_time(), TimeUs::ZERO);
+        }
+        if app0.message_count() > 0 {
+            let app_paper = systems[1].application();
+            let app_bulk = systems[3].application();
+            let m = app_paper.message_ids().next().unwrap();
+            prop_assert!(app_bulk.message(m).tx_time() >= app_paper.message(m).tx_time());
+        }
+    }
+
+    /// Axis independence, fault side: SER moves failure probabilities
+    /// monotonically, HPD moves only hardened WCETs; structure, deadline,
+    /// goal and base WCETs never move.
+    #[test]
+    fn fault_load_is_monotone_and_isolated(
+        index in 0u64..4,
+        seed in 1u64..10_000,
+        shape_pick in 0u8..4,
+        message_pick in 0u8..4,
+    ) {
+        let sers = [1e-12, 1e-11, 1e-10];
+        let systems: Vec<System> = sers
+            .iter()
+            .map(|&ser_h1| {
+                let mut c = cell((0, 1, shape_pick, message_pick, 0), seed);
+                c.fault = FaultLoad::SerHpd { ser_h1, hpd: 0.05 };
+                c.generate(index)
+            })
+            .collect();
+        let h1 = HLevel::MIN;
+        let j = NodeTypeId::new(0);
+        for pair in systems.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            prop_assert_eq!(lo.application(), hi.application());
+            prop_assert_eq!(lo.goal(), hi.goal());
+            for p in lo.application().process_ids() {
+                // Identical WCETs at identical HPD…
+                prop_assert_eq!(
+                    lo.timing().wcet(p, j, h1).unwrap(),
+                    hi.timing().wcet(p, j, h1).unwrap()
+                );
+                // …but a strictly larger failure probability at higher SER.
+                prop_assert!(
+                    hi.timing().pfail(p, j, h1).unwrap().value()
+                        > lo.timing().pfail(p, j, h1).unwrap().value()
+                );
+            }
+        }
+    }
+
+    /// Graph-shape monotonicity: the deterministic layer assignment makes
+    /// wider shapes start with strictly more roots, and the `Dense` shape
+    /// only ever adds messages over `Paper` (same width ⇒ same tree
+    /// edges; `gen_bool` is one monotone draw per candidate edge, so the
+    /// 0.6 extra-edge set is a superset of the 0.25 set).
+    #[test]
+    fn graph_shape_orders_roots_and_density(
+        index in 0u64..4,
+        seed in 1u64..10_000,
+    ) {
+        let gen_shape = |s: GraphShape| {
+            let mut c = cell((0, 1, 0, 0, 0), seed);
+            c.shape = s;
+            c.generate(index)
+        };
+        let roots = |sys: &System| {
+            sys.application()
+                .process_ids()
+                .filter(|&p| sys.application().is_root(p))
+                .count()
+        };
+        let deep = gen_shape(GraphShape::Deep);
+        let paper = gen_shape(GraphShape::Paper);
+        let fan = gen_shape(GraphShape::Fan);
+        let dense = gen_shape(GraphShape::Dense);
+        prop_assert!(roots(&deep) < roots(&fan));
+        prop_assert!(roots(&paper) <= roots(&fan));
+        prop_assert!(roots(&deep) <= roots(&paper));
+        // Dense keeps the layer structure (same width) but cross-links
+        // more heavily.
+        prop_assert_eq!(roots(&dense), roots(&paper));
+        prop_assert!(
+            dense.application().message_count() >= paper.application().message_count()
+        );
+        // Same process count everywhere: the shape re-arranges, never
+        // resizes.
+        prop_assert_eq!(
+            deep.application().process_count(),
+            fan.application().process_count()
+        );
+        prop_assert_eq!(
+            dense.application().process_count(),
+            paper.application().process_count()
+        );
+    }
+}
