@@ -1,0 +1,196 @@
+//! Microbenchmarks of the evaluation hot kernel (PR 5): the
+//! `run_light` scheduling walk across graph shapes and sizes, priority
+//! full recompute vs delta sync, and the memo hit paths of the
+//! incremental engine.
+//!
+//! Run with `cargo bench --bench hot_kernel`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes_gen::{BusProfile, GraphShape, Heterogeneity, Scenario, Utilization};
+use ftes_model::{Architecture, HLevel, Mapping, NodeId, ProcessId, System};
+use ftes_opt::{initial_mapping, redundancy_opt_memo, Evaluator, OptConfig, RedundancyMemo};
+use ftes_sched::{PriorityCache, ReadyPolicy, Scheduler, SlackModel};
+
+/// One benchmark fixture: a generated system with a two-node
+/// architecture and its greedy initial mapping.
+struct Fixture {
+    system: System,
+    arch: Architecture,
+    mapping: Mapping,
+    ks: Vec<u32>,
+}
+
+fn fixture(shape: GraphShape, index: u64) -> Fixture {
+    let mut cell = Scenario::new(
+        BusProfile::Ideal,
+        Heterogeneity::Mild,
+        Utilization::Relaxed,
+        1,
+    );
+    cell.shape = shape;
+    let system = cell.generate(index);
+    let ids = system.platform().ids_fastest_first();
+    let arch = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+    let mapping = initial_mapping(&system, &arch).unwrap();
+    Fixture {
+        system,
+        arch,
+        mapping,
+        ks: vec![2, 2],
+    }
+}
+
+/// `run_light` across graph shapes and sizes, heap vs linear ready set.
+fn bench_run_light(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_light");
+    for shape in [
+        GraphShape::Paper,
+        GraphShape::Deep,
+        GraphShape::Fan,
+        GraphShape::Dense,
+    ] {
+        // index 0 → 20 processes, index 1 → 40 processes.
+        for index in [0u64, 1] {
+            let f = fixture(shape, index);
+            let n = f.system.application().process_count();
+            let id = BenchmarkId::new(shape.label(), n);
+            group.bench_with_input(id, &f, |b, f| {
+                let mut scheduler = Scheduler::new();
+                b.iter(|| {
+                    scheduler
+                        .run_light(
+                            f.system.application(),
+                            f.system.timing(),
+                            &f.arch,
+                            &f.mapping,
+                            black_box(&f.ks),
+                            f.system.bus(),
+                            SlackModel::Shared,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Heap-indexed vs linear-scan ready set on the widest (fan) shape,
+/// where the ready list is largest.
+fn bench_ready_policies(c: &mut Criterion) {
+    let f = fixture(GraphShape::Fan, 1);
+    let mut group = c.benchmark_group("ready_policy");
+    for (name, policy) in [("heap", ReadyPolicy::Heap), ("linear", ReadyPolicy::Linear)] {
+        group.bench_function(name, |b| {
+            let mut scheduler = Scheduler::with_ready_policy(policy);
+            b.iter(|| {
+                scheduler
+                    .run_light(
+                        f.system.application(),
+                        f.system.timing(),
+                        &f.arch,
+                        &f.mapping,
+                        black_box(&f.ks),
+                        f.system.bus(),
+                        SlackModel::Shared,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full priority recompute vs the cached delta path for a single
+/// re-mapping probe (mutate + probe + undo, the tabu move pattern).
+fn bench_priorities(c: &mut Criterion) {
+    let f = fixture(GraphShape::Paper, 1);
+    let app = f.system.application();
+    let timing = f.system.timing();
+    let mut group = c.benchmark_group("priorities");
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| {
+            ftes_sched::longest_path_to_sink(black_box(app), timing, &f.arch, &f.mapping).unwrap()
+        })
+    });
+    group.bench_function("delta_remap_one", |b| {
+        let mut cache = PriorityCache::new();
+        let mut mapping = f.mapping.clone();
+        cache.sync(app, timing, &f.arch, &mapping).unwrap();
+        let p = ProcessId::new(0);
+        let home = mapping.node_of(p);
+        let away = NodeId::new(u32::from(home.index() == 0));
+        b.iter(|| {
+            mapping.assign(p, away);
+            cache.sync(app, timing, &f.arch, &mapping).unwrap();
+            mapping.assign(p, home);
+            cache.sync(app, timing, &f.arch, &mapping).unwrap();
+        })
+    });
+    group.bench_function("delta_rehardening", |b| {
+        let mut cache = PriorityCache::new();
+        let mut arch = f.arch.clone();
+        cache.sync(app, timing, &arch, &f.mapping).unwrap();
+        let up = HLevel::new(2).unwrap();
+        let down = HLevel::MIN;
+        b.iter(|| {
+            arch.set_hardening(NodeId::new(0), up);
+            cache.sync(app, timing, &arch, &f.mapping).unwrap();
+            arch.set_hardening(NodeId::new(0), down);
+            cache.sync(app, timing, &arch, &f.mapping).unwrap();
+        })
+    });
+    group.finish();
+}
+
+/// The incremental engine's per-probe paths: a memoized candidate hit,
+/// an executed hardening delta, and a full tabu-memo revisit.
+fn bench_memo_paths(c: &mut Criterion) {
+    let f = fixture(GraphShape::Paper, 0);
+    let config = OptConfig::default();
+    let mut group = c.benchmark_group("memo");
+    group.bench_function("candidate_hit", |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        evaluator.evaluate(&f.arch, &f.mapping).unwrap();
+        b.iter(|| evaluator.evaluate(&f.arch, &f.mapping).unwrap())
+    });
+    group.bench_function("hardening_delta_executed", |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        let mut arch = f.arch.clone();
+        evaluator.evaluate(&arch, &f.mapping).unwrap();
+        let up = HLevel::new(2).unwrap();
+        let down = HLevel::MIN;
+        // Distinct candidates each iteration defeat the candidate memo,
+        // so this times the executed delta path (SFP + priorities +
+        // run_light). The cache is dropped implicitly by alternating.
+        b.iter(|| {
+            arch.set_hardening(NodeId::new(0), up);
+            let a = evaluator.evaluate_uncached(&arch, &f.mapping).unwrap();
+            arch.set_hardening(NodeId::new(0), down);
+            let b2 = evaluator.evaluate_uncached(&arch, &f.mapping).unwrap();
+            (a, b2)
+        })
+    });
+    group.bench_function("tabu_memo_hit", |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        let mut memo = RedundancyMemo::from_config(&config);
+        redundancy_opt_memo(&mut evaluator, &mut memo, &f.arch, &f.mapping).unwrap();
+        b.iter(|| redundancy_opt_memo(&mut evaluator, &mut memo, &f.arch, &f.mapping).unwrap())
+    });
+    group.bench_function("tabu_unmemoized_revisit", |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        let mut memo = RedundancyMemo::new(ftes_opt::MemoCap(0));
+        redundancy_opt_memo(&mut evaluator, &mut memo, &f.arch, &f.mapping).unwrap();
+        b.iter(|| redundancy_opt_memo(&mut evaluator, &mut memo, &f.arch, &f.mapping).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_run_light,
+    bench_ready_policies,
+    bench_priorities,
+    bench_memo_paths
+);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! ```text
 //! repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS]
 //!              [--threads N] [--shard I/N] [--out PATH]
+//! repro_matrix --merge OUT SHARD_FILE...
 //! ```
 //!
 //! Defaults: the full 216-cell v2 matrix ([`ScenarioMatrix::full_v2`]),
@@ -24,11 +25,14 @@
 //!   for any value, 0 = all cores).
 //! * `--shard I/N` runs only every N-th cell starting at I (stride
 //!   sharding keeps each shard covering all axis values). Each shard
-//!   writes a complete JSON document; the shards' cells are disjoint and
-//!   together cover the full matrix, so a merge that re-orders cells by
-//!   their matrix position (e.g. by `scenario` label) reproduces the
-//!   unsharded run's deterministic fields exactly — plain file
-//!   concatenation does not.
+//!   writes a complete JSON document tagged with its shard coordinates
+//!   and the full run's cell count.
+//! * `--merge OUT SHARD_FILE...` stitches shard outputs back together:
+//!   headers are validated to agree (arc, pr, smoke, shard count, total
+//!   cells), cells are re-interleaved by matrix position, and gaps or
+//!   overlaps abort the merge. The merged document is byte-identical to
+//!   an unsharded run's (up to the measured `wall_seconds`) — plain file
+//!   concatenation is not.
 //!
 //! Cells are streamed: each finished cell is rendered and appended to the
 //! output file in deterministic cell order while later cells are still
@@ -39,8 +43,8 @@
 use std::io::Write as _;
 
 use ftes_bench::{
-    cell_json, json_footer, json_header, render_table_row, run_cells_streaming, MatrixRunConfig,
-    Shard, Strategy,
+    cell_json, json_footer, json_header, merge_shard_texts, render_table_row, run_cells_streaming,
+    BenchMeta, MatrixRunConfig, Shard, Strategy,
 };
 use ftes_gen::ScenarioMatrix;
 use ftes_model::Cost;
@@ -85,7 +89,40 @@ fn restrict_axes(mut matrix: ScenarioMatrix, keep: &str) -> ScenarioMatrix {
     matrix
 }
 
+/// The `--merge` mode: read shard documents, validate, stitch, write.
+fn run_merge(out: &str, files: &[String]) -> ! {
+    let texts: Vec<String> = files
+        .iter()
+        .map(|f| {
+            std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("cannot read shard file {f}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    match merge_shard_texts(&texts) {
+        Ok(merged) => {
+            std::fs::write(out, &merged).expect("write merged output");
+            eprintln!("merged {} shard file(s) into {out}", files.len());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--merge") {
+        let Some((out, files)) = raw[1..].split_first().filter(|(_, f)| !f.is_empty()) else {
+            eprintln!("usage: repro_matrix --merge OUT SHARD_FILE...");
+            std::process::exit(2);
+        };
+        run_merge(out, files);
+    }
+
     let mut smoke = false;
     let mut pr3 = false;
     let mut axes: Option<String> = None;
@@ -93,7 +130,7 @@ fn main() {
     let mut threads = Threads(0);
     let mut shard = None;
     let mut out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
@@ -127,7 +164,8 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
-                     [--threads N] [--shard I/N] [--out PATH]"
+                     [--threads N] [--shard I/N] [--out PATH]\n       \
+                     repro_matrix --merge OUT SHARD_FILE..."
                 );
                 std::process::exit(2);
             }
@@ -179,8 +217,13 @@ fn main() {
     // order), instead of holding the whole report in memory.
     let file = std::fs::File::create(&out).expect("create output file");
     let mut writer = std::io::BufWriter::new(file);
+    let meta = BenchMeta {
+        pr,
+        smoke,
+        shard: shard.map(|s| (s, cells.len())),
+    };
     writer
-        .write_all(json_header(config.arc, Some((pr, smoke))).as_bytes())
+        .write_all(json_header(config.arc, Some(meta)).as_bytes())
         .expect("write header");
     let label_width = cells
         .iter()

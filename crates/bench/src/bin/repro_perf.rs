@@ -3,7 +3,9 @@
 //!
 //! * `scratch`     — from-scratch evaluation, sequential (the pre-PR 2
 //!   baseline, `EvalMode::Scratch` + `Threads(1)`);
-//! * `incremental` — memo cache + incremental SFP, sequential;
+//! * `incremental` — the full incremental engine, sequential: candidate
+//!   memo + incremental SFP (PR 2) + heap-indexed ready queue, priority
+//!   delta cache and the cross-iteration mapping-outcome memo (PR 5);
 //! * `parallel`    — incremental + the worker-pool architecture
 //!   exploration (`Threads(0)` = all cores).
 //!
@@ -12,12 +14,24 @@
 //! machine-readable JSON so future PRs can compare against it.
 //!
 //! ```text
-//! repro_perf [--smoke] [--apps N] [--out PATH]
+//! repro_perf [--smoke] [--apps N] [--out PATH] [--bench-pr5]
+//!            [--baseline PATH] [--floor X] [--check-floor PATH]
 //! ```
 //!
-//! Defaults: 12 synthetic applications, output to `BENCH_PR2.json`.
-//! `--smoke` shrinks the batch to 2 applications for CI (the harness is
-//! exercised end to end; the timings are not meaningful).
+//! Defaults: 12 synthetic applications, output to `BENCH_PR5.json` —
+//! the PR 5 counters (priority recomputes avoided, tabu memo hits) plus
+//! a direct comparison block against the committed PR 2 numbers (read
+//! from `--baseline`, default `BENCH_PR2.json`) and the committed CI
+//! floor (`--floor`). `BENCH_PR2.json` itself is never rewritten: it is
+//! the frozen baseline the comparison reads.
+//!
+//! * `--smoke` shrinks the batch to 2 applications for CI (the harness is
+//!   exercised end to end; the timings are not meaningful).
+//! * `--bench-pr5` is the explicit spelling of the default mode.
+//! * `--check-floor PATH` reads `ci_floor_speedup` from a committed
+//!   `BENCH_PR5.json` and exits non-zero when this run's synthetic
+//!   incremental-vs-scratch speedup falls below it — the CI perf-smoke
+//!   regression gate.
 
 use std::time::Instant;
 
@@ -37,6 +51,10 @@ struct ModeResult {
     cache_hits: u64,
     sfp_nodes_computed: u64,
     sfp_nodes_reused: u64,
+    priority_recomputed: u64,
+    priority_reused: u64,
+    mapping_memo_hits: u64,
+    mapping_memo_misses: u64,
 }
 
 fn run_mode(systems: &[System], config: &OptConfig) -> ModeResult {
@@ -50,6 +68,10 @@ fn run_mode(systems: &[System], config: &OptConfig) -> ModeResult {
         cache_hits: 0,
         sfp_nodes_computed: 0,
         sfp_nodes_reused: 0,
+        priority_recomputed: 0,
+        priority_reused: 0,
+        mapping_memo_hits: 0,
+        mapping_memo_misses: 0,
     };
     for system in systems {
         let outcome = design_strategy(system, config).expect("generated systems are valid");
@@ -62,6 +84,10 @@ fn run_mode(systems: &[System], config: &OptConfig) -> ModeResult {
                 result.cache_hits += out.stats.eval.cache_hits;
                 result.sfp_nodes_computed += out.stats.eval.sfp_nodes_computed;
                 result.sfp_nodes_reused += out.stats.eval.sfp_nodes_reused;
+                result.priority_recomputed += out.stats.eval.priority_recomputed;
+                result.priority_reused += out.stats.eval.priority_reused;
+                result.mapping_memo_hits += out.stats.eval.mapping_memo_hits;
+                result.mapping_memo_misses += out.stats.eval.mapping_memo_misses;
             }
             None => result.costs.push(None),
         }
@@ -82,7 +108,11 @@ fn mode_json(name: &str, mode: &ModeResult) -> String {
             "      \"candidate_evaluations\": {},\n",
             "      \"cache_hits\": {},\n",
             "      \"sfp_nodes_computed\": {},\n",
-            "      \"sfp_nodes_reused\": {}\n",
+            "      \"sfp_nodes_reused\": {},\n",
+            "      \"priority_recomputed\": {},\n",
+            "      \"priority_recomputes_avoided\": {},\n",
+            "      \"tabu_memo_hits\": {},\n",
+            "      \"tabu_memo_misses\": {}\n",
             "    }}"
         ),
         name,
@@ -94,12 +124,23 @@ fn mode_json(name: &str, mode: &ModeResult) -> String {
         mode.cache_hits,
         mode.sfp_nodes_computed,
         mode.sfp_nodes_reused,
+        mode.priority_recomputed,
+        mode.priority_reused,
+        mode.mapping_memo_hits,
+        mode.mapping_memo_misses,
     )
+}
+
+/// The three pipeline timings of one system set.
+struct SetResult {
+    json: String,
+    incremental_seconds: f64,
+    speedup_incremental: f64,
 }
 
 /// Times the three pipelines over one set of systems and renders the JSON
 /// object body (plus a human-readable summary on stderr).
-fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> String {
+fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> SetResult {
     let scratch_cfg = OptConfig {
         eval_mode: EvalMode::Scratch,
         threads: Threads(1),
@@ -133,7 +174,8 @@ fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> String {
     let speedup_parallel = scratch.seconds / parallel.seconds.max(1e-12);
     eprintln!(
         "{label}: scratch {:.3}s | incremental {:.3}s ({speedup_incremental:.2}x) | \
-         parallel {:.3}s ({speedup_parallel:.2}x) | cache hits {}/{} | sfp reuse {}/{}",
+         parallel {:.3}s ({speedup_parallel:.2}x) | cache hits {}/{} | sfp reuse {}/{} | \
+         priority reuse {}/{} | tabu memo {}/{}",
         scratch.seconds,
         incremental.seconds,
         parallel.seconds,
@@ -141,9 +183,13 @@ fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> String {
         incremental.evaluations,
         incremental.sfp_nodes_reused,
         incremental.sfp_nodes_computed + incremental.sfp_nodes_reused,
+        incremental.priority_reused,
+        incremental.priority_recomputed + incremental.priority_reused,
+        incremental.mapping_memo_hits,
+        incremental.mapping_memo_hits + incremental.mapping_memo_misses,
     );
 
-    format!(
+    let json = format!(
         "  \"{}\": {{\n{},\n{},\n{},\n    \"speedup_incremental\": {:.3},\n    \"speedup_parallel\": {:.3}\n  }}",
         label,
         mode_json("scratch", &scratch),
@@ -151,17 +197,80 @@ fn bench_set(label: &str, systems: &[System], base: &OptConfig) -> String {
         mode_json("parallel", &parallel),
         speedup_incremental,
         speedup_parallel,
+    );
+    SetResult {
+        json,
+        incremental_seconds: incremental.seconds,
+        speedup_incremental,
+    }
+}
+
+/// Extracts the number after a nested key path from one of this
+/// harness's own JSON documents (plain substring narrowing — the format
+/// is ours, not arbitrary JSON).
+fn json_number(text: &str, path: &[&str]) -> Option<f64> {
+    let mut at = 0usize;
+    for key in path {
+        let pat = format!("\"{key}\":");
+        at += text[at..].find(&pat)? + pat.len();
+    }
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && c != 'e' && c != '+' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `--bench-pr5` comparison block: this run's synthetic incremental
+/// engine against the committed PR 2 trajectory.
+fn comparison_json(baseline_path: &str, pr5_incremental_seconds: f64) -> String {
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("warning: baseline {baseline_path} unreadable; comparison block omitted");
+        return String::new();
+    };
+    let read = |mode: &str, field: &str| json_number(&baseline, &["synthetic", mode, field]);
+    let (Some(pr2_scratch), Some(pr2_incremental)) = (
+        read("scratch", "wall_seconds"),
+        read("incremental", "wall_seconds"),
+    ) else {
+        eprintln!("warning: baseline {baseline_path} has no synthetic timings; block omitted");
+        return String::new();
+    };
+    let speedup_vs_pr2 = pr2_incremental / pr5_incremental_seconds.max(1e-12);
+    eprintln!(
+        "vs committed PR 2 ({baseline_path}): incremental {pr2_incremental:.3}s -> \
+         {pr5_incremental_seconds:.3}s = {speedup_vs_pr2:.2}x"
+    );
+    format!(
+        concat!(
+            "  \"comparison_vs_pr2\": {{\n",
+            "    \"baseline\": \"{}\",\n",
+            "    \"pr2_scratch_wall_seconds\": {:.6},\n",
+            "    \"pr2_incremental_wall_seconds\": {:.6},\n",
+            "    \"pr5_incremental_wall_seconds\": {:.6},\n",
+            "    \"speedup_vs_pr2_incremental\": {:.3}\n",
+            "  }},\n"
+        ),
+        baseline_path, pr2_scratch, pr2_incremental, pr5_incremental_seconds, speedup_vs_pr2,
     )
 }
 
 fn main() {
     let mut smoke = false;
     let mut apps = 12usize;
-    let mut out = "BENCH_PR2.json".to_string();
+    let mut out: Option<String> = None;
+    let mut baseline = "BENCH_PR2.json".to_string();
+    let mut floor = 1.5f64;
+    let mut check_floor: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            // PR 5 is the only mode; the flag is kept as its explicit
+            // spelling. (There is deliberately no way to regenerate
+            // BENCH_PR2.json — it is the frozen baseline the comparison
+            // block reads.)
+            "--bench-pr5" => {}
             "--apps" => {
                 apps = args
                     .next()
@@ -169,11 +278,26 @@ fn main() {
                     .expect("--apps needs a number");
             }
             "--out" => {
-                out = args.next().expect("--out needs a path");
+                out = Some(args.next().expect("--out needs a path"));
+            }
+            "--baseline" => {
+                baseline = args.next().expect("--baseline needs a path");
+            }
+            "--floor" => {
+                floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--floor needs a number");
+            }
+            "--check-floor" => {
+                check_floor = Some(args.next().expect("--check-floor needs a path"));
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: repro_perf [--smoke] [--apps N] [--out PATH]");
+                eprintln!(
+                    "usage: repro_perf [--smoke] [--apps N] [--out PATH] [--bench-pr5] \
+                     [--baseline PATH] [--floor X] [--check-floor PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -181,13 +305,15 @@ fn main() {
     if smoke {
         apps = apps.min(2);
     }
+    let pr = 5u32;
+    let out = out.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 
     // The paper's two walked examples, at the paper's configuration.
     let paper_systems = vec![
         ftes_model::paper::fig1_system(),
         ftes_model::paper::fig3_system(),
     ];
-    let paper_json = bench_set("paper", &paper_systems, &OptConfig::default());
+    let paper = bench_set("paper", &paper_systems, &OptConfig::default());
 
     // The synthetic Section 7 batch (alternating 20/40-process graphs on
     // the default condition), under the sweep configuration the Fig. 6
@@ -196,14 +322,45 @@ fn main() {
     let synthetic: Vec<System> = (0..apps as u64)
         .map(|i| generate_instance(&condition, i))
         .collect();
-    let synthetic_json = bench_set("synthetic", &synthetic, &sweep_opt_config(Strategy::Opt));
+    let synthetic_set = bench_set("synthetic", &synthetic, &sweep_opt_config(Strategy::Opt));
+
+    // The floor and the PR 2 comparison only mean something for the
+    // full-batch protocol: a smoke run's 2-app timings against the
+    // committed 12-app baseline would be apples to oranges, so smoke
+    // artifacts omit both (CI reads the floor from the *committed*
+    // BENCH_PR5.json, never from its own smoke output).
+    let mut extra = String::new();
+    if !smoke {
+        extra.push_str(&format!("  \"ci_floor_speedup\": {floor:.3},\n"));
+        extra.push_str(&comparison_json(
+            &baseline,
+            synthetic_set.incremental_seconds,
+        ));
+    }
 
     let threads = Threads(0).resolve();
     let json = format!(
-        "{{\n  \"bench\": \"repro_perf\",\n  \"pr\": 2,\n  \"smoke\": {smoke},\n  \
-         \"apps\": {apps},\n  \"worker_threads\": {threads},\n{paper_json},\n{synthetic_json}\n}}\n",
+        "{{\n  \"bench\": \"repro_perf\",\n  \"pr\": {pr},\n  \"smoke\": {smoke},\n  \
+         \"apps\": {apps},\n  \"worker_threads\": {threads},\n{extra}{},\n{}\n}}\n",
+        paper.json, synthetic_set.json,
     );
     std::fs::write(&out, &json).expect("write BENCH json");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    if let Some(path) = check_floor {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check-floor: cannot read {path}: {e}"));
+        let committed_floor = json_number(&committed, &["ci_floor_speedup"])
+            .unwrap_or_else(|| panic!("--check-floor: no ci_floor_speedup in {path}"));
+        let measured = synthetic_set.speedup_incremental;
+        if measured < committed_floor {
+            eprintln!(
+                "PERF REGRESSION: synthetic incremental-vs-scratch speedup {measured:.2}x \
+                 is below the committed floor {committed_floor:.2}x (from {path})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf floor ok: {measured:.2}x >= {committed_floor:.2}x (from {path})");
+    }
 }

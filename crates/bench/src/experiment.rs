@@ -13,7 +13,8 @@
 use ftes_gen::{generate_instance, ExperimentConfig};
 use ftes_model::Cost;
 use ftes_opt::{
-    design_strategy, CoreBudget, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig,
+    design_strategy_budgeted, CoreBudget, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig,
+    Threads,
 };
 use ftes_sfp::Rounding;
 use serde::{Deserialize, Serialize};
@@ -128,8 +129,11 @@ where
     F: Fn(u64) -> ftes_model::System + Sync,
 {
     let (threads, per_app) = budget.fan_out(n_apps.max(1));
+    // `Threads(0)` resolves *within* the per-worker remainder budget
+    // (design_strategy_budgeted), never to the whole machine — the
+    // Threads(0)-inside-a-cell over-claim regression.
     let opt_cfg = OptConfig {
-        threads: per_app.threads(),
+        threads: Threads(0),
         ..sweep_opt_config(strategy)
     };
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -144,7 +148,7 @@ where
                     break;
                 }
                 let system = generate(i as u64);
-                let outcome = design_strategy(&system, &opt_cfg)
+                let outcome = design_strategy_budgeted(&system, &opt_cfg, per_app)
                     .expect("synthetic systems are structurally valid");
                 *slots[i].lock().unwrap() = Some(outcome);
             });

@@ -25,6 +25,7 @@
 pub mod experiment;
 pub mod figures;
 pub mod matrix;
+pub mod merge;
 
 pub use experiment::{
     acceptance_row, run_condition, run_strategy_over, run_strategy_over_budgeted, sweep_opt_config,
@@ -34,5 +35,6 @@ pub use figures::{cruise_controller, fig6a, fig6b, fig6c, fig6d, CcOutcome};
 pub use matrix::{
     cell_json, json_footer, json_header, render_table_row, run_cell, run_cell_budgeted,
     run_cell_strategy, run_cell_strategy_budgeted, run_cells, run_cells_streaming, run_matrix,
-    CellResult, MatrixReport, MatrixRunConfig, Shard, StrategyCell,
+    BenchMeta, CellResult, MatrixReport, MatrixRunConfig, Shard, StrategyCell,
 };
+pub use merge::{merge_shard_texts, merge_shards, parse_shard_doc, ShardDoc};

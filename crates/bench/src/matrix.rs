@@ -428,15 +428,49 @@ pub fn run_matrix(
 // streaming writer of `repro_matrix`.
 // ---------------------------------------------------------------------
 
+/// Metadata of a benchmark artifact (`BENCH_PR<N>.json`): the PR number,
+/// the smoke flag and — for sharded runs — the shard coordinates plus the
+/// full run's cell count, which `repro_matrix --merge` validates when
+/// stitching shard outputs back together. Golden snapshots carry no
+/// metadata at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// The PR number stamped into the artifact.
+    pub pr: u32,
+    /// Whether this was a `--smoke` run.
+    pub smoke: bool,
+    /// For sharded runs: the shard and the total cell count of the full
+    /// (unsharded) run.
+    pub shard: Option<(Shard, usize)>,
+}
+
+impl BenchMeta {
+    /// Unsharded artifact metadata.
+    pub fn new(pr: u32, smoke: bool) -> Self {
+        BenchMeta {
+            pr,
+            smoke,
+            shard: None,
+        }
+    }
+}
+
 /// The opening of a matrix JSON document. `meta` (when present) tags the
-/// benchmark artifact with its PR number and smoke flag; the golden
-/// snapshot omits it.
-pub fn json_header(arc: Cost, meta: Option<(u32, bool)>) -> String {
+/// benchmark artifact with its PR number, smoke flag and (for sharded
+/// runs) shard coordinates; the golden snapshot omits it.
+pub fn json_header(arc: Cost, meta: Option<BenchMeta>) -> String {
     let mut out = String::from("{\n");
-    if let Some((pr, smoke)) = meta {
+    if let Some(meta) = meta {
         out.push_str(&format!(
-            "  \"bench\": \"repro_matrix\",\n  \"pr\": {pr},\n  \"smoke\": {smoke},\n"
+            "  \"bench\": \"repro_matrix\",\n  \"pr\": {},\n  \"smoke\": {},\n",
+            meta.pr, meta.smoke
         ));
+        if let Some((shard, total)) = meta.shard {
+            out.push_str(&format!(
+                "  \"shard_index\": {},\n  \"shard_count\": {},\n  \"cells_total\": {total},\n",
+                shard.index, shard.count
+            ));
+        }
     }
     out.push_str(&format!("  \"arc\": {},\n  \"cells\": [\n", arc.units()));
     out
@@ -537,10 +571,10 @@ impl MatrixReport {
     /// The benchmark artifact JSON (`BENCH_PR<N>.json`): the golden fields
     /// plus per-strategy wall-clock seconds and run metadata.
     pub fn bench_json(&self, pr: u32, smoke: bool) -> String {
-        self.render_json(true, Some((pr, smoke)))
+        self.render_json(true, Some(BenchMeta::new(pr, smoke)))
     }
 
-    fn render_json(&self, timings: bool, meta: Option<(u32, bool)>) -> String {
+    fn render_json(&self, timings: bool, meta: Option<BenchMeta>) -> String {
         let mut out = json_header(self.arc, meta);
         for (ci, cell) in self.cells.iter().enumerate() {
             if ci > 0 {

@@ -96,10 +96,20 @@ impl ReliabilityGoal {
     ///
     /// Evaluated in the log domain: `(τ/T)·ln1p(−p) ≥ ln(ρ)`.
     pub fn is_met(&self, p_fail_iter: f64, period: TimeUs) -> bool {
+        Self::is_met_hoisted(self.iterations(period), self.ln_rho(), p_fail_iter)
+    }
+
+    /// The [`is_met`](ReliabilityGoal::is_met) comparison with the
+    /// period-constant factors (`iterations(period)`, `ln_rho()`)
+    /// hoisted out — hot loops that test many probabilities against one
+    /// goal compute them once. Bit-identical to
+    /// [`is_met`](ReliabilityGoal::is_met) (same operations on the same
+    /// values, just not re-derived per call).
+    pub fn is_met_hoisted(n_iterations: f64, ln_rho: f64, p_fail_iter: f64) -> bool {
         if p_fail_iter >= 1.0 {
             return false;
         }
-        self.iterations(period) * (-p_fail_iter).ln_1p() >= self.ln_rho()
+        n_iterations * (-p_fail_iter).ln_1p() >= ln_rho
     }
 
     /// The maximum tolerable per-iteration failure probability for an

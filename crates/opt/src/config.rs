@@ -99,11 +99,28 @@ impl Default for Threads {
 impl Threads {
     /// The effective worker count (resolves `0` to the machine's available
     /// parallelism).
+    ///
+    /// Only correct at the **top** of a fan-out hierarchy: inside a
+    /// nested pool, resolving `0` to the whole machine over-claims past
+    /// the enclosing budget — use
+    /// [`resolve_within`](Threads::resolve_within) there.
     pub fn resolve(self) -> usize {
         match self.0 {
             0 => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The effective worker count under a [`CoreBudget`]: `Threads(0)`
+    /// means "whatever the budget affords" instead of "the whole
+    /// machine", so a `Threads(0)` configuration nested inside a matrix
+    /// cell claims only the cell's share. A pinned `Threads(n)` stays
+    /// `n` (an explicit override is honoured).
+    pub fn resolve_within(self, budget: CoreBudget) -> usize {
+        match self.0 {
+            0 => budget.get(),
             n => n,
         }
     }
@@ -186,6 +203,10 @@ pub struct OptConfig {
     pub eval_mode: EvalMode,
     /// Worker threads for the architecture exploration (1 = sequential).
     pub threads: Threads,
+    /// Capacity of the cross-iteration mapping-outcome memo (entries;
+    /// `MemoCap(0)` disables memoization — the unmemoized reference
+    /// path).
+    pub mapping_memo: MemoCap,
 }
 
 /// Newtype holding the re-execution cap with a sensible default.
@@ -195,6 +216,19 @@ pub struct MaxK(pub u32);
 impl Default for MaxK {
     fn default() -> Self {
         MaxK(30)
+    }
+}
+
+/// Capacity bound (entries) of the cross-iteration mapping-outcome memo
+/// used by the tabu search — `MemoCap(0)` disables it. The memo is
+/// LRU-bounded (segmented LRU), so long explorations hold at most this
+/// many `(node types, mapping) → outcome` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoCap(pub usize);
+
+impl Default for MemoCap {
+    fn default() -> Self {
+        MemoCap(4096)
     }
 }
 
@@ -212,6 +246,7 @@ mod tests {
         assert_eq!(cfg.max_nodes, None);
         assert_eq!(cfg.eval_mode, EvalMode::Incremental);
         assert_eq!(cfg.threads, Threads(1));
+        assert_eq!(cfg.mapping_memo, MemoCap(4096));
     }
 
     #[test]
@@ -219,6 +254,19 @@ mod tests {
         assert_eq!(Threads(1).resolve(), 1);
         assert_eq!(Threads(7).resolve(), 7);
         assert!(Threads(0).resolve() >= 1);
+    }
+
+    #[test]
+    fn threads_resolve_within_respects_the_budget() {
+        // The Threads(0) over-claim regression: inside a CoreBudget,
+        // "all cores" means the budget's share, never the machine.
+        assert_eq!(Threads(0).resolve_within(CoreBudget::new(2)), 2);
+        assert_eq!(Threads(0).resolve_within(CoreBudget::new(1)), 1);
+        // A pinned count is an explicit override and stays pinned.
+        assert_eq!(Threads(3).resolve_within(CoreBudget::new(1)), 3);
+        // Composition: fan-out remainders resolve to their own share.
+        let (workers, inner) = CoreBudget::new(4).fan_out(2);
+        assert_eq!(workers * Threads(0).resolve_within(inner), 4);
     }
 
     #[test]

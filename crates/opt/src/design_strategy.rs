@@ -37,10 +37,11 @@ use ftes_model::{Architecture, Cost, ModelError, NodeTypeId, System};
 use serde::{Deserialize, Serialize};
 
 use crate::arch_iter::architectures_with_n_nodes;
-use crate::config::{Objective, OptConfig};
+use crate::config::{CoreBudget, Objective, OptConfig};
 use crate::evaluation::Solution;
 use crate::incremental::{Candidate, EvalStats, Evaluator};
 use crate::mapping_opt::mapping_algorithm_with;
+use crate::redundancy::RedundancyMemo;
 
 /// Statistics of one design-space exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -49,10 +50,23 @@ pub struct ExplorationStats {
     pub architectures_evaluated: u32,
     /// Architectures skipped by the `Cbest` cost pruning.
     pub architectures_pruned: u32,
+    /// Worker threads the exploration actually ran on — the peak
+    /// architecture-level concurrency (regression anchor for the
+    /// `Threads(0)`-inside-a-`CoreBudget` over-claim).
+    pub worker_threads: u32,
     /// Candidate-evaluation counters of the incremental engine, summed
     /// over all workers (these depend on worker timing, unlike the
     /// architecture counters, which replay the sequential walk exactly).
     pub eval: EvalStats,
+}
+
+/// One worker's private search state: the incremental candidate evaluator
+/// plus the cross-iteration mapping-outcome memo. Kept together so both
+/// memo layers persist across every probe the worker runs.
+#[derive(Debug)]
+struct SearchState<'a> {
+    evaluator: Evaluator<'a>,
+    memo: RedundancyMemo,
 }
 
 /// Outcome of [`design_strategy`]: the cheapest schedulable, reliable
@@ -112,17 +126,42 @@ pub fn design_strategy(
     system: &System,
     config: &OptConfig,
 ) -> Result<Option<DesignOutcome>, ModelError> {
+    design_strategy_budgeted(system, config, CoreBudget::available())
+}
+
+/// [`design_strategy`] under an explicit [`CoreBudget`]: `Threads(0)` in
+/// `config` resolves to the **budget's** share instead of the whole
+/// machine, so a design run nested inside an enclosing worker pool (a
+/// matrix cell, an application fan-out) can request "all available
+/// parallelism" without over-claiming past its slice. A pinned
+/// `Threads(n)` is honoured as an explicit override. Results are
+/// bit-identical for any budget.
+///
+/// # Errors
+///
+/// Same as [`design_strategy`].
+pub fn design_strategy_budgeted(
+    system: &System,
+    config: &OptConfig,
+    budget: CoreBudget,
+) -> Result<Option<DesignOutcome>, ModelError> {
     let platform = system.platform();
     let max_nodes = config
         .max_nodes
         .unwrap_or_else(|| platform.node_type_count())
         .max(1);
-    let threads = config.threads.resolve().max(1);
+    let threads = config.threads.resolve_within(budget).max(1);
 
     let mut best: Option<Arc<Candidate>> = None;
-    let mut stats = ExplorationStats::default();
-    let mut evaluators: Vec<Evaluator<'_>> = (0..threads)
-        .map(|_| Evaluator::new(system, config))
+    let mut stats = ExplorationStats {
+        worker_threads: threads as u32,
+        ..ExplorationStats::default()
+    };
+    let mut workers: Vec<SearchState<'_>> = (0..threads)
+        .map(|_| SearchState {
+            evaluator: Evaluator::new(system, config),
+            memo: RedundancyMemo::from_config(config),
+        })
         .collect();
 
     let mut n = 1usize;
@@ -138,7 +177,7 @@ pub fn design_strategy(
         let cbest_start = best.as_ref().map_or(Cost::MAX, |s| s.cost);
 
         let mut hints: Vec<Option<ArchOutcome>> = if threads > 1 && archs.len() > 1 {
-            explore_batch_parallel(&archs, &min_costs, cbest_start, &mut evaluators)?
+            explore_batch_parallel(&archs, &min_costs, cbest_start, &mut workers)?
         } else {
             (0..archs.len()).map(|_| None).collect()
         };
@@ -160,7 +199,7 @@ pub fn design_strategy(
             evaluated_this_n += 1;
             let outcome = match hints[i].take() {
                 Some(outcome) => outcome,
-                None => explore_one(&mut evaluators[0], &archs[i])?,
+                None => explore_one(&mut workers[0], &archs[i])?,
             };
             match outcome {
                 ArchOutcome::Unschedulable => {
@@ -196,13 +235,15 @@ pub fn design_strategy(
         }
     }
 
-    for evaluator in &evaluators {
-        stats.eval.merge(evaluator.stats());
+    for worker in &workers {
+        stats.eval.merge(worker.evaluator.stats());
+        stats.eval.mapping_memo_hits += worker.memo.hits();
+        stats.eval.mapping_memo_misses += worker.memo.misses();
     }
     // Materialize the winning candidate's full schedule once, at the very
     // end — probe evaluations only ever carried the schedulability verdict.
     let best = match best {
-        Some(candidate) => Some(evaluators[0].materialize(&candidate)?),
+        Some(candidate) => Some(workers[0].evaluator.materialize(&candidate)?),
         None => None,
     };
     Ok(best.map(|solution| DesignOutcome { solution, stats }))
@@ -216,7 +257,7 @@ fn explore_batch_parallel(
     archs: &[Vec<NodeTypeId>],
     min_costs: &[Cost],
     cbest_start: Cost,
-    evaluators: &mut [Evaluator<'_>],
+    workers: &mut [SearchState<'_>],
 ) -> Result<Vec<Option<ArchOutcome>>, ModelError> {
     // Fig. 5 line 6 across threads: the shared best-so-far cost. Workers
     // lower it as candidates complete and prune against it.
@@ -229,7 +270,7 @@ fn explore_batch_parallel(
         (0..archs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for evaluator in evaluators.iter_mut() {
+        for worker in workers.iter_mut() {
             let slots = &slots;
             let next = &next;
             let truncate_at = &truncate_at;
@@ -253,7 +294,7 @@ fn explore_batch_parallel(
                 if min_costs[i] >= cbest_start || min_costs[i] > live {
                     continue;
                 }
-                let outcome = explore_one(evaluator, &archs[i]);
+                let outcome = explore_one(worker, &archs[i]);
                 match &outcome {
                     Ok(ArchOutcome::Unschedulable) => {
                         truncate_at.fetch_min(i, Ordering::Release);
@@ -276,21 +317,25 @@ fn explore_batch_parallel(
 
 /// Runs the Fig. 5 inner loop (lines 7–13) for one architecture.
 fn explore_one(
-    evaluator: &mut Evaluator<'_>,
+    worker: &mut SearchState<'_>,
     types: &[NodeTypeId],
 ) -> Result<ArchOutcome, ModelError> {
+    let SearchState { evaluator, memo } = worker;
     let base = Architecture::with_min_hardening(types);
     // Line 7: shortest schedule for the best mapping.
-    let Some(sl_out) = mapping_algorithm_with(evaluator, &base, Objective::ScheduleLength, None)?
+    let Some(sl_out) =
+        mapping_algorithm_with(evaluator, memo, &base, Objective::ScheduleLength, None)?
     else {
         return Ok(ArchOutcome::Evaluated(None)); // reliability goal unreachable
     };
     if !sl_out.schedulable {
         return Ok(ArchOutcome::Unschedulable);
     }
-    // Line 9: optimize cost starting from the schedulable mapping.
+    // Line 9: optimize cost starting from the schedulable mapping. The
+    // shared memo makes this pass's re-probes of the first pass's
+    // neighbourhood single-hash lookups.
     let seed = sl_out.solution.mapping.clone();
-    let cost_out = mapping_algorithm_with(evaluator, &base, Objective::Cost, Some(seed))?;
+    let cost_out = mapping_algorithm_with(evaluator, memo, &base, Objective::Cost, Some(seed))?;
     let candidate = match cost_out {
         Some(out) if out.schedulable => out.solution,
         _ => sl_out.solution,
@@ -421,6 +466,42 @@ mod tests {
         // Restricted to one node, the best is Fig. 4e: N2^3 at cost 80.
         assert_eq!(out.solution.cost, Cost::new(80));
         assert_eq!(out.solution.architecture.node_count(), 1);
+    }
+
+    #[test]
+    fn threads_zero_under_a_core_budget_never_overclaims() {
+        // The Threads(0) over-claim regression: "all cores" inside a
+        // 2-core budget must spawn at most 2 architecture workers (peak
+        // concurrency == worker_threads: workers are the only source of
+        // parallelism in the exploration), regardless of how many cores
+        // the machine has. The result stays bit-identical.
+        use crate::config::CoreBudget;
+        let sys = paper::fig1_system();
+        let config = OptConfig {
+            threads: Threads(0),
+            ..OptConfig::default()
+        };
+        let budgeted = design_strategy_budgeted(&sys, &config, CoreBudget::new(2))
+            .unwrap()
+            .expect("feasible");
+        assert!(
+            budgeted.stats.worker_threads <= 2,
+            "claimed {} workers under a 2-core budget",
+            budgeted.stats.worker_threads
+        );
+        let sequential = design_strategy(&sys, &OptConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(budgeted.solution, sequential.solution);
+        // A pinned thread count is an explicit override and is honoured.
+        let pinned = OptConfig {
+            threads: Threads(3),
+            ..OptConfig::default()
+        };
+        let out = design_strategy_budgeted(&sys, &pinned, CoreBudget::new(1))
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(out.stats.worker_threads, 3);
     }
 
     #[test]

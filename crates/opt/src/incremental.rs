@@ -8,15 +8,16 @@
 //! although consecutive probes differ in a single node's hardening level
 //! or a single process re-mapping.
 //!
-//! [`Evaluator`] exploits that structure on two levels:
+//! [`Evaluator`] exploits that structure on three levels:
 //!
 //! 1. **Memo cache.** Results are cached per (architecture, mapping)
-//!    candidate, behind `Arc` so hits are pointer copies. The
-//!    increase/reduction phases of the hardening trade-off and the tabu
-//!    search re-probe the same candidates constantly (the reduction phase
-//!    re-visits the increase phase's endpoint, tabu iterations re-try
-//!    recently evaluated moves, the `Cost` pass re-walks the
-//!    `ScheduleLength` pass's neighbourhood); each repeat is a lookup.
+//!    candidate — one fasthash over the candidate identity with exact
+//!    verification on hit (a collision degrades to a miss, never a wrong
+//!    result) — behind `Arc` so hits are pointer copies. The reduction
+//!    phase re-visits the increase phase's endpoint and aspiration
+//!    re-probes recently evaluated candidates; each repeat is a lookup.
+//!    (Whole-mapping revisits are absorbed one level up by
+//!    [`RedundancyMemo`](crate::RedundancyMemo).)
 //! 2. **Incremental SFP.** On a miss, the per-node `Pr(f > k)` series are
 //!    delta-synced through [`SystemSfp`]: the candidate is diffed against
 //!    the previously synced one and only the touched nodes are updated —
@@ -24,6 +25,13 @@
 //!    own configuration memo and lazy series extension make even a touched
 //!    node cheap when its configuration was seen before or its budget
 //!    stays small.
+//! 3. **The flat scheduling kernel.** One merged `ExecSpec` pass per
+//!    executed probe resolves every process's WCET and failure
+//!    probability together; the WCETs feed a
+//!    [`PriorityCache`](ftes_sched::PriorityCache) (longest-path
+//!    priorities delta-maintained across probes) and
+//!    [`Scheduler::run_light_flat`] — the list-scheduling walk with no
+//!    architecture or timing-table lookups left in the loop.
 //!
 //! Mapping validation is hoisted out of the inner loops: a (node-types,
 //! mapping) pair is validated once, not once per hardening probe.
@@ -40,7 +48,7 @@ use ftes_model::{
     Architecture, Cost, FlatTiming, Mapping, ModelError, NodeId, NodeInstance, Prob, System,
     TimeUs, TimingSource,
 };
-use ftes_sched::{Scheduler, SlackModel};
+use ftes_sched::{PriorityCache, ReadyPolicy, Scheduler, SlackModel};
 use ftes_sfp::SystemSfp;
 use serde::{Deserialize, Serialize};
 
@@ -145,6 +153,16 @@ pub struct EvalStats {
     pub series_memo_hits: u64,
     /// Node series prefixes actually computed or extended.
     pub series_computed: u64,
+    /// Per-process scheduling priorities recomputed (the delta-updated
+    /// ancestor cones of the probes).
+    pub priority_recomputed: u64,
+    /// Per-process priority recomputes avoided by the delta updates.
+    pub priority_reused: u64,
+    /// Tabu probes resolved from the cross-iteration mapping-outcome
+    /// memo (whole redundancy-phase walks skipped).
+    pub mapping_memo_hits: u64,
+    /// Tabu probes that ran the full redundancy optimization.
+    pub mapping_memo_misses: u64,
 }
 
 impl EvalStats {
@@ -157,6 +175,10 @@ impl EvalStats {
         self.sfp_nodes_reused += other.sfp_nodes_reused;
         self.series_memo_hits += other.series_memo_hits;
         self.series_computed += other.series_computed;
+        self.priority_recomputed += other.priority_recomputed;
+        self.priority_reused += other.priority_reused;
+        self.mapping_memo_hits += other.mapping_memo_hits;
+        self.mapping_memo_misses += other.mapping_memo_misses;
     }
 
     /// Full evaluations actually executed (requests minus memo hits).
@@ -176,10 +198,12 @@ impl EvalStats {
 pub struct Evaluator<'a> {
     system: &'a System,
     config: &'a OptConfig,
-    /// Memo: architecture → mapping → candidate (`None` = reliability
-    /// goal unreachable). Nested so lookups need no owned key.
-    cache: FastHashMap<Architecture, FastHashMap<Mapping, Option<Arc<Candidate>>>>,
-    cached: usize,
+    /// Memo: fasthash of (architecture, mapping) → candidate
+    /// (`Unreachable` = reliability goal unreachable). Single-level with
+    /// one hash pass per probe; entries are verified exactly on hit (the
+    /// candidate embeds its architecture and mapping), so a collision
+    /// degrades to a miss instead of a wrong result.
+    cache: FastHashMap<u64, CacheEntry>,
     /// Contiguous timing snapshot for the hot lookups.
     flat: FlatTiming,
     /// Incremental per-node SFP series, synced to the candidate described
@@ -196,7 +220,49 @@ pub struct Evaluator<'a> {
     touched: Vec<bool>,
     per_node: Vec<Vec<Prob>>,
     scheduler: Scheduler,
+    /// Longest-path priorities maintained incrementally across probes:
+    /// they depend only on `(mapping, timing, architecture)`, so a
+    /// hardening step or re-mapping move re-prices an ancestor cone
+    /// instead of the whole DAG (see [`PriorityCache`]).
+    priorities: PriorityCache,
+    /// App-constant predecessor counts, precomputed for the flat walk.
+    preds: Vec<usize>,
+    /// Per-candidate WCETs resolved by the merged spec pass.
+    wcet_buf: Vec<TimeUs>,
     stats: EvalStats,
+}
+
+/// One memoized candidate outcome, carrying its exact key material.
+#[derive(Debug)]
+enum CacheEntry {
+    /// A scored candidate (embeds its architecture and mapping).
+    Scored(Arc<Candidate>),
+    /// The reliability goal was unreachable for this candidate.
+    Unreachable {
+        architecture: Architecture,
+        mapping: Mapping,
+    },
+}
+
+/// One fasthash pass over the candidate identity (node instances +
+/// mapping vector), packing two 32-bit values per hashed word so the
+/// mapping vector costs half the rotate-multiply rounds.
+fn candidate_key(arch: &Architecture, mapping: &Mapping) -> u64 {
+    use std::hash::Hasher;
+    let mut h = ftes_model::fasthash::FastHasher::default();
+    h.write_usize(arch.node_count());
+    for node in arch.nodes() {
+        h.write_u64((node.node_type.index() as u64) << 8 | u64::from(node.hardening.get()));
+    }
+    let map = mapping.as_slice();
+    let mut chunks = map.chunks_exact(2);
+    for pair in &mut chunks {
+        h.write_u64((pair[0].index() as u64) << 32 | pair[1].index() as u64);
+    }
+    if let [last] = chunks.remainder() {
+        h.write_u64(last.index() as u64);
+    }
+    h.finish()
 }
 
 impl<'a> Evaluator<'a> {
@@ -206,7 +272,6 @@ impl<'a> Evaluator<'a> {
             system,
             config,
             cache: FastHashMap::default(),
-            cached: 0,
             flat: FlatTiming::new(system.timing()),
             sfp: SystemSfp::new(0, config.max_k.0, config.rounding),
             synced: false,
@@ -217,7 +282,16 @@ impl<'a> Evaluator<'a> {
             validated_map: Vec::new(),
             touched: Vec::new(),
             per_node: Vec::new(),
-            scheduler: Scheduler::new(),
+            scheduler: Scheduler::with_ready_policy(ReadyPolicy::auto_for(
+                system.application().process_count(),
+            )),
+            priorities: PriorityCache::new(),
+            preds: system
+                .application()
+                .process_ids()
+                .map(|p| system.application().incoming(p).len())
+                .collect(),
+            wcet_buf: Vec::new(),
             stats: EvalStats::default(),
         }
     }
@@ -232,11 +306,21 @@ impl<'a> Evaluator<'a> {
         self.config
     }
 
+    /// The evaluator's contiguous timing snapshot — enclosing search
+    /// loops (the tabu candidate analysis) reuse it instead of chasing
+    /// the three-level [`TimingDb`](ftes_model::TimingDb) per lookup.
+    pub fn flat_timing(&self) -> &FlatTiming {
+        &self.flat
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> EvalStats {
         let mut stats = self.stats;
         stats.series_memo_hits = self.sfp.memo_hits();
         stats.series_computed = self.sfp.series_computed();
+        let prio = self.priorities.stats();
+        stats.priority_recomputed = prio.recomputed;
+        stats.priority_reused = prio.reused;
         stats
     }
 
@@ -258,11 +342,67 @@ impl<'a> Evaluator<'a> {
                 .map(|solution| Arc::new(Candidate::of_solution(solution))));
         }
 
-        if let Some(hit) = self.cache.get(arch).and_then(|m| m.get(mapping)) {
-            self.stats.cache_hits += 1;
-            return Ok(hit.clone());
+        let key = candidate_key(arch, mapping);
+        match self.cache.get(&key) {
+            Some(CacheEntry::Scored(c)) if c.architecture == *arch && c.mapping == *mapping => {
+                self.stats.cache_hits += 1;
+                return Ok(Some(Arc::clone(c)));
+            }
+            Some(CacheEntry::Unreachable {
+                architecture,
+                mapping: m,
+            }) if architecture == arch && m == mapping => {
+                self.stats.cache_hits += 1;
+                return Ok(None);
+            }
+            // Vacant, or a hash collision: compute and overwrite.
+            _ => {}
         }
 
+        let candidate = self.compute(arch, mapping)?;
+
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
+        }
+        let entry = match &candidate {
+            Some(c) => CacheEntry::Scored(Arc::clone(c)),
+            None => CacheEntry::Unreachable {
+                architecture: arch.clone(),
+                mapping: mapping.clone(),
+            },
+        };
+        self.cache.insert(key, entry);
+        Ok(candidate)
+    }
+
+    /// [`evaluate`](Evaluator::evaluate) bypassing the candidate memo
+    /// entirely (no lookup, no insertion): always runs the executed
+    /// incremental path — delta SFP, priority sync, `run_light`. Exists
+    /// for the hot-kernel microbenches and delta-machinery tests; search
+    /// loops want [`evaluate`](Evaluator::evaluate).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`](Evaluator::evaluate).
+    pub fn evaluate_uncached(
+        &mut self,
+        arch: &Architecture,
+        mapping: &Mapping,
+    ) -> Result<Option<Arc<Candidate>>, ModelError> {
+        self.stats.evaluations += 1;
+        if self.config.eval_mode == EvalMode::Scratch {
+            return Ok(evaluate_fixed(self.system, arch, mapping, self.config)?
+                .map(|solution| Arc::new(Candidate::of_solution(solution))));
+        }
+        self.compute(arch, mapping)
+    }
+
+    /// The executed evaluation path behind both entry points.
+    fn compute(
+        &mut self,
+        arch: &Architecture,
+        mapping: &Mapping,
+    ) -> Result<Option<Arc<Candidate>>, ModelError> {
         let app = self.system.application();
         let timing = self.system.timing();
 
@@ -307,24 +447,25 @@ impl<'a> Evaluator<'a> {
         }
         self.sfp.set_node_count(node_count);
 
-        // Per-node process failure probabilities for the touched nodes, in
-        // process-id order — the exact grouping `node_process_probs`
-        // produces.
+        // One merged spec pass: a single `ExecSpec` load per process
+        // serves both halves of the probe — the WCETs feed the priority
+        // sync and the flat scheduling walk, the failure probabilities
+        // (touched nodes only, in process-id order — the exact grouping
+        // `node_process_probs` produces) feed the SFP delta.
         if self.per_node.len() < node_count {
             self.per_node.resize_with(node_count, Vec::new);
         }
         for probs in self.per_node.iter_mut() {
             probs.clear();
         }
+        self.wcet_buf.clear();
         for p in app.process_ids() {
             let n = mapping.node_of(p);
+            let inst = arch.node(n);
+            let spec = self.flat.spec(p, inst.node_type, inst.hardening)?;
+            self.wcet_buf.push(spec.wcet);
             if self.touched[n.index()] {
-                let inst = arch.node(n);
-                self.per_node[n.index()].push(self.flat.pfail(
-                    p,
-                    inst.node_type,
-                    inst.hardening,
-                )?);
+                self.per_node[n.index()].push(spec.pfail);
             }
         }
         for j in 0..node_count {
@@ -342,14 +483,21 @@ impl<'a> Evaluator<'a> {
         let candidate = match self.sfp.optimize(self.system.goal(), app.period()) {
             None => None,
             Some(ks) => {
-                let verdict = self.scheduler.run_light(
+                // Priorities are maintained incrementally over the
+                // already-resolved WCETs: the cache diffs this candidate
+                // against the last synced one and re-prices only what
+                // changed.
+                self.priorities
+                    .sync_flat(app, arch, mapping, &self.wcet_buf);
+                let verdict = self.scheduler.run_light_flat(
                     app,
-                    &self.flat,
-                    arch,
                     mapping,
                     &ks,
                     self.system.bus(),
                     SlackModel::Shared,
+                    self.priorities.priorities(),
+                    &self.wcet_buf,
+                    &self.preds,
                 )?;
                 let cost = arch.cost(self.system.platform())?;
                 Some(Arc::new(Candidate {
@@ -362,19 +510,6 @@ impl<'a> Evaluator<'a> {
                 }))
             }
         };
-
-        if self.cached >= CACHE_CAP {
-            self.cache.clear();
-            self.cached = 0;
-        }
-        if let Some(inner) = self.cache.get_mut(arch) {
-            inner.insert(mapping.clone(), candidate.clone());
-        } else {
-            let mut inner = FastHashMap::default();
-            inner.insert(mapping.clone(), candidate.clone());
-            self.cache.insert(arch.clone(), inner);
-        }
-        self.cached += 1;
         Ok(candidate)
     }
 

@@ -50,15 +50,23 @@ mod evaluation;
 mod fixed_arch;
 mod incremental;
 mod mapping_opt;
+mod memo;
 mod redundancy;
 
 pub use arch_iter::architectures_with_n_nodes;
 pub use config::{
-    CoreBudget, EvalMode, HardeningPolicy, MaxK, Objective, OptConfig, TabuConfig, Threads,
+    CoreBudget, EvalMode, HardeningPolicy, MaxK, MemoCap, Objective, OptConfig, TabuConfig, Threads,
 };
-pub use design_strategy::{design_strategy, DesignOutcome, ExplorationStats};
+pub use design_strategy::{
+    design_strategy, design_strategy_budgeted, DesignOutcome, ExplorationStats,
+};
 pub use evaluation::{evaluate_fixed, Solution};
 pub use fixed_arch::optimize_fixed_architecture;
 pub use incremental::{Candidate, EvalStats, Evaluator};
-pub use mapping_opt::{initial_mapping, mapping_algorithm, mapping_algorithm_with, solution_score};
-pub use redundancy::{redundancy_opt, redundancy_opt_with, RedundancyOutcome};
+pub use mapping_opt::{
+    initial_mapping, mapping_algorithm, mapping_algorithm_traced, mapping_algorithm_with,
+    solution_score, TabuMove,
+};
+pub use redundancy::{
+    redundancy_opt, redundancy_opt_memo, redundancy_opt_with, RedundancyMemo, RedundancyOutcome,
+};

@@ -12,12 +12,12 @@
 //! ([`redundancy_opt`]), exactly as in the paper ("the change of the
 //! mapping immediately triggers the change of the hardening levels").
 
-use ftes_model::{Architecture, Mapping, ModelError, NodeId, System, TimeUs};
-use ftes_sched::critical_processes;
+use ftes_model::{Architecture, Mapping, ModelError, NodeId, ProcessId, System, TimeUs};
+use ftes_sched::{critical_processes_into, CriticalScratch};
 
 use crate::config::{Objective, OptConfig};
 use crate::incremental::Evaluator;
-use crate::redundancy::{redundancy_opt_with, RedundancyOutcome};
+use crate::redundancy::{redundancy_opt_memo, RedundancyMemo, RedundancyOutcome};
 
 /// Ordering key for candidate solutions under a given objective. Lower is
 /// better; the leading tier makes schedulable solutions always beat
@@ -109,20 +109,42 @@ pub fn mapping_algorithm(
     start: Option<Mapping>,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
     let mut evaluator = Evaluator::new(system, config);
-    mapping_algorithm_with(&mut evaluator, base, objective, start)
+    let mut memo = RedundancyMemo::from_config(config);
+    mapping_algorithm_with(&mut evaluator, &mut memo, base, objective, start)
 }
 
-/// [`mapping_algorithm`] on a caller-provided [`Evaluator`], sharing the
-/// memo cache across the tabu iterations — and, when the caller reuses one
-/// evaluator for both the `ScheduleLength` and `Cost` passes (as the
-/// design strategy does), across passes: the redundancy optimization of a
-/// mapping is objective-independent, so the second pass's re-probes of the
-/// first pass's neighbourhood are pure cache hits.
+/// [`mapping_algorithm`] on a caller-provided [`Evaluator`] and
+/// [`RedundancyMemo`], sharing both memo layers across the tabu
+/// iterations — and, when the caller reuses them for both the
+/// `ScheduleLength` and `Cost` passes (as the design strategy does),
+/// across passes: the redundancy optimization of a mapping is
+/// objective-independent, so the second pass's re-probes of the first
+/// pass's neighbourhood resolve from the mapping memo without re-walking
+/// a single hardening phase.
 pub fn mapping_algorithm_with(
     evaluator: &mut Evaluator<'_>,
+    memo: &mut RedundancyMemo,
     base: &Architecture,
     objective: Objective,
     start: Option<Mapping>,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    mapping_algorithm_traced(evaluator, memo, base, objective, start, None)
+}
+
+/// One accepted tabu move: the re-mapped process and its new node.
+pub type TabuMove = (ProcessId, NodeId);
+
+/// [`mapping_algorithm_with`] recording every accepted move into `trace`
+/// (when provided) — the hot-kernel differential suite replays memoized
+/// and unmemoized searches and compares the traces step by step, pinning
+/// that memoization never alters the search trajectory.
+pub fn mapping_algorithm_traced(
+    evaluator: &mut Evaluator<'_>,
+    memo: &mut RedundancyMemo,
+    base: &Architecture,
+    objective: Objective,
+    start: Option<Mapping>,
+    mut trace: Option<&mut Vec<TabuMove>>,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
     let system = evaluator.system();
     let config = evaluator.config();
@@ -135,7 +157,7 @@ pub fn mapping_algorithm_with(
         None => initial_mapping(system, base)?,
     };
     let mut current = initial.clone();
-    let Some(mut current_out) = redundancy_opt_with(evaluator, base, &current)? else {
+    let Some(mut current_out) = redundancy_opt_memo(evaluator, memo, base, &current)? else {
         return Ok(None);
     };
     let mut best_out = current_out.clone();
@@ -149,6 +171,8 @@ pub fn mapping_algorithm_with(
     let mut tabu = vec![0u32; n];
     let mut waiting = vec![0u32; n];
     let mut no_improve = 0u32;
+    let mut crit_scratch = CriticalScratch::default();
+    let mut candidates: Vec<ProcessId> = Vec::new();
 
     for _iter in 0..config.tabu.max_iterations {
         if no_improve >= config.tabu.max_no_improve {
@@ -156,9 +180,17 @@ pub fn mapping_algorithm_with(
         }
         // Candidates: critical-path processes of the *current* solution
         // (using its optimized hardening levels for the WCETs), ordered by
-        // waiting priority.
-        let mut candidates =
-            critical_processes(app, timing, &current_out.solution.architecture, &current)?;
+        // waiting priority. Analyzed over the evaluator's flat timing
+        // snapshot into reused buffers — one allocation-free pass per
+        // iteration.
+        critical_processes_into(
+            app,
+            evaluator.flat_timing(),
+            &current_out.solution.architecture,
+            &current,
+            &mut crit_scratch,
+            &mut candidates,
+        )?;
         candidates.sort_by_key(|p| std::cmp::Reverse(waiting[p.index()]));
         candidates.truncate(config.tabu.max_candidates);
 
@@ -170,9 +202,10 @@ pub fn mapping_algorithm_with(
                 if node == from || !timing.supports(p, base.node_type(node)) {
                     continue;
                 }
-                // Mutate + undo instead of cloning the mapping per trial.
+                // Mutate + undo instead of cloning the mapping per trial
+                // (the evaluator's priority cache delta-syncs both ways).
                 current.assign(p, node);
-                let trial_out = redundancy_opt_with(evaluator, base, &current);
+                let trial_out = redundancy_opt_memo(evaluator, memo, base, &current);
                 current.assign(p, from);
                 let Some(out) = trial_out? else {
                     continue;
@@ -204,6 +237,9 @@ pub fn mapping_algorithm_with(
 
         current.assign(p, node);
         current_out = out;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push((p, node));
+        }
         for w in waiting.iter_mut() {
             *w += 1;
         }

@@ -1,0 +1,125 @@
+//! A bounded (segmented-LRU) memo map for hot search loops.
+//!
+//! The tabu search revisits mapping candidates constantly — re-probing
+//! recently tried moves, re-walking the `ScheduleLength` pass's
+//! neighbourhood in the `Cost` pass — and each revisit replays a whole
+//! redundancy-optimization phase walk. Memoizing those outcomes needs a
+//! *bounded* map (design-space explorations touch unbounded candidate
+//! streams) with O(1) eviction. A strict LRU list is pointer-chasing
+//! overhead in the hot path; the classic segmented approximation gives
+//! the same "recently used entries survive" guarantee with two plain
+//! hash maps: inserts and promoted hits go to the *hot* segment, and
+//! when the hot segment fills, it becomes the *cold* segment (dropping
+//! the previous cold generation wholesale). Any entry touched within
+//! the last `cap/2` insertions is guaranteed resident.
+
+use ftes_model::fasthash::FastHashMap;
+use std::hash::Hash;
+
+/// A segmented-LRU bounded map: at most `cap` entries, O(1) amortized
+/// insert/lookup/eviction.
+#[derive(Debug)]
+pub(crate) struct SlruCache<K, V> {
+    hot: FastHashMap<K, V>,
+    cold: FastHashMap<K, V>,
+    /// Per-segment capacity (`cap / 2`, at least 1); `0` disables the
+    /// cache entirely.
+    half: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
+    /// A cache holding at most `cap` entries (`0` disables it).
+    pub(crate) fn new(cap: usize) -> Self {
+        SlruCache {
+            hot: FastHashMap::default(),
+            cold: FastHashMap::default(),
+            half: if cap == 0 { 0 } else { (cap / 2).max(1) },
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.half > 0
+    }
+
+    /// Entries currently resident (both segments).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Looks `k` up, promoting a cold hit into the hot segment.
+    pub(crate) fn get(&mut self, k: &K) -> Option<&V> {
+        if self.half == 0 {
+            return None;
+        }
+        // Single-lookup fast path for hot entries; a cold hit pays the
+        // move once and is hot afterwards.
+        if self.hot.contains_key(k) {
+            return self.hot.get(k);
+        }
+        let v = self.cold.remove(k)?;
+        self.insert(k.clone(), v);
+        self.hot.get(k)
+    }
+
+    /// Inserts `k → v`, rotating the segments when the hot one is full.
+    pub(crate) fn insert(&mut self, k: K, v: V) {
+        if self.half == 0 {
+            return;
+        }
+        if self.hot.len() >= self.half && !self.hot.contains_key(&k) {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+        self.hot.insert(k, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache: SlruCache<u64, u32> = SlruCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn stores_and_promotes() {
+        let mut cache: SlruCache<u64, u32> = SlruCache::new(4);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Rotation: hot {1,2} becomes cold.
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), Some(&10), "cold hit is promoted");
+        // 1 is hot again; inserting 4 rotates, dropping the stale cold.
+        cache.insert(4, 40);
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut cache: SlruCache<u64, u64> = SlruCache::new(8);
+        for k in 0..10_000u64 {
+            cache.insert(k, k);
+        }
+        assert!(cache.len() <= 8, "len {}", cache.len());
+        // The most recent entry always survives.
+        assert_eq!(cache.get(&9999), Some(&9999));
+    }
+
+    #[test]
+    fn recently_used_entries_survive_insert_pressure() {
+        let mut cache: SlruCache<u64, u64> = SlruCache::new(8);
+        cache.insert(42, 1);
+        for k in 0..3u64 {
+            cache.insert(k, k);
+            assert!(cache.get(&42).is_some(), "touched entry evicted at {k}");
+        }
+    }
+}

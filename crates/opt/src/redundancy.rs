@@ -15,12 +15,15 @@
 //! Candidates whose reliability goal is unreachable (no re-execution budget
 //! suffices) are discarded, exactly like unschedulable ones.
 
+use std::hash::Hasher;
 use std::sync::Arc;
 
-use ftes_model::{Architecture, Mapping, ModelError, NodeId, System};
+use ftes_model::fasthash::FastHasher;
+use ftes_model::{Architecture, Mapping, ModelError, NodeId, NodeTypeId, System};
 
-use crate::config::{HardeningPolicy, OptConfig};
+use crate::config::{HardeningPolicy, MemoCap, OptConfig};
 use crate::incremental::{Candidate, Evaluator};
+use crate::memo::SlruCache;
 
 /// Result of the redundancy optimization for one mapping.
 ///
@@ -37,6 +40,126 @@ pub struct RedundancyOutcome {
     pub solution: Arc<Candidate>,
     /// Whether `solution` meets all deadlines.
     pub schedulable: bool,
+}
+
+/// The cross-iteration mapping-outcome memo: `(node types, mapping) →
+/// redundancy outcome`, LRU-bounded via [`OptConfig::mapping_memo`].
+///
+/// The tabu search revisits mappings constantly — recently tried moves,
+/// the `Cost` pass re-walking the `ScheduleLength` pass's neighbourhood —
+/// and every revisit replays the whole hardening phase walk (dozens of
+/// candidate probes, each hashing a full architecture + mapping even on a
+/// cache hit). This memo collapses a revisit to **one** fasthash of the
+/// mapping vector. Keys are verified exactly on hit (the stored types and
+/// mapping are compared), so a hash collision degrades to a miss instead
+/// of a wrong result — outcomes stay bit-identical to the unmemoized
+/// walk, which remains selectable via `MemoCap(0)` and is pinned by the
+/// hot-kernel differential suite.
+///
+/// The key deliberately ignores `base`'s hardening levels: the redundancy
+/// optimization controls them (per [`HardeningPolicy`]), so its outcome
+/// depends only on the node *types* and the mapping.
+#[derive(Debug)]
+pub struct RedundancyMemo {
+    cache: SlruCache<u64, MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    types: Vec<NodeTypeId>,
+    mapping: Vec<NodeId>,
+    outcome: Option<RedundancyOutcome>,
+}
+
+impl RedundancyMemo {
+    /// A memo bounded at `cap` entries; `MemoCap(0)` disables it (every
+    /// probe runs the unmemoized reference walk).
+    pub fn new(cap: MemoCap) -> Self {
+        RedundancyMemo {
+            cache: SlruCache::new(cap.0),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A memo sized from `config.mapping_memo` — except under
+    /// [`EvalMode::Scratch`](crate::EvalMode::Scratch), which is the
+    /// fully unmemoized executable specification (and the perf
+    /// baseline): there the memo is disabled regardless of the cap.
+    pub fn from_config(config: &OptConfig) -> Self {
+        if config.eval_mode == crate::config::EvalMode::Scratch {
+            return RedundancyMemo::new(MemoCap(0));
+        }
+        RedundancyMemo::new(config.mapping_memo)
+    }
+
+    /// Probes resolved from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that ran the full redundancy optimization.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn key(base: &Architecture, mapping: &Mapping) -> u64 {
+        let mut h = FastHasher::default();
+        h.write_usize(base.node_count());
+        for node in base.nodes() {
+            h.write_u32(node.node_type.index() as u32);
+        }
+        for &n in mapping.as_slice() {
+            h.write_u32(n.index() as u32);
+        }
+        h.finish()
+    }
+}
+
+/// [`redundancy_opt_with`] behind the cross-iteration [`RedundancyMemo`]:
+/// a revisited `(node types, mapping)` candidate returns its memoized
+/// outcome without re-walking the hardening phases. Bit-identical to the
+/// unmemoized walk (the memoized value *is* a previous walk's result, and
+/// the walk is deterministic in its inputs).
+///
+/// # Errors
+///
+/// Propagates model errors from evaluation.
+pub fn redundancy_opt_memo(
+    evaluator: &mut Evaluator<'_>,
+    memo: &mut RedundancyMemo,
+    base: &Architecture,
+    mapping: &Mapping,
+) -> Result<Option<RedundancyOutcome>, ModelError> {
+    if !memo.cache.enabled() {
+        return redundancy_opt_with(evaluator, base, mapping);
+    }
+    let key = RedundancyMemo::key(base, mapping);
+    if let Some(entry) = memo.cache.get(&key) {
+        let exact = entry
+            .types
+            .iter()
+            .copied()
+            .eq(base.nodes().iter().map(|n| n.node_type))
+            && entry.mapping.as_slice() == mapping.as_slice();
+        if exact {
+            memo.hits += 1;
+            return Ok(entry.outcome.clone());
+        }
+    }
+    memo.misses += 1;
+    let outcome = redundancy_opt_with(evaluator, base, mapping)?;
+    memo.cache.insert(
+        key,
+        MemoEntry {
+            types: base.nodes().iter().map(|n| n.node_type).collect(),
+            mapping: mapping.as_slice().to_vec(),
+            outcome: outcome.clone(),
+        },
+    );
+    Ok(outcome)
 }
 
 /// Runs the hardening/re-execution trade-off for a fixed mapping on the
@@ -302,6 +425,63 @@ mod tests {
         assert!(arch.node_ids().all(|n| arch.hardening(n).get() == 3));
         assert_eq!(out.solution.ks, vec![0, 0]);
         assert_eq!(out.solution.cost, Cost::new(64 + 80));
+    }
+
+    #[test]
+    fn memoized_revisit_returns_the_identical_outcome() {
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut evaluator = Evaluator::new(&sys, &config);
+        let mut memo = RedundancyMemo::from_config(&config);
+        let (base, mapping) = paper::fig4_alternative('a');
+
+        let first = redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping)
+            .unwrap()
+            .expect("reachable");
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 1);
+        let second = redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping)
+            .unwrap()
+            .expect("reachable");
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(first, second);
+        // The memoized outcome equals the unmemoized reference walk.
+        let reference = redundancy_opt(&sys, &base, &mapping, &config)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.solution, reference.solution);
+        assert_eq!(first.schedulable, reference.schedulable);
+    }
+
+    #[test]
+    fn memo_key_ignores_base_hardening_levels() {
+        // redundancy_opt controls hardening itself, so two bases that
+        // differ only in levels are the same memo entry.
+        let sys = paper::fig1_system();
+        let config = OptConfig::default();
+        let mut evaluator = Evaluator::new(&sys, &config);
+        let mut memo = RedundancyMemo::from_config(&config);
+        let (mut base, mapping) = paper::fig4_alternative('a');
+        redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping).unwrap();
+        base.set_hardening(NodeId::new(0), HLevel::new(3).unwrap());
+        redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping).unwrap();
+        assert_eq!(memo.hits(), 1, "level-only change must hit the memo");
+    }
+
+    #[test]
+    fn memo_cap_zero_disables_memoization() {
+        let sys = paper::fig1_system();
+        let config = OptConfig {
+            mapping_memo: crate::config::MemoCap(0),
+            ..OptConfig::default()
+        };
+        let mut evaluator = Evaluator::new(&sys, &config);
+        let mut memo = RedundancyMemo::from_config(&config);
+        let (base, mapping) = paper::fig4_alternative('a');
+        redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping).unwrap();
+        redundancy_opt_memo(&mut evaluator, &mut memo, &base, &mapping).unwrap();
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 0, "disabled memo counts nothing");
     }
 
     #[test]

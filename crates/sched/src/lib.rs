@@ -38,7 +38,10 @@ mod priority;
 mod schedule;
 
 pub use list_scheduler::{
-    schedule, schedule_length, schedule_with, ScheduleVerdict, Scheduler, SlackModel,
+    schedule, schedule_length, schedule_with, ReadyPolicy, ScheduleVerdict, Scheduler, SlackModel,
 };
-pub use priority::{critical_processes, longest_path_to_sink};
+pub use priority::{
+    critical_processes, critical_processes_into, longest_path_to_sink, CriticalScratch,
+    PriorityCache, PriorityStats,
+};
 pub use schedule::{MessageSlot, ProcessSlot, Schedule};

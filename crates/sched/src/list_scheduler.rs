@@ -19,8 +19,12 @@
 //! under node-local fault semantics — `ftes-faultsim`'s runtime simulator
 //! checks it by injection (see the property tests).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use ftes_model::{
-    Application, Architecture, BusSpec, Mapping, ModelError, TimeUs, TimingDb, TimingSource,
+    Application, Architecture, BusSpec, Mapping, ModelError, ProcessId, TimeUs, TimingDb,
+    TimingSource,
 };
 
 use crate::schedule::{MessageSlot, ProcessSlot, Schedule};
@@ -104,6 +108,77 @@ pub fn schedule_with(
     Scheduler::new().run(app, timing, arch, mapping, ks, bus, slack)
 }
 
+/// How the scheduler picks the next process among the ready ones.
+///
+/// Both policies implement the same total order — highest priority first,
+/// ties broken by the smaller process index — so they produce
+/// **bit-identical** schedules; the hot-kernel differential suite pins
+/// the equivalence on generated DAGs. `Linear` is the executable
+/// specification of the selection rule (an O(R) scan per pop); `Heap`
+/// (the default) is the indexed O(log R) structure the design-space
+/// exploration runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadyPolicy {
+    /// Indexed binary heap keyed on `(priority, Reverse(process index))`.
+    #[default]
+    Heap,
+    /// Linear max-scan of the ready list (the reference selection).
+    Linear,
+}
+
+impl ReadyPolicy {
+    /// The measured-faster policy for a given application size: the heap
+    /// wins once ready lists grow past what a cache-resident linear scan
+    /// eats for breakfast (the `hot_kernel` microbenches put the
+    /// crossover above paper-scale graphs), so small applications pick
+    /// the scan. Either choice is bit-identical in results.
+    pub fn auto_for(process_count: usize) -> Self {
+        if process_count > 64 {
+            ReadyPolicy::Heap
+        } else {
+            ReadyPolicy::Linear
+        }
+    }
+}
+
+/// A max-heap entry: highest priority first, then smallest process index.
+type HeapEntry = (TimeUs, Reverse<u32>);
+
+/// The ready set behind one scheduling walk, dispatching on the
+/// [`ReadyPolicy`]. Both variants borrow the scheduler's reusable
+/// buffers.
+enum ReadySet<'a> {
+    Linear(&'a mut Vec<ProcessId>),
+    Heap(&'a mut BinaryHeap<HeapEntry>),
+}
+
+impl ReadySet<'_> {
+    #[inline]
+    fn push(&mut self, p: ProcessId, priorities: &[TimeUs]) {
+        match self {
+            ReadySet::Linear(list) => list.push(p),
+            ReadySet::Heap(heap) => {
+                heap.push((priorities[p.index()], Reverse(p.index() as u32)));
+            }
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self, priorities: &[TimeUs]) -> Option<ProcessId> {
+        match self {
+            ReadySet::Linear(list) => {
+                let (idx, _) = list.iter().enumerate().max_by(|(_, &a), (_, &b)| {
+                    priorities[a.index()]
+                        .cmp(&priorities[b.index()])
+                        .then(b.index().cmp(&a.index()))
+                })?;
+                Some(list.swap_remove(idx))
+            }
+            ReadySet::Heap(heap) => heap.pop().map(|(_, Reverse(i))| ProcessId::new(i)),
+        }
+    }
+}
+
 /// The list scheduler with reusable intermediate buffers.
 ///
 /// [`schedule`] / [`schedule_with`] construct one per call; hot loops (the
@@ -114,9 +189,13 @@ pub fn schedule_with(
 /// identical to [`schedule_with`]'s for valid inputs.
 #[derive(Debug, Default)]
 pub struct Scheduler {
+    policy: ReadyPolicy,
     priorities: Vec<TimeUs>,
+    wcet_scratch: Vec<TimeUs>,
+    preds_scratch: Vec<usize>,
     remaining_preds: Vec<usize>,
     ready: Vec<ftes_model::ProcessId>,
+    ready_heap: BinaryHeap<HeapEntry>,
     node_available: Vec<TimeUs>,
     node_prefix_max: Vec<TimeUs>,
     node_bus_busy: Vec<TimeUs>,
@@ -138,9 +217,18 @@ pub struct ScheduleVerdict {
 }
 
 impl Scheduler {
-    /// Creates a scheduler with empty buffers.
+    /// Creates a scheduler with empty buffers (heap-indexed ready set).
     pub fn new() -> Self {
         Scheduler::default()
+    }
+
+    /// Creates a scheduler with an explicit [`ReadyPolicy`] — the
+    /// `Linear` reference selection exists for differential testing.
+    pub fn with_ready_policy(policy: ReadyPolicy) -> Self {
+        Scheduler {
+            policy,
+            ..Scheduler::default()
+        }
     }
 
     /// Builds the static schedule — the buffer-reusing core of
@@ -185,11 +273,16 @@ impl Scheduler {
             .extend(app.process_ids().map(|p| app.incoming(p).len()));
         let remaining_preds = &mut self.remaining_preds;
         self.ready.clear();
-        self.ready.extend(
-            app.process_ids()
-                .filter(|&p| remaining_preds[p.index()] == 0),
-        );
-        let ready = &mut self.ready;
+        self.ready_heap.clear();
+        let mut ready = match self.policy {
+            ReadyPolicy::Linear => ReadySet::Linear(&mut self.ready),
+            ReadyPolicy::Heap => ReadySet::Heap(&mut self.ready_heap),
+        };
+        for p in app.process_ids() {
+            if remaining_preds[p.index()] == 0 {
+                ready.push(p, priorities);
+            }
+        }
 
         let node_count = arch.node_count();
         self.node_available.clear();
@@ -228,19 +321,8 @@ impl Scheduler {
         let mut msg_slots: Vec<MessageSlot> = vec![msg_placeholder; app.message_count()];
         let mut scheduled = 0usize;
 
-        while !ready.is_empty() {
-            // Highest priority first; ties by process index for determinism.
-            let (idx, _) = ready
-                .iter()
-                .enumerate()
-                .max_by(|(_, &a), (_, &b)| {
-                    priorities[a.index()]
-                        .cmp(&priorities[b.index()])
-                        .then(b.index().cmp(&a.index()))
-                })
-                .expect("ready list is non-empty");
-            let p = ready.swap_remove(idx);
-
+        // Highest priority first; ties by process index for determinism.
+        while let Some(p) = ready.pop(priorities) {
             let node = mapping.node_of(p);
             let inst = arch.node(node);
             let spec = timing.spec(p, inst.node_type, inst.hardening)?;
@@ -298,7 +380,7 @@ impl Scheduler {
                 let d = msg.dst();
                 remaining_preds[d.index()] -= 1;
                 if remaining_preds[d.index()] == 0 {
-                    ready.push(d);
+                    ready.push(d, priorities);
                 }
             }
         }
@@ -349,7 +431,6 @@ impl Scheduler {
                 got: ks.len(),
             });
         }
-
         crate::priority::longest_path_to_sink_into(
             app,
             timing,
@@ -357,20 +438,73 @@ impl Scheduler {
             mapping,
             &mut self.priorities,
         )?;
-        let priorities = &self.priorities;
+        self.wcet_scratch.clear();
+        self.preds_scratch.clear();
+        for p in app.process_ids() {
+            let inst = arch.node(mapping.node_of(p));
+            self.wcet_scratch
+                .push(timing.wcet(p, inst.node_type, inst.hardening)?);
+            self.preds_scratch.push(app.incoming(p).len());
+        }
+        let priorities = std::mem::take(&mut self.priorities);
+        let wcets = std::mem::take(&mut self.wcet_scratch);
+        let preds = std::mem::take(&mut self.preds_scratch);
+        let verdict =
+            self.run_light_flat(app, mapping, ks, bus, slack, &priorities, &wcets, &preds);
+        self.priorities = priorities;
+        self.wcet_scratch = wcets;
+        self.preds_scratch = preds;
+        verdict
+    }
+
+    /// The hot kernel of the incremental engine: the
+    /// [`run_light`](Scheduler::run_light) walk over **pre-resolved**
+    /// per-process priorities, WCETs (as maintained across probes by a
+    /// [`PriorityCache`](crate::PriorityCache)) and predecessor counts
+    /// (app-constant; precompute once per system), with no architecture
+    /// or timing-table lookups left in the loop. `ks.len()` defines the
+    /// node count; `priorities`/`wcets` must equal what the full
+    /// recompute would produce for the candidate and `preds[i]` must be
+    /// `app.incoming(i).len()` — the verdict is then bit-identical to
+    /// [`run_light`](Scheduler::run_light)'s (pinned by the sched unit
+    /// tests and the hot-kernel differential suite).
+    ///
+    /// # Errors
+    ///
+    /// Infallible for consistent inputs; returns `Result` for signature
+    /// symmetry with the self-resolving entry points.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_light_flat(
+        &mut self,
+        app: &Application,
+        mapping: &Mapping,
+        ks: &[u32],
+        bus: BusSpec,
+        slack: SlackModel,
+        priorities: &[TimeUs],
+        wcets: &[TimeUs],
+        preds: &[usize],
+    ) -> Result<ScheduleVerdict, ModelError> {
+        debug_assert_eq!(priorities.len(), app.process_count());
+        debug_assert_eq!(wcets.len(), app.process_count());
+        debug_assert_eq!(preds.len(), app.process_count());
 
         self.remaining_preds.clear();
-        self.remaining_preds
-            .extend(app.process_ids().map(|p| app.incoming(p).len()));
+        self.remaining_preds.extend_from_slice(preds);
         let remaining_preds = &mut self.remaining_preds;
         self.ready.clear();
-        self.ready.extend(
-            app.process_ids()
-                .filter(|&p| remaining_preds[p.index()] == 0),
-        );
-        let ready = &mut self.ready;
+        self.ready_heap.clear();
+        let mut ready = match self.policy {
+            ReadyPolicy::Linear => ReadySet::Linear(&mut self.ready),
+            ReadyPolicy::Heap => ReadySet::Heap(&mut self.ready_heap),
+        };
+        for p in app.process_ids() {
+            if remaining_preds[p.index()] == 0 {
+                ready.push(p, priorities);
+            }
+        }
 
-        let node_count = arch.node_count();
+        let node_count = ks.len();
         self.node_available.clear();
         self.node_available.resize(node_count, TimeUs::ZERO);
         let node_available = &mut self.node_available;
@@ -380,47 +514,42 @@ impl Scheduler {
         self.node_bus_busy.clear();
         self.node_bus_busy.resize(node_count, TimeUs::ZERO);
         let node_bus_busy = &mut self.node_bus_busy;
-        self.msg_arrival.clear();
-        self.msg_arrival.resize(app.message_count(), TimeUs::ZERO);
+        // Every message's arrival is written when its producer schedules,
+        // strictly before any consumer reads it (precedence), so stale
+        // values from the previous walk are never observed — skip the
+        // zero-fill unless the buffer changes size.
+        if self.msg_arrival.len() != app.message_count() {
+            self.msg_arrival.clear();
+            self.msg_arrival.resize(app.message_count(), TimeUs::ZERO);
+        }
         let msg_arrival = &mut self.msg_arrival;
         self.graph_wc.clear();
         self.graph_wc.resize(app.graph_count(), TimeUs::ZERO);
         let graph_wc = &mut self.graph_wc;
 
-        while !ready.is_empty() {
-            let (idx, _) = ready
-                .iter()
-                .enumerate()
-                .max_by(|(_, &a), (_, &b)| {
-                    priorities[a.index()]
-                        .cmp(&priorities[b.index()])
-                        .then(b.index().cmp(&a.index()))
-                })
-                .expect("ready list is non-empty");
-            let p = ready.swap_remove(idx);
-
+        while let Some(p) = ready.pop(priorities) {
             let node = mapping.node_of(p);
-            let inst = arch.node(node);
-            let spec = timing.spec(p, inst.node_type, inst.hardening)?;
+            let wcet = wcets[p.index()];
 
             let mut data_ready = TimeUs::ZERO;
             for &m in app.incoming(p) {
                 data_ready = data_ready.max(msg_arrival[m.index()]);
             }
             let start = data_ready.max(node_available[node.index()]);
-            let finish = start + spec.wcet;
+            let finish = start + wcet;
             let k = ks[node.index()] as i64;
-            let mu = app.process(p).mu();
-            let own_slack = (spec.wcet + mu).times(k);
+            let proc = app.process(p);
+            let mu = proc.mu();
+            let own_slack = (wcet + mu).times(k);
             let wc_end = match slack {
                 SlackModel::Shared => {
-                    let prefix = node_prefix_max[node.index()].max(spec.wcet + mu);
+                    let prefix = node_prefix_max[node.index()].max(wcet + mu);
                     node_prefix_max[node.index()] = prefix;
                     finish + prefix.times(k)
                 }
                 SlackModel::PerProcess => finish + own_slack,
             };
-            let g = app.process(p).graph().index();
+            let g = proc.graph().index();
             graph_wc[g] = graph_wc[g].max(wc_end);
             node_available[node.index()] = match slack {
                 SlackModel::Shared => finish,
@@ -429,8 +558,8 @@ impl Scheduler {
 
             for &m in app.outgoing(p) {
                 let msg = app.message(m);
-                let dst_node = mapping.node_of(msg.dst());
-                msg_arrival[m.index()] = if dst_node == node {
+                let d = msg.dst();
+                msg_arrival[m.index()] = if mapping.node_of(d) == node {
                     finish
                 } else {
                     let send = finish.max(node_bus_busy[node.index()]);
@@ -438,10 +567,9 @@ impl Scheduler {
                     node_bus_busy[node.index()] = arrival;
                     arrival
                 };
-                let d = msg.dst();
                 remaining_preds[d.index()] -= 1;
                 if remaining_preds[d.index()] == 0 {
-                    ready.push(d);
+                    ready.push(d, priorities);
                 }
             }
         }
@@ -881,6 +1009,142 @@ mod tests {
         // The ideal bus would finish strictly earlier.
         let ideal = schedule(&app, &timing, &arch, &mapping, &[0, 0], BusSpec::ideal()).unwrap();
         assert!(ideal.wc_length() < sched.wc_length());
+    }
+
+    #[test]
+    fn heap_and_linear_ready_policies_schedule_identically() {
+        // The indexed ready heap must reproduce the linear max-scan's
+        // selection order exactly — full schedules and light verdicts —
+        // on the paper examples and the TDMA system, under both slack
+        // models. (The hot-kernel differential suite extends this to
+        // generated DAGs.)
+        let fig1 = paper::fig1_system();
+        let mut heap = Scheduler::with_ready_policy(ReadyPolicy::Heap);
+        let mut linear = Scheduler::with_ready_policy(ReadyPolicy::Linear);
+        for v in ['a', 'b', 'c', 'd', 'e'] {
+            let (arch, mapping) = paper::fig4_alternative(v);
+            let ks = vec![1u32; arch.node_count()];
+            for slack in [SlackModel::Shared, SlackModel::PerProcess] {
+                let h = heap
+                    .run(
+                        fig1.application(),
+                        fig1.timing(),
+                        &arch,
+                        &mapping,
+                        &ks,
+                        fig1.bus(),
+                        slack,
+                    )
+                    .unwrap();
+                let l = linear
+                    .run(
+                        fig1.application(),
+                        fig1.timing(),
+                        &arch,
+                        &mapping,
+                        &ks,
+                        fig1.bus(),
+                        slack,
+                    )
+                    .unwrap();
+                assert_eq!(h, l, "variant {v} {slack:?}");
+            }
+        }
+        let (app, timing, arch, mapping) = tdma_test_system();
+        let bus = ftes_model::BusSpec::tdma(TimeUs::from_ms(2));
+        let h = heap
+            .run_light(
+                &app,
+                &timing,
+                &arch,
+                &mapping,
+                &[1, 0],
+                bus,
+                SlackModel::Shared,
+            )
+            .unwrap();
+        let l = linear
+            .run_light(
+                &app,
+                &timing,
+                &arch,
+                &mapping,
+                &[1, 0],
+                bus,
+                SlackModel::Shared,
+            )
+            .unwrap();
+        assert_eq!(h, l);
+    }
+
+    #[test]
+    fn run_light_flat_matches_run_light_via_cache() {
+        // Feeding the flat walk through a PriorityCache across a probe
+        // sequence must give the same verdicts as the self-resolving
+        // run_light at every step.
+        use crate::priority::PriorityCache;
+        use ftes_model::HLevel;
+        let sys = paper::fig1_system();
+        let app = sys.application();
+        let (mut arch, mut mapping) = paper::fig4_alternative('a');
+        let mut scheduler = Scheduler::new();
+        let mut cache = PriorityCache::new();
+        for (proc_i, node_i, level) in [
+            (1u32, 1u32, 2u8),
+            (1, 0, 2),
+            (2, 1, 3),
+            (3, 0, 1),
+            (0, 1, 2),
+        ] {
+            mapping.assign(ProcessId::new(proc_i), NodeId::new(node_i));
+            arch.set_hardening(NodeId::new(node_i), HLevel::new(level).unwrap());
+            let fresh = scheduler
+                .run_light(
+                    app,
+                    sys.timing(),
+                    &arch,
+                    &mapping,
+                    &[1, 1],
+                    sys.bus(),
+                    SlackModel::Shared,
+                )
+                .unwrap();
+            cache.sync(app, sys.timing(), &arch, &mapping).unwrap();
+            let prios = cache.priorities().to_vec();
+            let wcets: Vec<_> = app
+                .process_ids()
+                .map(|p| {
+                    let inst = arch.node(mapping.node_of(p));
+                    sys.timing()
+                        .wcet(p, inst.node_type, inst.hardening)
+                        .unwrap()
+                })
+                .collect();
+            let preds: Vec<usize> = app.process_ids().map(|p| app.incoming(p).len()).collect();
+            let cached = scheduler
+                .run_light_flat(
+                    app,
+                    &mapping,
+                    &[1, 1],
+                    sys.bus(),
+                    SlackModel::Shared,
+                    &prios,
+                    &wcets,
+                    &preds,
+                )
+                .unwrap();
+            assert_eq!(fresh, cached, "probe ({proc_i},{node_i},{level})");
+            // The cache's WCET mirror must equal fresh lookups.
+            for p in app.process_ids() {
+                let inst = arch.node(mapping.node_of(p));
+                assert_eq!(
+                    wcets[p.index()],
+                    sys.timing()
+                        .wcet(p, inst.node_type, inst.hardening)
+                        .unwrap()
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,9 +36,9 @@
 //! differential suite in `tests/incremental_differential.rs` holds the two
 //! paths together.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use ftes_model::fasthash::FastHashMap;
 use ftes_model::{Prob, ReliabilityGoal, TimeUs};
 
 use crate::analysis::{reliability_over_unit, SfpResult};
@@ -129,7 +129,15 @@ pub struct SystemSfp {
     rounding: Rounding,
     nodes: Vec<Arc<NodeState>>,
     /// The configuration memo: the "cached candidate scoring" layer.
-    memo: HashMap<NodeKey, Arc<NodeState>>,
+    /// Fast-hashed (FxHash-style) — the search hashes these keys hundreds
+    /// of thousands of times per exploration, where SipHash's per-call
+    /// setup used to dominate the lookup.
+    memo: FastHashMap<NodeKey, Arc<NodeState>>,
+    /// Reusable scratch for memo-key construction (allocation-free
+    /// lookups on the hot path).
+    key_scratch: Vec<u64>,
+    /// Reusable per-node gain buffer of the budget climb.
+    gain_scratch: Vec<Option<f64>>,
     memo_hits: u64,
     series_computed: u64,
 }
@@ -143,7 +151,9 @@ impl SystemSfp {
             max_k,
             rounding,
             nodes: vec![empty; node_count],
-            memo: HashMap::new(),
+            memo: FastHashMap::default(),
+            key_scratch: Vec::new(),
+            gain_scratch: Vec::new(),
             memo_hits: 0,
             series_computed: 0,
         }
@@ -240,20 +250,26 @@ impl SystemSfp {
     ///
     /// Panics if `j` is out of range.
     pub fn set_node_probs(&mut self, j: usize, probs: &[Prob]) {
-        let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
-        let key = key_of(&values);
-        if let Some(state) = self.memo.get(&key) {
+        // Allocation-free lookup: build the bit-pattern key in the
+        // reusable scratch buffer; only a miss clones it into the map.
+        let mut key = std::mem::take(&mut self.key_scratch);
+        key.clear();
+        key.extend(probs.iter().map(|p| p.value().to_bits()));
+        if let Some(state) = self.memo.get(key.as_slice()) {
             self.memo_hits += 1;
             self.nodes[j] = Arc::clone(state);
+            self.key_scratch = key;
             return;
         }
+        let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
         let state = NodeState::compute(values, 0, self.rounding);
         self.series_computed += 1;
         if self.memo.len() >= MEMO_CAP {
             self.memo.clear();
         }
-        self.memo.insert(key, Arc::clone(&state));
+        self.memo.insert(key.clone(), Arc::clone(&state));
         self.nodes[j] = state;
+        self.key_scratch = key;
     }
 
     /// Extends node `j`'s series so that `series[k]` exists. Values are
@@ -267,7 +283,8 @@ impl SystemSfp {
         // Geometric growth bounds the number of recomputations per
         // configuration at O(log max_k).
         let target = (have.max(1) * 2).max(k).min(self.max_k as usize);
-        let state = NodeState::compute(self.nodes[j].probs.clone(), target, self.rounding);
+        let probs = self.nodes[j].probs.clone();
+        let state = NodeState::compute(probs, target, self.rounding);
         self.series_computed += 1;
         self.memo.insert(key_of(&state.probs), Arc::clone(&state));
         self.nodes[j] = state;
@@ -308,30 +325,61 @@ impl SystemSfp {
     ///
     /// [`ReExecutionOpt::optimize`]: crate::ReExecutionOpt::optimize
     pub fn optimize(&mut self, goal: ReliabilityGoal, period: TimeUs) -> Option<Vec<u32>> {
-        let mut ks = vec![0u32; self.nodes.len()];
+        // Hoist the period-constant factors of the goal test out of the
+        // climb (bit-identical to per-iteration `is_met` calls).
+        let n_iterations = goal.iterations(period);
+        let ln_rho = goal.ln_rho();
+        let node_count = self.nodes.len();
+        let mut ks = vec![0u32; node_count];
+        // Per-node current gain `series[k] − series[k+1]` (`None` = the
+        // budget cap is reached). Only the incremented node's gain moves
+        // between iterations, and a cached gain is a pure reload of the
+        // identical series values (series are prefix-stable), so caching
+        // them reproduces the per-iteration rescans of the from-scratch
+        // search bit for bit — same selection rule, same tie-break
+        // (strictly-greater gain wins, first node kept on ties).
+        // Gains are filled lazily: a goal met at `ks = 0` never extends
+        // a series, exactly like the reference climb.
+        let mut gains = std::mem::take(&mut self.gain_scratch);
+        gains.clear();
         loop {
             let union = self.rounding.up(self.union_of_cached(&ks));
-            if goal.is_met(union, period) {
+            if ReliabilityGoal::is_met_hoisted(n_iterations, ln_rho, union) {
+                self.gain_scratch = gains;
                 return Some(ks);
             }
-            // Largest single-node decrease of the failure probability, the
-            // same selection rule (and tie-break: strictly-greater gain
-            // wins, first node kept on ties) as the from-scratch search.
-            let mut best: Option<(usize, f64)> = None;
-            for (j, k) in ks.iter().map(|&k| k as usize).enumerate() {
-                if k + 1 > self.max_k as usize {
-                    continue;
-                }
-                self.ensure_k(j, k + 1);
-                let series = &self.nodes[j].series;
-                let gain = series[k] - series[k + 1];
-                if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
-                    best = Some((j, gain));
+            if gains.is_empty() {
+                for j in 0..node_count {
+                    let g = self.gain(j, 0);
+                    gains.push(g);
                 }
             }
-            let (j, _) = best?;
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &gain) in gains.iter().enumerate() {
+                if let Some(gain) = gain {
+                    if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
+                        best = Some((j, gain));
+                    }
+                }
+            }
+            let Some((j, _)) = best else {
+                self.gain_scratch = gains;
+                return None;
+            };
             ks[j] += 1;
+            gains[j] = self.gain(j, ks[j] as usize);
         }
+    }
+
+    /// The climb's per-node gain at budget `k`, extending the series as
+    /// needed; `None` once the `max_k` cap is reached.
+    fn gain(&mut self, j: usize, k: usize) -> Option<f64> {
+        if k + 1 > self.max_k as usize {
+            return None;
+        }
+        self.ensure_k(j, k + 1);
+        let series = &self.nodes[j].series;
+        Some(series[k] - series[k + 1])
     }
 
     /// The full [`SfpResult`] for the budget vector `ks`, off the cache —

@@ -1,0 +1,226 @@
+//! Differential tests for the PR 5 hot-kernel overhaul, pinning every
+//! layer of the rewrite to its executable specification:
+//!
+//! * **heap scheduler ≡ linear-scan scheduler** — the indexed ready set
+//!   must reproduce the reference linear max-scan's selection order
+//!   exactly: bit-identical `Schedule`s and `ScheduleVerdict`s on
+//!   generated DAGs across graph shapes, slack models and TDMA buses;
+//! * **priority cache ≡ full recompute** — the delta-synced longest-path
+//!   priorities equal a fresh full DAG pass after arbitrary probe
+//!   sequences (hardening steps, re-maps, undo moves);
+//! * **memoized tabu ≡ unmemoized tabu** — the cross-iteration
+//!   mapping-outcome memo must not alter the search: identical best
+//!   candidate and identical accepted-move trace, step for step.
+
+use ftes::gen::{BusProfile, GraphShape, Heterogeneity, Scenario, Utilization};
+use ftes::model::{Architecture, HLevel, NodeId, ProcessId, TimeUs};
+use ftes::opt::{
+    initial_mapping, mapping_algorithm_traced, Evaluator, MemoCap, Objective, OptConfig,
+    RedundancyMemo, TabuConfig, TabuMove,
+};
+use ftes::sched::{longest_path_to_sink, PriorityCache, ReadyPolicy, Scheduler, SlackModel};
+use proptest::prelude::*;
+
+/// One generated workload cell: shape × bus picks over a seeded scenario.
+fn cell(shape_pick: u8, bus_pick: u8, seed: u64) -> Scenario {
+    let shape = [
+        GraphShape::Paper,
+        GraphShape::Deep,
+        GraphShape::Fan,
+        GraphShape::Dense,
+    ][shape_pick as usize % 4];
+    let bus = [
+        BusProfile::Ideal,
+        BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        },
+        BusProfile::Tdma {
+            slot: TimeUs::from_ms(2),
+        },
+    ][bus_pick as usize % 3];
+    let mut cell = Scenario::new(bus, Heterogeneity::Mild, Utilization::Relaxed, 1);
+    cell.shape = shape;
+    cell.base.seed = seed;
+    cell
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The heap-indexed ready set must schedule bit-identically to the
+    /// linear-scan reference on generated DAGs, for full schedules and
+    /// light verdicts, across slack models, budgets and TDMA buses.
+    #[test]
+    fn heap_scheduler_is_bit_identical_to_linear_scan(
+        index in 0u64..4,
+        shape_pick in 0u8..4,
+        bus_pick in 0u8..3,
+        seed in 1u64..1000,
+        k0 in 0u32..4,
+        k1 in 0u32..4,
+    ) {
+        let system = cell(shape_pick, bus_pick, seed).generate(index);
+        let app = system.application();
+        let ids = system.platform().ids_fastest_first();
+        let arch = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+        let mapping = initial_mapping(&system, &arch).unwrap();
+        let ks = [k0, k1];
+
+        let mut heap = Scheduler::with_ready_policy(ReadyPolicy::Heap);
+        let mut linear = Scheduler::with_ready_policy(ReadyPolicy::Linear);
+        for slack in [SlackModel::Shared, SlackModel::PerProcess] {
+            let full_h = heap
+                .run(app, system.timing(), &arch, &mapping, &ks, system.bus(), slack)
+                .unwrap();
+            let full_l = linear
+                .run(app, system.timing(), &arch, &mapping, &ks, system.bus(), slack)
+                .unwrap();
+            prop_assert_eq!(&full_h, &full_l, "full schedule diverged ({:?})", slack);
+
+            let light_h = heap
+                .run_light(app, system.timing(), &arch, &mapping, &ks, system.bus(), slack)
+                .unwrap();
+            let light_l = linear
+                .run_light(app, system.timing(), &arch, &mapping, &ks, system.bus(), slack)
+                .unwrap();
+            prop_assert_eq!(light_h, light_l, "light verdict diverged ({:?})", slack);
+            prop_assert_eq!(light_h.wc_length, full_h.wc_length());
+            prop_assert_eq!(light_h.schedulable, full_h.is_schedulable());
+        }
+    }
+
+    /// The delta-synced priority cache must equal a fresh full
+    /// longest-path pass bit for bit after every probe of a
+    /// search-shaped walk (re-maps, hardening steps, undos), and the
+    /// flat walk fed from it must equal the self-resolving `run_light`.
+    #[test]
+    fn priority_cache_matches_full_recompute_on_generated_dags(
+        index in 0u64..4,
+        shape_pick in 0u8..4,
+        bus_pick in 0u8..3,
+        seed in 1u64..1000,
+        moves in proptest::collection::vec((0u8..40, 0u8..2, 0u8..3), 6..16),
+    ) {
+        let system = cell(shape_pick, bus_pick, seed).generate(index);
+        let app = system.application();
+        let timing = system.timing();
+        let platform = system.platform();
+        let ids = platform.ids_fastest_first();
+        let mut arch = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+        let mut mapping = initial_mapping(&system, &arch).unwrap();
+
+        let mut cache = PriorityCache::new();
+        let mut scheduler = Scheduler::new();
+        for (proc_pick, node_pick, level_pick) in moves {
+            let p = ProcessId::new(u32::from(proc_pick) % app.process_count() as u32);
+            let n = NodeId::new(u32::from(node_pick));
+            if timing.supports(p, arch.node_type(n)) {
+                mapping.assign(p, n);
+            }
+            let levels = platform.node_type(arch.node_type(n)).h_count();
+            let level = HLevel::new(level_pick % levels.max(1) + 1).unwrap();
+            arch.set_hardening(n, level);
+
+            let cached = cache.sync(app, timing, &arch, &mapping).unwrap().to_vec();
+            let fresh = longest_path_to_sink(app, timing, &arch, &mapping).unwrap();
+            prop_assert_eq!(&cached, &fresh);
+
+            // The flat walk over the cached priorities equals run_light.
+            let wcets: Vec<TimeUs> = app
+                .process_ids()
+                .map(|p| {
+                    let inst = arch.node(mapping.node_of(p));
+                    timing.wcet(p, inst.node_type, inst.hardening).unwrap()
+                })
+                .collect();
+            let preds: Vec<usize> =
+                app.process_ids().map(|p| app.incoming(p).len()).collect();
+            let ks = vec![1u32; arch.node_count()];
+            let flat = scheduler
+                .run_light_flat(
+                    app,
+                    &mapping,
+                    &ks,
+                    system.bus(),
+                    SlackModel::Shared,
+                    &cached,
+                    &wcets,
+                    &preds,
+                )
+                .unwrap();
+            let reference = scheduler
+                .run_light(app, timing, &arch, &mapping, &ks, system.bus(), SlackModel::Shared)
+                .unwrap();
+            prop_assert_eq!(flat, reference);
+        }
+    }
+
+    /// Memoizing the redundancy outcomes must not change the tabu
+    /// search: same best candidate, same accepted-move trace.
+    #[test]
+    fn memoized_tabu_matches_unmemoized_tabu(
+        index in 0u64..4,
+        shape_pick in 0u8..4,
+        bus_pick in 0u8..3,
+        seed in 1u64..500,
+        objective in prop_oneof![Just(Objective::Cost), Just(Objective::ScheduleLength)],
+    ) {
+        let system = cell(shape_pick, bus_pick, seed).generate(index);
+        let ids = system.platform().ids_fastest_first();
+        let base = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+
+        let memo_cfg = OptConfig {
+            tabu: TabuConfig { max_iterations: 8, ..TabuConfig::default() },
+            ..OptConfig::default()
+        };
+        let nomemo_cfg = OptConfig { mapping_memo: MemoCap(0), ..memo_cfg };
+
+        let mut memo_trace: Vec<TabuMove> = Vec::new();
+        let mut memo_eval = Evaluator::new(&system, &memo_cfg);
+        let mut memo = RedundancyMemo::from_config(&memo_cfg);
+        let memoized = mapping_algorithm_traced(
+            &mut memo_eval, &mut memo, &base, objective, None, Some(&mut memo_trace),
+        ).unwrap();
+
+        let mut plain_trace: Vec<TabuMove> = Vec::new();
+        let mut plain_eval = Evaluator::new(&system, &nomemo_cfg);
+        let mut no_memo = RedundancyMemo::from_config(&nomemo_cfg);
+        let unmemoized = mapping_algorithm_traced(
+            &mut plain_eval, &mut no_memo, &base, objective, None, Some(&mut plain_trace),
+        ).unwrap();
+
+        prop_assert_eq!(&memo_trace, &plain_trace, "move traces diverged");
+        match (&memoized, &unmemoized) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(&a.solution, &b.solution);
+                prop_assert_eq!(a.schedulable, b.schedulable);
+            }
+            other => prop_assert!(false, "divergent feasibility: {:?}", other),
+        }
+        prop_assert_eq!(no_memo.hits(), 0, "disabled memo must never hit");
+    }
+}
+
+/// The search through the memoized engine equals the from-scratch
+/// specification end to end on one deterministic workload per shape —
+/// the cheap always-on cousin of the proptests above.
+#[test]
+fn memoized_search_matches_scratch_pipeline_per_shape() {
+    use ftes::opt::{design_strategy, EvalMode};
+    for shape_pick in 0..4u8 {
+        let system = cell(shape_pick, 1, 0xF7E5).generate(0);
+        let incremental = design_strategy(&system, &OptConfig::default()).unwrap();
+        let scratch_cfg = OptConfig {
+            eval_mode: EvalMode::Scratch,
+            mapping_memo: MemoCap(0),
+            ..OptConfig::default()
+        };
+        let scratch = design_strategy(&system, &scratch_cfg).unwrap();
+        match (&incremental, &scratch) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert_eq!(a.solution, b.solution, "shape {shape_pick}"),
+            other => panic!("divergent feasibility: {other:?}"),
+        }
+    }
+}
