@@ -186,11 +186,97 @@ fn bench_memo_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 6 batched kernel: one `score_neighborhood` walk over a tabu
+/// iteration's probes vs the per-probe reference loop it replaced, and
+/// the SoA `SystemSfp` delta splice on a memoized configuration flip.
+fn bench_batched(c: &mut Criterion) {
+    let f = fixture(GraphShape::Paper, 0);
+    let config = OptConfig::default();
+    let timing = f.system.timing();
+    // A full single-node-re-map neighborhood, as one tabu iteration
+    // would collect it.
+    let probes: Vec<(ProcessId, NodeId)> = f
+        .system
+        .application()
+        .process_ids()
+        .flat_map(|p| {
+            let from = f.mapping.node_of(p);
+            f.arch
+                .node_ids()
+                .filter(|&node| node != from && timing.supports(p, f.arch.node_type(node)))
+                .map(move |node| (p, node))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batched");
+    group.bench_function(BenchmarkId::new("score_neighborhood", probes.len()), |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        let mut memo = RedundancyMemo::new(ftes_opt::MemoCap(0));
+        let mut mapping = f.mapping.clone();
+        let mut outcomes = Vec::new();
+        b.iter(|| {
+            evaluator
+                .score_neighborhood(
+                    &mut memo,
+                    &f.arch,
+                    &mut mapping,
+                    black_box(&probes),
+                    &mut outcomes,
+                )
+                .unwrap();
+            outcomes.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("per_probe_reference", probes.len()), |b| {
+        let mut evaluator = Evaluator::new(&f.system, &config);
+        let mut memo = RedundancyMemo::new(ftes_opt::MemoCap(0));
+        let mut mapping = f.mapping.clone();
+        let mut outcomes = Vec::new();
+        b.iter(|| {
+            outcomes.clear();
+            for &(p, node) in &probes {
+                let from = mapping.node_of(p);
+                mapping.assign(p, node);
+                let out =
+                    redundancy_opt_memo(&mut evaluator, &mut memo, &f.arch, &mapping).unwrap();
+                mapping.assign(p, from);
+                outcomes.push(out);
+            }
+            outcomes.len()
+        })
+    });
+    // The SoA delta update in isolation: flip one node between two
+    // already-memoized configurations — each `set_node_probs` is a memo
+    // hit followed by a contiguous-buffer splice.
+    group.bench_function("soa_set_node_probs_memoized_flip", |b| {
+        use ftes_model::Prob;
+        use ftes_sfp::{Rounding, SystemSfp};
+        let a: Vec<Prob> = (0..10)
+            .map(|i| Prob::new(1e-5 * (i + 1) as f64).unwrap())
+            .collect();
+        let alt: Vec<Prob> = (0..10)
+            .map(|i| Prob::new(2e-5 * (i + 1) as f64).unwrap())
+            .collect();
+        let mut sfp = SystemSfp::new(4, 16, Rounding::Pessimistic);
+        for j in 0..4 {
+            sfp.set_node_probs(j, &a);
+        }
+        sfp.set_node_probs(0, &alt);
+        b.iter(|| {
+            sfp.set_node_probs(0, black_box(&a));
+            sfp.set_node_probs(0, black_box(&alt));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_run_light,
     bench_ready_policies,
     bench_priorities,
-    bench_memo_paths
+    bench_memo_paths,
+    bench_batched
 );
 criterion_main!(benches);

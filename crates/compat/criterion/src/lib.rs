@@ -103,13 +103,22 @@ impl Bencher {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Far fewer samples than real criterion's 100: the shim's goal is a
-        // usable relative number, not statistical rigor.
-        Criterion { sample_size: 20 }
+        // usable relative number, not statistical rigor. `cargo bench ...
+        // -- --test` asks for a smoke run (real criterion executes each
+        // benchmark once without measuring); the shim honors it by
+        // collapsing every benchmark to a single sample, overriding
+        // per-group sample sizes.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: if test_mode { 1 } else { 20 },
+            test_mode,
+        }
     }
 }
 
@@ -126,10 +135,12 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: group_name.to_owned(),
             sample_size,
+            test_mode,
         }
     }
 }
@@ -149,13 +160,17 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the number of samples for benchmarks in this group.
+    /// Overrides the number of samples for benchmarks in this group
+    /// (ignored in `--test` smoke mode, which pins one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = n;
+        if !self.test_mode {
+            self.sample_size = n;
+        }
         self
     }
 

@@ -39,9 +39,25 @@ pub struct NodeInstance {
 /// assert_eq!(arch.cost(&platform)?, Cost::new(72)); // Fig. 4a: Ca = 72
 /// # Ok::<(), ftes_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Architecture {
     nodes: Vec<NodeInstance>,
+}
+
+// Manual `Clone` so `clone_from` reuses the destination's allocation —
+// the search engine's candidate arena rewrites pooled architectures
+// thousands of times per exploration (a derived impl would fall back to
+// the allocating `*self = source.clone()`).
+impl Clone for Architecture {
+    fn clone(&self) -> Self {
+        Architecture {
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.nodes.clone_from(&source.nodes);
+    }
 }
 
 impl Architecture {

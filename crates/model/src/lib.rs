@@ -66,7 +66,7 @@ pub use goal::ReliabilityGoal;
 pub use ids::{GraphId, HLevel, MessageId, NodeId, NodeTypeId, ProcessId};
 pub use mapping::Mapping;
 pub use node::{Cost, NodeType, Platform};
-pub use prob::Prob;
+pub use prob::{log_survival, Prob};
 pub use system::System;
 pub use time::TimeUs;
 pub use timing::{ExecSpec, FlatTiming, TimingDb, TimingSource};

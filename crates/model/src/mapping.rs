@@ -24,9 +24,23 @@ use crate::timing::TimingDb;
 /// assert_eq!(m.node_of(ProcessId::new(2)), NodeId::new(1));
 /// assert_eq!(m.processes_on(NodeId::new(0)).count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Mapping {
     assignment: Vec<NodeId>,
+}
+
+// Manual `Clone` so `clone_from` reuses the destination's allocation (the
+// candidate arena rewrites pooled mappings on every executed probe).
+impl Clone for Mapping {
+    fn clone(&self) -> Self {
+        Mapping {
+            assignment: self.assignment.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.assignment.clone_from(&source.assignment);
+    }
 }
 
 impl Mapping {

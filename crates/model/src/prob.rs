@@ -91,6 +91,26 @@ impl Prob {
     }
 }
 
+/// Log-survival of a failure probability: `ln(1 − q)` evaluated as
+/// `ln_1p(−q)` after clamping `q` into `[0, 1]` against floating-point
+/// noise at the end of rounding pipelines.
+///
+/// This is the per-node term of the paper's formula (5) union evaluated in
+/// the log domain (`Pr(∪) = −expm1(Σ ln(1 − q_j))`), where tiny per-node
+/// probabilities (10⁻¹⁰ and below) would cancel against 1.0 in the direct
+/// product. Centralized here so every caller — the from-scratch union, the
+/// incremental SFP series cache — runs the *identical* floating-point
+/// expression: bit-for-bit equality between those paths is load-bearing
+/// for the differential test suites.
+///
+/// Boundary behavior: `log_survival(0.0) == 0.0` (certain survival),
+/// `log_survival(1.0) == f64::NEG_INFINITY` (certain failure), and
+/// subnormal `q` maps to `-q` exactly (`ln_1p` is exact to one ulp there).
+#[inline]
+pub fn log_survival(q: f64) -> f64 {
+    (-q.clamp(0.0, 1.0)).ln_1p()
+}
+
 impl From<Prob> for f64 {
     fn from(p: Prob) -> f64 {
         p.0
@@ -167,6 +187,46 @@ mod tests {
         assert_eq!(Prob::new(1.2e-5).unwrap().to_string(), "1.2e-5");
         assert_eq!(Prob::new(0.5).unwrap().to_string(), "0.5");
         assert_eq!(Prob::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn log_survival_is_bit_identical_to_open_coded_expression() {
+        // The exact expression previously duplicated across the SFP crates;
+        // the helper must reproduce it bit for bit on every input class —
+        // boundaries, subnormals, out-of-range noise.
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            f64::MIN_POSITIVE,       // smallest normal
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            5e-324,                  // smallest subnormal
+            1.2e-5,
+            4.8e-10,
+            0.5,
+            1.0 - f64::EPSILON,
+            -1e-18,      // clamps to 0
+            1.0 + 1e-15, // clamps to 1
+        ];
+        for q in cases {
+            let reference = (-q.clamp(0.0, 1.0)).ln_1p();
+            assert_eq!(log_survival(q).to_bits(), reference.to_bits(), "q = {q:e}");
+        }
+    }
+
+    #[test]
+    fn log_survival_boundary_values() {
+        assert_eq!(log_survival(0.0), 0.0);
+        assert_eq!(log_survival(1.0), f64::NEG_INFINITY);
+        assert_eq!(log_survival(-1e-18), 0.0, "negative noise clamps to 0");
+        assert_eq!(
+            log_survival(1.0 + 1e-15),
+            f64::NEG_INFINITY,
+            "overshoot clamps to 1"
+        );
+        // Subnormal q: ln(1 − q) ≈ −q to one ulp; must stay finite and ≤ 0.
+        let sub = f64::MIN_POSITIVE / 4.0;
+        assert_eq!(log_survival(sub), -sub);
     }
 
     #[test]

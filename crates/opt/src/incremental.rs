@@ -45,8 +45,8 @@ use std::sync::Arc;
 use ftes_model::fasthash::FastHashMap;
 
 use ftes_model::{
-    Architecture, Cost, FlatTiming, Mapping, ModelError, NodeId, NodeInstance, Prob, System,
-    TimeUs, TimingSource,
+    Architecture, Cost, FlatTiming, Mapping, ModelError, NodeId, NodeInstance, Prob, ProcessId,
+    System, TimeUs, TimingSource,
 };
 use ftes_sched::{PriorityCache, ReadyPolicy, Scheduler, SlackModel};
 use ftes_sfp::SystemSfp;
@@ -58,6 +58,12 @@ use crate::evaluation::{evaluate_fixed, Solution};
 /// Soft bound on memoized candidates; the cache is dropped wholesale when
 /// it grows past this (keeps worst-case memory bounded without an LRU).
 const CACHE_CAP: usize = 1 << 16;
+
+/// Candidates tracked by the [`ProbeArena`] for recycling.
+const ARENA_CAP: usize = 32;
+
+/// Pooled scratch architectures handed to the redundancy walk.
+const ARCH_POOL_CAP: usize = 8;
 
 /// A scored candidate: everything the search ranks solutions by, without
 /// the materialized schedule.
@@ -163,6 +169,12 @@ pub struct EvalStats {
     pub mapping_memo_hits: u64,
     /// Tabu probes that ran the full redundancy optimization.
     pub mapping_memo_misses: u64,
+    /// Probes scored through the batched neighborhood kernel
+    /// ([`Evaluator::score_neighborhood`]).
+    pub batched_probes: u64,
+    /// Executed evaluations whose `Candidate` was recycled from the probe
+    /// arena instead of freshly allocated.
+    pub arena_reuses: u64,
 }
 
 impl EvalStats {
@@ -179,6 +191,8 @@ impl EvalStats {
         self.priority_reused += other.priority_reused;
         self.mapping_memo_hits += other.mapping_memo_hits;
         self.mapping_memo_misses += other.mapping_memo_misses;
+        self.batched_probes += other.batched_probes;
+        self.arena_reuses += other.arena_reuses;
     }
 
     /// Full evaluations actually executed (requests minus memo hits).
@@ -227,9 +241,75 @@ pub struct Evaluator<'a> {
     priorities: PriorityCache,
     /// App-constant predecessor counts, precomputed for the flat walk.
     preds: Vec<usize>,
-    /// Per-candidate WCETs resolved by the merged spec pass.
+    /// Per-candidate WCETs resolved by the merged spec pass, persistent
+    /// across probes: entries for processes on untouched nodes carry over
+    /// (their `(type, hardening)` spec is unchanged by definition of
+    /// "untouched"), so the pass is `O(processes on touched nodes)`.
     wcet_buf: Vec<TimeUs>,
+    /// Per-node member lists (process ids in ascending order), matching
+    /// `synced_map`: the delta spec pass walks only the touched nodes'
+    /// members instead of every process.
+    members: Vec<Vec<ProcessId>>,
+    /// Reusable budget buffer for `SystemSfp::optimize_into`.
+    ks_scratch: Vec<u32>,
+    /// Pooled candidates and scratch architectures — see [`ProbeArena`].
+    arena: ProbeArena,
     stats: EvalStats,
+}
+
+/// A freelist of `Arc<Candidate>`s (plus scratch [`Architecture`]s for
+/// the redundancy walk) so steady-state probes allocate nothing.
+///
+/// Every executed evaluation *tracks* its candidate here; `take` scans the
+/// tracked entries back to front for one whose other owners (the caller,
+/// the candidate cache, the mapping memo) have dropped their references
+/// (`strong_count == 1`) and recycles it by overwriting its fields in
+/// place — the `Architecture`/`Mapping`/`ks` rewrites reuse the existing
+/// allocations via `clone_from`. A candidate that is still referenced
+/// stays in the pool untouched, so recycling can never alias a live
+/// result; a pool overflow just drops the oldest tracking reference
+/// (harmless — the candidate itself lives on with its other owners).
+#[derive(Debug, Default)]
+struct ProbeArena {
+    pool: Vec<Arc<Candidate>>,
+    archs: Vec<Architecture>,
+    reuses: u64,
+}
+
+impl ProbeArena {
+    /// Recycles a uniquely-owned tracked candidate, if any.
+    fn take(&mut self) -> Option<Arc<Candidate>> {
+        // Back to front: the most recently released candidate sits near
+        // the end, so the steady-state scan stops after a step or two.
+        for i in (0..self.pool.len()).rev() {
+            if Arc::strong_count(&self.pool[i]) == 1 {
+                self.reuses += 1;
+                return Some(self.pool.swap_remove(i));
+            }
+        }
+        None
+    }
+
+    /// Registers a freshly filled candidate for future recycling.
+    fn track(&mut self, candidate: &Arc<Candidate>) {
+        if self.pool.len() >= ARENA_CAP {
+            self.pool.swap_remove(0);
+        }
+        self.pool.push(Arc::clone(candidate));
+    }
+
+    /// An empty candidate shell for the cold path (fields are overwritten
+    /// by the caller).
+    fn fresh() -> Arc<Candidate> {
+        Arc::new(Candidate {
+            architecture: Architecture::new(Vec::new()),
+            mapping: Mapping::new(Vec::new()),
+            ks: Vec::new(),
+            wc_length: TimeUs::ZERO,
+            schedulable: false,
+            cost: Cost::new(0),
+        })
+    }
 }
 
 /// One memoized candidate outcome, carrying its exact key material.
@@ -292,6 +372,9 @@ impl<'a> Evaluator<'a> {
                 .map(|p| system.application().incoming(p).len())
                 .collect(),
             wcet_buf: Vec::new(),
+            members: Vec::new(),
+            ks_scratch: Vec::new(),
+            arena: ProbeArena::default(),
             stats: EvalStats::default(),
         }
     }
@@ -321,7 +404,34 @@ impl<'a> Evaluator<'a> {
         let prio = self.priorities.stats();
         stats.priority_recomputed = prio.recomputed;
         stats.priority_reused = prio.reused;
+        stats.arena_reuses = self.arena.reuses;
         stats
+    }
+
+    /// Borrows a pooled scratch [`Architecture`] initialized to a copy of
+    /// `src` (the redundancy walk's working copy). Return it with
+    /// [`put_arch`](Evaluator::put_arch) when the walk is done so the
+    /// allocation is reused by the next probe.
+    pub(crate) fn take_arch(&mut self, src: &Architecture) -> Architecture {
+        let mut arch = self
+            .arena
+            .archs
+            .pop()
+            .unwrap_or_else(|| Architecture::new(Vec::new()));
+        arch.clone_from(src);
+        arch
+    }
+
+    /// Returns a scratch architecture to the pool.
+    pub(crate) fn put_arch(&mut self, arch: Architecture) {
+        if self.arena.archs.len() < ARCH_POOL_CAP {
+            self.arena.archs.push(arch);
+        }
+    }
+
+    /// Counts probes routed through the batched neighborhood kernel.
+    pub(crate) fn note_batched_probes(&mut self, n: u64) {
+        self.stats.batched_probes += n;
     }
 
     /// Evaluates one fully-specified candidate — the drop-in equivalent of
@@ -362,6 +472,10 @@ impl<'a> Evaluator<'a> {
         let candidate = self.compute(arch, mapping)?;
 
         if self.cache.len() >= CACHE_CAP {
+            // Dropping the cache also unpins the arena's tracked
+            // candidates (their only other reference was the cache
+            // entry), so the probes after an overflow recycle those
+            // allocations instead of growing the heap.
             self.cache.clear();
         }
         let entry = match &candidate {
@@ -426,22 +540,44 @@ impl<'a> Evaluator<'a> {
 
         // Delta-sync the SFP state: diff this candidate against the last
         // synced one and recompute only the touched nodes (a hardening
-        // step touches one node, a re-mapping move two).
+        // step touches one node, a re-mapping move two). The per-node
+        // member lists and the WCET buffer persist alongside, so the spec
+        // pass below is `O(processes on touched nodes)` too.
         let node_count = arch.node_count();
-        self.touched.clear();
-        self.touched.resize(node_count, true);
-        if self.synced
+        let process_count = mapping.process_count();
+        let can_delta = self.synced
             && self.synced_nodes.len() == node_count
-            && self.synced_map.len() == mapping.process_count()
-        {
+            && self.synced_map.len() == process_count
+            && self.wcet_buf.len() == app.process_count();
+        if self.members.len() < node_count {
+            self.members.resize_with(node_count, Vec::new);
+        }
+        if self.per_node.len() < node_count {
+            self.per_node.resize_with(node_count, Vec::new);
+        }
+        self.touched.clear();
+        self.touched.resize(node_count, !can_delta);
+        if can_delta {
             for (j, flag) in self.touched.iter_mut().enumerate() {
                 *flag = self.synced_nodes[j] != arch.node(NodeId::new(j as u32));
             }
-            for (p, &old) in self.synced_map.iter().enumerate() {
-                let new = mapping.node_of(ftes_model::ProcessId::new(p as u32));
+            for (i, &old) in self.synced_map.iter().enumerate() {
+                let p = ProcessId::new(i as u32);
+                let new = mapping.node_of(p);
                 if old != new {
                     self.touched[old.index()] = true;
                     self.touched[new.index()] = true;
+                    // Keep the member lists sorted by process id so the
+                    // delta pass pushes probabilities in exactly the order
+                    // `node_process_probs` produces.
+                    let on_old = &mut self.members[old.index()];
+                    if let Ok(pos) = on_old.binary_search(&p) {
+                        on_old.remove(pos);
+                    }
+                    let on_new = &mut self.members[new.index()];
+                    if let Err(pos) = on_new.binary_search(&p) {
+                        on_new.insert(pos, p);
+                    }
                 }
             }
         }
@@ -451,22 +587,49 @@ impl<'a> Evaluator<'a> {
         // serves both halves of the probe — the WCETs feed the priority
         // sync and the flat scheduling walk, the failure probabilities
         // (touched nodes only, in process-id order — the exact grouping
-        // `node_process_probs` produces) feed the SFP delta.
-        if self.per_node.len() < node_count {
-            self.per_node.resize_with(node_count, Vec::new);
-        }
-        for probs in self.per_node.iter_mut() {
-            probs.clear();
-        }
-        self.wcet_buf.clear();
-        for p in app.process_ids() {
-            let n = mapping.node_of(p);
-            let inst = arch.node(n);
-            let spec = self.flat.spec(p, inst.node_type, inst.hardening)?;
-            self.wcet_buf.push(spec.wcet);
-            if self.touched[n.index()] {
-                self.per_node[n.index()].push(spec.pfail);
+        // `node_process_probs` produces) feed the SFP delta. On the delta
+        // path only the touched nodes' members are visited: WCETs of
+        // processes on untouched nodes carry over from the last sync
+        // (their `(type, hardening)` spec is unchanged by definition).
+        let spec_result: Result<(), ModelError> = if can_delta {
+            (0..node_count).try_for_each(|j| {
+                if !self.touched[j] {
+                    return Ok(());
+                }
+                let inst = arch.node(NodeId::new(j as u32));
+                self.per_node[j].clear();
+                for idx in 0..self.members[j].len() {
+                    let p = self.members[j][idx];
+                    let spec = self.flat.spec(p, inst.node_type, inst.hardening)?;
+                    self.wcet_buf[p.index()] = spec.wcet;
+                    self.per_node[j].push(spec.pfail);
+                }
+                Ok(())
+            })
+        } else {
+            for m in self.members.iter_mut() {
+                m.clear();
             }
+            for probs in self.per_node.iter_mut() {
+                probs.clear();
+            }
+            self.wcet_buf.clear();
+            app.process_ids().try_for_each(|p| {
+                let n = mapping.node_of(p);
+                let inst = arch.node(n);
+                let spec = self.flat.spec(p, inst.node_type, inst.hardening)?;
+                self.wcet_buf.push(spec.wcet);
+                self.members[n.index()].push(p);
+                self.per_node[n.index()].push(spec.pfail);
+                Ok(())
+            })
+        };
+        if let Err(e) = spec_result {
+            // The member lists may already reflect this candidate while
+            // `synced_map` still describes the previous one — force a full
+            // rebuild on the next probe.
+            self.synced = false;
+            return Err(e);
         }
         for j in 0..node_count {
             if self.touched[j] {
@@ -480,35 +643,44 @@ impl<'a> Evaluator<'a> {
         self.synced_map.clone_from_slice_reusing(mapping.as_slice());
         self.synced = true;
 
-        let candidate = match self.sfp.optimize(self.system.goal(), app.period()) {
-            None => None,
-            Some(ks) => {
-                // Priorities are maintained incrementally over the
-                // already-resolved WCETs: the cache diffs this candidate
-                // against the last synced one and re-prices only what
-                // changed.
-                self.priorities
-                    .sync_flat(app, arch, mapping, &self.wcet_buf);
-                let verdict = self.scheduler.run_light_flat(
-                    app,
-                    mapping,
-                    &ks,
-                    self.system.bus(),
-                    SlackModel::Shared,
-                    self.priorities.priorities(),
-                    &self.wcet_buf,
-                    &self.preds,
-                )?;
-                let cost = arch.cost(self.system.platform())?;
-                Some(Arc::new(Candidate {
-                    architecture: arch.clone(),
-                    mapping: mapping.clone(),
-                    ks,
-                    wc_length: verdict.wc_length,
-                    schedulable: verdict.schedulable,
-                    cost,
-                }))
+        let reachable =
+            self.sfp
+                .optimize_into(self.system.goal(), app.period(), &mut self.ks_scratch);
+        let candidate = if !reachable {
+            None
+        } else {
+            // Priorities are maintained incrementally over the
+            // already-resolved WCETs: the cache diffs this candidate
+            // against the last synced one and re-prices only what
+            // changed.
+            self.priorities
+                .sync_flat(app, arch, mapping, &self.wcet_buf);
+            let verdict = self.scheduler.run_light_flat(
+                app,
+                mapping,
+                &self.ks_scratch,
+                self.system.bus(),
+                SlackModel::Shared,
+                self.priorities.priorities(),
+                &self.wcet_buf,
+                &self.preds,
+            )?;
+            let cost = arch.cost(self.system.platform())?;
+            // Steady state allocates nothing here: the arena hands back a
+            // released candidate and every field rewrite reuses its
+            // buffers via `clone_from`.
+            let mut cand = self.arena.take().unwrap_or_else(ProbeArena::fresh);
+            {
+                let c = Arc::get_mut(&mut cand).expect("taken candidates are uniquely referenced");
+                c.architecture.clone_from(arch);
+                c.mapping.clone_from(mapping);
+                c.ks.clone_from_slice_reusing(&self.ks_scratch);
+                c.wc_length = verdict.wc_length;
+                c.schedulable = verdict.schedulable;
+                c.cost = cost;
             }
+            self.arena.track(&cand);
+            Some(cand)
         };
         Ok(candidate)
     }

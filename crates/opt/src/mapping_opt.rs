@@ -134,6 +134,50 @@ pub fn mapping_algorithm_with(
 /// One accepted tabu move: the re-mapped process and its new node.
 pub type TabuMove = (ProcessId, NodeId);
 
+impl<'a> Evaluator<'a> {
+    /// Scores one tabu iteration's whole neighborhood in a single batched
+    /// walk: for each probe `(p, node)` the mapping is re-pointed, the
+    /// full redundancy optimization runs, and the mapping is restored —
+    /// with all shared state (the candidate cache, the incremental SFP
+    /// series, the priority cache, the budget scratch and the candidate
+    /// arena) resolved once underneath the walk instead of per probe.
+    ///
+    /// `outcomes` is cleared and filled positionally: `outcomes[i]` is the
+    /// redundancy outcome of `probes[i]` (`None` = reliability goal
+    /// unreachable). Probes are evaluated in slice order against the same
+    /// evolving evaluator state a sequential per-probe loop would see, so
+    /// scores are **bit-identical** to calling
+    /// [`redundancy_opt_memo`] once per probe — the hot-kernel
+    /// differential suite pins this. Both the memoized and the unmemoized
+    /// (`MemoCap(0)`) paths flow through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; `mapping` is restored to its entry state
+    /// before the error is returned.
+    pub fn score_neighborhood(
+        &mut self,
+        memo: &mut RedundancyMemo,
+        base: &Architecture,
+        mapping: &mut Mapping,
+        probes: &[TabuMove],
+        outcomes: &mut Vec<Option<RedundancyOutcome>>,
+    ) -> Result<(), ModelError> {
+        self.note_batched_probes(probes.len() as u64);
+        outcomes.clear();
+        for &(p, node) in probes {
+            // Mutate + undo instead of cloning the mapping per trial (the
+            // evaluator's priority cache delta-syncs both ways).
+            let from = mapping.node_of(p);
+            mapping.assign(p, node);
+            let out = redundancy_opt_memo(self, memo, base, mapping);
+            mapping.assign(p, from);
+            outcomes.push(out?);
+        }
+        Ok(())
+    }
+}
+
 /// [`mapping_algorithm_with`] recording every accepted move into `trace`
 /// (when provided) — the hot-kernel differential suite replays memoized
 /// and unmemoized searches and compares the traces step by step, pinning
@@ -173,6 +217,10 @@ pub fn mapping_algorithm_traced(
     let mut no_improve = 0u32;
     let mut crit_scratch = CriticalScratch::default();
     let mut candidates: Vec<ProcessId> = Vec::new();
+    // Reused across iterations: the probe list handed to the batched
+    // neighborhood kernel and its positional outcomes.
+    let mut probes: Vec<TabuMove> = Vec::new();
+    let mut outcomes: Vec<Option<RedundancyOutcome>> = Vec::new();
 
     for _iter in 0..config.tabu.max_iterations {
         if no_improve >= config.tabu.max_no_improve {
@@ -194,32 +242,36 @@ pub fn mapping_algorithm_traced(
         candidates.sort_by_key(|p| std::cmp::Reverse(waiting[p.index()]));
         candidates.truncate(config.tabu.max_candidates);
 
-        let mut best_move: Option<(ftes_model::ProcessId, NodeId, RedundancyOutcome)> = None;
-        let mut best_move_tabu: Option<(ftes_model::ProcessId, NodeId, RedundancyOutcome)> = None;
+        // Collect the iteration's whole neighborhood, score it in one
+        // batched walk, then pick the winning slots — same probe order
+        // and selection rule as a per-probe loop, bit for bit.
+        probes.clear();
         for &p in &candidates {
             let from = current.node_of(p);
             for node in base.node_ids() {
                 if node == from || !timing.supports(p, base.node_type(node)) {
                     continue;
                 }
-                // Mutate + undo instead of cloning the mapping per trial
-                // (the evaluator's priority cache delta-syncs both ways).
-                current.assign(p, node);
-                let trial_out = redundancy_opt_memo(evaluator, memo, base, &current);
-                current.assign(p, from);
-                let Some(out) = trial_out? else {
-                    continue;
-                };
-                let slot = if tabu[p.index()] > 0 {
-                    &mut best_move_tabu
-                } else {
-                    &mut best_move
-                };
-                if slot.as_ref().map_or(true, |(_, _, b)| {
-                    score(&out, objective) < score(b, objective)
-                }) {
-                    *slot = Some((p, node, out));
-                }
+                probes.push((p, node));
+            }
+        }
+        evaluator.score_neighborhood(memo, base, &mut current, &probes, &mut outcomes)?;
+
+        let mut best_move: Option<(ftes_model::ProcessId, NodeId, RedundancyOutcome)> = None;
+        let mut best_move_tabu: Option<(ftes_model::ProcessId, NodeId, RedundancyOutcome)> = None;
+        for (&(p, node), outcome) in probes.iter().zip(&outcomes) {
+            let Some(out) = outcome else {
+                continue;
+            };
+            let slot = if tabu[p.index()] > 0 {
+                &mut best_move_tabu
+            } else {
+                &mut best_move
+            };
+            if slot.as_ref().map_or(true, |(_, _, b)| {
+                score(out, objective) < score(b, objective)
+            }) {
+                *slot = Some((p, node, out.clone()));
             }
         }
 

@@ -195,9 +195,10 @@ pub fn redundancy_opt_with(
     let platform = system.platform();
     match evaluator.config().policy {
         HardeningPolicy::FixedMin => {
-            let mut arch = base.clone();
+            let mut arch = evaluator.take_arch(base);
             arch.set_min_hardening();
             let sol = evaluator.evaluate(&arch, mapping)?;
+            evaluator.put_arch(arch);
             Ok(sol.map(|solution| RedundancyOutcome {
                 schedulable: solution.is_schedulable(),
                 solution,
@@ -222,7 +223,10 @@ fn optimize_levels(
     mapping: &Mapping,
 ) -> Result<Option<RedundancyOutcome>, ModelError> {
     let platform = evaluator.system().platform();
-    let mut arch = base.clone();
+    // The walk's working architecture comes from the evaluator's scratch
+    // pool; every rewrite below mutates it in place, so a whole
+    // redundancy walk allocates no architecture storage in steady state.
+    let mut arch = evaluator.take_arch(base);
     arch.set_min_hardening();
 
     // Track the best candidate in two tiers: the cheapest schedulable one,
@@ -292,11 +296,12 @@ fn optimize_levels(
 
     // --- Reduction phase --------------------------------------------------
     if best_schedulable.is_some() {
-        let mut arch = best_schedulable
-            .as_ref()
-            .expect("just checked")
-            .architecture
-            .clone();
+        arch.clone_from(
+            &best_schedulable
+                .as_ref()
+                .expect("just checked")
+                .architecture,
+        );
         loop {
             let mut best_step: Option<Arc<Candidate>> = None;
             for slot in 0..arch.node_count() {
@@ -317,10 +322,11 @@ fn optimize_levels(
                 }
             }
             let Some(sol) = best_step else { break };
-            arch = sol.architecture.clone();
+            arch.clone_from(&sol.architecture);
             consider(sol, &mut best_schedulable, &mut best_any);
         }
     }
+    evaluator.put_arch(arch);
 
     let outcome = match (best_schedulable, best_any) {
         (Some(solution), _) => Some(RedundancyOutcome {

@@ -1,7 +1,8 @@
 //! System-level SFP analysis — formulas (5) and (6) of the paper.
 
 use ftes_model::{
-    Application, Architecture, Mapping, ModelError, Prob, ReliabilityGoal, TimeUs, TimingDb,
+    log_survival, Application, Architecture, Mapping, ModelError, Prob, ReliabilityGoal, TimeUs,
+    TimingDb,
 };
 use serde::{Deserialize, Serialize};
 
@@ -59,10 +60,7 @@ pub struct SfpResult {
 pub fn union_failure(node_failure: &[f64]) -> f64 {
     // Evaluated in the log domain (−expm1(Σ ln1p(−q))) so that tiny
     // per-node probabilities (10⁻¹⁰ and below) do not cancel against 1.0.
-    let log_ok: f64 = node_failure
-        .iter()
-        .map(|q| (-q.clamp(0.0, 1.0)).ln_1p())
-        .sum();
+    let log_ok: f64 = node_failure.iter().copied().map(log_survival).sum();
     (-f64::exp_m1(log_ok)).clamp(0.0, 1.0)
 }
 

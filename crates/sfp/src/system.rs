@@ -15,7 +15,14 @@
 //! failure probabilities of the mapped processes, the **lazily extended**
 //! prefix of the [`pr_more_than_series`](crate::NodeSfp::pr_more_than_series)
 //! values, and the log-domain union terms `ln(1 − Pr(f > k))` consumed by
-//! formula (5). Three caching levels compound:
+//! formula (5). The series and log terms live in a **struct-of-arrays
+//! layout**: one contiguous `series_buf`/`log_ok_buf` pair for the whole
+//! architecture, with per-node segments addressed through a `seg` offset
+//! table. The greedy climb and the union sum walk those buffers instead of
+//! chasing one heap allocation per node, and a one-node delta update whose
+//! series depth is unchanged is a straight `copy_from_slice` into the
+//! node's segment (the steady state of a warmed-up search); only a depth
+//! change splices the buffer. Three caching levels compound on top:
 //!
 //! 1. [`set_node_probs`](SystemSfp::set_node_probs) is a one-node delta
 //!    update — other nodes keep their series untouched;
@@ -25,6 +32,11 @@
 //! 3. series are computed only as deep as a query actually demands
 //!    (`Pr(f > k)` is prefix-stable in the computation, so a deeper
 //!    recomputation reproduces the shallow values bit for bit).
+//!
+//! A fourth, query-side cache shortcuts the climb's `exp_m1`/`ln_1p`
+//! chain: the reliability-goal decision is memoized on the bit pattern of
+//! the log-domain union sum (see [`optimize_into`](SystemSfp::optimize_into)
+//! for the bit-exactness argument).
 //!
 //! The incremental path is **bit-identical** to the from-scratch one: the
 //! series values come from the same kernel as [`NodeSfp`](crate::NodeSfp),
@@ -39,7 +51,7 @@
 use std::sync::Arc;
 
 use ftes_model::fasthash::FastHashMap;
-use ftes_model::{Prob, ReliabilityGoal, TimeUs};
+use ftes_model::{log_survival, Prob, ReliabilityGoal, TimeUs};
 
 use crate::analysis::{reliability_over_unit, SfpResult};
 use crate::node_failure::series_from_values;
@@ -49,10 +61,14 @@ use crate::rounding::Rounding;
 /// wholesale when it grows past this.
 const MEMO_CAP: usize = 1 << 12;
 
+/// Soft bound on memoized reliability-goal decisions.
+const GOAL_MEMO_CAP: usize = 1 << 12;
+
 /// Cached per-node state: the mapped processes' failure probabilities, the
 /// computed prefix of the `Pr(f > k)` series, and the log-domain union
 /// terms. Shared via `Arc` between the per-node slots and the
-/// configuration memo.
+/// configuration memo; the hot queries read the contiguous SoA mirror in
+/// [`SystemSfp`] instead.
 #[derive(Debug)]
 struct NodeState {
     /// Failure probabilities of the processes mapped on the node, in
@@ -71,10 +87,7 @@ struct NodeState {
 impl NodeState {
     fn compute(probs: Vec<f64>, k_done: usize, rounding: Rounding) -> Arc<Self> {
         let series = series_from_values(&probs, rounding, k_done);
-        let log_ok = series
-            .iter()
-            .map(|&q| (-q.clamp(0.0, 1.0)).ln_1p())
-            .collect();
+        let log_ok = series.iter().map(|&q| log_survival(q)).collect();
         Arc::new(NodeState {
             probs,
             series,
@@ -95,11 +108,14 @@ fn key_of(probs: &[f64]) -> NodeKey {
 /// Stateful, incrementally-updatable SFP analysis of a whole architecture.
 ///
 /// Owns one lazily-extended `Pr(f > k)` series per architecture node plus
-/// the log-domain partial terms of [`union_failure`](crate::union_failure).
-/// Point updates ([`set_node_probs`](SystemSfp::set_node_probs)) recompute
-/// only the touched node; queries ([`optimize`](SystemSfp::optimize),
-/// [`analyze`](SystemSfp::analyze)) run off the caches and extend them on
-/// demand, which is why they take `&mut self`.
+/// the log-domain partial terms of [`union_failure`](crate::union_failure),
+/// stored struct-of-arrays: `series_buf`/`log_ok_buf` hold every node's
+/// computed prefix back to back, `seg[j]..seg[j+1]` addresses node `j`'s
+/// segment. Point updates ([`set_node_probs`](SystemSfp::set_node_probs))
+/// recompute only the touched node and rewrite only its segment; queries
+/// ([`optimize`](SystemSfp::optimize), [`analyze`](SystemSfp::analyze))
+/// run off the caches and extend them on demand, which is why they take
+/// `&mut self`.
 ///
 /// # Examples
 ///
@@ -127,7 +143,17 @@ fn key_of(probs: &[f64]) -> NodeKey {
 pub struct SystemSfp {
     max_k: u32,
     rounding: Rounding,
-    nodes: Vec<Arc<NodeState>>,
+    /// Per-node configuration handles (probability lists + the deepest
+    /// computed series, shared with the memo). Queries never walk these;
+    /// they read the SoA mirror below.
+    states: Vec<Arc<NodeState>>,
+    /// Segment offsets into the SoA buffers: node `j` owns
+    /// `series_buf[seg[j]..seg[j+1]]` (always `node_count + 1` entries).
+    seg: Vec<usize>,
+    /// All nodes' `Pr(f > k)` prefixes, back to back in node order.
+    series_buf: Vec<f64>,
+    /// All nodes' `ln(1 − Pr(f > k))` terms, same layout as `series_buf`.
+    log_ok_buf: Vec<f64>,
     /// The configuration memo: the "cached candidate scoring" layer.
     /// Fast-hashed (FxHash-style) — the search hashes these keys hundreds
     /// of thousands of times per exploration, where SipHash's per-call
@@ -138,6 +164,12 @@ pub struct SystemSfp {
     key_scratch: Vec<u64>,
     /// Reusable per-node gain buffer of the budget climb.
     gain_scratch: Vec<Option<f64>>,
+    /// Validity key of `goal_memo`: the exact bit patterns of the hoisted
+    /// goal constants `(n_iterations, ln ρ)` the memo was filled under.
+    goal_key: (u64, u64),
+    /// Reliability-goal decisions keyed by the bit pattern of the
+    /// log-domain union sum — see `optimize_into` for why this is exact.
+    goal_memo: FastHashMap<u64, bool>,
     memo_hits: u64,
     series_computed: u64,
 }
@@ -146,17 +178,23 @@ impl SystemSfp {
     /// Creates the analyzer for `node_count` initially-empty nodes (an
     /// empty node never fails) with budgets searched up to `max_k`.
     pub fn new(node_count: usize, max_k: u32, rounding: Rounding) -> Self {
-        let empty = NodeState::compute(Vec::new(), 0, rounding);
-        SystemSfp {
+        let mut sys = SystemSfp {
             max_k,
             rounding,
-            nodes: vec![empty; node_count],
+            states: Vec::new(),
+            seg: vec![0],
+            series_buf: Vec::new(),
+            log_ok_buf: Vec::new(),
             memo: FastHashMap::default(),
             key_scratch: Vec::new(),
             gain_scratch: Vec::new(),
+            goal_key: (u64::MAX, u64::MAX),
+            goal_memo: FastHashMap::default(),
             memo_hits: 0,
             series_computed: 0,
-        }
+        };
+        sys.set_node_count(node_count);
+        sys
     }
 
     /// Builds the analyzer from per-node process failure probabilities (as
@@ -171,7 +209,7 @@ impl SystemSfp {
 
     /// Number of analyzed nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.states.len()
     }
 
     /// The configured budget bound.
@@ -198,11 +236,21 @@ impl SystemSfp {
     /// Resizes to `node_count` nodes; new slots start empty, removed slots
     /// are dropped. Existing nodes keep their cached series.
     pub fn set_node_count(&mut self, node_count: usize) {
-        if node_count < self.nodes.len() {
-            self.nodes.truncate(node_count);
-        } else if node_count > self.nodes.len() {
+        let old = self.states.len();
+        if node_count < old {
+            self.states.truncate(node_count);
+            let end = self.seg[node_count];
+            self.seg.truncate(node_count + 1);
+            self.series_buf.truncate(end);
+            self.log_ok_buf.truncate(end);
+        } else if node_count > old {
             let empty = NodeState::compute(Vec::new(), 0, self.rounding);
-            self.nodes.resize(node_count, empty);
+            for _ in old..node_count {
+                self.series_buf.extend_from_slice(&empty.series);
+                self.log_ok_buf.extend_from_slice(&empty.log_ok);
+                self.seg.push(self.series_buf.len());
+                self.states.push(Arc::clone(&empty));
+            }
         }
     }
 
@@ -213,19 +261,19 @@ impl SystemSfp {
     ///
     /// Panics if `j` is out of range.
     pub fn node_probs(&self, j: usize) -> &[f64] {
-        &self.nodes[j].probs
+        &self.states[j].probs
     }
 
     /// The **computed prefix** of node `j`'s `Pr(f > k)` series
     /// (`series()[k]` for `k < series().len()`; at least `Pr(f > 0)` is
-    /// always present). Use [`pr_more_than`](SystemSfp::pr_more_than) to
-    /// force a specific depth.
+    /// always present) — a slice of the contiguous SoA buffer. Use
+    /// [`pr_more_than`](SystemSfp::pr_more_than) to force a specific depth.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of range.
     pub fn series(&self, j: usize) -> &[f64] {
-        &self.nodes[j].series
+        &self.series_buf[self.seg[j]..self.seg[j + 1]]
     }
 
     /// `Pr(f > k)` of node `j`, extending the cached series as needed —
@@ -237,14 +285,54 @@ impl SystemSfp {
     /// Panics if `j` is out of range.
     pub fn pr_more_than(&mut self, j: usize, k: u32) -> f64 {
         self.ensure_k(j, k as usize);
-        self.nodes[j].series[k as usize]
+        self.series_buf[self.seg[j] + k as usize]
+    }
+
+    /// Rewrites node `j`'s SoA segment from `states[j]`. When the series
+    /// depth is unchanged (the steady state: the memo serves a
+    /// configuration at its established depth) this is a pair of
+    /// `copy_from_slice` calls into the segment; a depth change splices
+    /// the buffers and shifts the following offsets.
+    fn splice_segment(&mut self, j: usize) {
+        let (start, end) = (self.seg[j], self.seg[j + 1]);
+        let state = Arc::clone(&self.states[j]);
+        let new_len = state.series.len();
+        let old_len = end - start;
+        if new_len != old_len {
+            // Shift the tail by hand instead of `Vec::splice`: splice's
+            // grow path collects the iterator remainder into a fresh
+            // `Vec`, while resize + copy_within reuses the buffers'
+            // existing capacity (a warmed-up search flipping between two
+            // depths never allocates here).
+            let total = self.series_buf.len();
+            if new_len > old_len {
+                let grow = new_len - old_len;
+                self.series_buf.resize(total + grow, 0.0);
+                self.series_buf.copy_within(end..total, end + grow);
+                self.log_ok_buf.resize(total + grow, 0.0);
+                self.log_ok_buf.copy_within(end..total, end + grow);
+            } else {
+                let shrink = old_len - new_len;
+                self.series_buf.copy_within(end..total, end - shrink);
+                self.series_buf.truncate(total - shrink);
+                self.log_ok_buf.copy_within(end..total, end - shrink);
+                self.log_ok_buf.truncate(total - shrink);
+            }
+            let delta = new_len as isize - old_len as isize;
+            for s in &mut self.seg[j + 1..] {
+                *s = (*s as isize + delta) as usize;
+            }
+        }
+        let new_end = start + new_len;
+        self.series_buf[start..new_end].copy_from_slice(&state.series);
+        self.log_ok_buf[start..new_end].copy_from_slice(&state.log_ok);
     }
 
     /// Replaces node `j`'s process failure probabilities — the one-node
     /// delta update. A configuration seen before this search is a memo
-    /// lookup; a fresh one costs `O(|probs|)` now (series prefix of depth
-    /// 0) plus lazy extension on demand. Every other node's cache is
-    /// untouched either way.
+    /// lookup plus a segment splice; a fresh one costs `O(|probs|)` now
+    /// (series prefix of depth 0) plus lazy extension on demand. Every
+    /// other node's cache is untouched either way.
     ///
     /// # Panics
     ///
@@ -257,8 +345,9 @@ impl SystemSfp {
         key.extend(probs.iter().map(|p| p.value().to_bits()));
         if let Some(state) = self.memo.get(key.as_slice()) {
             self.memo_hits += 1;
-            self.nodes[j] = Arc::clone(state);
+            self.states[j] = Arc::clone(state);
             self.key_scratch = key;
+            self.splice_segment(j);
             return;
         }
         let values: Vec<f64> = probs.iter().map(|p| p.value()).collect();
@@ -268,26 +357,28 @@ impl SystemSfp {
             self.memo.clear();
         }
         self.memo.insert(key.clone(), Arc::clone(&state));
-        self.nodes[j] = state;
+        self.states[j] = state;
         self.key_scratch = key;
+        self.splice_segment(j);
     }
 
     /// Extends node `j`'s series so that `series[k]` exists. Values are
     /// prefix-stable: a deeper recomputation reproduces every shallower
     /// entry bit for bit, so laziness never changes results.
     fn ensure_k(&mut self, j: usize, k: usize) {
-        let have = self.nodes[j].series.len();
+        let have = self.seg[j + 1] - self.seg[j];
         if k < have {
             return;
         }
         // Geometric growth bounds the number of recomputations per
         // configuration at O(log max_k).
         let target = (have.max(1) * 2).max(k).min(self.max_k as usize);
-        let probs = self.nodes[j].probs.clone();
+        let probs = self.states[j].probs.clone();
         let state = NodeState::compute(probs, target, self.rounding);
         self.series_computed += 1;
         self.memo.insert(key_of(&state.probs), Arc::clone(&state));
-        self.nodes[j] = state;
+        self.states[j] = state;
+        self.splice_segment(j);
     }
 
     /// Formula (5) for the budget vector `ks`: the union failure
@@ -301,22 +392,26 @@ impl SystemSfp {
     ///
     /// Panics if `ks` has the wrong length or any `ks[j] > max_k`.
     pub fn union_failure(&mut self, ks: &[u32]) -> f64 {
-        assert_eq!(ks.len(), self.nodes.len(), "one budget per node");
+        assert_eq!(ks.len(), self.states.len(), "one budget per node");
         for (j, &k) in ks.iter().enumerate() {
             self.ensure_k(j, k as usize);
         }
         self.union_of_cached(ks)
     }
 
+    /// The log-domain union sum over already-ensured budgets: one
+    /// contiguous-buffer gather, in node order (the same left-to-right sum
+    /// as [`union_failure`](crate::union_failure)).
+    fn log_sum_of_cached(&self, ks: &[u32]) -> f64 {
+        ks.iter()
+            .enumerate()
+            .map(|(j, &k)| self.log_ok_buf[self.seg[j] + k as usize])
+            .sum()
+    }
+
     /// The union over already-ensured budgets (no extension).
     fn union_of_cached(&self, ks: &[u32]) -> f64 {
-        let log_ok: f64 = self
-            .nodes
-            .iter()
-            .zip(ks)
-            .map(|(node, &k)| node.log_ok[k as usize])
-            .sum();
-        (-f64::exp_m1(log_ok)).clamp(0.0, 1.0)
+        (-f64::exp_m1(self.log_sum_of_cached(ks))).clamp(0.0, 1.0)
     }
 
     /// The greedy budget search of Section 6.3 off the cached series —
@@ -325,12 +420,49 @@ impl SystemSfp {
     ///
     /// [`ReExecutionOpt::optimize`]: crate::ReExecutionOpt::optimize
     pub fn optimize(&mut self, goal: ReliabilityGoal, period: TimeUs) -> Option<Vec<u32>> {
+        let mut ks = Vec::new();
+        if self.optimize_into(goal, period, &mut ks) {
+            Some(ks)
+        } else {
+            None
+        }
+    }
+
+    /// [`optimize`](SystemSfp::optimize) writing the budget vector into a
+    /// caller-provided buffer — the allocation-free entry point of the
+    /// candidate arena. Returns `true` iff the goal is reachable (in which
+    /// case `ks` holds the budgets; its prior contents are replaced).
+    pub fn optimize_into(
+        &mut self,
+        goal: ReliabilityGoal,
+        period: TimeUs,
+        ks: &mut Vec<u32>,
+    ) -> bool {
         // Hoist the period-constant factors of the goal test out of the
         // climb (bit-identical to per-iteration `is_met` calls).
         let n_iterations = goal.iterations(period);
         let ln_rho = goal.ln_rho();
-        let node_count = self.nodes.len();
-        let mut ks = vec![0u32; node_count];
+        // The goal-decision memo shortcuts the remaining per-step
+        // `exp_m1`/rounding/`ln_1p` chain. Bit-exactness argument: after
+        // hoisting, the met/not-met decision is
+        //
+        //   is_met_hoisted(n, ln ρ, rounding.up(−exp_m1(S)).clamp(0, 1))
+        //
+        // — a *pure function* of the exact bit patterns of the log-domain
+        // union sum `S`, the hoisted constants `(n, ln ρ)`, and the fixed
+        // rounding mode. Keying the memo on `S.to_bits()` and invalidating
+        // it whenever `(n.to_bits(), ln ρ.to_bits())` changes therefore
+        // replays exactly the decision the chain would have produced; no
+        // float is ever substituted, so the climb's trajectory (and the
+        // returned `ks`) cannot differ from the unmemoized walk.
+        let gk = (n_iterations.to_bits(), ln_rho.to_bits());
+        if self.goal_key != gk {
+            self.goal_memo.clear();
+            self.goal_key = gk;
+        }
+        let node_count = self.states.len();
+        ks.clear();
+        ks.resize(node_count, 0);
         // Per-node current gain `series[k] − series[k+1]` (`None` = the
         // budget cap is reached). Only the incremented node's gain moves
         // between iterations, and a cached gain is a pure reload of the
@@ -343,10 +475,22 @@ impl SystemSfp {
         let mut gains = std::mem::take(&mut self.gain_scratch);
         gains.clear();
         loop {
-            let union = self.rounding.up(self.union_of_cached(&ks));
-            if ReliabilityGoal::is_met_hoisted(n_iterations, ln_rho, union) {
+            let log_sum = self.log_sum_of_cached(ks);
+            let met = match self.goal_memo.get(&log_sum.to_bits()) {
+                Some(&m) => m,
+                None => {
+                    let union = self.rounding.up((-f64::exp_m1(log_sum)).clamp(0.0, 1.0));
+                    let m = ReliabilityGoal::is_met_hoisted(n_iterations, ln_rho, union);
+                    if self.goal_memo.len() >= GOAL_MEMO_CAP {
+                        self.goal_memo.clear();
+                    }
+                    self.goal_memo.insert(log_sum.to_bits(), m);
+                    m
+                }
+            };
+            if met {
                 self.gain_scratch = gains;
-                return Some(ks);
+                return true;
             }
             if gains.is_empty() {
                 for j in 0..node_count {
@@ -364,7 +508,7 @@ impl SystemSfp {
             }
             let Some((j, _)) = best else {
                 self.gain_scratch = gains;
-                return None;
+                return false;
             };
             ks[j] += 1;
             gains[j] = self.gain(j, ks[j] as usize);
@@ -378,8 +522,8 @@ impl SystemSfp {
             return None;
         }
         self.ensure_k(j, k + 1);
-        let series = &self.nodes[j].series;
-        Some(series[k] - series[k + 1])
+        let start = self.seg[j];
+        Some(self.series_buf[start + k] - self.series_buf[start + k + 1])
     }
 
     /// The full [`SfpResult`] for the budget vector `ks`, off the cache —
@@ -389,15 +533,14 @@ impl SystemSfp {
     ///
     /// Panics if `ks` has the wrong length or any `ks[j] > max_k`.
     pub fn analyze(&mut self, ks: &[u32], goal: ReliabilityGoal, period: TimeUs) -> SfpResult {
-        assert_eq!(ks.len(), self.nodes.len(), "one budget per node");
+        assert_eq!(ks.len(), self.states.len(), "one budget per node");
         for (j, &k) in ks.iter().enumerate() {
             self.ensure_k(j, k as usize);
         }
-        let node_failure: Vec<f64> = self
-            .nodes
+        let node_failure: Vec<f64> = ks
             .iter()
-            .zip(ks)
-            .map(|(node, &k)| node.series[k as usize])
+            .enumerate()
+            .map(|(j, &k)| self.series_buf[self.seg[j] + k as usize])
             .collect();
         let p_fail_per_iteration = self.rounding.up(self.union_of_cached(ks));
         SfpResult {
@@ -512,6 +655,68 @@ mod tests {
         sys.set_node_probs(1, &[p(1e-3), p(2e-3)]);
         assert_eq!(sys.series_computed(), computed);
         assert_eq!(sys.memo_hits(), 2);
+    }
+
+    #[test]
+    fn soa_segments_stay_consistent_across_depth_changes() {
+        // Deepen node 0 (splice grows its segment), then node 2, then
+        // shrink node 0 back to a depth-0 configuration: every segment
+        // must still read back its own node's reference series.
+        let configs = [
+            vec![p(1e-3), p(2e-3)],
+            vec![p(5e-4)],
+            vec![p(3e-3), p(4e-3), p(5e-3)],
+        ];
+        let mut sys = SystemSfp::from_node_probs(&configs, 12, Rounding::Pessimistic);
+        sys.pr_more_than(0, 7); // deepen node 0
+        sys.pr_more_than(2, 3); // deepen node 2
+        sys.set_node_probs(0, &[p(9e-4)]); // fresh depth-0 config
+        let refs: Vec<Vec<f64>> = [vec![p(9e-4)], configs[1].clone(), configs[2].clone()]
+            .iter()
+            .map(|c| NodeSfp::new(c.clone(), Rounding::Pessimistic).pr_more_than_series(12))
+            .collect();
+        for (j, reference) in refs.iter().enumerate() {
+            let have = sys.series(j).len();
+            assert_eq!(sys.series(j), &reference[..have], "node {j}");
+            for k in 0..=12u32 {
+                assert_eq!(
+                    sys.pr_more_than(j, k),
+                    reference[k as usize],
+                    "node {j} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_into_reuses_the_buffer_and_matches_optimize() {
+        let node_probs = vec![vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]];
+        let mut sys = SystemSfp::from_node_probs(&node_probs, 30, Rounding::Pessimistic);
+        let mut ks = vec![7u32; 8]; // stale contents must be replaced
+        assert!(sys.optimize_into(goal(), TimeUs::from_ms(360), &mut ks));
+        assert_eq!(ks, vec![1, 1]);
+        assert_eq!(sys.optimize(goal(), TimeUs::from_ms(360)), Some(ks));
+    }
+
+    #[test]
+    fn goal_memo_invalidates_on_goal_or_period_change() {
+        let node_probs = vec![vec![p(1.2e-5), p(1.3e-5)], vec![p(1.2e-5), p(1.3e-5)]];
+        let mut sys = SystemSfp::from_node_probs(&node_probs, 30, Rounding::Pessimistic);
+        let strict = ReliabilityGoal::per_hour(1e-9).unwrap();
+        // Alternate between goals and periods; each call must equal a
+        // fresh analyzer's answer (no stale decision can leak through).
+        for (g, ms) in [
+            (goal(), 360),
+            (strict, 360),
+            (goal(), 360),
+            (goal(), 100),
+            (strict, 100),
+        ] {
+            let got = sys.optimize(g, TimeUs::from_ms(ms));
+            let fresh = SystemSfp::from_node_probs(&node_probs, 30, Rounding::Pessimistic)
+                .optimize(g, TimeUs::from_ms(ms));
+            assert_eq!(got, fresh, "goal {g:?} period {ms}ms");
+        }
     }
 
     #[test]

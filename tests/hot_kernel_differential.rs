@@ -11,14 +11,27 @@
 //! * **memoized tabu ≡ unmemoized tabu** — the cross-iteration
 //!   mapping-outcome memo must not alter the search: identical best
 //!   candidate and identical accepted-move trace, step for step.
+//!
+//! The PR 6 batched/allocation-free core adds three more layers:
+//!
+//! * **batched neighborhood ≡ per-probe loop** — `score_neighborhood`
+//!   must return the exact outcomes a sequential mutate-probe-undo loop
+//!   produces, probe for probe;
+//! * **SoA `SystemSfp` ≡ `NodeSfp` reference** — the contiguous
+//!   segment-addressed series buffers must read back bit-identically to
+//!   per-node from-scratch series across arbitrary update/deepen walks;
+//! * **incremental search ≡ scratch specification, trace level** — the
+//!   whole pooled + batched engine must walk the identical accepted-move
+//!   trajectory as `EvalMode::Scratch`.
 
 use ftes::gen::{BusProfile, GraphShape, Heterogeneity, Scenario, Utilization};
-use ftes::model::{Architecture, HLevel, NodeId, ProcessId, TimeUs};
+use ftes::model::{Architecture, HLevel, NodeId, Prob, ProcessId, TimeUs};
 use ftes::opt::{
-    initial_mapping, mapping_algorithm_traced, Evaluator, MemoCap, Objective, OptConfig,
-    RedundancyMemo, TabuConfig, TabuMove,
+    initial_mapping, mapping_algorithm_traced, redundancy_opt_memo, EvalMode, Evaluator, MemoCap,
+    Objective, OptConfig, RedundancyMemo, RedundancyOutcome, TabuConfig, TabuMove,
 };
 use ftes::sched::{longest_path_to_sink, PriorityCache, ReadyPolicy, Scheduler, SlackModel};
+use ftes::sfp::{union_failure, NodeSfp, Rounding, SystemSfp};
 use proptest::prelude::*;
 
 /// One generated workload cell: shape × bus picks over a seeded scenario.
@@ -199,6 +212,178 @@ proptest! {
             other => prop_assert!(false, "divergent feasibility: {:?}", other),
         }
         prop_assert_eq!(no_memo.hits(), 0, "disabled memo must never hit");
+    }
+
+    /// The batched neighborhood kernel must score a tabu iteration's
+    /// probe list bit-identically to the sequential mutate-probe-undo
+    /// loop it replaced — on both the memoized and the unmemoized path —
+    /// and leave the mapping untouched.
+    #[test]
+    fn score_neighborhood_matches_sequential_per_probe_loop(
+        index in 0u64..4,
+        shape_pick in 0u8..4,
+        bus_pick in 0u8..3,
+        seed in 1u64..1000,
+        memo_pick in 0u8..2,
+    ) {
+        let memo_on = memo_pick == 1;
+        let system = cell(shape_pick, bus_pick, seed).generate(index);
+        let timing = system.timing();
+        let ids = system.platform().ids_fastest_first();
+        let base = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+        let mapping = initial_mapping(&system, &base).unwrap();
+        let config = OptConfig {
+            mapping_memo: if memo_on { OptConfig::default().mapping_memo } else { MemoCap(0) },
+            ..OptConfig::default()
+        };
+
+        // One tabu iteration's full neighborhood: every legal
+        // single-process re-map.
+        let probes: Vec<TabuMove> = system
+            .application()
+            .process_ids()
+            .flat_map(|p| {
+                let from = mapping.node_of(p);
+                base.node_ids()
+                    .filter(|&node| node != from && timing.supports(p, base.node_type(node)))
+                    .map(move |node| (p, node))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut batch_eval = Evaluator::new(&system, &config);
+        let mut batch_memo = RedundancyMemo::from_config(&config);
+        let mut batch_map = mapping.clone();
+        let mut batched: Vec<Option<RedundancyOutcome>> = Vec::new();
+        batch_eval
+            .score_neighborhood(&mut batch_memo, &base, &mut batch_map, &probes, &mut batched)
+            .unwrap();
+        prop_assert_eq!(&batch_map, &mapping, "mapping must be restored");
+
+        let mut seq_eval = Evaluator::new(&system, &config);
+        let mut seq_memo = RedundancyMemo::from_config(&config);
+        let mut seq_map = mapping.clone();
+        let mut sequential: Vec<Option<RedundancyOutcome>> = Vec::new();
+        for &(p, node) in &probes {
+            let from = seq_map.node_of(p);
+            seq_map.assign(p, node);
+            sequential
+                .push(redundancy_opt_memo(&mut seq_eval, &mut seq_memo, &base, &seq_map).unwrap());
+            seq_map.assign(p, from);
+        }
+        prop_assert_eq!(&batched, &sequential);
+    }
+
+    /// The SoA series buffers must read back bit-identically to fresh
+    /// per-node `NodeSfp` series across arbitrary walks of one-node
+    /// updates and lazy deepenings (splices shifting the segments).
+    #[test]
+    fn soa_system_sfp_matches_node_sfp_reference(
+        node_values in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..0.01, 0..5), 1..5),
+        updates in proptest::collection::vec(
+            (0usize..5, proptest::collection::vec(0.0f64..0.01, 0..6), 0u32..12), 0..8),
+        k in 0u32..12,
+    ) {
+        const MAX_K: u32 = 12;
+        let rounding = Rounding::Pessimistic;
+        let to_probs =
+            |vals: &[f64]| vals.iter().map(|&v| Prob::new(v).unwrap()).collect::<Vec<Prob>>();
+        let mut current: Vec<Vec<Prob>> = node_values.iter().map(|v| to_probs(v)).collect();
+        let mut sys = SystemSfp::from_node_probs(&current, MAX_K, rounding);
+
+        let mut walk: Vec<(usize, Vec<f64>, u32)> = updates;
+        walk.push((0, node_values[0].clone(), k)); // revisit the initial config
+        for (node_pick, vals, depth) in walk {
+            let j = node_pick % current.len();
+            current[j] = to_probs(&vals);
+            sys.set_node_probs(j, &current[j]);
+            // Deepen one node, then check every node against a fresh
+            // reference series — values and union, bit for bit.
+            let _ = sys.pr_more_than(j, depth);
+            for (jj, probs) in current.iter().enumerate() {
+                let reference =
+                    NodeSfp::new(probs.clone(), rounding).pr_more_than_series(MAX_K);
+                let have = sys.series(jj).len();
+                prop_assert_eq!(sys.series(jj), &reference[..have], "node {} prefix", jj);
+                for kk in [0, depth, MAX_K] {
+                    let got = sys.pr_more_than(jj, kk);
+                    prop_assert_eq!(
+                        got.to_bits(),
+                        reference[kk as usize].to_bits(),
+                        "node {} k {}",
+                        jj,
+                        kk
+                    );
+                }
+            }
+            let ks: Vec<u32> = (0..current.len() as u32).map(|i| (i + depth) % (MAX_K + 1)).collect();
+            let per_node: Vec<f64> = current
+                .iter()
+                .zip(&ks)
+                .map(|(probs, &kk)| NodeSfp::new(probs.clone(), rounding).pr_more_than(kk))
+                .collect();
+            prop_assert_eq!(
+                sys.union_failure(&ks).to_bits(),
+                union_failure(&per_node).to_bits(),
+                "union under {:?}",
+                ks
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The whole pooled + batched incremental engine must walk the same
+    /// accepted-move trajectory as the from-scratch specification
+    /// (`EvalMode::Scratch`, no memo): identical traces, identical best
+    /// solution — the strongest end-to-end bit-identity pin.
+    #[test]
+    fn incremental_search_trace_matches_scratch_specification(
+        index in 0u64..2,
+        shape_pick in 0u8..4,
+        bus_pick in 0u8..3,
+        seed in 1u64..300,
+        objective in prop_oneof![Just(Objective::Cost), Just(Objective::ScheduleLength)],
+    ) {
+        let system = cell(shape_pick, bus_pick, seed).generate(index);
+        let ids = system.platform().ids_fastest_first();
+        let base = Architecture::with_min_hardening(&[ids[0], ids[1]]);
+        let incr_cfg = OptConfig {
+            tabu: TabuConfig { max_iterations: 5, ..TabuConfig::default() },
+            ..OptConfig::default()
+        };
+        let scratch_cfg = OptConfig {
+            eval_mode: EvalMode::Scratch,
+            mapping_memo: MemoCap(0),
+            ..incr_cfg
+        };
+
+        let mut incr_trace: Vec<TabuMove> = Vec::new();
+        let mut incr_eval = Evaluator::new(&system, &incr_cfg);
+        let mut incr_memo = RedundancyMemo::from_config(&incr_cfg);
+        let incremental = mapping_algorithm_traced(
+            &mut incr_eval, &mut incr_memo, &base, objective, None, Some(&mut incr_trace),
+        ).unwrap();
+
+        let mut scratch_trace: Vec<TabuMove> = Vec::new();
+        let mut scratch_eval = Evaluator::new(&system, &scratch_cfg);
+        let mut scratch_memo = RedundancyMemo::from_config(&scratch_cfg);
+        let scratch = mapping_algorithm_traced(
+            &mut scratch_eval, &mut scratch_memo, &base, objective, None, Some(&mut scratch_trace),
+        ).unwrap();
+
+        prop_assert_eq!(&incr_trace, &scratch_trace, "move traces diverged");
+        match (&incremental, &scratch) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(&a.solution, &b.solution);
+                prop_assert_eq!(a.schedulable, b.schedulable);
+            }
+            other => prop_assert!(false, "divergent feasibility: {:?}", other),
+        }
     }
 }
 
