@@ -7,6 +7,12 @@
 //! repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS]
 //!              [--threads N] [--shard I/N] [--out PATH]
 //! repro_matrix --merge OUT SHARD_FILE...
+//! repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N]
+//!              [--grace-ms N] [matrix flags] [--out PATH]
+//! repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]
+//!              [matrix flags]
+//! repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]
+//!              [matrix flags] [--out PATH]
 //! ```
 //!
 //! Defaults: the full 216-cell v2 matrix ([`ScenarioMatrix::full_v2`]),
@@ -33,6 +39,22 @@
 //!   overlaps abort the merge. The merged document is byte-identical to
 //!   an unsharded run's (up to the measured `wall_seconds`) — plain file
 //!   concatenation is not.
+//! * `--serve ADDR` runs the **distributed coordinator**: workers
+//!   connect, receive cells as deadline-bearing leases, stream back
+//!   checksummed results; lost/expired/corrupt leases are re-queued, and
+//!   with no workers around the coordinator degrades to local execution
+//!   after `--grace-ms`. The document is byte-identical to a local run
+//!   (up to `wall_seconds` and the `dist_*` header stats).
+//!   `--addr-file PATH` publishes the actually bound address (use port
+//!   `0` for an ephemeral port).
+//! * `--worker ADDR|@PATH` runs a worker against a coordinator (with
+//!   `@PATH`, the address is polled from the file `--addr-file` writes).
+//!   Matrix flags must match the coordinator's — a fingerprint mismatch
+//!   is rejected at registration. `--chaos kill:N,hang:N,corrupt:N,dup:N`
+//!   injects a seeded (`--chaos-seed`) fault schedule for harness tests.
+//! * `--dist-workers N` runs the whole distributed stack in one process
+//!   over loopback (N worker threads; `--chaos` applies to worker 0) —
+//!   the quickest way to exercise the fault-tolerance machinery.
 //!
 //! Cells are streamed: each finished cell is rendered and appended to the
 //! output file in deterministic cell order while later cells are still
@@ -42,13 +64,15 @@
 
 use std::io::Write as _;
 
+use ftes_bench::dist::{run_dist_local, ChaosPlan, Coordinator, LocalWorkerSpec};
 use ftes_bench::{
-    cell_json, json_footer, json_header, merge_shard_texts, render_table_row, run_cells_streaming,
-    BenchMeta, MatrixRunConfig, Shard, Strategy,
+    cell_json, json_footer, json_header, json_header_with, merge_shard_texts, read_shard_file,
+    render_table_row, run_cells_streaming, run_worker, BenchMeta, DistConfig, DistStats,
+    MatrixRunConfig, Shard, Strategy, WorkerConfig, WorkerOutcome,
 };
 use ftes_gen::ScenarioMatrix;
 use ftes_model::Cost;
-use ftes_opt::Threads;
+use ftes_opt::{CoreBudget, Threads};
 
 fn parse_shard(spec: &str) -> Option<Shard> {
     let (i, n) = spec.split_once('/')?;
@@ -90,19 +114,25 @@ fn restrict_axes(mut matrix: ScenarioMatrix, keep: &str) -> ScenarioMatrix {
 }
 
 /// The `--merge` mode: read shard documents, validate, stitch, write.
+/// Every failure path — unreadable file, binary garbage, truncated
+/// document, inconsistent shards, unwritable output — is a one-line
+/// error and a nonzero exit, never a panic.
 fn run_merge(out: &str, files: &[String]) -> ! {
     let texts: Vec<String> = files
         .iter()
         .map(|f| {
-            std::fs::read_to_string(f).unwrap_or_else(|e| {
-                eprintln!("cannot read shard file {f}: {e}");
+            read_shard_file(f).unwrap_or_else(|e| {
+                eprintln!("{e}");
                 std::process::exit(2);
             })
         })
         .collect();
     match merge_shard_texts(&texts) {
         Ok(merged) => {
-            std::fs::write(out, &merged).expect("write merged output");
+            if let Err(e) = std::fs::write(out, &merged) {
+                eprintln!("cannot write merged output {out}: {e}");
+                std::process::exit(2);
+            }
             eprintln!("merged {} shard file(s) into {out}", files.len());
             std::process::exit(0);
         }
@@ -111,6 +141,84 @@ fn run_merge(out: &str, files: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// Resolves a `--worker` address argument: either a literal `host:port`
+/// or `@PATH`, polling the file a coordinator's `--addr-file` writes
+/// (briefly, so a worker started a moment before its coordinator still
+/// connects).
+fn resolve_worker_addr(spec: &str) -> Result<String, String> {
+    let Some(path) = spec.strip_prefix('@') else {
+        return Ok(spec.to_string());
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => return Ok(s.trim().to_string()),
+            _ if std::time::Instant::now() >= deadline => {
+                return Err(format!("no coordinator address appeared in {path}"));
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+}
+
+/// The `--worker` mode: serve leases until the coordinator says
+/// shutdown. Exit code 0 covers both a clean shutdown and an injected
+/// chaos kill (a *successful* fault injection — CI teardown counts on
+/// that); registration refusal and exhausted reconnects are real errors.
+fn run_worker_mode(
+    addr_spec: &str,
+    cells: &[ftes_gen::Scenario],
+    arc: Cost,
+    threads: Threads,
+    chaos: ChaosPlan,
+    seed: u64,
+) -> ! {
+    let addr = resolve_worker_addr(addr_spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(4);
+    });
+    let cfg = WorkerConfig {
+        name: format!("pid-{}", std::process::id()),
+        budget: CoreBudget::new(threads.resolve()),
+        chaos,
+        seed,
+        ..WorkerConfig::default()
+    };
+    let report = run_worker(&addr, cells, &Strategy::ALL, arc, &cfg);
+    eprintln!(
+        "worker {}: {:?} ({} cells over {} connection(s), {} fault(s) injected)",
+        cfg.name, report.outcome, report.cells_completed, report.connects, report.chaos_fired
+    );
+    match report.outcome {
+        WorkerOutcome::Shutdown | WorkerOutcome::Killed => std::process::exit(0),
+        WorkerOutcome::Rejected(_) => std::process::exit(3),
+        WorkerOutcome::GaveUp(_) => std::process::exit(4),
+    }
+}
+
+/// Writes the distributed run's document: cells are buffered (they are
+/// small — the full v2 matrix renders under a megabyte) because the
+/// `dist_*` header stats are only final once the run completes.
+fn write_dist_doc(
+    out: &str,
+    arc: Cost,
+    meta: BenchMeta,
+    stats: &DistStats,
+    payloads: &[String],
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(out)?;
+    let mut writer = std::io::BufWriter::new(file);
+    writer.write_all(json_header_with(arc, Some(meta), &stats.header_lines()).as_bytes())?;
+    for (i, payload) in payloads.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",\n")?;
+        }
+        writer.write_all(payload.as_bytes())?;
+    }
+    writer.write_all(json_footer().as_bytes())?;
+    writer.flush()
 }
 
 fn main() {
@@ -130,11 +238,58 @@ fn main() {
     let mut threads = Threads(0);
     let mut shard = None;
     let mut out: Option<String> = None;
+    let mut serve: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut worker: Option<String> = None;
+    let mut dist_workers: Option<usize> = None;
+    let mut chaos = ChaosPlan::default();
+    let mut chaos_seed = 0u64;
+    let mut lease_ms: Option<u64> = None;
+    let mut grace_ms: Option<u64> = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--pr3" => pr3 = true,
+            "--serve" => serve = Some(args.next().expect("--serve needs host:port")),
+            "--addr-file" => addr_file = Some(args.next().expect("--addr-file needs a path")),
+            "--worker" => worker = Some(args.next().expect("--worker needs host:port or @path")),
+            "--dist-workers" => {
+                dist_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--dist-workers needs a worker count"),
+                );
+            }
+            "--chaos" => {
+                let spec = args
+                    .next()
+                    .expect("--chaos needs kill:N,hang:N,corrupt:N,dup:N");
+                chaos = ChaosPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --chaos spec: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--chaos-seed" => {
+                chaos_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--chaos-seed needs a number");
+            }
+            "--lease-ms" => {
+                lease_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--lease-ms needs milliseconds"),
+                );
+            }
+            "--grace-ms" => {
+                grace_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--grace-ms needs milliseconds"),
+                );
+            }
             "--axes" => axes = Some(args.next().expect("--axes needs a comma-separated list")),
             "--arc" => {
                 arc = args
@@ -165,7 +320,10 @@ fn main() {
                 eprintln!(
                     "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
                      [--threads N] [--shard I/N] [--out PATH]\n       \
-                     repro_matrix --merge OUT SHARD_FILE..."
+                     repro_matrix --merge OUT SHARD_FILE...\n       \
+                     repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N] [--grace-ms N]\n       \
+                     repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]\n       \
+                     repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]"
                 );
                 std::process::exit(2);
             }
@@ -192,6 +350,105 @@ fn main() {
     let out = out.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 
     let cells = matrix.cells();
+
+    let dist_modes = [serve.is_some(), worker.is_some(), dist_workers.is_some()];
+    if dist_modes.iter().filter(|&&m| m).count() > 1 {
+        eprintln!("--serve, --worker and --dist-workers are mutually exclusive");
+        std::process::exit(2);
+    }
+    if dist_modes.contains(&true) && shard.is_some() {
+        eprintln!("--shard does not combine with distributed modes (the coordinator is the shard)");
+        std::process::exit(2);
+    }
+
+    if let Some(addr_spec) = worker {
+        run_worker_mode(
+            &addr_spec,
+            &cells,
+            Cost::new(arc),
+            threads,
+            chaos,
+            chaos_seed,
+        );
+    }
+
+    if serve.is_some() || dist_workers.is_some() {
+        let dist_cfg = DistConfig {
+            lease_ms: lease_ms.unwrap_or(DistConfig::default().lease_ms),
+            grace_ms: grace_ms.unwrap_or(DistConfig::default().grace_ms),
+            progress: true,
+            ..DistConfig::default()
+        };
+        let budget = CoreBudget::new(threads.resolve());
+        let arc_cost = Cost::new(arc);
+        let mut payloads: Vec<String> = Vec::with_capacity(cells.len());
+        let start = std::time::Instant::now();
+        let stats = if let Some(bind_addr) = serve {
+            let coordinator = Coordinator::bind(&bind_addr, dist_cfg).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let actual = coordinator.local_addr();
+            eprintln!("coordinator listening on {actual} ({} cells)", cells.len());
+            if let Some(path) = &addr_file {
+                if let Err(e) = std::fs::write(path, format!("{actual}\n")) {
+                    eprintln!("cannot write --addr-file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            coordinator.run(&cells, &Strategy::ALL, arc_cost, budget, |_, p| {
+                payloads.push(p.to_string());
+            })
+        } else {
+            let n = dist_workers.unwrap_or(1).max(1);
+            // Worker 0 carries the chaos budget; the rest stay clean so
+            // re-queued cells always have a healthy taker.
+            let specs: Vec<LocalWorkerSpec> = (0..n)
+                .map(|i| LocalWorkerSpec {
+                    chaos: if i == 0 { chaos } else { ChaosPlan::default() },
+                    seed: chaos_seed.wrapping_add(i as u64),
+                })
+                .collect();
+            run_dist_local(
+                &cells,
+                &Strategy::ALL,
+                arc_cost,
+                &dist_cfg,
+                &specs,
+                budget,
+                |_, p| payloads.push(p.to_string()),
+            )
+            .map(|(stats, reports)| {
+                for (i, r) in reports.iter().enumerate() {
+                    eprintln!(
+                        "worker {i}: {:?} ({} cells, {} connection(s), {} fault(s))",
+                        r.outcome, r.cells_completed, r.connects, r.chaos_fired
+                    );
+                }
+                stats
+            })
+        };
+        let stats = stats.unwrap_or_else(|e| {
+            eprintln!("distributed run failed: {e}");
+            std::process::exit(1);
+        });
+        let meta = BenchMeta::new(pr, smoke);
+        if let Err(e) = write_dist_doc(&out, arc_cost, meta, &stats, &payloads) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {out} ({} cells in {:.1}s; {} worker(s) registered, {} lease(s) re-queued, \
+             {} duplicate(s) dropped, {} cell(s) run locally)",
+            stats.cells_emitted,
+            start.elapsed().as_secs_f64(),
+            stats.workers_registered,
+            stats.leases_requeued,
+            stats.duplicates_dropped,
+            stats.local_fallback_cells,
+        );
+        std::process::exit(0);
+    }
     let config = MatrixRunConfig {
         arc: Cost::new(arc),
         threads,

@@ -1,0 +1,299 @@
+//! Seeded fault injection for the distributed matrix runner.
+//!
+//! A [`ChaosPlan`] is a budget of faults (`kill:N,hang:N,corrupt:N,dup:N`
+//! on the CLI); a [`ChaosState`] turns it into a deterministic schedule:
+//! the plan's fault instances are shuffled once with a seeded ChaCha8
+//! stream, then each granted lease draws whether to consume the next
+//! instance. The same `(plan, seed)` always injects the same faults at
+//! the same lease ordinals, so every chaos run is reproducible and the
+//! integration suite can assert byte-identical output per schedule.
+//!
+//! What each fault does to the worker:
+//!
+//! * **kill** — the worker drops its connection and dies mid-cell (the
+//!   lease is granted, the result never sent). The coordinator's lease
+//!   deadline or the disconnect re-queues the cell.
+//! * **hang** — the worker stalls past the lease deadline, *then* still
+//!   computes and sends the (now stale) result: exercises expiry,
+//!   re-queue and the late/duplicate completion path.
+//! * **corrupt** — the result frame is mangled before sending: either a
+//!   flipped payload byte (checksum mismatch) or a truncated frame
+//!   (parse failure). The coordinator must discard it and re-queue.
+//! * **dup** — the result frame is sent twice; the coordinator must
+//!   drop the duplicate and count it.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Die mid-cell: drop the connection without sending the result.
+    Kill,
+    /// Stall past the lease deadline, then send the stale result.
+    Hang,
+    /// Flip a payload byte in the result frame (checksum mismatch).
+    CorruptFlip,
+    /// Send only a truncated prefix of the result frame.
+    CorruptTruncate,
+    /// Send the result frame twice.
+    Duplicate,
+}
+
+/// A fault budget, parsed from `kill:N,hang:N,corrupt:N,dup:N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    /// Number of kill faults to inject.
+    pub kill: u32,
+    /// Number of hang faults to inject.
+    pub hang: u32,
+    /// Number of corrupt faults (byte flips and truncations alternate).
+    pub corrupt: u32,
+    /// Number of duplicate completions to inject.
+    pub dup: u32,
+}
+
+impl ChaosPlan {
+    /// Parses a `kill:N,hang:N,corrupt:N,dup:N` spec; every part is
+    /// optional (`kill:1` alone is valid), unknown or malformed parts
+    /// are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed part.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (kind, count) = part
+                .split_once(':')
+                .ok_or_else(|| format!("chaos part {part:?} is not kind:count"))?;
+            let count: u32 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("chaos count in {part:?} is not a number"))?;
+            match kind.trim() {
+                "kill" => plan.kill += count,
+                "hang" => plan.hang += count,
+                "corrupt" => plan.corrupt += count,
+                "dup" => plan.dup += count,
+                other => {
+                    return Err(format!(
+                        "unknown chaos kind {other:?} (expected kill, hang, corrupt or dup)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Total number of fault instances in the budget.
+    pub fn total(&self) -> u32 {
+        self.kill + self.hang + self.corrupt + self.dup
+    }
+}
+
+/// The per-worker deterministic fault schedule.
+#[derive(Debug)]
+pub struct ChaosState {
+    /// Remaining fault instances, pre-shuffled; drawn back-to-front.
+    actions: Vec<ChaosAction>,
+    rng: ChaCha8Rng,
+}
+
+impl ChaosState {
+    /// Builds the schedule for one worker. Give each worker a distinct
+    /// seed (e.g. `base_seed + worker_index`) so concurrent workers
+    /// inject at different points.
+    pub fn new(plan: ChaosPlan, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut actions = Vec::with_capacity(plan.total() as usize);
+        for i in 0..plan.kill {
+            // Only the last kill can ever fire (the worker dies), but
+            // keeping them all in the shuffle preserves the plan's odds.
+            let _ = i;
+            actions.push(ChaosAction::Kill);
+        }
+        for _ in 0..plan.hang {
+            actions.push(ChaosAction::Hang);
+        }
+        for i in 0..plan.corrupt {
+            actions.push(if i % 2 == 0 {
+                ChaosAction::CorruptFlip
+            } else {
+                ChaosAction::CorruptTruncate
+            });
+        }
+        for _ in 0..plan.dup {
+            actions.push(ChaosAction::Duplicate);
+        }
+        // Fisher–Yates with the seeded stream.
+        for i in (1..actions.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            actions.swap(i, j);
+        }
+        ChaosState { actions, rng }
+    }
+
+    /// Decides the fault (if any) to inject on the next granted lease:
+    /// each lease consumes the next scheduled instance with probability
+    /// ½ while the budget lasts, so faults spread over the run instead
+    /// of front-loading.
+    pub fn next_action(&mut self) -> Option<ChaosAction> {
+        if self.actions.is_empty() {
+            return None;
+        }
+        if self.rng.gen_bool(0.5) {
+            self.actions.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Deterministically picks a byte position to mangle in a frame of
+    /// `len` bytes (used by the corrupt actions).
+    pub fn pick_offset(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        self.rng.gen_range(0..len)
+    }
+
+    /// Remaining (not yet fired) fault instances.
+    pub fn remaining(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// Mangles a rendered result frame according to a corrupt action:
+/// `CorruptFlip` flips one payload byte (keeping the line structure so
+/// the checksum, not the parser, catches it); `CorruptTruncate` keeps
+/// only a prefix and terminates the line early.
+pub fn corrupt_frame(action: ChaosAction, frame: &str, state: &mut ChaosState) -> String {
+    match action {
+        ChaosAction::CorruptFlip => {
+            let bytes = frame.as_bytes();
+            // Flip an alphanumeric byte (guaranteed present: the frame
+            // kind) so the line stays valid UTF-8 and a parseable frame.
+            let candidates: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_ascii_alphanumeric())
+                .map(|(i, _)| i)
+                .collect();
+            let pick = candidates[state.pick_offset(candidates.len())];
+            let mut out = bytes.to_vec();
+            out[pick] = if out[pick] == b'x' { b'y' } else { b'x' };
+            String::from_utf8(out).expect("ASCII flip keeps UTF-8")
+        }
+        ChaosAction::CorruptTruncate => {
+            let keep = frame.len() / 2;
+            let keep = (0..=keep).rev().find(|&i| frame.is_char_boundary(i));
+            format!("{}\n", &frame[..keep.unwrap_or(0)])
+        }
+        other => panic!("corrupt_frame called with non-corrupt action {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::protocol::{checksum, Frame};
+
+    #[test]
+    fn plan_parses_full_and_partial_specs() {
+        assert_eq!(
+            ChaosPlan::parse("kill:1,hang:2,corrupt:3,dup:4").unwrap(),
+            ChaosPlan {
+                kill: 1,
+                hang: 2,
+                corrupt: 3,
+                dup: 4
+            }
+        );
+        assert_eq!(
+            ChaosPlan::parse("kill:2").unwrap(),
+            ChaosPlan {
+                kill: 2,
+                ..ChaosPlan::default()
+            }
+        );
+        assert_eq!(ChaosPlan::parse("").unwrap(), ChaosPlan::default());
+        assert!(ChaosPlan::parse("explode:1").is_err());
+        assert!(ChaosPlan::parse("kill").is_err());
+        assert!(ChaosPlan::parse("kill:x").is_err());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_exhaust_the_budget() {
+        let plan = ChaosPlan::parse("kill:1,hang:2,corrupt:2,dup:1").unwrap();
+        let draw = |seed: u64| {
+            let mut state = ChaosState::new(plan, seed);
+            let mut seq = Vec::new();
+            // 200 leases is far beyond the ½-consumption expectation.
+            for _ in 0..200 {
+                seq.push(state.next_action());
+            }
+            (seq, state.remaining())
+        };
+        let (a, rem_a) = draw(7);
+        let (b, rem_b) = draw(7);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_eq!(rem_a, 0, "budget not exhausted over 200 leases");
+        assert_eq!(rem_b, 0);
+        assert_eq!(
+            a.iter().flatten().count(),
+            plan.total() as usize,
+            "every budgeted fault fires exactly once"
+        );
+        let (c, _) = draw(8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn corrupt_flip_breaks_the_checksum_but_not_the_frame() {
+        let payload = "    {\n      \"scenario\": \"x\"\n    }";
+        let frame = Frame::Result {
+            lease: 1,
+            cell: 0,
+            crc: checksum(payload),
+            payload: payload.to_string(),
+        }
+        .render();
+        let mut state = ChaosState::new(ChaosPlan::default(), 3);
+        let mut saw_crc_break = false;
+        for _ in 0..16 {
+            let mangled = corrupt_frame(ChaosAction::CorruptFlip, &frame, &mut state);
+            assert_ne!(mangled, frame);
+            match Frame::parse(&mangled) {
+                Ok(Frame::Result { crc, payload, .. }) => {
+                    if crc != checksum(&payload) {
+                        saw_crc_break = true;
+                    }
+                }
+                // Flipping a structural byte (e.g. in "frame":"result")
+                // makes it unparseable — also a detected corruption.
+                _ => saw_crc_break = true,
+            }
+        }
+        assert!(saw_crc_break, "no flip was ever detectable");
+    }
+
+    #[test]
+    fn corrupt_truncate_yields_a_detectably_broken_line() {
+        let frame = Frame::Result {
+            lease: 9,
+            cell: 4,
+            crc: checksum("body"),
+            payload: "body".to_string(),
+        }
+        .render();
+        let mut state = ChaosState::new(ChaosPlan::default(), 3);
+        let mangled = corrupt_frame(ChaosAction::CorruptTruncate, &frame, &mut state);
+        assert!(mangled.len() < frame.len());
+        match Frame::parse(&mangled) {
+            Err(_) => {}
+            Ok(Frame::Result { crc, payload, .. }) => assert_ne!(crc, checksum(&payload)),
+            Ok(other) => panic!("truncation produced a different valid frame {other:?}"),
+        }
+    }
+}

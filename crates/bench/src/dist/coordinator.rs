@@ -1,0 +1,579 @@
+//! The lease-based coordinator of the distributed matrix runner.
+//!
+//! The coordinator owns the shared cell cursor. Workers register over
+//! TCP ([`super::protocol`]), receive cells as **leases** with deadlines
+//! and stream back verified results, which are emitted to the caller's
+//! sink **in cell order** — the same in-order contract as
+//! [`run_cells_streaming`](crate::run_cells_streaming), so the merged
+//! document is byte-identical to a local sequential run (up to
+//! `wall_seconds`) no matter which workers die, stall, corrupt frames
+//! or double-send.
+//!
+//! ## Lease lifecycle
+//!
+//! ```text
+//!            pop cursor                   verified result
+//!  Pending ─────────────▶ Leased ────────────────────────▶ Done
+//!     ▲                     │
+//!     │   deadline miss /   │
+//!     │   disconnect /      │        late/duplicate result
+//!     └───── corrupt ───────┘        on a Done cell ──▶ dropped + counted
+//! ```
+//!
+//! A lease is re-queued (back to the *front* of the cursor, so retried
+//! cells finish early for the in-order sink) when its worker misses the
+//! deadline, disconnects, or returns a frame that fails parsing or its
+//! checksum. A verified result is accepted whenever its cell is not yet
+//! `Done` — even from an expired lease — and duplicates are dropped and
+//! counted. Every socket read and write is bounded by a timeout, so a
+//! hung peer can never wedge a handler thread.
+//!
+//! ## Degraded modes
+//!
+//! If no worker is connected for [`DistConfig::grace_ms`] (none ever
+//! registered, or all died), the coordinator starts executing pending
+//! cells **locally** through the same engine — the run always
+//! terminates with the same document, distribution is only ever an
+//! accelerator. The final accounting is checked: every cell emitted
+//! exactly once, or the run returns an error instead of a silently
+//! wrong artifact.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ftes_gen::Scenario;
+use ftes_model::Cost;
+use ftes_opt::CoreBudget;
+
+use super::protocol::{checksum, matrix_fingerprint, Frame, FrameReader, RecvError, PROTO_VERSION};
+use super::{DistConfig, DistStats};
+use crate::matrix::{cell_json, run_cell_budgeted};
+use crate::Strategy;
+
+/// Where a cell currently is in the lease lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    /// On the cursor, waiting to be leased.
+    Pending,
+    /// Leased to a worker (or claimed by the local fallback).
+    Leased,
+    /// A verified payload has been accepted.
+    Done,
+}
+
+/// One granted, not-yet-answered lease (handler-local bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct ActiveLease {
+    id: u64,
+    cell: usize,
+    deadline: Instant,
+}
+
+/// Shared coordinator state behind one mutex.
+#[derive(Debug)]
+struct CoordState {
+    /// The shared cursor: cells waiting to be leased, front first.
+    pending: VecDeque<usize>,
+    cell_state: Vec<CellState>,
+    /// Verified payloads waiting for in-order emission.
+    done_payloads: BTreeMap<usize, String>,
+    /// Cells emitted so far (`done_payloads` keys < `emitted` are gone).
+    emitted: usize,
+    next_lease: u64,
+    next_worker: u64,
+    connected: usize,
+    /// Last registration or verified result — the grace clock.
+    last_activity: Instant,
+    /// The run is complete; everyone should wind down.
+    all_emitted: bool,
+    stats: DistStats,
+}
+
+/// The condvar pair: `work_ready` wakes handlers waiting for pending
+/// cells, `completed` wakes the in-order emitter (results, worker
+/// (dis)connects and re-queues all change what it can do next).
+struct Shared {
+    state: Mutex<CoordState>,
+    work_ready: Condvar,
+    completed: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoordState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            // A poisoned lock means a handler panicked; the state itself
+            // is a bag of counters and queues that is always consistent
+            // between mutations, so keep going rather than deadlock.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Re-queues every still-live lease in `outstanding` onto the front
+    /// of the cursor (in cell order) and wakes everyone.
+    fn requeue(&self, outstanding: &mut Vec<ActiveLease>) {
+        let mut st = self.lock();
+        for lease in outstanding.drain(..).rev() {
+            if st.cell_state[lease.cell] == CellState::Leased {
+                st.cell_state[lease.cell] = CellState::Pending;
+                st.pending.push_front(lease.cell);
+                st.stats.leases_requeued += 1;
+            }
+        }
+        drop(st);
+        self.work_ready.notify_all();
+        self.completed.notify_all();
+    }
+
+    /// Accepts a verified payload for `cell` (unless already done, which
+    /// is the duplicate path). Returns whether it was accepted.
+    fn accept_result(&self, cell: usize, payload: String) -> bool {
+        let mut st = self.lock();
+        match st.cell_state[cell] {
+            CellState::Done => {
+                st.stats.duplicates_dropped += 1;
+                false
+            }
+            state => {
+                if state == CellState::Pending {
+                    // A late result for a re-queued cell: still valid
+                    // work — take it off the cursor.
+                    st.pending.retain(|&c| c != cell);
+                }
+                st.cell_state[cell] = CellState::Done;
+                st.done_payloads.insert(cell, payload);
+                st.stats.results_ok += 1;
+                st.last_activity = Instant::now();
+                drop(st);
+                self.completed.notify_all();
+                true
+            }
+        }
+    }
+
+    fn all_emitted(&self) -> bool {
+        self.lock().all_emitted
+    }
+}
+
+/// A bound coordinator, ready to [`run`](Coordinator::run). Binding is
+/// separate from running so callers (tests, the `--addr-file` flow) can
+/// learn the actual address before any worker starts.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    cfg: DistConfig,
+}
+
+impl Coordinator {
+    /// Binds the coordinator socket (`host:port`; port `0` picks a free
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the address cannot be bound.
+    pub fn bind(addr: &str, cfg: DistConfig) -> Result<Coordinator, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot bind coordinator {addr}: {e}"))?;
+        Ok(Coordinator { listener, cfg })
+    }
+
+    /// The actually bound address (resolves port `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (not reachable for a
+    /// freshly bound TCP listener).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener address")
+    }
+
+    /// Runs the distributed sweep: serves leases to every worker that
+    /// registers, re-queues lost ones, falls back to local execution
+    /// when no workers are around, and hands each verified cell payload
+    /// to `sink` in cell order. Returns the final [`DistStats`] once
+    /// every cell has been emitted exactly once.
+    ///
+    /// `budget` governs the local-fallback engine only; remote workers
+    /// bring their own cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description if the exactly-once accounting is
+    /// violated (a bug guard — the protocol is designed to make it
+    /// impossible).
+    pub fn run<F>(
+        self,
+        cells: &[Scenario],
+        strategies: &[Strategy],
+        arc: Cost,
+        budget: CoreBudget,
+        mut sink: F,
+    ) -> Result<DistStats, String>
+    where
+        F: FnMut(usize, &str),
+    {
+        let Coordinator { listener, cfg } = self;
+        let total = cells.len();
+        let fingerprint = matrix_fingerprint(cells, strategies, arc, cfg.timings);
+        let shared = Shared {
+            state: Mutex::new(CoordState {
+                pending: (0..total).collect(),
+                cell_state: vec![CellState::Pending; total],
+                done_payloads: BTreeMap::new(),
+                emitted: 0,
+                next_lease: 0,
+                next_worker: 0,
+                connected: 0,
+                last_activity: Instant::now(),
+                all_emitted: total == 0,
+                stats: DistStats::default(),
+            }),
+            work_ready: Condvar::new(),
+            completed: Condvar::new(),
+        };
+        let poll = Duration::from_millis(cfg.io_poll_ms.max(1));
+        let mut emit_counts = vec![0u32; total];
+
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("coordinator listener setup failed: {e}"))?;
+
+        std::thread::scope(|scope| {
+            // Acceptor: polls for connections, one handler thread each.
+            scope.spawn(|| {
+                while !shared.all_emitted() {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            scope.spawn(|| {
+                                handle_worker(stream, &shared, total, &cfg, &fingerprint);
+                            });
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            std::thread::sleep(poll);
+                        }
+                        Err(_) => std::thread::sleep(poll),
+                    }
+                }
+            });
+
+            // This thread is the in-order emitter and the local-fallback
+            // executor of last resort.
+            let grace = Duration::from_millis(cfg.grace_ms);
+            loop {
+                let mut st = shared.lock();
+                while let Some(payload) = {
+                    let next = st.emitted;
+                    st.done_payloads.remove(&next)
+                } {
+                    let i = st.emitted;
+                    st.emitted += 1;
+                    emit_counts[i] += 1;
+                    if cfg.progress {
+                        eprintln!("[{}/{total}] {}", i + 1, payload_label(&payload));
+                    }
+                    sink(i, &payload);
+                }
+                if st.emitted == total {
+                    st.all_emitted = true;
+                    drop(st);
+                    shared.work_ready.notify_all();
+                    shared.completed.notify_all();
+                    break;
+                }
+                let deserted = st.connected == 0 && st.last_activity.elapsed() >= grace;
+                if deserted && cfg.local_fallback && !st.pending.is_empty() {
+                    // Degrade gracefully: no workers around — run the
+                    // next pending cell ourselves instead of hanging.
+                    let cell = st.pending.pop_front().expect("checked non-empty");
+                    st.cell_state[cell] = CellState::Leased;
+                    st.stats.local_fallback_cells += 1;
+                    drop(st);
+                    let payload = render_cell(&cells[cell], strategies, arc, cfg.timings, budget);
+                    shared.accept_result(cell, payload);
+                    continue;
+                }
+                let guard = shared
+                    .completed
+                    .wait_timeout(st, poll.min(Duration::from_millis(50)))
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|p| p.into_inner().0);
+                drop(guard);
+            }
+        });
+
+        let st = shared.state.into_inner().unwrap_or_else(|p| p.into_inner());
+        let mut stats = st.stats;
+        stats.cells_emitted = st.emitted as u64;
+        // The exactly-once invariant: the in-order emitter makes a
+        // violation structurally impossible, so this is a guard against
+        // future refactors, not a runtime hazard.
+        if st.emitted != total || emit_counts.iter().any(|&c| c != 1) {
+            return Err(format!(
+                "lease accounting violated: {}/{} cells emitted, counts {:?}",
+                st.emitted, total, emit_counts
+            ));
+        }
+        Ok(stats)
+    }
+}
+
+/// Renders one cell exactly as the worker does — shared by the local
+/// fallback so degraded runs stay byte-identical.
+pub(super) fn render_cell(
+    scenario: &Scenario,
+    strategies: &[Strategy],
+    arc: Cost,
+    timings: bool,
+    budget: CoreBudget,
+) -> String {
+    cell_json(
+        &run_cell_budgeted(scenario, strategies, budget),
+        arc,
+        timings,
+    )
+}
+
+/// Pulls the cell label out of a rendered payload for progress lines.
+fn payload_label(payload: &str) -> &str {
+    payload
+        .split_once("\"scenario\": \"")
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map_or("<cell>", |(label, _)| label)
+}
+
+/// Serves one worker connection: registration, lease pipelining, result
+/// verification, deadline enforcement, drain-and-shutdown.
+fn handle_worker(
+    mut stream: TcpStream,
+    shared: &Shared,
+    total_cells: usize,
+    cfg: &DistConfig,
+    fingerprint: &str,
+) {
+    let _ = stream.set_nodelay(true);
+    let poll = Duration::from_millis(cfg.io_poll_ms.max(1));
+    let write_timeout = Duration::from_millis(cfg.io_poll_ms.max(1) * 20);
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let mut reader = FrameReader::new();
+
+    // Registration.
+    let hello_deadline = Instant::now() + Duration::from_millis(cfg.hello_ms);
+    let hello = reader.read_line(&mut stream, hello_deadline, poll, || shared.all_emitted());
+    let (name, _worker_id) = match hello
+        .map_err(|e| format!("{e:?}"))
+        .and_then(|l| Frame::parse(&l).map_err(|e| format!("bad hello: {e}")))
+    {
+        Ok(Frame::Hello {
+            proto,
+            name,
+            fingerprint: theirs,
+        }) => {
+            if proto != PROTO_VERSION {
+                let _ = send(
+                    &mut stream,
+                    &Frame::Reject {
+                        reason: format!("protocol {proto} != {PROTO_VERSION}"),
+                    },
+                );
+                return;
+            }
+            if theirs != fingerprint {
+                let _ = send(
+                    &mut stream,
+                    &Frame::Reject {
+                        reason: "matrix fingerprint mismatch (different flags?)".to_string(),
+                    },
+                );
+                let mut st = shared.lock();
+                st.stats.workers_rejected += 1;
+                return;
+            }
+            let id = {
+                let mut st = shared.lock();
+                let id = st.next_worker;
+                st.next_worker += 1;
+                st.connected += 1;
+                st.stats.workers_registered += 1;
+                st.last_activity = Instant::now();
+                id
+            };
+            shared.completed.notify_all();
+            if send(
+                &mut stream,
+                &Frame::Welcome {
+                    proto: PROTO_VERSION,
+                    worker: id,
+                },
+            )
+            .is_err()
+            {
+                let mut st = shared.lock();
+                st.connected -= 1;
+                st.stats.workers_disconnected += 1;
+                return;
+            }
+            (name, id)
+        }
+        _ => return, // not a hello (or none arrived): drop silently
+    };
+    let _ = name;
+
+    let mut outstanding: Vec<ActiveLease> = Vec::new();
+    let lease_len = Duration::from_millis(cfg.lease_ms.max(1));
+
+    'serve: loop {
+        // Grant leases up to the pipeline depth.
+        let mut to_send = Vec::new();
+        {
+            let mut st = shared.lock();
+            if st.all_emitted {
+                break 'serve;
+            }
+            while outstanding.len() + to_send.len() < cfg.pipeline.max(1) {
+                let Some(cell) = st.pending.pop_front() else {
+                    break;
+                };
+                let id = st.next_lease;
+                st.next_lease += 1;
+                st.cell_state[cell] = CellState::Leased;
+                st.stats.leases_granted += 1;
+                to_send.push(ActiveLease {
+                    id,
+                    cell,
+                    deadline: Instant::now() + lease_len,
+                });
+            }
+        }
+        for lease in to_send {
+            let frame = Frame::Lease {
+                lease: lease.id,
+                cell: lease.cell,
+                deadline_ms: cfg.lease_ms,
+            };
+            outstanding.push(lease);
+            if send(&mut stream, &frame).is_err() {
+                shared.requeue(&mut outstanding);
+                break 'serve;
+            }
+        }
+
+        if outstanding.is_empty() {
+            // Nothing leased to us: wait for work (or the end).
+            let st = shared.lock();
+            if st.all_emitted {
+                break 'serve;
+            }
+            if st.pending.is_empty() {
+                let guard = shared
+                    .work_ready
+                    .wait_timeout(st, poll)
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|p| p.into_inner().0);
+                drop(guard);
+            }
+            continue 'serve;
+        }
+
+        // Wait for a result until the earliest lease deadline.
+        let deadline = outstanding
+            .iter()
+            .map(|l| l.deadline)
+            .min()
+            .expect("non-empty outstanding")
+            + poll;
+        match reader.read_line(&mut stream, deadline, poll, || shared.all_emitted()) {
+            Ok(line) => match Frame::parse(&line) {
+                Ok(Frame::Result {
+                    lease,
+                    cell,
+                    crc,
+                    payload,
+                }) => {
+                    if cell >= total_cells || crc != checksum(&payload) {
+                        // Corrupt or impossible: this connection's stream
+                        // can no longer be trusted.
+                        let mut st = shared.lock();
+                        st.stats.results_rejected += 1;
+                        drop(st);
+                        shared.requeue(&mut outstanding);
+                        break 'serve;
+                    }
+                    outstanding.retain(|l| l.id != lease);
+                    shared.accept_result(cell, payload);
+                }
+                Ok(Frame::Bye) => {
+                    shared.requeue(&mut outstanding);
+                    break 'serve;
+                }
+                Ok(_) | Err(_) => {
+                    // Malformed line or a frame no worker should send.
+                    let mut st = shared.lock();
+                    st.stats.results_rejected += 1;
+                    drop(st);
+                    shared.requeue(&mut outstanding);
+                    break 'serve;
+                }
+            },
+            Err(RecvError::Timeout) => {
+                if shared.all_emitted() {
+                    break 'serve;
+                }
+                let now = Instant::now();
+                let overdue = outstanding.iter().filter(|l| now >= l.deadline).count();
+                if overdue > 0 {
+                    // Deadline missed: the worker is hung or too slow —
+                    // re-queue everything and drop the connection (it
+                    // may reconnect with fresh leases).
+                    let mut st = shared.lock();
+                    st.stats.leases_expired += overdue as u64;
+                    drop(st);
+                    shared.requeue(&mut outstanding);
+                    break 'serve;
+                }
+            }
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
+                shared.requeue(&mut outstanding);
+                break 'serve;
+            }
+        }
+    }
+
+    // Wind-down. If the run is complete, tell the worker to exit and
+    // give it a bounded window to drain in-flight results and say bye —
+    // that is what keeps CI teardown free of orphaned worker processes.
+    shared.requeue(&mut outstanding);
+    if shared.all_emitted() && send(&mut stream, &Frame::Shutdown).is_ok() {
+        let drain_deadline = Instant::now() + lease_len;
+        while let Ok(line) = reader.read_line(&mut stream, drain_deadline, poll, || false) {
+            match Frame::parse(&line) {
+                Ok(Frame::Bye) => break,
+                Ok(Frame::Result {
+                    cell, crc, payload, ..
+                }) if cell < total_cells && crc == checksum(&payload) => {
+                    // A drained in-flight cell; almost always a
+                    // duplicate by now, but verified is verified.
+                    shared.accept_result(cell, payload);
+                }
+                _ => break,
+            }
+        }
+    }
+    let mut st = shared.lock();
+    st.connected -= 1;
+    st.stats.workers_disconnected += 1;
+    drop(st);
+    shared.work_ready.notify_all();
+    shared.completed.notify_all();
+}
+
+/// Writes one frame (write timeout set at connection setup).
+fn send(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    use std::io::Write;
+    stream.write_all(frame.render().as_bytes())
+}

@@ -1,0 +1,219 @@
+//! Fault-tolerant distributed matrix execution.
+//!
+//! The ROADMAP's dynamic-shard step: instead of static `--shard I/N`
+//! partitions, a [`Coordinator`] hands out cells off the shared cursor
+//! as deadline-bearing *leases* over a line-delimited JSON TCP protocol
+//! ([`protocol`]), re-queues whatever its workers lose, and feeds
+//! verified results through the same in-order sink discipline as the
+//! local streaming runner — so the merged document is **byte-identical
+//! to a local sequential run no matter which workers die** (up to the
+//! measured `wall_seconds`, exactly like shard merges).
+//!
+//! The paper's premise — transient faults are survived by re-execution
+//! — applied to the harness itself: [`chaos`] injects seeded kill /
+//! hang / corrupt / duplicate faults into [`worker`] loops, and the
+//! integration suite asserts the artifact is unchanged under every
+//! schedule. See the README's *Distributed execution* section for the
+//! protocol sketch and the chaos how-to.
+//!
+//! Everything here is std-only (`TcpListener`/`TcpStream` plus the
+//! existing hand-rendered JSON), per the workspace's offline-deps
+//! constraint.
+
+pub mod chaos;
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use chaos::{ChaosAction, ChaosPlan, ChaosState};
+pub use coordinator::Coordinator;
+pub use protocol::{matrix_fingerprint, Frame, PROTO_VERSION};
+pub use worker::{run_worker, Backoff, WorkerConfig, WorkerOutcome, WorkerReport};
+
+use ftes_gen::Scenario;
+use ftes_model::Cost;
+use ftes_opt::CoreBudget;
+use serde::{Deserialize, Serialize};
+
+use crate::Strategy;
+
+/// Configuration of a coordinator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistConfig {
+    /// Lease deadline (milliseconds): a worker that has not answered a
+    /// lease within this window is presumed lost, the cell re-queued.
+    pub lease_ms: u64,
+    /// Local-fallback grace (milliseconds): with no worker connected
+    /// for this long (none ever registered, or all died), the
+    /// coordinator starts running pending cells itself. `0` falls back
+    /// immediately.
+    pub grace_ms: u64,
+    /// Leases in flight per worker (pipelining depth; ≥ 1). Depth 2
+    /// keeps a worker busy while its previous result is in transit and
+    /// gives the shutdown drain something real to drain.
+    pub pipeline: usize,
+    /// Socket poll slice (milliseconds) — the granularity of every
+    /// timeout check; no read or write ever blocks longer than a few of
+    /// these.
+    pub io_poll_ms: u64,
+    /// Registration deadline (milliseconds) for a fresh connection to
+    /// present its hello frame.
+    pub hello_ms: u64,
+    /// Run pending cells locally when deserted (see `grace_ms`).
+    /// Disabling this means a fully deserted coordinator waits for
+    /// workers indefinitely.
+    pub local_fallback: bool,
+    /// Render `wall_seconds` into cell payloads (fingerprinted, so
+    /// workers must be launched to match).
+    pub timings: bool,
+    /// Print one progress line per emitted cell to stderr.
+    pub progress: bool,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            lease_ms: 30_000,
+            grace_ms: 2_000,
+            pipeline: 2,
+            io_poll_ms: 100,
+            hello_ms: 5_000,
+            local_fallback: true,
+            timings: true,
+            progress: false,
+        }
+    }
+}
+
+/// Counters of one coordinator run, surfaced in the artifact's JSON
+/// header (as `dist_*` lines) so every re-queue and dropped duplicate
+/// is visible in the document it could have corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DistStats {
+    /// Workers that completed registration.
+    pub workers_registered: u64,
+    /// Worker connections that ended (gracefully or not).
+    pub workers_disconnected: u64,
+    /// Registrations refused (fingerprint/protocol mismatch).
+    pub workers_rejected: u64,
+    /// Leases granted off the cursor.
+    pub leases_granted: u64,
+    /// Leases whose deadline passed unanswered.
+    pub leases_expired: u64,
+    /// Cells put back on the cursor (expiry, disconnect, corruption).
+    pub leases_requeued: u64,
+    /// Verified results accepted.
+    pub results_ok: u64,
+    /// Frames rejected (checksum failure, malformed, out of range).
+    pub results_rejected: u64,
+    /// Verified results for already-done cells, dropped.
+    pub duplicates_dropped: u64,
+    /// Cells the coordinator ran itself (deserted fallback).
+    pub local_fallback_cells: u64,
+    /// Cells emitted to the sink — the exactly-once invariant makes
+    /// this equal the matrix size on success.
+    pub cells_emitted: u64,
+}
+
+impl DistStats {
+    /// The `dist_*` header lines (each `"  \"k\": v,\n"`), ready for
+    /// [`json_header_with`](crate::matrix::json_header_with). They are
+    /// one-key-per-line so byte comparisons against a local run can
+    /// strip them with `grep -v '"dist_'`.
+    pub fn header_lines(&self) -> String {
+        format!(
+            concat!(
+                "  \"dist_workers_registered\": {},\n",
+                "  \"dist_workers_disconnected\": {},\n",
+                "  \"dist_workers_rejected\": {},\n",
+                "  \"dist_leases_granted\": {},\n",
+                "  \"dist_leases_expired\": {},\n",
+                "  \"dist_leases_requeued\": {},\n",
+                "  \"dist_results_ok\": {},\n",
+                "  \"dist_results_rejected\": {},\n",
+                "  \"dist_duplicates_dropped\": {},\n",
+                "  \"dist_local_fallback_cells\": {},\n",
+                "  \"dist_cells_emitted\": {},\n",
+            ),
+            self.workers_registered,
+            self.workers_disconnected,
+            self.workers_rejected,
+            self.leases_granted,
+            self.leases_expired,
+            self.leases_requeued,
+            self.results_ok,
+            self.results_rejected,
+            self.duplicates_dropped,
+            self.local_fallback_cells,
+            self.cells_emitted,
+        )
+    }
+}
+
+/// Spec of one in-process loopback worker for [`run_dist_local`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalWorkerSpec {
+    /// Fault budget for this worker.
+    pub chaos: ChaosPlan,
+    /// Chaos/backoff seed (give each worker a distinct one).
+    pub seed: u64,
+}
+
+/// The loopback harness: binds a coordinator on `127.0.0.1:0`, spawns
+/// one in-process worker thread per spec (the coordinator's core budget
+/// fanned out across them via [`CoreBudget::fan_out`], so worker engines
+/// never oversubscribe the box), runs the sweep and returns the stats
+/// plus every worker's report. This is what `repro_matrix
+/// --dist-workers N [--chaos …]` and the chaos integration suite run.
+///
+/// # Errors
+///
+/// Propagates bind failures and accounting violations from
+/// [`Coordinator::run`].
+pub fn run_dist_local<F>(
+    cells: &[Scenario],
+    strategies: &[Strategy],
+    arc: Cost,
+    cfg: &DistConfig,
+    workers: &[LocalWorkerSpec],
+    budget: CoreBudget,
+    sink: F,
+) -> Result<(DistStats, Vec<WorkerReport>), String>
+where
+    F: FnMut(usize, &str),
+{
+    let coordinator = Coordinator::bind("127.0.0.1:0", *cfg)?;
+    let addr = coordinator.local_addr().to_string();
+    let (_, per_worker) = budget.fan_out(workers.len().max(1));
+    let mut reports: Vec<Option<WorkerReport>> = vec![None; workers.len()];
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let addr = addr.clone();
+                let worker_cfg = WorkerConfig {
+                    name: format!("local-{i}"),
+                    budget: per_worker,
+                    seed: spec.seed,
+                    chaos: spec.chaos,
+                    timings: cfg.timings,
+                    io_poll_ms: cfg.io_poll_ms,
+                    // Loopback: reconnects are refused instantly when the
+                    // coordinator is done, so keep the retry tail short.
+                    backoff_base_ms: 50,
+                    backoff_cap_ms: 500,
+                    max_attempts: 5,
+                    ..WorkerConfig::default()
+                };
+                scope.spawn(move || run_worker(&addr, cells, strategies, arc, &worker_cfg))
+            })
+            .collect();
+        let stats = coordinator.run(cells, strategies, arc, budget, sink);
+        for (slot, handle) in reports.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("worker thread panicked"));
+        }
+        stats
+    })?;
+    Ok((stats, reports.into_iter().map(Option::unwrap).collect()))
+}

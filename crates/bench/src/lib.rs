@@ -13,7 +13,11 @@
 //!   on a parallel streaming worker pool (in-order emission, bounded
 //!   memory, one shared core budget, bit-identical to sequential),
 //!   emitting a summary table, a byte-stable golden snapshot and the
-//!   `BENCH_PR<N>.json` artifacts.
+//!   `BENCH_PR<N>.json` artifacts;
+//! * [`dist`] — fault-tolerant distributed execution of the same matrix:
+//!   a lease-based coordinator/worker protocol over loopback/LAN TCP
+//!   with retry, timeout, backoff and a seeded fault-injection harness,
+//!   merging to the byte-identical document.
 //!
 //! The `repro_fig6`, `repro_cc` and `repro_matrix` binaries print the
 //! regenerated figures/tables; `EXPERIMENTS.md` records measured-vs-paper
@@ -22,19 +26,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dist;
 pub mod experiment;
 pub mod figures;
 pub mod matrix;
 pub mod merge;
 
+pub use dist::{
+    run_dist_local, run_worker, ChaosPlan, Coordinator, DistConfig, DistStats, LocalWorkerSpec,
+    WorkerConfig, WorkerOutcome, WorkerReport,
+};
 pub use experiment::{
     acceptance_row, run_condition, run_strategy_over, run_strategy_over_budgeted, sweep_opt_config,
     AcceptanceRow, ConditionResult, Strategy,
 };
 pub use figures::{cruise_controller, fig6a, fig6b, fig6c, fig6d, CcOutcome};
 pub use matrix::{
-    cell_json, json_footer, json_header, render_table_row, run_cell, run_cell_budgeted,
-    run_cell_strategy, run_cell_strategy_budgeted, run_cells, run_cells_streaming, run_matrix,
-    BenchMeta, CellResult, MatrixReport, MatrixRunConfig, Shard, StrategyCell,
+    cell_json, json_footer, json_header, json_header_with, render_table_row, run_cell,
+    run_cell_budgeted, run_cell_strategy, run_cell_strategy_budgeted, run_cells,
+    run_cells_streaming, run_matrix, BenchMeta, CellResult, MatrixReport, MatrixRunConfig, Shard,
+    StrategyCell,
 };
-pub use merge::{merge_shard_texts, merge_shards, parse_shard_doc, ShardDoc};
+pub use merge::{merge_shard_texts, merge_shards, parse_shard_doc, read_shard_file, ShardDoc};

@@ -476,6 +476,19 @@ pub fn json_header(arc: Cost, meta: Option<BenchMeta>) -> String {
     out
 }
 
+/// [`json_header`] with extra header lines (each already formatted as
+/// `  "key": value,\n`) spliced in just before the `"arc"` line — used by
+/// the distributed runner to surface its
+/// [`DistStats`](crate::dist::DistStats) without disturbing the rest of
+/// the document (strip with `grep -v '"dist_'` when comparing).
+pub fn json_header_with(arc: Cost, meta: Option<BenchMeta>, extra: &str) -> String {
+    let base = json_header(arc, meta);
+    let arc_line = base
+        .rfind("  \"arc\": ")
+        .expect("json_header always renders an arc line");
+    format!("{}{extra}{}", &base[..arc_line], &base[arc_line..])
+}
+
 /// One cell as a JSON object (no trailing separator). With `timings`,
 /// per-strategy wall-clock seconds are included — golden snapshots set it
 /// to `false` so the output is deterministic.

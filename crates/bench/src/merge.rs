@@ -199,6 +199,27 @@ pub fn merge_shards(docs: &[ShardDoc]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Reads one shard file for merging, mapping every failure mode to a
+/// one-line description instead of a panic: a missing or unreadable
+/// file names the path and the io error; a file that is not UTF-8
+/// (binary garbage, a partially written page) names the byte offset
+/// where decoding broke.
+///
+/// # Errors
+///
+/// Returns the one-line description; `repro_matrix --merge` prints it
+/// and exits nonzero.
+pub fn read_shard_file(path: &str) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read shard file {path}: {e}"))?;
+    String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "shard file {path} is not UTF-8 (invalid byte at offset {}): \
+             not a repro_matrix document",
+            e.utf8_error().valid_up_to()
+        )
+    })
+}
+
 /// Parses and merges raw shard documents — the `repro_matrix --merge`
 /// entry point.
 ///
@@ -349,5 +370,47 @@ mod tests {
         let plain = unsharded_text(&full, arc, 5, false);
         let err = merge_shard_texts(&[plain]).unwrap_err();
         assert!(err.contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn truncated_shard_documents_error_at_every_cut_instead_of_panicking() {
+        let (full, arc) = small_run();
+        let good = shard_text(&full, arc, 0, 2, 5, false);
+        // A shard file cut off mid-write (dead worker, full disk) must
+        // produce a merge error at any truncation point — parse_shard_doc
+        // and merge_shard_texts may not panic or silently succeed.
+        for frac in 1..10 {
+            let cut = good.len() * frac / 10;
+            let cut = (0..=cut).rev().find(|&i| good.is_char_boundary(i)).unwrap();
+            let t = good[..cut].to_string();
+            let err = merge_shard_texts(&[t]).unwrap_err();
+            assert!(!err.is_empty(), "empty error for cut at {cut}");
+        }
+        // And the whole file merged with itself is an overlap, not a
+        // crash — the truncation tests above must not be passing merely
+        // because a single shard of two is always a gap.
+        let err = merge_shard_texts(&[good.clone(), good]).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn unreadable_and_non_utf8_shard_files_error_cleanly() {
+        let err = read_shard_file("/nonexistent/shard-xyz.json").unwrap_err();
+        assert!(
+            err.contains("cannot read shard file"),
+            "missing-file error should name the problem: {err}"
+        );
+
+        let dir = std::env::temp_dir().join("ftes-merge-harden-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("binary.json");
+        // 0xFF 0xFE is never valid UTF-8.
+        std::fs::write(&path, [0x7b, 0xff, 0xfe, 0x7d]).unwrap();
+        let err = read_shard_file(path.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.contains("not UTF-8") && err.contains("offset 1"),
+            "non-UTF-8 error should name the offset: {err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

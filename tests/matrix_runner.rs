@@ -16,6 +16,7 @@ use ftes::gen::{
 };
 use ftes::model::{Cost, TimeUs};
 use ftes::opt::Threads;
+use proptest::prelude::prop_assert;
 
 /// A 6-cell mini-matrix spanning the v2 axes (TDMA bus, wide platform,
 /// fan shape, bulk messages, harsh fault load) with small cells.
@@ -154,4 +155,38 @@ fn streamed_document_equals_the_collected_report() {
     streamed.push_str(&json_footer());
     let report = run_cells(&cells, &[Strategy::Opt], &cfg);
     assert_eq!(streamed, report.golden_json());
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// A worker panicking at ANY cell position, under ANY worker count,
+    /// must propagate out of the streaming run instead of deadlocking
+    /// the pool — the `AbortOnPanic` guards wake whoever is parked on
+    /// the pool's condvars. (The fixed-position variant lives in the
+    /// matrix module's unit tests; this drives the poison through the
+    /// claim/emit window interleavings that position and thread count
+    /// select.)
+    #[test]
+    fn worker_panic_at_any_cell_aborts_without_deadlock(
+        poison_at in 0usize..6,
+        threads in 1usize..5,
+    ) {
+        let mut cells = mini_matrix();
+        cells.truncate(5);
+        let mut poison = cells[0].clone();
+        poison.base.node_types = 0; // generate_platform asserts >= 1
+        cells.insert(poison_at.min(cells.len()), poison);
+        let cfg = MatrixRunConfig {
+            arc: Cost::new(20),
+            threads: Threads(threads),
+            ..MatrixRunConfig::default()
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cells_streaming(&cells, &[Strategy::Min], &cfg, |_, _| {});
+        }));
+        // Reaching this assertion at all is the liveness half of the
+        // property; the Err is the propagation half.
+        prop_assert!(outcome.is_err(), "the worker panic was swallowed");
+    }
 }
