@@ -146,7 +146,9 @@ fn run_merge(out: &str, files: &[String]) -> ! {
 /// Resolves a `--worker` address argument: either a literal `host:port`
 /// or `@PATH`, polling the file a coordinator's `--addr-file` writes
 /// (briefly, so a worker started a moment before its coordinator still
-/// connects).
+/// connects). Content that does not parse as a socket address — e.g. a
+/// half-written file from a non-atomic writer — is treated as not yet
+/// there, never handed to the connect loop.
 fn resolve_worker_addr(spec: &str) -> Result<String, String> {
     let Some(path) = spec.strip_prefix('@') else {
         return Ok(spec.to_string());
@@ -154,13 +156,24 @@ fn resolve_worker_addr(spec: &str) -> Result<String, String> {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
     loop {
         match std::fs::read_to_string(path) {
-            Ok(s) if !s.trim().is_empty() => return Ok(s.trim().to_string()),
+            Ok(s) if s.trim().parse::<std::net::SocketAddr>().is_ok() => {
+                return Ok(s.trim().to_string());
+            }
             _ if std::time::Instant::now() >= deadline => {
                 return Err(format!("no coordinator address appeared in {path}"));
             }
             _ => std::thread::sleep(std::time::Duration::from_millis(100)),
         }
     }
+}
+
+/// Publishes the coordinator address atomically: write to a sibling temp
+/// file, then rename into place — a polling worker never observes a
+/// truncated address.
+fn write_addr_file(path: &str, addr: std::net::SocketAddr) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The `--worker` mode: serve leases until the coordinator says
@@ -391,7 +404,7 @@ fn main() {
             let actual = coordinator.local_addr();
             eprintln!("coordinator listening on {actual} ({} cells)", cells.len());
             if let Some(path) = &addr_file {
-                if let Err(e) = std::fs::write(path, format!("{actual}\n")) {
+                if let Err(e) = write_addr_file(path, actual) {
                     eprintln!("cannot write --addr-file {path}: {e}");
                     std::process::exit(1);
                 }

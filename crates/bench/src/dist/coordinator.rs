@@ -426,6 +426,10 @@ fn handle_worker(
 
     let mut outstanding: Vec<ActiveLease> = Vec::new();
     let lease_len = Duration::from_millis(cfg.lease_ms.max(1));
+    // Keepalive cadence for lease-starved workers: a few poll slices,
+    // capped well below any sane worker `idle_ms`.
+    let keepalive = Duration::from_millis((cfg.io_poll_ms.max(1) * 20).min(5_000));
+    let mut last_ping = Instant::now();
 
     'serve: loop {
         // Grant leases up to the pipeline depth.
@@ -450,13 +454,17 @@ fn handle_worker(
                 });
             }
         }
+        // Every granted lease goes into `outstanding` before any send is
+        // attempted: if a send fails mid-batch, the unsent leases are in
+        // `outstanding` too, so the requeue below recovers all of them
+        // (a cell Leased but tracked nowhere would hang the run).
+        outstanding.extend(to_send.iter().copied());
         for lease in to_send {
             let frame = Frame::Lease {
                 lease: lease.id,
                 cell: lease.cell,
                 deadline_ms: cfg.lease_ms,
             };
-            outstanding.push(lease);
             if send(&mut stream, &frame).is_err() {
                 shared.requeue(&mut outstanding);
                 break 'serve;
@@ -476,6 +484,15 @@ fn handle_worker(
                     .map(|(g, _)| g)
                     .unwrap_or_else(|p| p.into_inner().0);
                 drop(guard);
+                // Keepalive: a worker starved of leases (every cell
+                // leased to someone else) must not trip its own idle
+                // guard and reconnect-loop.
+                if last_ping.elapsed() >= keepalive {
+                    last_ping = Instant::now();
+                    if send(&mut stream, &Frame::Ping).is_err() {
+                        break 'serve; // nothing outstanding to requeue
+                    }
+                }
             }
             continue 'serve;
         }
@@ -549,7 +566,10 @@ fn handle_worker(
     // that is what keeps CI teardown free of orphaned worker processes.
     shared.requeue(&mut outstanding);
     if shared.all_emitted() && send(&mut stream, &Frame::Shutdown).is_ok() {
-        let drain_deadline = Instant::now() + lease_len;
+        // The drain window is bounded well below the lease deadline: by
+        // now every drained result is a duplicate anyway, so a hung
+        // worker must not stall the artifact write for a full lease.
+        let drain_deadline = Instant::now() + lease_len.min(Duration::from_secs(2));
         while let Ok(line) = reader.read_line(&mut stream, drain_deadline, poll, || false) {
             match Frame::parse(&line) {
                 Ok(Frame::Bye) => break,

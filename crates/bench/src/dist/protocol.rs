@@ -10,13 +10,14 @@
 //!
 //! ```text
 //! worker → coordinator
-//!   {"frame":"hello","proto":1,"name":"w1","fingerprint":"<hex>"}
+//!   {"frame":"hello","proto":2,"name":"w1","fingerprint":"<hex>"}
 //!   {"frame":"result","lease":7,"cell":12,"crc":"<hex>","payload":"<escaped cell JSON>"}
 //!   {"frame":"bye"}
 //! coordinator → worker
-//!   {"frame":"welcome","proto":1,"worker":3}
+//!   {"frame":"welcome","proto":2,"worker":3}
 //!   {"frame":"reject","reason":"<escaped text>"}
 //!   {"frame":"lease","lease":7,"cell":12,"deadline_ms":30000}
+//!   {"frame":"ping"}
 //!   {"frame":"shutdown"}
 //! ```
 //!
@@ -30,8 +31,10 @@ use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-/// Protocol version; bumped on any incompatible frame change.
-pub const PROTO_VERSION: u32 = 1;
+/// Protocol version; bumped on any incompatible frame change (v2 added
+/// the `ping` keepalive, which a v1 worker would treat as a lost
+/// connection).
+pub const PROTO_VERSION: u32 = 2;
 
 /// One parsed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +80,11 @@ pub enum Frame {
         /// The rendered cell JSON (unescaped).
         payload: String,
     },
+    /// Coordinator keepalive to an idle worker: no work right now, but
+    /// the connection is alive — resets the worker's idle clock so a
+    /// worker starved of leases (all cells leased elsewhere) does not
+    /// reconnect-loop through its `idle_ms` guard.
+    Ping,
     /// Coordinator: all cells are done — drain and exit.
     Shutdown,
     /// Worker: graceful goodbye after a shutdown drain.
@@ -120,6 +128,7 @@ impl Frame {
                 json_escape(crc),
                 json_escape(payload)
             ),
+            Frame::Ping => "{\"frame\":\"ping\"}\n".to_string(),
             Frame::Shutdown => "{\"frame\":\"shutdown\"}\n".to_string(),
             Frame::Bye => "{\"frame\":\"bye\"}\n".to_string(),
         }
@@ -163,6 +172,7 @@ impl Frame {
                 crc: str_field(line, "crc")?,
                 payload: str_field(line, "payload")?,
             }),
+            "ping" => Ok(Frame::Ping),
             "shutdown" => Ok(Frame::Shutdown),
             "bye" => Ok(Frame::Bye),
             other => Err(format!("unknown frame kind {other:?}")),
@@ -446,6 +456,7 @@ mod tests {
                 crc: checksum("{\n  \"x\": 1\n}"),
                 payload: "{\n  \"x\": 1\n}".to_string(),
             },
+            Frame::Ping,
             Frame::Shutdown,
             Frame::Bye,
         ];

@@ -47,7 +47,9 @@ pub struct WorkerConfig {
     /// Socket poll slice (milliseconds).
     pub io_poll_ms: u64,
     /// Reconnect if no frame arrives while idle for this long
-    /// (milliseconds) — the hung-coordinator guard.
+    /// (milliseconds) — the hung-coordinator guard. A healthy
+    /// coordinator pings lease-starved workers every few poll slices,
+    /// so this only fires when the peer is genuinely gone.
     pub idle_ms: u64,
     /// Seed of the backoff jitter and the chaos schedule.
     pub seed: u64,
@@ -317,6 +319,10 @@ fn serve(
                     LeaseEnd::Lost => return ServeEnd::Lost { registered: true },
                 }
             }
+            Ok(Frame::Ping) => {
+                // Keepalive from a lease-starved coordinator: the loop
+                // recomputes the idle deadline, nothing else to do.
+            }
             Ok(Frame::Shutdown) => {
                 // Drain: leases already queued behind the shutdown frame
                 // in the read buffer still get computed and reported.
@@ -481,6 +487,51 @@ mod tests {
         // draw itself continues the stream).
         let d = b.next_delay().as_millis() as u64;
         assert!((50..=100).contains(&d), "post-reset delay {d} not at base");
+    }
+
+    #[test]
+    fn pings_keep_a_lease_starved_worker_from_idling_out() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let coordinator = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut lines = BufReader::new(stream.try_clone().unwrap());
+            let mut hello = String::new();
+            lines.read_line(&mut hello).unwrap();
+            assert!(matches!(Frame::parse(&hello), Ok(Frame::Hello { .. })));
+            stream
+                .write_all(
+                    Frame::Welcome {
+                        proto: PROTO_VERSION,
+                        worker: 0,
+                    }
+                    .render()
+                    .as_bytes(),
+                )
+                .unwrap();
+            // Starve the worker of leases for ~1s — several times its
+            // idle_ms below — with only pings flowing.
+            for _ in 0..10 {
+                std::thread::sleep(Duration::from_millis(100));
+                stream.write_all(Frame::Ping.render().as_bytes()).unwrap();
+            }
+            stream
+                .write_all(Frame::Shutdown.render().as_bytes())
+                .unwrap();
+            let mut bye = String::new();
+            let _ = lines.read_line(&mut bye);
+        });
+        let cfg = WorkerConfig {
+            idle_ms: 300,
+            io_poll_ms: 10,
+            ..WorkerConfig::default()
+        };
+        let report = run_worker(&addr, &[], &[], ftes_model::Cost::new(20), &cfg);
+        coordinator.join().unwrap();
+        assert_eq!(report.outcome, WorkerOutcome::Shutdown);
+        assert_eq!(report.connects, 1, "pings must reset the idle clock");
     }
 
     #[test]

@@ -248,6 +248,63 @@ fn killed_worker_hands_its_cells_back() {
 }
 
 #[test]
+fn worker_that_dies_right_after_registering_hands_everything_back() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    use ftes::bench::dist::{matrix_fingerprint, Coordinator, Frame, PROTO_VERSION};
+
+    let cells = mini_matrix();
+    let expected = sequential_payloads(&cells);
+    let strats = strategies();
+    let cfg = test_cfg();
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind coordinator");
+    let addr = coordinator.local_addr();
+    let fingerprint = matrix_fingerprint(&cells, &strats, ARC, cfg.timings);
+    let (stats, got) = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // A raw dead-on-arrival worker: registers correctly, gets its
+            // first lease batch granted, then vanishes without answering a
+            // single lease. Every granted lease must be recovered — a cell
+            // marked Leased but tracked nowhere would hang the run.
+            let mut stream = TcpStream::connect(addr).expect("connect fake worker");
+            stream
+                .write_all(
+                    Frame::Hello {
+                        proto: PROTO_VERSION,
+                        name: "doa".to_string(),
+                        fingerprint,
+                    }
+                    .render()
+                    .as_bytes(),
+                )
+                .expect("send hello");
+            let mut lines = BufReader::new(stream);
+            let mut welcome = String::new();
+            lines.read_line(&mut welcome).expect("read welcome");
+            assert!(matches!(Frame::parse(&welcome), Ok(Frame::Welcome { .. })));
+            // Drop the connection: the coordinator's lease sends hit a
+            // closing socket (some mid-batch), then the read sees EOF.
+        });
+        let mut got: Vec<String> = Vec::new();
+        let stats = coordinator
+            .run(&cells, &strats, ARC, CoreBudget::new(2), |_, p| {
+                got.push(p.to_string())
+            })
+            .expect("run");
+        (stats, got)
+    });
+    assert_eq!(got, expected, "a DOA worker must not change the bytes");
+    assert_eq!(stats.cells_emitted, cells.len() as u64);
+    assert_eq!(stats.workers_registered, 1);
+    assert_eq!(stats.local_fallback_cells, cells.len() as u64);
+    assert!(
+        stats.leases_requeued >= 1,
+        "the DOA worker's granted leases must come back: {stats:?}"
+    );
+}
+
+#[test]
 fn mismatched_worker_is_rejected_not_fed_leases() {
     let cells = mini_matrix();
     let expected = sequential_payloads(&cells);
