@@ -74,6 +74,183 @@ use ftes_gen::ScenarioMatrix;
 use ftes_model::Cost;
 use ftes_opt::{CoreBudget, Threads};
 
+/// The usage block printed (to stderr) with every CLI error.
+const USAGE: &str = "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
+     [--threads N] [--shard I/N] [--out PATH]\n       \
+     repro_matrix --merge OUT SHARD_FILE...\n       \
+     repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N] [--grace-ms N]\n       \
+     repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]\n       \
+     repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]";
+
+/// Everything the non-merge modes need, parsed and validated.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    smoke: bool,
+    pr3: bool,
+    axes: Option<String>,
+    arc: u64,
+    threads: Threads,
+    shard: Option<Shard>,
+    out: Option<String>,
+    serve: Option<String>,
+    addr_file: Option<String>,
+    worker: Option<String>,
+    dist_workers: Option<usize>,
+    chaos: ChaosPlan,
+    chaos_seed: u64,
+    lease_ms: Option<u64>,
+    grace_ms: Option<u64>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            smoke: false,
+            pr3: false,
+            axes: None,
+            arc: 20,
+            threads: Threads(0),
+            shard: None,
+            out: None,
+            serve: None,
+            addr_file: None,
+            worker: None,
+            dist_workers: None,
+            chaos: ChaosPlan::default(),
+            chaos_seed: 0,
+            lease_ms: None,
+            grace_ms: None,
+        }
+    }
+}
+
+/// A parsed command line: either the merge mode or a (validated) run.
+#[derive(Debug, Clone, PartialEq)]
+enum Mode {
+    Merge { out: String, files: Vec<String> },
+    Run(Box<Cli>),
+}
+
+/// The flag's value argument, or a one-line error naming the flag.
+fn take_value(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag}: missing value (expected {expected})"))
+}
+
+/// The flag's value argument parsed as `T`; a missing *or malformed*
+/// value is a one-line error naming the flag — malformed numbers must
+/// never fall through to a default silently.
+fn parse_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let v = take_value(args, flag, expected)?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value {v:?} (expected {expected})"))
+}
+
+/// Parses and validates the whole command line. Every rejection — an
+/// unknown flag, a missing or malformed value, contradictory modes — is
+/// a one-line error; the caller prints it plus [`USAGE`] and exits 2.
+fn parse_cli(raw: &[String]) -> Result<Mode, String> {
+    if raw.first().map(String::as_str) == Some("--merge") {
+        let Some((out, files)) = raw[1..].split_first().filter(|(_, f)| !f.is_empty()) else {
+            return Err("--merge: missing value (expected OUT SHARD_FILE...)".to_string());
+        };
+        return Ok(Mode::Merge {
+            out: out.clone(),
+            files: files.to_vec(),
+        });
+    }
+
+    let mut cli = Cli::default();
+    let mut args = raw.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--pr3" => cli.pr3 = true,
+            "--serve" => cli.serve = Some(take_value(&mut args, "--serve", "host:port")?),
+            "--addr-file" => {
+                cli.addr_file = Some(take_value(&mut args, "--addr-file", "a path")?);
+            }
+            "--worker" => {
+                cli.worker = Some(take_value(&mut args, "--worker", "host:port or @path")?);
+            }
+            "--dist-workers" => {
+                cli.dist_workers =
+                    Some(parse_value(&mut args, "--dist-workers", "a worker count")?);
+            }
+            "--chaos" => {
+                let spec = take_value(&mut args, "--chaos", "kill:N,hang:N,corrupt:N,dup:N")?;
+                cli.chaos = ChaosPlan::parse(&spec).map_err(|e| format!("--chaos: {e}"))?;
+            }
+            "--chaos-seed" => {
+                cli.chaos_seed = parse_value(&mut args, "--chaos-seed", "a number")?;
+            }
+            "--lease-ms" => {
+                cli.lease_ms = Some(parse_value(&mut args, "--lease-ms", "milliseconds")?);
+            }
+            "--grace-ms" => {
+                cli.grace_ms = Some(parse_value(&mut args, "--grace-ms", "milliseconds")?);
+            }
+            "--axes" => {
+                let list = take_value(&mut args, "--axes", "a comma-separated list")?;
+                for name in list.split(',').map(str::trim) {
+                    if !["bus", "platform", "util", "shape", "message", "fault"].contains(&name) {
+                        return Err(format!(
+                            "--axes: unknown axis {name:?} (expected bus, platform, util, \
+                             shape, message or fault)"
+                        ));
+                    }
+                }
+                cli.axes = Some(list);
+            }
+            "--arc" => cli.arc = parse_value(&mut args, "--arc", "a number of cost units")?,
+            "--threads" => {
+                cli.threads = Threads(parse_value(
+                    &mut args,
+                    "--threads",
+                    "a core count (0 = all)",
+                )?);
+            }
+            "--shard" => {
+                let spec = take_value(&mut args, "--shard", "I/N with 0 <= I < N")?;
+                cli.shard = Some(parse_shard(&spec).ok_or_else(|| {
+                    format!("--shard: invalid value {spec:?} (expected I/N with 0 <= I < N)")
+                })?);
+            }
+            "--out" => cli.out = Some(take_value(&mut args, "--out", "a path")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+
+    if cli.smoke && cli.pr3 {
+        // Ambiguous, and the default filename would overwrite the
+        // committed full PR 3 artifact with smoke-quality data.
+        return Err("--smoke and --pr3 are mutually exclusive".to_string());
+    }
+    let dist_modes = [
+        cli.serve.is_some(),
+        cli.worker.is_some(),
+        cli.dist_workers.is_some(),
+    ];
+    if dist_modes.iter().filter(|&&m| m).count() > 1 {
+        return Err("--serve, --worker and --dist-workers are mutually exclusive".to_string());
+    }
+    if dist_modes.contains(&true) && cli.shard.is_some() {
+        return Err(
+            "--shard does not combine with distributed modes (the coordinator is the shard)"
+                .to_string(),
+        );
+    }
+    Ok(Mode::Run(Box::new(cli)))
+}
+
 fn parse_shard(spec: &str) -> Option<Shard> {
     let (i, n) = spec.split_once('/')?;
     let shard = Shard {
@@ -83,15 +260,10 @@ fn parse_shard(spec: &str) -> Option<Shard> {
     (shard.count >= 1 && shard.index < shard.count).then_some(shard)
 }
 
-/// Collapses every v2 axis not named in `keep` to its first value.
+/// Collapses every v2 axis not named in `keep` to its first value (the
+/// names were validated by [`parse_cli`]).
 fn restrict_axes(mut matrix: ScenarioMatrix, keep: &str) -> ScenarioMatrix {
     let keep: Vec<&str> = keep.split(',').map(str::trim).collect();
-    for name in &keep {
-        assert!(
-            ["bus", "platform", "util", "shape", "message", "fault"].contains(name),
-            "unknown axis {name} (expected bus, platform, util, shape, message or fault)"
-        );
-    }
     if !keep.contains(&"bus") {
         matrix.buses.truncate(1);
     }
@@ -236,119 +408,33 @@ fn write_dist_doc(
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("--merge") {
-        let Some((out, files)) = raw[1..].split_first().filter(|(_, f)| !f.is_empty()) else {
-            eprintln!("usage: repro_matrix --merge OUT SHARD_FILE...");
+    let cli = match parse_cli(&raw) {
+        Ok(Mode::Merge { out, files }) => run_merge(&out, &files),
+        Ok(Mode::Run(cli)) => *cli,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
-        };
-        run_merge(out, files);
-    }
-
-    let mut smoke = false;
-    let mut pr3 = false;
-    let mut axes: Option<String> = None;
-    let mut arc = 20u64;
-    let mut threads = Threads(0);
-    let mut shard = None;
-    let mut out: Option<String> = None;
-    let mut serve: Option<String> = None;
-    let mut addr_file: Option<String> = None;
-    let mut worker: Option<String> = None;
-    let mut dist_workers: Option<usize> = None;
-    let mut chaos = ChaosPlan::default();
-    let mut chaos_seed = 0u64;
-    let mut lease_ms: Option<u64> = None;
-    let mut grace_ms: Option<u64> = None;
-    let mut args = raw.into_iter();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--pr3" => pr3 = true,
-            "--serve" => serve = Some(args.next().expect("--serve needs host:port")),
-            "--addr-file" => addr_file = Some(args.next().expect("--addr-file needs a path")),
-            "--worker" => worker = Some(args.next().expect("--worker needs host:port or @path")),
-            "--dist-workers" => {
-                dist_workers = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--dist-workers needs a worker count"),
-                );
-            }
-            "--chaos" => {
-                let spec = args
-                    .next()
-                    .expect("--chaos needs kill:N,hang:N,corrupt:N,dup:N");
-                chaos = ChaosPlan::parse(&spec).unwrap_or_else(|e| {
-                    eprintln!("bad --chaos spec: {e}");
-                    std::process::exit(2);
-                });
-            }
-            "--chaos-seed" => {
-                chaos_seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--chaos-seed needs a number");
-            }
-            "--lease-ms" => {
-                lease_ms = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--lease-ms needs milliseconds"),
-                );
-            }
-            "--grace-ms" => {
-                grace_ms = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--grace-ms needs milliseconds"),
-                );
-            }
-            "--axes" => axes = Some(args.next().expect("--axes needs a comma-separated list")),
-            "--arc" => {
-                arc = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--arc needs a number of cost units");
-            }
-            "--threads" => {
-                threads = Threads(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--threads needs a core count (0 = all)"),
-                );
-            }
-            "--shard" => {
-                shard = Some(
-                    args.next()
-                        .as_deref()
-                        .and_then(parse_shard)
-                        .expect("--shard needs I/N with 0 <= I < N"),
-                );
-            }
-            "--out" => {
-                out = Some(args.next().expect("--out needs a path"));
-            }
-            other => {
-                eprintln!("unknown argument {other}");
-                eprintln!(
-                    "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
-                     [--threads N] [--shard I/N] [--out PATH]\n       \
-                     repro_matrix --merge OUT SHARD_FILE...\n       \
-                     repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N] [--grace-ms N]\n       \
-                     repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]\n       \
-                     repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]"
-                );
-                std::process::exit(2);
-            }
         }
-    }
+    };
+    let Cli {
+        smoke,
+        pr3,
+        axes,
+        arc,
+        threads,
+        shard,
+        out,
+        serve,
+        addr_file,
+        worker,
+        dist_workers,
+        chaos,
+        chaos_seed,
+        lease_ms,
+        grace_ms,
+    } = cli;
 
-    if smoke && pr3 {
-        // Ambiguous, and the default filename would overwrite the
-        // committed full PR 3 artifact with smoke-quality data.
-        eprintln!("--smoke and --pr3 are mutually exclusive");
-        std::process::exit(2);
-    }
     let mut matrix = if smoke {
         ScenarioMatrix::smoke()
     } else if pr3 {
@@ -363,16 +449,6 @@ fn main() {
     let out = out.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 
     let cells = matrix.cells();
-
-    let dist_modes = [serve.is_some(), worker.is_some(), dist_workers.is_some()];
-    if dist_modes.iter().filter(|&&m| m).count() > 1 {
-        eprintln!("--serve, --worker and --dist-workers are mutually exclusive");
-        std::process::exit(2);
-    }
-    if dist_modes.contains(&true) && shard.is_some() {
-        eprintln!("--shard does not combine with distributed modes (the coordinator is the shard)");
-        std::process::exit(2);
-    }
 
     if let Some(addr_spec) = worker {
         run_worker_mode(
@@ -527,4 +603,153 @@ fn main() {
         "wrote {out} ({owned} cells in {:.1}s)",
         start.elapsed().as_secs_f64()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Mode, String> {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_cli(&raw)
+    }
+
+    fn parse_run(args: &[&str]) -> Cli {
+        match parse(args) {
+            Ok(Mode::Run(cli)) => *cli,
+            other => panic!("{args:?} did not parse as a run: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_and_happy_path_flags_parse() {
+        assert_eq!(parse_run(&[]), Cli::default());
+        let cli = parse_run(&[
+            "--smoke",
+            "--axes",
+            "shape, message",
+            "--arc",
+            "25",
+            "--threads",
+            "4",
+            "--shard",
+            "1/3",
+            "--out",
+            "x.json",
+        ]);
+        assert!(cli.smoke);
+        assert_eq!(cli.axes.as_deref(), Some("shape, message"));
+        assert_eq!(cli.arc, 25);
+        assert_eq!(cli.threads, Threads(4));
+        assert_eq!(cli.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+        let cli = parse_run(&[
+            "--dist-workers",
+            "3",
+            "--chaos",
+            "kill:1,hang:2",
+            "--chaos-seed",
+            "7",
+            "--lease-ms",
+            "500",
+            "--grace-ms",
+            "100",
+        ]);
+        assert_eq!(cli.dist_workers, Some(3));
+        assert_eq!(cli.chaos, ChaosPlan::parse("kill:1,hang:2").unwrap());
+        assert_eq!(cli.chaos_seed, 7);
+        assert_eq!(cli.lease_ms, Some(500));
+        assert_eq!(cli.grace_ms, Some(100));
+    }
+
+    #[test]
+    fn malformed_numeric_values_error_naming_the_flag() {
+        // Each of these used to fall through `.parse().ok()` into a
+        // panic or a silent default; now each is a one-line error.
+        for (args, flag) in [
+            (&["--threads", "abc"][..], "--threads"),
+            (&["--lease-ms", "x"][..], "--lease-ms"),
+            (&["--grace-ms", "soon"][..], "--grace-ms"),
+            (&["--chaos-seed", "y"][..], "--chaos-seed"),
+            (&["--dist-workers", "z"][..], "--dist-workers"),
+            (&["--arc", "many"][..], "--arc"),
+            (&["--shard", "1of2"][..], "--shard"),
+            (&["--shard", "3/2"][..], "--shard"),
+            (&["--shard", "2/2"][..], "--shard"),
+            (&["--shard", "0/0"][..], "--shard"),
+            (&["--threads", "-1"][..], "--threads"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.starts_with(flag), "{args:?} error {err:?}");
+            assert!(err.contains("invalid value"), "{args:?} error {err:?}");
+        }
+    }
+
+    #[test]
+    fn missing_flag_values_error_instead_of_panicking() {
+        for flag in [
+            "--serve",
+            "--addr-file",
+            "--worker",
+            "--axes",
+            "--out",
+            "--chaos",
+            "--threads",
+            "--arc",
+            "--shard",
+            "--dist-workers",
+            "--chaos-seed",
+            "--lease-ms",
+            "--grace-ms",
+        ] {
+            let err = parse(&[flag]).unwrap_err();
+            assert!(err.starts_with(flag), "{flag} error {err:?}");
+            assert!(err.contains("missing value"), "{flag} error {err:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_and_axes_values_are_validated() {
+        let err = parse(&["--chaos", "kill:1,kill:2"]).unwrap_err();
+        assert!(err.starts_with("--chaos"), "{err}");
+        assert!(err.contains("duplicate"), "{err}");
+        let err = parse(&["--chaos", "explode:1"]).unwrap_err();
+        assert!(err.starts_with("--chaos"), "{err}");
+        let err = parse(&["--axes", "shape,sideways"]).unwrap_err();
+        assert!(err.starts_with("--axes"), "{err}");
+        assert!(err.contains("sideways"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_conflicting_modes_are_rejected() {
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
+        for args in [
+            &["--smoke", "--pr3"][..],
+            &["--serve", "a:1", "--worker", "b:2"][..],
+            &["--serve", "a:1", "--dist-workers", "2"][..],
+            &["--worker", "a:1", "--dist-workers", "2"][..],
+            &["--dist-workers", "2", "--shard", "0/2"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.contains("exclusive") || err.contains("combine"),
+                "{args:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_mode_parses_and_requires_output_and_inputs() {
+        assert_eq!(
+            parse(&["--merge", "out.json", "a.json", "b.json"]).unwrap(),
+            Mode::Merge {
+                out: "out.json".to_string(),
+                files: vec!["a.json".to_string(), "b.json".to_string()],
+            }
+        );
+        assert!(parse(&["--merge"]).unwrap_err().starts_with("--merge"));
+        assert!(parse(&["--merge", "out.json"])
+            .unwrap_err()
+            .starts_with("--merge"));
+    }
 }

@@ -56,13 +56,15 @@ pub struct ChaosPlan {
 impl ChaosPlan {
     /// Parses a `kill:N,hang:N,corrupt:N,dup:N` spec; every part is
     /// optional (`kill:1` alone is valid), unknown or malformed parts
-    /// are errors.
+    /// are errors, and so is repeating a kind (`kill:1,kill:2` is
+    /// ambiguous — it must not silently sum to `kill:3`).
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed part.
+    /// Returns a description of the first malformed or duplicated part.
     pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
         let mut plan = ChaosPlan::default();
+        let mut seen = [false; 4];
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (kind, count) = part
                 .split_once(':')
@@ -71,17 +73,23 @@ impl ChaosPlan {
                 .trim()
                 .parse()
                 .map_err(|_| format!("chaos count in {part:?} is not a number"))?;
-            match kind.trim() {
-                "kill" => plan.kill += count,
-                "hang" => plan.hang += count,
-                "corrupt" => plan.corrupt += count,
-                "dup" => plan.dup += count,
+            let kind = kind.trim();
+            let (slot, field) = match kind {
+                "kill" => (0, &mut plan.kill),
+                "hang" => (1, &mut plan.hang),
+                "corrupt" => (2, &mut plan.corrupt),
+                "dup" => (3, &mut plan.dup),
                 other => {
                     return Err(format!(
                         "unknown chaos kind {other:?} (expected kill, hang, corrupt or dup)"
                     ))
                 }
+            };
+            if seen[slot] {
+                return Err(format!("duplicate chaos kind {kind:?}"));
             }
+            seen[slot] = true;
+            *field = count;
         }
         Ok(plan)
     }
@@ -221,6 +229,32 @@ mod tests {
         assert!(ChaosPlan::parse("explode:1").is_err());
         assert!(ChaosPlan::parse("kill").is_err());
         assert!(ChaosPlan::parse("kill:x").is_err());
+    }
+
+    #[test]
+    fn plan_rejects_duplicate_kinds() {
+        // `kill:1,kill:2` used to silently sum to kill:3.
+        let err = ChaosPlan::parse("kill:1,kill:2").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("kill"), "{err}");
+        for spec in [
+            "hang:1,hang:1",
+            "corrupt:0,corrupt:0",
+            "dup:2, dup :3",
+            "kill:1,hang:2,kill:3",
+        ] {
+            assert!(ChaosPlan::parse(spec).is_err(), "{spec:?} accepted");
+        }
+        // Each kind once, in any order, still parses.
+        assert_eq!(
+            ChaosPlan::parse("dup:4,kill:1,corrupt:3,hang:2").unwrap(),
+            ChaosPlan {
+                kill: 1,
+                hang: 2,
+                corrupt: 3,
+                dup: 4
+            }
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod dag;
 mod experiment;
 mod platform;
 mod scenario;
+mod spec;
 
 pub use cruise_control::{
     cc_application, cc_architecture_types, cc_platform, cc_system, CC_DEADLINE, CC_MODULES,

@@ -1,0 +1,404 @@
+//! Canonical textual scenario specs — the wire/cache encoding of a
+//! [`Scenario`].
+//!
+//! A spec is a `key=value;key=value;…` string covering every field of a
+//! [`Scenario`] (including its base [`ExperimentConfig`]). Two operations
+//! are defined:
+//!
+//! * [`Scenario::canonical_spec`] renders the **canonical form**: fixed
+//!   key order, no whitespace, shortest round-trip float rendering. Two
+//!   scenarios are equal iff their canonical specs are byte-equal, which
+//!   is what makes the spec usable as a content-address — the
+//!   `ftes-server` result cache hashes it.
+//! * [`Scenario::parse_spec`] parses a spec **strictly but liberally
+//!   formatted**: keys may come in any order with arbitrary whitespace
+//!   around parts, keys and values, and omitted keys fall back to the
+//!   default scenario — but unknown keys, duplicate keys, malformed or
+//!   out-of-range values are all one-line errors, never silently
+//!   defaulted (a long-running service must not guess). Canonicalization
+//!   is `parse → render`: field order and whitespace never change the
+//!   canonical form.
+//!
+//! The value bounds double as the service's input validation: everything
+//! accepted here generates and optimizes without panicking, so a daemon
+//! can hand a parsed scenario straight to the engine.
+//!
+//! ```
+//! use ftes_gen::Scenario;
+//!
+//! let s = Scenario::parse_spec("apps = 1 ; bus = tdma:500")?;
+//! let canon = s.canonical_spec();
+//! // Canonical form is order- and whitespace-insensitive.
+//! assert_eq!(Scenario::parse_spec("bus=tdma:500;apps=1")?.canonical_spec(), canon);
+//! assert_eq!(Scenario::parse_spec(&canon)?, s);
+//! # Ok::<(), String>(())
+//! ```
+
+use ftes_model::TimeUs;
+
+use crate::scenario::{
+    BusProfile, FaultLoad, GraphShape, Heterogeneity, MessageLoad, Scenario, Utilization,
+};
+
+/// The default scenario a spec's omitted keys fall back to: the paper's
+/// condition (ideal bus, mild heterogeneity, relaxed deadlines, default
+/// shape/message/fault axes) with 2 applications.
+fn default_scenario() -> Scenario {
+    Scenario::new(
+        BusProfile::Ideal,
+        Heterogeneity::Mild,
+        Utilization::Relaxed,
+        2,
+    )
+}
+
+/// Upper bound on `apps` accepted from a spec (bounds one request's work).
+const MAX_APPS: usize = 256;
+/// Upper bound on `ntypes` (the architecture space grows combinatorially).
+const MAX_NODE_TYPES: usize = 8;
+/// Upper bound on a TDMA slot length in microseconds (one hour).
+const MAX_SLOT_US: i64 = 3_600_000_000;
+
+impl Scenario {
+    /// Renders the canonical spec of this scenario: fixed key order
+    /// (`bus`, `platform`, `util`, `shape`, `message`, `fault`, `apps`,
+    /// `ser`, `hpd`, `ntypes`, `dlf`, `gamma`, `seed`), no whitespace,
+    /// `{:e}` float rendering (shortest form that round-trips).
+    pub fn canonical_spec(&self) -> String {
+        let bus = match self.bus {
+            BusProfile::Ideal => "ideal".to_string(),
+            BusProfile::Tdma { slot } => format!("tdma:{}", slot.as_us()),
+        };
+        let fault = match self.fault {
+            FaultLoad::Base => "base".to_string(),
+            FaultLoad::SerHpd { ser_h1, hpd } => format!("ser:{ser_h1:e},hpd:{hpd:e}"),
+        };
+        format!(
+            "bus={bus};platform={};util={};shape={};message={};fault={fault};apps={};\
+             ser={:e};hpd={:e};ntypes={};dlf={:e},{:e};gamma={:e},{:e};seed={}",
+            self.platform.label(),
+            self.utilization.label(),
+            self.shape.label(),
+            self.message.label(),
+            self.apps,
+            self.base.ser_h1,
+            self.base.hpd,
+            self.base.node_types,
+            self.base.deadline_factor.0,
+            self.base.deadline_factor.1,
+            self.base.gamma.0,
+            self.base.gamma.1,
+            self.base.seed,
+        )
+    }
+
+    /// Parses a spec, strictly: any key order and any whitespace around
+    /// parts/keys/values are accepted, omitted keys take the default
+    /// scenario's values — but unknown keys, duplicate keys, malformed
+    /// numbers and out-of-range values are rejected with a one-line error
+    /// naming the key. The accepted ranges guarantee the scenario
+    /// generates and optimizes without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending key.
+    pub fn parse_spec(input: &str) -> Result<Scenario, String> {
+        let mut s = default_scenario();
+        let mut seen: Vec<String> = Vec::new();
+        for part in input.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("spec part {part:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if seen.iter().any(|k| k == key) {
+                return Err(format!("duplicate spec key {key:?}"));
+            }
+            seen.push(key.to_string());
+            match key {
+                "bus" => s.bus = parse_bus(value)?,
+                "platform" => {
+                    s.platform = match value {
+                        "hom" => Heterogeneity::Homogeneous,
+                        "mild" => Heterogeneity::Mild,
+                        "wide" => Heterogeneity::Wide,
+                        _ => return Err(bad(key, value, "hom, mild or wide")),
+                    }
+                }
+                "util" => {
+                    s.utilization = match value {
+                        "relaxed" => Utilization::Relaxed,
+                        "tight" => Utilization::Tight,
+                        _ => return Err(bad(key, value, "relaxed or tight")),
+                    }
+                }
+                "shape" => {
+                    s.shape = match value {
+                        "deep" => GraphShape::Deep,
+                        "std" => GraphShape::Paper,
+                        "fan" => GraphShape::Fan,
+                        "dense" => GraphShape::Dense,
+                        _ => return Err(bad(key, value, "deep, std, fan or dense")),
+                    }
+                }
+                "message" => {
+                    s.message = match value {
+                        "tx0" => MessageLoad::Zero,
+                        "tx5" => MessageLoad::Paper,
+                        "tx20" => MessageLoad::Heavy,
+                        "tx50" => MessageLoad::Bulk,
+                        _ => return Err(bad(key, value, "tx0, tx5, tx20 or tx50")),
+                    }
+                }
+                "fault" => s.fault = parse_fault(value)?,
+                "apps" => {
+                    s.apps = parse_num(key, value, "an application count")?;
+                    if s.apps == 0 || s.apps > MAX_APPS {
+                        return Err(bad(key, value, "1 to 256 applications"));
+                    }
+                }
+                "ser" => {
+                    s.base.ser_h1 = parse_num(key, value, "a probability")?;
+                    if !(s.base.ser_h1 > 0.0 && s.base.ser_h1 < 1.0) {
+                        return Err(bad(key, value, "a probability strictly inside (0, 1)"));
+                    }
+                }
+                "hpd" => {
+                    s.base.hpd = parse_num(key, value, "a degradation factor")?;
+                    if !(0.0..=10.0).contains(&s.base.hpd) {
+                        return Err(bad(key, value, "a degradation factor in [0, 10]"));
+                    }
+                }
+                "ntypes" => {
+                    s.base.node_types = parse_num(key, value, "a node-type count")?;
+                    if s.base.node_types == 0 || s.base.node_types > MAX_NODE_TYPES {
+                        return Err(bad(key, value, "1 to 8 node types"));
+                    }
+                }
+                "dlf" => {
+                    s.base.deadline_factor = parse_range(key, value, 1.0, 100.0)?;
+                }
+                "gamma" => {
+                    let range = parse_range(key, value, f64::MIN_POSITIVE, 1.0)?;
+                    if range.1 >= 1.0 {
+                        return Err(bad(key, value, "per-hour goals strictly inside (0, 1)"));
+                    }
+                    s.base.gamma = range;
+                }
+                "seed" => s.base.seed = parse_num(key, value, "an unsigned 64-bit seed")?,
+                _ => {
+                    return Err(format!(
+                        "unknown spec key {key:?} (expected bus, platform, util, shape, \
+                         message, fault, apps, ser, hpd, ntypes, dlf, gamma or seed)"
+                    ))
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// One-line rejection for a key's malformed or out-of-range value.
+fn bad(key: &str, value: &str, expected: &str) -> String {
+    format!("spec key {key:?} has invalid value {value:?} (expected {expected})")
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str, expected: &str) -> Result<T, String> {
+    value.parse().map_err(|_| bad(key, value, expected))
+}
+
+/// `lo,hi` with `min ≤ lo ≤ hi ≤ max`, both finite.
+fn parse_range(key: &str, value: &str, min: f64, max: f64) -> Result<(f64, f64), String> {
+    let expected = format!("lo,hi with {min:e} <= lo <= hi <= {max:e}");
+    let (lo, hi) = value
+        .split_once(',')
+        .ok_or_else(|| bad(key, value, &expected))?;
+    let lo: f64 = parse_num(key, lo.trim(), &expected)?;
+    let hi: f64 = parse_num(key, hi.trim(), &expected)?;
+    if !(lo.is_finite() && hi.is_finite() && min <= lo && lo <= hi && hi <= max) {
+        return Err(bad(key, value, &expected));
+    }
+    Ok((lo, hi))
+}
+
+fn parse_bus(value: &str) -> Result<BusProfile, String> {
+    if value == "ideal" {
+        return Ok(BusProfile::Ideal);
+    }
+    let Some(slot) = value.strip_prefix("tdma:") else {
+        return Err(bad("bus", value, "ideal or tdma:<slot microseconds>"));
+    };
+    let us: i64 = parse_num("bus", slot, "ideal or tdma:<slot microseconds>")?;
+    if !(1..=MAX_SLOT_US).contains(&us) {
+        return Err(bad("bus", value, "a slot of 1us to 1 hour"));
+    }
+    Ok(BusProfile::Tdma {
+        slot: TimeUs::from_us(us),
+    })
+}
+
+fn parse_fault(value: &str) -> Result<FaultLoad, String> {
+    if value == "base" {
+        return Ok(FaultLoad::Base);
+    }
+    let expected = "base or ser:<prob>,hpd:<factor>";
+    let (ser, hpd) = value
+        .split_once(',')
+        .ok_or_else(|| bad("fault", value, expected))?;
+    let ser = ser
+        .trim()
+        .strip_prefix("ser:")
+        .ok_or_else(|| bad("fault", value, expected))?;
+    let hpd = hpd
+        .trim()
+        .strip_prefix("hpd:")
+        .ok_or_else(|| bad("fault", value, expected))?;
+    let ser_h1: f64 = parse_num("fault", ser, expected)?;
+    let hpd: f64 = parse_num("fault", hpd, expected)?;
+    if !(ser_h1 > 0.0 && ser_h1 < 1.0 && (0.0..=10.0).contains(&hpd)) {
+        return Err(bad(
+            "fault",
+            value,
+            "ser strictly inside (0, 1) and hpd in [0, 10]",
+        ));
+    }
+    Ok(FaultLoad::SerHpd { ser_h1, hpd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_default_scenario() {
+        assert_eq!(Scenario::parse_spec("").unwrap(), default_scenario());
+        assert_eq!(Scenario::parse_spec("  ;  ; ").unwrap(), default_scenario());
+    }
+
+    #[test]
+    fn canonical_spec_round_trips_every_axis_value() {
+        let mut s = default_scenario();
+        s.bus = BusProfile::Tdma {
+            slot: TimeUs::from_us(500),
+        };
+        s.platform = Heterogeneity::Wide;
+        s.utilization = Utilization::Tight;
+        s.shape = GraphShape::Dense;
+        s.message = MessageLoad::Bulk;
+        s.fault = FaultLoad::SerHpd {
+            ser_h1: 1e-10,
+            hpd: 1.0,
+        };
+        s.apps = 7;
+        s.base.ser_h1 = 3.5e-12;
+        s.base.hpd = 0.25;
+        s.base.node_types = 5;
+        s.base.deadline_factor = (1.1, 2.75);
+        s.base.gamma = (1e-6, 9.5e-5);
+        s.base.seed = 0xDEAD_BEEF;
+        let spec = s.canonical_spec();
+        assert_eq!(Scenario::parse_spec(&spec).unwrap(), s);
+        // Canonical output is a fixed point of parse → render.
+        assert_eq!(Scenario::parse_spec(&spec).unwrap().canonical_spec(), spec);
+    }
+
+    #[test]
+    fn key_order_and_whitespace_are_immaterial() {
+        let canon = Scenario::parse_spec("bus=tdma:500;apps=4;seed=9")
+            .unwrap()
+            .canonical_spec();
+        for variant in [
+            "apps=4;seed=9;bus=tdma:500",
+            "  seed = 9 ;bus=  tdma:500  ; apps =4  ",
+            "seed=9;;   ;apps=4;bus=tdma:500;",
+        ] {
+            assert_eq!(
+                Scenario::parse_spec(variant).unwrap().canonical_spec(),
+                canon,
+                "variant {variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = Scenario::parse_spec("apps=2;apps=2").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("apps"), "{err}");
+        // Even an exact repeat of the same value is ambiguous input.
+        assert!(Scenario::parse_spec("bus=ideal;  bus=ideal").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_malformed_parts_are_rejected() {
+        for spec in ["frobnicate=1", "apps", "=2", "apps=2;shape"] {
+            assert!(Scenario::parse_spec(spec).is_err(), "{spec:?} accepted");
+        }
+        let err = Scenario::parse_spec("frobnicate=1").unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn malformed_and_out_of_range_values_name_the_key() {
+        for (spec, key) in [
+            ("apps=abc", "apps"),
+            ("apps=0", "apps"),
+            ("apps=100000", "apps"),
+            ("ntypes=0", "ntypes"),
+            ("ntypes=99", "ntypes"),
+            ("ser=2.0", "ser"),
+            ("ser=0", "ser"),
+            ("ser=nope", "ser"),
+            ("hpd=-1", "hpd"),
+            ("seed=-3", "seed"),
+            ("bus=tdma:0", "bus"),
+            ("bus=tdma:x", "bus"),
+            ("bus=warp", "bus"),
+            ("platform=narrow", "platform"),
+            ("util=loose", "util"),
+            ("shape=star", "shape"),
+            ("message=tx99", "message"),
+            ("fault=ser:2,hpd:1", "fault"),
+            ("fault=hpd:1", "fault"),
+            ("dlf=3", "dlf"),
+            ("dlf=3,2", "dlf"),
+            ("dlf=0.5,2", "dlf"),
+            ("gamma=1e-6", "gamma"),
+            ("gamma=1e-6,2", "gamma"),
+        ] {
+            let err = Scenario::parse_spec(spec).unwrap_err();
+            assert!(err.contains(key), "{spec:?} error {err:?} misses {key:?}");
+        }
+    }
+
+    #[test]
+    fn parsed_extreme_scenarios_still_generate() {
+        // The advertised contract: anything parse_spec accepts is safe to
+        // hand to the engine. Probe the bounds that used to panic the
+        // generator (node_types) and the goal assignment (gamma).
+        for spec in [
+            "apps=1;ntypes=1",
+            "ntypes=8;platform=wide",
+            "gamma=1e-9,1e-9;dlf=1,1",
+            "fault=ser:1e-15,hpd:10;message=tx50;bus=tdma:1",
+        ] {
+            let s = Scenario::parse_spec(spec).unwrap();
+            let sys = s.generate(0);
+            assert!(sys.application().process_count() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn distinct_scenarios_have_distinct_canonical_specs() {
+        let a = default_scenario();
+        let mut b = a.clone();
+        b.base.seed += 1;
+        assert_ne!(a.canonical_spec(), b.canonical_spec());
+        let mut c = a.clone();
+        c.message = MessageLoad::Heavy;
+        assert_ne!(a.canonical_spec(), c.canonical_spec());
+    }
+}

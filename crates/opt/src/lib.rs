@@ -67,6 +67,7 @@ pub use mapping_opt::{
     initial_mapping, mapping_algorithm, mapping_algorithm_traced, mapping_algorithm_with,
     solution_score, TabuMove,
 };
+pub use memo::SlruCache;
 pub use redundancy::{
     redundancy_opt, redundancy_opt_memo, redundancy_opt_with, RedundancyMemo, RedundancyOutcome,
 };

@@ -12,6 +12,10 @@
 //! when the hot segment fills, it becomes the *cold* segment (dropping
 //! the previous cold generation wholesale). Any entry touched within
 //! the last `cap/2` insertions is guaranteed resident.
+//!
+//! Beyond the in-process search memo, the same structure serves as the
+//! memory front of the `ftes-server` two-tier result cache, so it is
+//! public and counts its evictions.
 
 use ftes_model::fasthash::FastHashMap;
 use std::hash::Hash;
@@ -19,37 +23,49 @@ use std::hash::Hash;
 /// A segmented-LRU bounded map: at most `cap` entries, O(1) amortized
 /// insert/lookup/eviction.
 #[derive(Debug)]
-pub(crate) struct SlruCache<K, V> {
+pub struct SlruCache<K, V> {
     hot: FastHashMap<K, V>,
     cold: FastHashMap<K, V>,
     /// Per-segment capacity (`cap / 2`, at least 1); `0` disables the
     /// cache entirely.
     half: usize,
+    /// Entries dropped by segment rotations over the cache's lifetime.
+    evicted: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
     /// A cache holding at most `cap` entries (`0` disables it).
-    pub(crate) fn new(cap: usize) -> Self {
+    pub fn new(cap: usize) -> Self {
         SlruCache {
             hot: FastHashMap::default(),
             cold: FastHashMap::default(),
             half: if cap == 0 { 0 } else { (cap / 2).max(1) },
+            evicted: 0,
         }
     }
 
     /// Whether the cache stores anything at all.
-    pub(crate) fn enabled(&self) -> bool {
+    pub fn enabled(&self) -> bool {
         self.half > 0
     }
 
     /// Entries currently resident (both segments).
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.hot.len() + self.cold.len()
     }
 
+    /// Whether the cache is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries dropped by segment rotation since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
     /// Looks `k` up, promoting a cold hit into the hot segment.
-    pub(crate) fn get(&mut self, k: &K) -> Option<&V> {
+    pub fn get(&mut self, k: &K) -> Option<&V> {
         if self.half == 0 {
             return None;
         }
@@ -64,11 +80,12 @@ impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
     }
 
     /// Inserts `k → v`, rotating the segments when the hot one is full.
-    pub(crate) fn insert(&mut self, k: K, v: V) {
+    pub fn insert(&mut self, k: K, v: V) {
         if self.half == 0 {
             return;
         }
         if self.hot.len() >= self.half && !self.hot.contains_key(&k) {
+            self.evicted += self.cold.len() as u64;
             self.cold = std::mem::take(&mut self.hot);
         }
         self.hot.insert(k, v);
@@ -86,6 +103,7 @@ mod tests {
         cache.insert(1, 10);
         assert_eq!(cache.get(&1), None);
         assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evicted(), 0);
     }
 
     #[test]
@@ -121,5 +139,25 @@ mod tests {
             cache.insert(k, k);
             assert!(cache.get(&42).is_some(), "touched entry evicted at {k}");
         }
+    }
+
+    #[test]
+    fn eviction_counter_counts_dropped_cold_generations() {
+        let mut cache: SlruCache<u64, u64> = SlruCache::new(4);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        // First rotation drops an *empty* cold generation.
+        cache.insert(3, 3);
+        assert_eq!(cache.evicted(), 0);
+        cache.insert(4, 4);
+        // Second rotation drops cold {1, 2}.
+        cache.insert(5, 5);
+        assert_eq!(cache.evicted(), 2);
+        // Accounting invariant: everything inserted is either resident
+        // or counted as evicted.
+        for k in 0..1_000u64 {
+            cache.insert(100 + k, k);
+        }
+        assert_eq!(cache.evicted() + cache.len() as u64, 5 + 1_000);
     }
 }

@@ -1,0 +1,286 @@
+//! The two-tier result cache: segmented-LRU memory front over a disk
+//! filecache.
+//!
+//! Keys are content addresses: the FNV-1a hash of the canonical
+//! scenario spec, the goal, the acceptance threshold and the engine
+//! version ([`cache_key`]). The canonical spec makes the address
+//! insensitive to request formatting (field order, whitespace); the
+//! engine version makes a deployed engine change miss instead of
+//! serving stale results.
+//!
+//! The memory tier is the same [`SlruCache`] the tabu search memoizes
+//! with — bounded, O(1), recently-used entries guaranteed resident. The
+//! disk tier is one file per entry (`<key as 16 hex digits>.json`)
+//! under a cache directory, written atomically (temp + rename, the
+//! `--addr-file` discipline) so a crash mid-write never poisons the
+//! cache: a reader either sees the complete entry or no entry. Disk
+//! hits are promoted into the memory tier.
+
+use std::path::{Path, PathBuf};
+
+use ftes_bench::dist::protocol::fnv64;
+use ftes_opt::SlruCache;
+
+/// Content address of one result: FNV-1a over the canonical scenario
+/// spec plus everything else that determines the payload bytes — the
+/// goal, the ArC acceptance threshold and the engine version.
+pub fn cache_key(canonical_spec: &str, goal: &str, arc: u64, engine_version: u32) -> u64 {
+    fnv64(format!("v{engine_version};goal={goal};arc={arc};{canonical_spec}").as_bytes())
+}
+
+/// Which tier served a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Memory-tier hit (no I/O, no engine run).
+    Mem,
+    /// Disk-tier hit (one file read, no engine run); promoted to memory.
+    Disk,
+    /// Not cached — the caller must run the engine and [`store`] the
+    /// result.
+    ///
+    /// [`store`]: ResultCache::store
+    Miss,
+}
+
+impl CacheTier {
+    /// Wire label (`mem`, `disk`, `miss`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheTier::Mem => "mem",
+            CacheTier::Disk => "disk",
+            CacheTier::Miss => "miss",
+        }
+    }
+}
+
+/// Lifetime counters of one [`ResultCache`], surfaced in responses and
+/// the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub requests: u64,
+    /// Lookups answered by the memory tier.
+    pub mem_hits: u64,
+    /// Lookups answered by the disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier (engine runs).
+    pub misses: u64,
+    /// Entries written to the disk tier.
+    pub disk_writes: u64,
+    /// Memory-tier entries dropped by LRU rotation.
+    pub mem_evictions: u64,
+    /// Entries currently resident in the memory tier.
+    pub mem_entries: u64,
+    /// Disk-tier I/O failures (reads fall back to miss, writes are
+    /// skipped; the server keeps answering either way).
+    pub errors: u64,
+}
+
+/// The two-tier cache. Not internally synchronized — the server wraps
+/// it in a mutex; engine runs happen *outside* that lock.
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: SlruCache<u64, String>,
+    disk: Option<PathBuf>,
+    requests: u64,
+    mem_hits: u64,
+    disk_hits: u64,
+    misses: u64,
+    disk_writes: u64,
+    errors: u64,
+}
+
+impl ResultCache {
+    /// A cache with a memory tier of at most `mem_cap` entries (0
+    /// disables it) and, when `disk_dir` is given, a disk tier under
+    /// that directory (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cache directory cannot be created.
+    pub fn new(mem_cap: usize, disk_dir: Option<&Path>) -> Result<ResultCache, String> {
+        if let Some(dir) = disk_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        }
+        Ok(ResultCache {
+            mem: SlruCache::new(mem_cap),
+            disk: disk_dir.map(Path::to_path_buf),
+            requests: 0,
+            mem_hits: 0,
+            disk_hits: 0,
+            misses: 0,
+            disk_writes: 0,
+            errors: 0,
+        })
+    }
+
+    fn entry_path(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Looks `key` up: memory first, then disk (promoting a disk hit
+    /// into memory). A miss is counted; the caller is expected to run
+    /// the engine and [`store`](ResultCache::store) the result.
+    pub fn lookup(&mut self, key: u64) -> (Option<String>, CacheTier) {
+        self.requests += 1;
+        if let Some(payload) = self.mem.get(&key) {
+            self.mem_hits += 1;
+            return (Some(payload.clone()), CacheTier::Mem);
+        }
+        if let Some(dir) = &self.disk {
+            match std::fs::read_to_string(Self::entry_path(dir, key)) {
+                Ok(payload) => {
+                    self.disk_hits += 1;
+                    self.mem.insert(key, payload.clone());
+                    return (Some(payload), CacheTier::Disk);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => self.errors += 1,
+            }
+        }
+        self.misses += 1;
+        (None, CacheTier::Miss)
+    }
+
+    /// Stores a freshly computed result in both tiers. The disk write
+    /// is atomic: the entry is written to a sibling temp file and
+    /// renamed into place, so a concurrent reader (or a crash) never
+    /// observes a partial entry. Disk failures are counted and
+    /// swallowed — the memory tier still serves the entry.
+    pub fn store(&mut self, key: u64, payload: &str) {
+        self.mem.insert(key, payload.to_string());
+        if let Some(dir) = &self.disk {
+            let tmp = dir.join(format!(".tmp-{key:016x}-{}", std::process::id()));
+            let result = std::fs::write(&tmp, payload)
+                .and_then(|()| std::fs::rename(&tmp, Self::entry_path(dir, key)));
+            match result {
+                Ok(()) => self.disk_writes += 1,
+                Err(_) => {
+                    self.errors += 1;
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            requests: self.requests,
+            mem_hits: self.mem_hits,
+            disk_hits: self.disk_hits,
+            misses: self.misses,
+            disk_writes: self.disk_writes,
+            mem_evictions: self.mem.evicted(),
+            mem_entries: self.mem.len() as u64,
+            errors: self.errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ENGINE_VERSION;
+    use ftes_gen::Scenario;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ftes-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_ignores_request_formatting_but_not_content() {
+        // Field order and whitespace canonicalize away...
+        let a = Scenario::parse_spec("apps=2;bus=tdma:500").unwrap();
+        let b = Scenario::parse_spec("  bus = tdma:500 ; apps = 2 ").unwrap();
+        assert_eq!(
+            cache_key(&a.canonical_spec(), "opt", 20, ENGINE_VERSION),
+            cache_key(&b.canonical_spec(), "opt", 20, ENGINE_VERSION),
+        );
+        // ...while every real input difference changes the key.
+        let base = cache_key(&a.canonical_spec(), "opt", 20, ENGINE_VERSION);
+        let c = Scenario::parse_spec("apps=3;bus=tdma:500").unwrap();
+        assert_ne!(
+            cache_key(&c.canonical_spec(), "opt", 20, ENGINE_VERSION),
+            base
+        );
+        assert_ne!(
+            cache_key(&a.canonical_spec(), "min", 20, ENGINE_VERSION),
+            base
+        );
+        assert_ne!(
+            cache_key(&a.canonical_spec(), "opt", 25, ENGINE_VERSION),
+            base
+        );
+        // An engine-version bump invalidates everything.
+        assert_ne!(
+            cache_key(&a.canonical_spec(), "opt", 20, ENGINE_VERSION + 1),
+            base
+        );
+    }
+
+    #[test]
+    fn memory_tier_serves_repeats_without_disk() {
+        let mut cache = ResultCache::new(8, None).unwrap();
+        assert_eq!(cache.lookup(7), (None, CacheTier::Miss));
+        cache.store(7, "payload");
+        assert_eq!(
+            cache.lookup(7),
+            (Some("payload".to_string()), CacheTier::Mem)
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.disk_writes, 0);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_cache_rebuild() {
+        let dir = temp_dir("restart");
+        {
+            let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+            assert_eq!(cache.lookup(42).1, CacheTier::Miss);
+            cache.store(42, "computed-once");
+            assert_eq!(cache.stats().disk_writes, 1);
+        }
+        // A fresh cache over the same directory models a restarted
+        // process: the memory tier is cold, the disk tier answers.
+        let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+        assert_eq!(
+            cache.lookup(42),
+            (Some("computed-once".to_string()), CacheTier::Disk)
+        );
+        // The disk hit was promoted: the repeat is a memory hit.
+        assert_eq!(cache.lookup(42).1, CacheTier::Mem);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_only_miss_after_eviction_falls_back_to_disk() {
+        let dir = temp_dir("evict");
+        let mut cache = ResultCache::new(2, Some(&dir)).unwrap();
+        cache.lookup(1);
+        cache.store(1, "one");
+        // Flood the tiny memory tier until entry 1 rotates out.
+        for k in 2..10u64 {
+            cache.lookup(k);
+            cache.store(k, "fill");
+        }
+        assert!(cache.stats().mem_evictions > 0);
+        // Entry 1 is gone from memory but still on disk.
+        assert_eq!(cache.lookup(1), (Some("one".to_string()), CacheTier::Disk));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

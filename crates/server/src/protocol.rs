@@ -1,0 +1,541 @@
+//! The server's line protocol: one flat JSON object per line, parsed
+//! strictly.
+//!
+//! Strict means the same discipline [`ChaosPlan::parse`] and the
+//! scenario spec parser follow: unknown keys, duplicate keys, wrong
+//! value types and trailing garbage are all one-line errors — a
+//! long-running service must never guess what a malformed request
+//! meant. String escaping reuses `ftes_bench::dist::protocol`'s
+//! `json_escape`/`json_unescape` so both wire formats agree.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"req":"optimize","scenario":"<spec>","goal":"opt","arc":20}
+//! {"req":"stats"}
+//! {"req":"shutdown"}
+//! ```
+//!
+//! (`goal` defaults to `opt`, `arc` to 20.) Responses:
+//!
+//! ```text
+//! {"resp":"result","cache":"mem|disk|miss","key":"<16 hex>","engine_ms":N,
+//!  "mem_hits":N,"disk_hits":N,"misses":N,"payload":"<escaped cell JSON>"}
+//! {"resp":"stats","requests":N,...,"errors":N}
+//! {"resp":"error","reason":"<message>"}
+//! {"resp":"ok"}
+//! ```
+//!
+//! [`ChaosPlan::parse`]: ftes_bench::ChaosPlan::parse
+
+use ftes_bench::dist::protocol::{json_escape, json_unescape};
+use ftes_bench::Strategy;
+
+use crate::cache::CacheStats;
+
+/// Which strategies an `optimize` request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Minimum hardening only.
+    Min,
+    /// Maximum hardening only.
+    Max,
+    /// The paper's optimization only.
+    Opt,
+    /// All three strategies (the batch binaries' behaviour).
+    All,
+}
+
+impl Goal {
+    /// Wire label, also part of the cache key.
+    pub fn label(self) -> &'static str {
+        match self {
+            Goal::Min => "min",
+            Goal::Max => "max",
+            Goal::Opt => "opt",
+            Goal::All => "all",
+        }
+    }
+
+    /// Parses a wire label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted labels.
+    pub fn parse(s: &str) -> Result<Goal, String> {
+        match s {
+            "min" => Ok(Goal::Min),
+            "max" => Ok(Goal::Max),
+            "opt" => Ok(Goal::Opt),
+            "all" => Ok(Goal::All),
+            other => Err(format!(
+                "unknown goal {other:?} (expected min, max, opt or all)"
+            )),
+        }
+    }
+
+    /// The strategy set the engine runs for this goal.
+    pub fn strategies(self) -> &'static [Strategy] {
+        match self {
+            Goal::Min => &[Strategy::Min],
+            Goal::Max => &[Strategy::Max],
+            Goal::Opt => &[Strategy::Opt],
+            Goal::All => &Strategy::ALL,
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or answer from cache) one scenario under one goal.
+    Optimize {
+        /// The scenario spec, as sent (canonicalized by the server).
+        scenario: String,
+        /// Strategy set to run.
+        goal: Goal,
+        /// Acceptance threshold (ArC cost units) for the rendered cell.
+        arc: u64,
+    },
+    /// Report the cache counters.
+    Stats,
+    /// Acknowledge, then stop accepting connections and exit.
+    Shutdown,
+}
+
+/// One parsed response line (what the client sees).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An `optimize` answer.
+    Result {
+        /// Which tier served it (`mem`, `disk` or `miss` = engine ran).
+        cache: String,
+        /// The content address, 16 hex digits.
+        key: String,
+        /// Engine wall time (0 on a cache hit).
+        engine_ms: u64,
+        /// Running memory-hit counter after this request.
+        mem_hits: u64,
+        /// Running disk-hit counter after this request.
+        disk_hits: u64,
+        /// Running miss counter after this request.
+        misses: u64,
+        /// The rendered cell JSON (deterministic bytes).
+        payload: String,
+    },
+    /// A `stats` answer.
+    Stats(CacheStats),
+    /// A rejected request.
+    Error(
+        /// Why the request was rejected.
+        String,
+    ),
+    /// A `shutdown` acknowledgement.
+    Ok,
+}
+
+/// A parsed flat-JSON value: the protocol only uses strings and
+/// unsigned integers.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+}
+
+/// Parses one line as a flat JSON object, strictly: `{"k":v,...}` with
+/// string or unsigned-integer values, no nesting, no duplicate keys, no
+/// trailing garbage.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let eat = |i: &mut usize, c: u8| -> Result<(), String> {
+        if bytes.get(*i) == Some(&c) {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of request",
+                c as char, *i
+            ))
+        }
+    };
+    let string = |i: &mut usize| -> Result<String, String> {
+        eat(i, b'"')?;
+        let start = *i;
+        while *i < bytes.len() {
+            match bytes[*i] {
+                b'\\' => *i += 2,
+                b'"' => {
+                    let inner = &line[start..*i];
+                    *i += 1;
+                    return json_unescape(inner);
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string in request".to_string())
+    };
+    let int = |i: &mut usize| -> Result<u64, String> {
+        let start = *i;
+        while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        line[start..*i]
+            .parse()
+            .map_err(|_| format!("invalid number at byte {start} of request"))
+    };
+
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    skip_ws(&mut i);
+    eat(&mut i, b'{')?;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        i += 1;
+    } else {
+        loop {
+            let key = string(&mut i)?;
+            skip_ws(&mut i);
+            eat(&mut i, b':')?;
+            skip_ws(&mut i);
+            let value = match bytes.get(i) {
+                Some(b'"') => Value::Str(string(&mut i)?),
+                Some(b) if b.is_ascii_digit() => Value::Int(int(&mut i)?),
+                _ => {
+                    return Err(format!(
+                        "value of {key:?} must be a string or an unsigned integer"
+                    ))
+                }
+            };
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?} in request"));
+            }
+            fields.push((key, value));
+            skip_ws(&mut i);
+            match bytes.get(i) {
+                Some(b',') => {
+                    i += 1;
+                    skip_ws(&mut i);
+                }
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {i} of request")),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != bytes.len() {
+        return Err(format!("trailing garbage after request object at byte {i}"));
+    }
+    Ok(fields)
+}
+
+/// Removes `key` from `fields`, if present.
+fn take(fields: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let pos = fields.iter().position(|(k, _)| k == key)?;
+    Some(fields.remove(pos).1)
+}
+
+fn take_str(fields: &mut Vec<(String, Value)>, key: &str) -> Result<Option<String>, String> {
+    match take(fields, key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(Value::Int(_)) => Err(format!("{key:?} must be a string")),
+    }
+}
+
+fn take_int(fields: &mut Vec<(String, Value)>, key: &str) -> Result<Option<u64>, String> {
+    match take(fields, key) {
+        None => Ok(None),
+        Some(Value::Int(n)) => Ok(Some(n)),
+        Some(Value::Str(_)) => Err(format!("{key:?} must be an unsigned integer")),
+    }
+}
+
+fn need_str(fields: &mut Vec<(String, Value)>, key: &str) -> Result<String, String> {
+    take_str(fields, key)?.ok_or_else(|| format!("response is missing {key:?}"))
+}
+
+fn need_int(fields: &mut Vec<(String, Value)>, key: &str) -> Result<u64, String> {
+    take_int(fields, key)?.ok_or_else(|| format!("response is missing {key:?}"))
+}
+
+/// Rejects whatever fields a request type did not consume.
+fn reject_unknown(fields: &[(String, Value)], req: &str) -> Result<(), String> {
+    match fields.first() {
+        None => Ok(()),
+        Some((key, _)) => Err(format!("unknown key {key:?} in {req:?} request")),
+    }
+}
+
+impl Request {
+    /// Parses one request line, strictly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first problem; the server
+    /// sends it back verbatim as an `error` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut fields = parse_object(line)?;
+        let req = take_str(&mut fields, "req")?
+            .ok_or_else(|| "request is missing the \"req\" key".to_string())?;
+        match req.as_str() {
+            "optimize" => {
+                let scenario = take_str(&mut fields, "scenario")?
+                    .ok_or_else(|| "\"optimize\" request is missing \"scenario\"".to_string())?;
+                let goal = match take_str(&mut fields, "goal")? {
+                    Some(g) => Goal::parse(&g)?,
+                    None => Goal::Opt,
+                };
+                let arc = take_int(&mut fields, "arc")?.unwrap_or(20);
+                reject_unknown(&fields, "optimize")?;
+                Ok(Request::Optimize {
+                    scenario,
+                    goal,
+                    arc,
+                })
+            }
+            "stats" => {
+                reject_unknown(&fields, "stats")?;
+                Ok(Request::Stats)
+            }
+            "shutdown" => {
+                reject_unknown(&fields, "shutdown")?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(format!(
+                "unknown request {other:?} (expected optimize, stats or shutdown)"
+            )),
+        }
+    }
+
+    /// Renders the request as one line (used by the client).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Optimize {
+                scenario,
+                goal,
+                arc,
+            } => format!(
+                "{{\"req\":\"optimize\",\"scenario\":\"{}\",\"goal\":\"{}\",\"arc\":{arc}}}\n",
+                json_escape(scenario),
+                goal.label(),
+            ),
+            Request::Stats => "{\"req\":\"stats\"}\n".to_string(),
+            Request::Shutdown => "{\"req\":\"shutdown\"}\n".to_string(),
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as one line (used by the server).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Result {
+                cache,
+                key,
+                engine_ms,
+                mem_hits,
+                disk_hits,
+                misses,
+                payload,
+            } => format!(
+                "{{\"resp\":\"result\",\"cache\":\"{}\",\"key\":\"{}\",\"engine_ms\":{engine_ms},\
+                 \"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
+                 \"payload\":\"{}\"}}\n",
+                json_escape(cache),
+                json_escape(key),
+                json_escape(payload),
+            ),
+            Response::Stats(s) => format!(
+                "{{\"resp\":\"stats\",\"requests\":{},\"mem_hits\":{},\"disk_hits\":{},\
+                 \"misses\":{},\"disk_writes\":{},\"mem_evictions\":{},\"mem_entries\":{},\
+                 \"errors\":{}}}\n",
+                s.requests,
+                s.mem_hits,
+                s.disk_hits,
+                s.misses,
+                s.disk_writes,
+                s.mem_evictions,
+                s.mem_entries,
+                s.errors,
+            ),
+            Response::Error(reason) => {
+                format!(
+                    "{{\"resp\":\"error\",\"reason\":\"{}\"}}\n",
+                    json_escape(reason)
+                )
+            }
+            Response::Ok => "{\"resp\":\"ok\"}\n".to_string(),
+        }
+    }
+
+    /// Parses one response line (used by the client), as strictly as
+    /// the server parses requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first problem.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let mut fields = parse_object(line)?;
+        let resp = take_str(&mut fields, "resp")?
+            .ok_or_else(|| "response is missing the \"resp\" key".to_string())?;
+        match resp.as_str() {
+            "result" => {
+                let resp = Response::Result {
+                    cache: need_str(&mut fields, "cache")?,
+                    key: need_str(&mut fields, "key")?,
+                    engine_ms: need_int(&mut fields, "engine_ms")?,
+                    mem_hits: need_int(&mut fields, "mem_hits")?,
+                    disk_hits: need_int(&mut fields, "disk_hits")?,
+                    misses: need_int(&mut fields, "misses")?,
+                    payload: need_str(&mut fields, "payload")?,
+                };
+                reject_unknown(&fields, "result")?;
+                Ok(resp)
+            }
+            "stats" => {
+                let stats = CacheStats {
+                    requests: need_int(&mut fields, "requests")?,
+                    mem_hits: need_int(&mut fields, "mem_hits")?,
+                    disk_hits: need_int(&mut fields, "disk_hits")?,
+                    misses: need_int(&mut fields, "misses")?,
+                    disk_writes: need_int(&mut fields, "disk_writes")?,
+                    mem_evictions: need_int(&mut fields, "mem_evictions")?,
+                    mem_entries: need_int(&mut fields, "mem_entries")?,
+                    errors: need_int(&mut fields, "errors")?,
+                };
+                reject_unknown(&fields, "stats")?;
+                Ok(Response::Stats(stats))
+            }
+            "error" => {
+                let reason = need_str(&mut fields, "reason")?;
+                reject_unknown(&fields, "error")?;
+                Ok(Response::Error(reason))
+            }
+            "ok" => {
+                reject_unknown(&fields, "ok")?;
+                Ok(Response::Ok)
+            }
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_render_and_parse() {
+        let reqs = [
+            Request::Optimize {
+                scenario: "apps=2;bus=tdma:500".to_string(),
+                goal: Goal::All,
+                arc: 25,
+            },
+            Request::Optimize {
+                scenario: "spec with \"quotes\"\nand newline".to_string(),
+                goal: Goal::Min,
+                arc: 0,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.render();
+            assert_eq!(Request::parse(line.trim_end()).unwrap(), req, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn optimize_defaults_goal_and_arc() {
+        assert_eq!(
+            Request::parse("{\"req\":\"optimize\",\"scenario\":\"\"}").unwrap(),
+            Request::Optimize {
+                scenario: String::new(),
+                goal: Goal::Opt,
+                arc: 20,
+            }
+        );
+    }
+
+    #[test]
+    fn whitespace_and_key_order_are_immaterial() {
+        let canonical = Request::parse("{\"req\":\"optimize\",\"scenario\":\"x\"}").unwrap();
+        for line in [
+            "  { \"scenario\" : \"x\" , \"req\" : \"optimize\" }  ",
+            "{\"scenario\":\"x\",\"req\":\"optimize\"}",
+        ] {
+            assert_eq!(Request::parse(line).unwrap(), canonical, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_defaulted() {
+        for line in [
+            // Duplicate keys — the ChaosPlan lesson applied to the wire.
+            "{\"req\":\"stats\",\"req\":\"stats\"}",
+            "{\"req\":\"optimize\",\"scenario\":\"x\",\"scenario\":\"y\"}",
+            // Unknown keys.
+            "{\"req\":\"stats\",\"bonus\":1}",
+            "{\"req\":\"optimize\",\"scenario\":\"x\",\"lease\":5}",
+            // Wrong types.
+            "{\"req\":\"optimize\",\"scenario\":7}",
+            "{\"req\":\"optimize\",\"scenario\":\"x\",\"arc\":\"20\"}",
+            // Unknown request / goal.
+            "{\"req\":\"explode\"}",
+            "{\"req\":\"optimize\",\"scenario\":\"x\",\"goal\":\"best\"}",
+            // Structural garbage.
+            "",
+            "stats",
+            "{\"req\":\"stats\"} extra",
+            "{\"req\":\"stats\"",
+            "{\"req\":}",
+            "{\"req\":\"optimize\"}",
+        ] {
+            assert!(Request::parse(line).is_err(), "{line:?} accepted");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_render_and_parse() {
+        let resps = [
+            Response::Result {
+                cache: "disk".to_string(),
+                key: "00ffabcd00ffabcd".to_string(),
+                engine_ms: 1234,
+                mem_hits: 1,
+                disk_hits: 2,
+                misses: 3,
+                payload: "{\n  \"cell\": 1\n}".to_string(),
+            },
+            Response::Stats(CacheStats {
+                requests: 8,
+                mem_hits: 3,
+                disk_hits: 1,
+                misses: 4,
+                disk_writes: 4,
+                mem_evictions: 2,
+                mem_entries: 2,
+                errors: 0,
+            }),
+            Response::Error("spec key \"apps\" has invalid value \"x\"".to_string()),
+            Response::Ok,
+        ];
+        for resp in resps {
+            let line = resp.render();
+            assert!(
+                line.ends_with('\n') && !line.trim_end().contains('\n'),
+                "{line:?}"
+            );
+            assert_eq!(Response::parse(line.trim_end()).unwrap(), resp, "{line:?}");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The accept loop: per-connection handler threads over one shared
+//! [`ResultCache`], engine runs gated through a core-budget slot pool.
+//!
+//! Concurrency model:
+//!
+//! * The listener is non-blocking; the accept loop polls it and a stop
+//!   flag, so a `shutdown` request (or a closed listener) ends the run
+//!   promptly.
+//! * Each connection gets a scoped handler thread reading line-framed
+//!   requests with the distributed runner's [`FrameReader`] (partial
+//!   lines accumulate across reads; a slow client can stall its own
+//!   connection, never corrupt a frame).
+//! * Cache lookups take a short mutex; engine runs happen *outside* it,
+//!   gated by a counting semaphore sized by [`CoreBudget::fan_out`] so
+//!   `slots × per-slot budget ≤ total budget` — a burst of cache misses
+//!   queues instead of oversubscribing the machine.
+//!
+//! Identical concurrent misses may each run the engine once; the engine
+//! is deterministic, so both compute the same bytes and the second
+//! store is idempotent. A long-running service trades that rare double
+//! run for never holding the cache lock across an engine run.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ftes_bench::dist::protocol::{FrameReader, RecvError};
+use ftes_bench::matrix::{cell_json, run_cell_budgeted};
+use ftes_gen::Scenario;
+use ftes_model::Cost;
+use ftes_opt::{CoreBudget, Threads};
+
+use crate::cache::{cache_key, CacheStats, ResultCache};
+use crate::protocol::{Request, Response};
+use crate::ENGINE_VERSION;
+
+/// Tuning knobs for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Memory-tier capacity in entries (0 disables the memory tier).
+    pub mem_cap: usize,
+    /// Disk-tier directory; `None` keeps the cache memory-only (no
+    /// persistence across restarts).
+    pub cache_dir: Option<PathBuf>,
+    /// Total core budget shared by all concurrent engine runs
+    /// (`Threads(0)` = all cores).
+    pub threads: Threads,
+    /// Maximum concurrent engine runs; the total budget is split over
+    /// these slots via [`CoreBudget::fan_out`].
+    pub engine_slots: usize,
+    /// Socket poll slice for the accept loop and frame reads.
+    pub io_poll_ms: u64,
+    /// Per-connection idle limit: a connection with no complete request
+    /// line for this long is closed (the client can reconnect).
+    pub idle_ms: u64,
+    /// Log one stderr line per served request.
+    pub progress: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mem_cap: 256,
+            cache_dir: None,
+            threads: Threads(0),
+            engine_slots: 2,
+            io_poll_ms: 25,
+            idle_ms: 60_000,
+            progress: false,
+        }
+    }
+}
+
+/// A counting semaphore over engine slots (std has none; a mutexed
+/// counter plus a condvar is enough at this request rate).
+#[derive(Debug)]
+struct Gate {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(slots: usize) -> Gate {
+        Gate {
+            free: Mutex::new(slots.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock().expect("gate poisoned");
+        while *free == 0 {
+            free = self.cv.wait(free).expect("gate poisoned");
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock().expect("gate poisoned") += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// A bound listener ready to serve.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and prepares the
+    /// cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the bind or the cache-dir creation fails.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        Ok(Server { listener, cfg })
+    }
+
+    /// The actually bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Serves until a `shutdown` request arrives, then returns the
+    /// final cache counters. Every connection error is contained to its
+    /// handler; the accept loop only stops on shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cache cannot be initialized.
+    pub fn run(self) -> Result<CacheStats, String> {
+        let cache = Mutex::new(ResultCache::new(
+            self.cfg.mem_cap,
+            self.cfg.cache_dir.as_deref(),
+        )?);
+        let budget = CoreBudget::new(self.cfg.threads.resolve());
+        let (slots, per_slot) = budget.fan_out(self.cfg.engine_slots.max(1));
+        let gate = Gate::new(slots);
+        let stop = AtomicBool::new(false);
+        let poll = Duration::from_millis(self.cfg.io_poll_ms.max(1));
+
+        std::thread::scope(|scope| {
+            while !stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let (cache, gate, stop, cfg) = (&cache, &gate, &stop, &self.cfg);
+                        scope.spawn(move || {
+                            handle_connection(stream, cache, gate, stop, cfg, per_slot);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // A broken listener cannot serve anyone; stop.
+                        eprintln!("accept failed: {e}");
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        Ok(cache.into_inner().expect("cache poisoned").stats())
+    }
+}
+
+/// Serves one connection until the peer closes, the idle limit passes
+/// or the server stops. Malformed requests get an `error` response and
+/// the connection stays open — the peer is told exactly what was wrong.
+fn handle_connection(
+    mut stream: TcpStream,
+    cache: &Mutex<ResultCache>,
+    gate: &Gate,
+    stop: &AtomicBool,
+    cfg: &ServerConfig,
+    per_slot: CoreBudget,
+) {
+    use std::io::Write as _;
+
+    let poll = Duration::from_millis(cfg.io_poll_ms.max(1));
+    let idle = Duration::from_millis(cfg.idle_ms.max(1));
+    let mut reader = FrameReader::new();
+    loop {
+        let deadline = Instant::now() + idle;
+        let line =
+            match reader.read_line(&mut stream, deadline, poll, || stop.load(Ordering::SeqCst)) {
+                Ok(line) => line,
+                // Idle, stopped, or gone — either way this connection is done.
+                Err(RecvError::Timeout | RecvError::Closed | RecvError::Io(_)) => return,
+            };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(line.trim_end()) {
+            Ok(Request::Optimize {
+                scenario,
+                goal,
+                arc,
+            }) => serve_optimize(&scenario, goal, arc, cache, gate, per_slot, cfg),
+            Ok(Request::Stats) => Response::Stats(cache.lock().expect("cache poisoned").stats()),
+            Ok(Request::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                Response::Ok
+            }
+            // Malformed lines don't touch the cache or its counters.
+            Err(reason) => Response::Error(reason),
+        };
+        if stream.write_all(response.render().as_bytes()).is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Answers one `optimize` request: cache lookup under the lock, engine
+/// run (on a miss) outside it behind the slot gate, then store.
+fn serve_optimize(
+    scenario: &str,
+    goal: crate::Goal,
+    arc: u64,
+    cache: &Mutex<ResultCache>,
+    gate: &Gate,
+    per_slot: CoreBudget,
+    cfg: &ServerConfig,
+) -> Response {
+    let parsed = match Scenario::parse_spec(scenario) {
+        Ok(s) => s,
+        Err(reason) => return Response::Error(reason),
+    };
+    let canonical = parsed.canonical_spec();
+    let key = cache_key(&canonical, goal.label(), arc, ENGINE_VERSION);
+
+    let (cached, tier) = cache.lock().expect("cache poisoned").lookup(key);
+    let (payload, engine_ms) = match cached {
+        Some(payload) => (payload, 0),
+        None => {
+            gate.acquire();
+            let started = Instant::now();
+            let cell = run_cell_budgeted(&parsed, goal.strategies(), per_slot);
+            // timings=false keeps the payload deterministic: the same
+            // request always caches (and serves) identical bytes.
+            let payload = cell_json(&cell, Cost::new(arc), false);
+            let engine_ms = started.elapsed().as_millis() as u64;
+            gate.release();
+            cache.lock().expect("cache poisoned").store(key, &payload);
+            (payload, engine_ms)
+        }
+    };
+    let stats = cache.lock().expect("cache poisoned").stats();
+    if cfg.progress {
+        eprintln!(
+            "served {key:016x} ({}, {} ms) goal={} arc={arc}",
+            tier.label(),
+            engine_ms,
+            goal.label(),
+        );
+    }
+    Response::Result {
+        cache: tier.label().to_string(),
+        key: format!("{key:016x}"),
+        engine_ms,
+        mem_hits: stats.mem_hits,
+        disk_hits: stats.disk_hits,
+        misses: stats.misses,
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_caps_concurrency_at_its_slot_count() {
+        let gate = Gate::new(2);
+        gate.acquire();
+        gate.acquire();
+        // Both slots taken: a third acquire must block until a release.
+        let blocked = std::sync::atomic::AtomicBool::new(true);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                gate.acquire();
+                blocked.store(false, Ordering::SeqCst);
+                gate.release();
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(blocked.load(Ordering::SeqCst), "third acquire ran early");
+            gate.release();
+        });
+        assert!(!blocked.load(Ordering::SeqCst));
+        gate.release();
+    }
+
+    #[test]
+    fn fan_out_never_exceeds_the_total_budget() {
+        for total in [1usize, 2, 3, 8, 64] {
+            for slots in [1usize, 2, 4] {
+                let (workers, per) = CoreBudget::new(total).fan_out(slots);
+                assert!(workers * per.get() <= total, "{total}/{slots}");
+            }
+        }
+    }
+}

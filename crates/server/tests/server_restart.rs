@@ -1,0 +1,196 @@
+//! End-to-end server tests over loopback: cache-hit semantics within
+//! one process lifetime, and — the tentpole guarantee — the disk tier
+//! surviving a restart with byte-identical responses.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use ftes_opt::Threads;
+use ftes_server::{Goal, Request, Response, Server, ServerConfig};
+
+/// A unique scratch directory per test (pid + test name), pre-cleaned.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftes-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Binds an ephemeral-port server over `cache_dir` and runs it on a
+/// background thread; returns the address and the join handle (which
+/// yields the final stats after a shutdown request).
+fn spawn_server(
+    cache_dir: &std::path::Path,
+) -> (
+    String,
+    std::thread::JoinHandle<Result<ftes_server::CacheStats, String>>,
+) {
+    let cfg = ServerConfig {
+        mem_cap: 16,
+        cache_dir: Some(cache_dir.to_path_buf()),
+        threads: Threads(2),
+        engine_slots: 1,
+        io_poll_ms: 5,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// One request/response round trip on a fresh connection.
+fn round_trip(addr: &str, request: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(request.render().as_bytes())
+        .expect("send request");
+    let mut line = String::new();
+    BufReader::new(&mut stream)
+        .read_line(&mut line)
+        .expect("read response");
+    Response::parse(line.trim_end()).expect("parse response")
+}
+
+/// Sends a raw (possibly malformed) line and returns the raw response.
+fn round_trip_raw(addr: &str, line: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).expect("send line");
+    let mut out = String::new();
+    BufReader::new(&mut stream)
+        .read_line(&mut out)
+        .expect("read response");
+    Response::parse(out.trim_end()).expect("parse response")
+}
+
+fn optimize(scenario: &str) -> Request {
+    Request::Optimize {
+        scenario: scenario.to_string(),
+        goal: Goal::Opt,
+        arc: 20,
+    }
+}
+
+#[test]
+fn cache_tiers_serve_repeats_and_survive_a_restart() {
+    let dir = temp_dir("restart");
+    let (addr, handle) = spawn_server(&dir);
+
+    // First request: a miss — the engine runs, both tiers are filled.
+    let first = round_trip(&addr, &optimize("apps=1"));
+    let Response::Result {
+        cache,
+        key,
+        payload,
+        misses,
+        ..
+    } = first
+    else {
+        panic!("first request failed: {first:?}");
+    };
+    assert_eq!(cache, "miss");
+    assert_eq!(misses, 1);
+    assert!(!payload.is_empty());
+
+    // Same request, formatted differently: the canonical spec hashes to
+    // the same key, the memory tier answers, the bytes are identical
+    // and the engine did not run again.
+    let second = round_trip(&addr, &optimize("  apps = 1 ; "));
+    let Response::Result {
+        cache: cache2,
+        key: key2,
+        payload: payload2,
+        engine_ms,
+        mem_hits,
+        misses: misses2,
+        ..
+    } = second
+    else {
+        panic!("second request failed: {second:?}");
+    };
+    assert_eq!(cache2, "mem", "repeat must be a memory hit");
+    assert_eq!(key2, key, "canonicalization must produce the same key");
+    assert_eq!(payload2, payload, "cached payload must be byte-identical");
+    assert_eq!(engine_ms, 0, "a hit must not run the engine");
+    assert_eq!((mem_hits, misses2), (1, 1));
+
+    // A different goal is a different content address.
+    let other = round_trip(
+        &addr,
+        &Request::Optimize {
+            scenario: "apps=1".to_string(),
+            goal: Goal::Min,
+            arc: 20,
+        },
+    );
+    match other {
+        Response::Result { cache, key: k, .. } => {
+            assert_eq!(cache, "miss");
+            assert_ne!(k, key, "goal must be part of the key");
+        }
+        other => panic!("goal=min request failed: {other:?}"),
+    }
+
+    // Malformed requests are rejected with the reason, and do not
+    // disturb the counters.
+    let rejected = round_trip_raw(&addr, "{\"req\":\"optimize\",\"scenario\":\"apps=x\"}\n");
+    let Response::Error(reason) = rejected else {
+        panic!("malformed scenario accepted: {rejected:?}");
+    };
+    assert!(reason.contains("apps"), "{reason}");
+    let rejected = round_trip_raw(&addr, "{\"req\":\"stats\",\"req\":\"stats\"}\n");
+    assert!(matches!(rejected, Response::Error(_)), "{rejected:?}");
+
+    let stats = round_trip(&addr, &Request::Stats);
+    let Response::Stats(s) = stats else {
+        panic!("stats failed: {stats:?}");
+    };
+    assert_eq!(s.requests, 3, "three lookups (two specs, one goal=min)");
+    assert_eq!(s.mem_hits, 1);
+    assert_eq!(s.misses, 2);
+    assert_eq!(s.disk_writes, 2);
+    assert_eq!(s.errors, 0);
+
+    // Shutdown: acknowledged, run() returns the same counters.
+    assert_eq!(round_trip(&addr, &Request::Shutdown), Response::Ok);
+    let final_stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!(final_stats.requests, 3);
+    assert_eq!(final_stats.disk_writes, 2);
+
+    // ── Restart: a fresh process lifetime over the same cache dir. ──
+    let (addr, handle) = spawn_server(&dir);
+    let warm = round_trip(&addr, &optimize("apps=1"));
+    let Response::Result {
+        cache,
+        key: key3,
+        payload: payload3,
+        engine_ms,
+        disk_hits,
+        ..
+    } = warm
+    else {
+        panic!("post-restart request failed: {warm:?}");
+    };
+    assert_eq!(cache, "disk", "restart must hit the disk tier");
+    assert_eq!(key3, key);
+    assert_eq!(
+        payload3, payload,
+        "disk tier must serve byte-identical payloads across restarts"
+    );
+    assert_eq!(engine_ms, 0);
+    assert_eq!(disk_hits, 1);
+
+    // The disk hit was promoted: the repeat is a memory hit.
+    let promoted = round_trip(&addr, &optimize("apps=1"));
+    match promoted {
+        Response::Result { cache, payload, .. } => {
+            assert_eq!(cache, "mem");
+            assert_eq!(payload, payload3);
+        }
+        other => panic!("promoted repeat failed: {other:?}"),
+    }
+
+    assert_eq!(round_trip(&addr, &Request::Shutdown), Response::Ok);
+    handle.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
