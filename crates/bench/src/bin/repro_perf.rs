@@ -175,17 +175,17 @@ fn bench_set(label: &str, systems: &[System], base: &OptConfig, series: usize) -
     let scratch_cfg = OptConfig {
         eval_mode: EvalMode::Scratch,
         threads: Threads(1),
-        ..*base
+        ..base.clone()
     };
     let incremental_cfg = OptConfig {
         eval_mode: EvalMode::Incremental,
         threads: Threads(1),
-        ..*base
+        ..base.clone()
     };
     let parallel_cfg = OptConfig {
         eval_mode: EvalMode::Incremental,
         threads: Threads(0),
-        ..*base
+        ..base.clone()
     };
 
     let scratch = run_mode(systems, &scratch_cfg, series);
@@ -300,7 +300,7 @@ fn thread_scaling_json(systems: &[System], base: &OptConfig, series: usize) -> S
         let cfg = OptConfig {
             eval_mode: EvalMode::Incremental,
             threads: Threads(threads as usize),
-            ..*base
+            ..base.clone()
         };
         let run = run_mode(systems, &cfg, series);
         let resolved = Threads(threads as usize).resolve();

@@ -14,7 +14,7 @@ use ftes_gen::{generate_instance, ExperimentConfig};
 use ftes_model::Cost;
 use ftes_opt::{
     design_strategy_budgeted, CoreBudget, DesignOutcome, HardeningPolicy, OptConfig, TabuConfig,
-    Threads,
+    Threads, WarmStart,
 };
 use ftes_sfp::Rounding;
 use serde::{Deserialize, Serialize};
@@ -128,6 +128,25 @@ pub fn run_strategy_over_budgeted<F>(
 where
     F: Fn(u64) -> ftes_model::System + Sync,
 {
+    run_strategy_over_seeded(generate, n_apps, strategy, budget, None)
+}
+
+/// [`run_strategy_over_budgeted`] with an optional per-application
+/// [`WarmStart`] seed slice (index = application index): application `i`
+/// seeds its design exploration from `seeds[i]` when one is present and
+/// validates against the generated system. Seeds only redirect each tabu
+/// search's start, so a seeded run explores the same design space —
+/// `None` (or an all-`None` slice) is exactly the cold path.
+pub fn run_strategy_over_seeded<F>(
+    generate: F,
+    n_apps: usize,
+    strategy: Strategy,
+    budget: CoreBudget,
+    seeds: Option<&[Option<WarmStart>]>,
+) -> Vec<Option<DesignOutcome>>
+where
+    F: Fn(u64) -> ftes_model::System + Sync,
+{
     let (threads, per_app) = budget.fan_out(n_apps.max(1));
     // `Threads(0)` resolves *within* the per-worker remainder budget
     // (design_strategy_budgeted), never to the whole machine — the
@@ -142,13 +161,19 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let (generate, opt_cfg, next, slots) = (&generate, &opt_cfg, &next, &slots);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n_apps {
                     break;
                 }
                 let system = generate(i as u64);
-                let outcome = design_strategy_budgeted(&system, &opt_cfg, per_app)
+                let warm_start = seeds.and_then(|s| s.get(i).cloned().flatten());
+                let cfg = OptConfig {
+                    warm_start,
+                    ..opt_cfg.clone()
+                };
+                let outcome = design_strategy_budgeted(&system, &cfg, per_app)
                     .expect("synthetic systems are structurally valid");
                 *slots[i].lock().unwrap() = Some(outcome);
             });

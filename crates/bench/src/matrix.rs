@@ -33,10 +33,10 @@ use std::sync::{Condvar, Mutex};
 
 use ftes_gen::{Scenario, ScenarioMatrix};
 use ftes_model::Cost;
-use ftes_opt::{CoreBudget, Threads};
+use ftes_opt::{CoreBudget, Threads, WarmStart};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{run_strategy_over_budgeted, Strategy};
+use crate::experiment::{run_strategy_over_seeded, Strategy};
 
 /// Result of one strategy over one cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -181,17 +181,81 @@ impl MatrixRunConfig {
     }
 }
 
+/// The winning design points of one cell run, per strategy and
+/// application — everything a later run on the *same scenario* needs to
+/// warm-start its tabu searches (the `ftes-server` result cache stores
+/// one of these alongside each rendered payload).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CellSeeds {
+    /// One `(strategy, per-application seed)` row per strategy run, in
+    /// request order. `None` = that application had no feasible solution.
+    pub strategies: Vec<(Strategy, Vec<Option<WarmStart>>)>,
+}
+
+impl CellSeeds {
+    /// The per-application seeds to warm-start `strategy` with: the same
+    /// strategy's winners when the donor ran it, else the donor's first
+    /// strategy row — a mapping is a mapping; the exploration re-derives
+    /// hardening and re-execution under its own policy, so any donor
+    /// strategy's design point is a valid start for any other.
+    pub fn for_strategy(&self, strategy: Strategy) -> Option<&[Option<WarmStart>]> {
+        self.strategies
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .or_else(|| self.strategies.first())
+            .map(|(_, seeds)| seeds.as_slice())
+    }
+
+    /// How many concrete (non-`None`) seeds this set carries.
+    pub fn seed_count(&self) -> usize {
+        self.strategies
+            .iter()
+            .map(|(_, seeds)| seeds.iter().flatten().count())
+            .sum()
+    }
+}
+
+/// The donor design point of one finished exploration: the winning node
+/// types in slot order plus the process-to-node mapping.
+fn warm_start_of(solution: &ftes_opt::Solution) -> WarmStart {
+    WarmStart {
+        types: solution
+            .architecture
+            .node_ids()
+            .map(|n| solution.architecture.node_type(n))
+            .collect(),
+        mapping: solution.mapping.as_slice().to_vec(),
+    }
+}
+
 /// Runs one strategy over one cell within a [`CoreBudget`].
 pub fn run_cell_strategy_budgeted(
     scenario: &Scenario,
     strategy: Strategy,
     budget: CoreBudget,
 ) -> StrategyCell {
+    run_cell_strategy_seeded(scenario, strategy, budget, None).0
+}
+
+/// [`run_cell_strategy_budgeted`] with optional per-application
+/// [`WarmStart`] seeds, also returning the winning design points so the
+/// caller can store them for future warm starts.
+pub fn run_cell_strategy_seeded(
+    scenario: &Scenario,
+    strategy: Strategy,
+    budget: CoreBudget,
+    seeds: Option<&[Option<WarmStart>]>,
+) -> (StrategyCell, Vec<Option<WarmStart>>) {
     let start = std::time::Instant::now();
-    let outcomes =
-        run_strategy_over_budgeted(|i| scenario.generate(i), scenario.apps, strategy, budget);
+    let outcomes = run_strategy_over_seeded(
+        |i| scenario.generate(i),
+        scenario.apps,
+        strategy,
+        budget,
+        seeds,
+    );
     let wall_seconds = start.elapsed().as_secs_f64();
-    StrategyCell {
+    let cell = StrategyCell {
         strategy,
         best_cost: outcomes
             .iter()
@@ -202,7 +266,12 @@ pub fn run_cell_strategy_budgeted(
             .map(|o| o.as_ref().map(|o| o.solution.schedule_length().as_us()))
             .collect(),
         wall_seconds,
-    }
+    };
+    let winners = outcomes
+        .iter()
+        .map(|o| o.as_ref().map(|o| warm_start_of(&o.solution)))
+        .collect();
+    (cell, winners)
 }
 
 /// Runs one strategy over one cell on the machine's full core budget.
@@ -216,13 +285,34 @@ pub fn run_cell_budgeted(
     strategies: &[Strategy],
     budget: CoreBudget,
 ) -> CellResult {
-    CellResult {
-        scenario: scenario.clone(),
-        strategies: strategies
-            .iter()
-            .map(|&s| run_cell_strategy_budgeted(scenario, s, budget))
-            .collect(),
+    run_cell_seeded(scenario, strategies, budget, None).0
+}
+
+/// [`run_cell_budgeted`] with an optional warm-start donor: each
+/// strategy's tabu searches seed from the donor's design points
+/// ([`CellSeeds::for_strategy`]), and the cell's own winners are returned
+/// for the caller to cache. A `None` donor is exactly the cold path.
+pub fn run_cell_seeded(
+    scenario: &Scenario,
+    strategies: &[Strategy],
+    budget: CoreBudget,
+    donor: Option<&CellSeeds>,
+) -> (CellResult, CellSeeds) {
+    let mut rows = Vec::with_capacity(strategies.len());
+    let mut winners = CellSeeds::default();
+    for &s in strategies {
+        let seeds = donor.and_then(|d| d.for_strategy(s));
+        let (row, won) = run_cell_strategy_seeded(scenario, s, budget, seeds);
+        rows.push(row);
+        winners.strategies.push((s, won));
     }
+    (
+        CellResult {
+            scenario: scenario.clone(),
+            strategies: rows,
+        },
+        winners,
+    )
 }
 
 /// Runs every requested strategy over one cell on the full core budget.
@@ -641,6 +731,49 @@ mod tests {
     }
 
     #[test]
+    fn cell_seeds_prefer_same_strategy_then_fall_back_to_first() {
+        let opt_seed = WarmStart {
+            types: vec![ftes_model::NodeTypeId::new(1)],
+            mapping: vec![ftes_model::NodeId::new(0)],
+        };
+        let seeds = CellSeeds {
+            strategies: vec![
+                (Strategy::Max, vec![None]),
+                (Strategy::Opt, vec![Some(opt_seed.clone())]),
+            ],
+        };
+        assert_eq!(
+            seeds.for_strategy(Strategy::Opt),
+            Some(&[Some(opt_seed)][..])
+        );
+        // No MIN row: any donor design point is a valid start, so the
+        // first row stands in.
+        assert_eq!(seeds.for_strategy(Strategy::Min), Some(&[None][..]));
+        assert_eq!(seeds.seed_count(), 1);
+        assert_eq!(CellSeeds::default().for_strategy(Strategy::Opt), None);
+    }
+
+    #[test]
+    fn seeded_cell_run_matches_cold_and_returns_reusable_winners() {
+        let scenario = tiny_cell();
+        let budget = CoreBudget::new(2);
+        let (cold, winners) = run_cell_seeded(&scenario, &[Strategy::Opt], budget, None);
+        assert!(winners.seed_count() > 0, "tiny cell should find solutions");
+        // Re-seeding redirects each tabu start, so the warm run may land
+        // on a *different* equal-cost design point — but it explores the
+        // same architecture walk, so feasibility and best cost per app
+        // are unchanged when seeded with the cell's own winners.
+        let (warm, _) = run_cell_seeded(&scenario, &[Strategy::Opt], budget, Some(&winners));
+        for (w, c) in warm.strategies.iter().zip(&cold.strategies) {
+            assert_eq!(w.strategy, c.strategy);
+            assert_eq!(w.best_cost, c.best_cost);
+            for (ws, cs) in w.schedule_len_us.iter().zip(&c.schedule_len_us) {
+                assert_eq!(ws.is_some(), cs.is_some());
+            }
+        }
+    }
+
+    #[test]
     fn acceptance_and_mean_cost_derive_from_per_app_costs() {
         let row = StrategyCell {
             strategy: Strategy::Opt,
@@ -830,7 +963,7 @@ mod tests {
                 let (live, peak) = (&live, &peak);
                 scope.spawn(move || {
                     for cell in chunk {
-                        let _ = run_strategy_over_budgeted(
+                        let _ = crate::experiment::run_strategy_over_budgeted(
                             |i| {
                                 let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                                 peak.fetch_max(now, Ordering::SeqCst);

@@ -33,11 +33,11 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ftes_model::{Architecture, Cost, ModelError, NodeTypeId, System};
+use ftes_model::{Architecture, Cost, Mapping, ModelError, NodeTypeId, System};
 use serde::{Deserialize, Serialize};
 
 use crate::arch_iter::architectures_with_n_nodes;
-use crate::config::{CoreBudget, Objective, OptConfig};
+use crate::config::{CoreBudget, Objective, OptConfig, WarmStart};
 use crate::evaluation::Solution;
 use crate::incremental::{Candidate, EvalStats, Evaluator};
 use crate::mapping_opt::mapping_algorithm_with;
@@ -54,6 +54,10 @@ pub struct ExplorationStats {
     /// architecture-level concurrency (regression anchor for the
     /// `Threads(0)`-inside-a-`CoreBudget` over-claim).
     pub worker_threads: u32,
+    /// Architectures whose tabu search was seeded from a validated
+    /// [`WarmStart`] donor (0 on cold runs and when the seed failed
+    /// validation or its architecture was never walked).
+    pub warm_seeded: u32,
     /// Candidate-evaluation counters of the incremental engine, summed
     /// over all workers (these depend on worker timing, unlike the
     /// architecture counters, which replay the sequential walk exactly).
@@ -151,6 +155,10 @@ pub fn design_strategy_budgeted(
         .unwrap_or_else(|| platform.node_type_count())
         .max(1);
     let threads = config.threads.resolve_within(budget).max(1);
+    let warm = config
+        .warm_start
+        .as_ref()
+        .and_then(|seed| validated_warm_start(system, seed));
 
     let mut best: Option<Arc<Candidate>> = None;
     let mut stats = ExplorationStats {
@@ -175,9 +183,26 @@ pub fn design_strategy_budgeted(
             .map(|types| Architecture::with_min_hardening(types).cost(platform))
             .collect::<Result<_, _>>()?;
         let cbest_start = best.as_ref().map_or(Cost::MAX, |s| s.cost);
+        // The donor seed redirects exactly one tabu start: the slot of
+        // this node count whose types equal the donor architecture's (the
+        // walk itself — order, pruning, acceptance — is unchanged).
+        let seeded_slot = warm.as_ref().and_then(|(types, mapping)| {
+            (types.len() == n).then(|| {
+                archs
+                    .iter()
+                    .position(|a| a == types)
+                    .map(|i| (i, mapping.clone()))
+            })?
+        });
 
         let mut hints: Vec<Option<ArchOutcome>> = if threads > 1 && archs.len() > 1 {
-            explore_batch_parallel(&archs, &min_costs, cbest_start, &mut workers)?
+            explore_batch_parallel(
+                &archs,
+                &min_costs,
+                cbest_start,
+                seeded_slot.as_ref().map(|(i, m)| (*i, m)),
+                &mut workers,
+            )?
         } else {
             (0..archs.len()).map(|_| None).collect()
         };
@@ -197,9 +222,16 @@ pub fn design_strategy_budgeted(
             }
             stats.architectures_evaluated += 1;
             evaluated_this_n += 1;
+            let seed = match &seeded_slot {
+                Some((si, mapping)) if *si == i => Some(mapping),
+                _ => None,
+            };
+            if seed.is_some() {
+                stats.warm_seeded += 1;
+            }
             let outcome = match hints[i].take() {
                 Some(outcome) => outcome,
-                None => explore_one(&mut workers[0], &archs[i])?,
+                None => explore_one(&mut workers[0], &archs[i], seed)?,
             };
             match outcome {
                 ArchOutcome::Unschedulable => {
@@ -257,6 +289,7 @@ fn explore_batch_parallel(
     archs: &[Vec<NodeTypeId>],
     min_costs: &[Cost],
     cbest_start: Cost,
+    seeded_slot: Option<(usize, &Mapping)>,
     workers: &mut [SearchState<'_>],
 ) -> Result<Vec<Option<ArchOutcome>>, ModelError> {
     // Fig. 5 line 6 across threads: the shared best-so-far cost. Workers
@@ -294,7 +327,11 @@ fn explore_batch_parallel(
                 if min_costs[i] >= cbest_start || min_costs[i] > live {
                     continue;
                 }
-                let outcome = explore_one(worker, &archs[i]);
+                let seed = match seeded_slot {
+                    Some((si, mapping)) if si == i => Some(mapping),
+                    _ => None,
+                };
+                let outcome = explore_one(worker, &archs[i], seed);
                 match &outcome {
                     Ok(ArchOutcome::Unschedulable) => {
                         truncate_at.fetch_min(i, Ordering::Release);
@@ -315,16 +352,51 @@ fn explore_batch_parallel(
         .collect()
 }
 
-/// Runs the Fig. 5 inner loop (lines 7–13) for one architecture.
+/// Validates a [`WarmStart`] against the system the exploration runs on:
+/// the donor types must exist on the platform, the mapping must cover
+/// every process, point into the donor's slots and respect the support
+/// sets. Seeds that do not fit are silently ignored — a warm start is an
+/// accelerator, never a correctness input.
+fn validated_warm_start(system: &System, seed: &WarmStart) -> Option<(Vec<NodeTypeId>, Mapping)> {
+    let platform = system.platform();
+    let timing = system.timing();
+    let app = system.application();
+    if seed.types.is_empty()
+        || seed.mapping.len() != app.process_count()
+        || seed
+            .types
+            .iter()
+            .any(|ty| ty.index() >= platform.node_type_count())
+    {
+        return None;
+    }
+    for (p_idx, node) in seed.mapping.iter().enumerate() {
+        let ty = *seed.types.get(node.index())?;
+        if !timing.supports(ftes_model::ProcessId::new(p_idx as u32), ty) {
+            return None;
+        }
+    }
+    Some((seed.types.clone(), Mapping::new(seed.mapping.clone())))
+}
+
+/// Runs the Fig. 5 inner loop (lines 7–13) for one architecture. `seed`,
+/// when present, replaces the greedy initial mapping of the
+/// schedule-length tabu pass with a validated warm-start donor mapping.
 fn explore_one(
     worker: &mut SearchState<'_>,
     types: &[NodeTypeId],
+    seed: Option<&Mapping>,
 ) -> Result<ArchOutcome, ModelError> {
     let SearchState { evaluator, memo } = worker;
     let base = Architecture::with_min_hardening(types);
     // Line 7: shortest schedule for the best mapping.
-    let Some(sl_out) =
-        mapping_algorithm_with(evaluator, memo, &base, Objective::ScheduleLength, None)?
+    let Some(sl_out) = mapping_algorithm_with(
+        evaluator,
+        memo,
+        &base,
+        Objective::ScheduleLength,
+        seed.cloned(),
+    )?
     else {
         return Ok(ArchOutcome::Evaluated(None)); // reliability goal unreachable
     };
@@ -530,6 +602,134 @@ mod tests {
                     other => panic!("divergent feasibility: {other:?}"),
                 }
             }
+        }
+    }
+
+    /// The donor design point of a finished run, as the server's cache
+    /// would record it.
+    fn warm_start_of(sol: &Solution) -> WarmStart {
+        WarmStart {
+            types: sol
+                .architecture
+                .node_ids()
+                .map(|n| sol.architecture.node_type(n))
+                .collect(),
+            mapping: sol.mapping.as_slice().to_vec(),
+        }
+    }
+
+    #[test]
+    fn warm_started_search_seeds_the_donor_and_stays_verified() {
+        let sys = paper::fig1_system();
+        let cold = design_strategy(&sys, &OptConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(cold.stats.warm_seeded, 0, "cold runs never seed");
+        let config = OptConfig {
+            warm_start: Some(warm_start_of(&cold.solution)),
+            ..OptConfig::default()
+        };
+        let warm = design_strategy(&sys, &config).unwrap().expect("feasible");
+        assert_eq!(
+            warm.stats.warm_seeded, 1,
+            "the donor architecture's tabu search must be seeded once"
+        );
+        // The warm-started winner passes the same analytic verification
+        // as a cold one — seeding only moves the search's start.
+        let sol = &warm.solution;
+        assert!(sol.is_schedulable());
+        assert!(sol.cost <= Cost::new(72));
+        let sfp = ftes_sfp::analyze(
+            sys.application(),
+            sys.timing(),
+            &sol.architecture,
+            &sol.mapping,
+            &sol.ks,
+            sys.goal(),
+            ftes_sfp::Rounding::Pessimistic,
+        )
+        .unwrap();
+        assert!(sfp.meets_goal);
+        // Seeding with the run's own winner reproduces it exactly.
+        assert_eq!(warm.solution, cold.solution);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_across_thread_counts() {
+        let sys = paper::fig1_system();
+        let cold = design_strategy(&sys, &OptConfig::default())
+            .unwrap()
+            .expect("feasible");
+        let seed = warm_start_of(&cold.solution);
+        let seq = design_strategy(
+            &sys,
+            &OptConfig {
+                warm_start: Some(seed.clone()),
+                ..OptConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        for threads in [2, 4, 0] {
+            let par = design_strategy(
+                &sys,
+                &OptConfig {
+                    warm_start: Some(seed.clone()),
+                    threads: Threads(threads),
+                    ..OptConfig::default()
+                },
+            )
+            .unwrap()
+            .expect("feasible");
+            assert_eq!(par.solution, seq.solution, "threads={threads}");
+            assert_eq!(par.stats.warm_seeded, seq.stats.warm_seeded);
+        }
+    }
+
+    #[test]
+    fn invalid_warm_starts_are_ignored_not_applied() {
+        let sys = paper::fig1_system();
+        let cold = design_strategy(&sys, &OptConfig::default())
+            .unwrap()
+            .expect("feasible");
+        let good = warm_start_of(&cold.solution);
+        let broken = [
+            // Mapping shorter than the process count.
+            WarmStart {
+                mapping: good.mapping[..good.mapping.len() - 1].to_vec(),
+                ..good.clone()
+            },
+            // Node-type id past the platform.
+            WarmStart {
+                types: vec![ftes_model::NodeTypeId::new(99); good.types.len()],
+                ..good.clone()
+            },
+            // Mapping pointing past the donor's slots.
+            WarmStart {
+                mapping: vec![NodeId::new(17); good.mapping.len()],
+                ..good.clone()
+            },
+            // No slots at all.
+            WarmStart {
+                types: Vec::new(),
+                mapping: Vec::new(),
+            },
+        ];
+        for seed in broken {
+            let out = design_strategy(
+                &sys,
+                &OptConfig {
+                    warm_start: Some(seed.clone()),
+                    ..OptConfig::default()
+                },
+            )
+            .unwrap()
+            .expect("feasible");
+            assert_eq!(out.stats.warm_seeded, 0, "seed {seed:?} applied");
+            assert_eq!(
+                out.solution, cold.solution,
+                "seed {seed:?} changed the result"
+            );
         }
     }
 

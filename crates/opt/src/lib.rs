@@ -55,7 +55,8 @@ mod redundancy;
 
 pub use arch_iter::architectures_with_n_nodes;
 pub use config::{
-    CoreBudget, EvalMode, HardeningPolicy, MaxK, MemoCap, Objective, OptConfig, TabuConfig, Threads,
+    CoreBudget, EvalMode, HardeningPolicy, MaxK, MemoCap, Objective, OptConfig, TabuConfig,
+    Threads, WarmStart,
 };
 pub use design_strategy::{
     design_strategy, design_strategy_budgeted, DesignOutcome, ExplorationStats,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro_serve --listen ADDR [--addr-file PATH] [--cache-dir DIR]
-//!             [--mem-cap N] [--threads N] [--engine-slots N]
+//!             [--disk-cap-bytes N] [--mem-cap N] [--threads N] [--engine-slots N]
 //! repro_serve --client ADDR|@PATH [--scenario SPEC] [--goal min|max|opt|all]
 //!             [--arc UNITS] [--out PATH]
 //! repro_serve --client ADDR|@PATH --stats
@@ -13,11 +13,13 @@
 //! publishes the actual address atomically, exactly like
 //! `repro_matrix --serve`) and serves until a `shutdown` request.
 //! `--cache-dir` enables the persistent disk tier — the same directory
-//! across restarts means the same requests keep hitting.
+//! across restarts means the same requests keep hitting —
+//! and `--disk-cap-bytes` bounds its size (oldest entries swept first).
 //!
 //! Client mode sends one request and prints the response: for an
 //! `optimize`, one metadata line on stdout
-//! (`cache=<mem|disk|miss> key=<16 hex> engine_ms=<N> ...`) and the
+//! (`cache=<mem|disk|miss|warm|coalesced> key=<16 hex> engine_ms=<N> ...`,
+//! plus `donor=<16 hex>` on a warm start) and the
 //! payload to `--out PATH` (or stdout when no `--out` is given) — CI
 //! greps the metadata and byte-compares the payloads. Exit codes:
 //! 0 success, 1 server-side error response, 2 usage, 4 cannot connect.
@@ -32,7 +34,7 @@ use ftes_server::{Goal, Request, Response, Server, ServerConfig};
 
 /// The usage block printed (to stderr) with every CLI error.
 const USAGE: &str = "usage: repro_serve --listen ADDR [--addr-file PATH] [--cache-dir DIR] \
-     [--mem-cap N] [--threads N] [--engine-slots N]\n       \
+     [--disk-cap-bytes N] [--mem-cap N] [--threads N] [--engine-slots N]\n       \
      repro_serve --client ADDR|@PATH [--scenario SPEC] [--goal min|max|opt|all] \
      [--arc UNITS] [--out PATH]\n       \
      repro_serve --client ADDR|@PATH --stats\n       \
@@ -45,6 +47,7 @@ enum Mode {
         addr: String,
         addr_file: Option<String>,
         cache_dir: Option<String>,
+        disk_cap_bytes: Option<u64>,
         mem_cap: usize,
         threads: Threads,
         engine_slots: usize,
@@ -97,6 +100,7 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
     let mut client: Option<String> = None;
     let mut addr_file: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut disk_cap_bytes: Option<u64> = None;
     let mut mem_cap: usize = 256;
     let mut threads = Threads(0);
     let mut engine_slots: usize = 2;
@@ -119,6 +123,9 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
             }
             "--cache-dir" => {
                 cache_dir = Some(take_value(&mut args, "--cache-dir", "a directory")?);
+            }
+            "--disk-cap-bytes" => {
+                disk_cap_bytes = Some(parse_value(&mut args, "--disk-cap-bytes", "a byte count")?);
             }
             "--mem-cap" => mem_cap = parse_value(&mut args, "--mem-cap", "an entry count")?,
             "--threads" => {
@@ -156,18 +163,25 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
                         .to_string(),
                 );
             }
+            if disk_cap_bytes.is_some() && cache_dir.is_none() {
+                return Err("--disk-cap-bytes needs --cache-dir (no disk tier to cap)".to_string());
+            }
             Ok(Mode::Listen {
                 addr,
                 addr_file,
                 cache_dir,
+                disk_cap_bytes,
                 mem_cap,
                 threads,
                 engine_slots,
             })
         }
         (None, Some(addr)) => {
-            if addr_file.is_some() || cache_dir.is_some() {
-                return Err("--addr-file/--cache-dir are daemon flags (use --listen)".to_string());
+            if addr_file.is_some() || cache_dir.is_some() || disk_cap_bytes.is_some() {
+                return Err(
+                    "--addr-file/--cache-dir/--disk-cap-bytes are daemon flags (use --listen)"
+                        .to_string(),
+                );
             }
             let action = match (stats, shutdown, scenario) {
                 (true, false, None) => ClientAction::Stats,
@@ -228,6 +242,7 @@ fn run_listen(
     addr: &str,
     addr_file: Option<&str>,
     cache_dir: Option<&str>,
+    disk_cap_bytes: Option<u64>,
     mem_cap: usize,
     threads: Threads,
     engine_slots: usize,
@@ -235,6 +250,7 @@ fn run_listen(
     let cfg = ServerConfig {
         mem_cap,
         cache_dir: cache_dir.map(PathBuf::from),
+        disk_cap_bytes,
         threads,
         engine_slots,
         progress: true,
@@ -259,13 +275,17 @@ fn run_listen(
         Ok(stats) => {
             eprintln!(
                 "shut down after {} request(s): {} mem hit(s), {} disk hit(s), {} miss(es), \
-                 {} disk write(s), {} eviction(s), {} error(s)",
+                 {} coalesced, {} warm start(s), {} disk write(s), {} eviction(s), \
+                 {} disk eviction(s), {} error(s)",
                 stats.requests,
                 stats.mem_hits,
                 stats.disk_hits,
                 stats.misses,
+                stats.coalesced,
+                stats.warm_starts,
                 stats.disk_writes,
                 stats.mem_evictions,
+                stats.disk_evictions,
                 stats.errors,
             );
             std::process::exit(0);
@@ -320,13 +340,15 @@ fn run_client(addr_spec: &str, action: ClientAction, out: Option<&str>) -> ! {
             cache,
             key,
             engine_ms,
+            donor,
             mem_hits,
             disk_hits,
             misses,
             payload,
         } => {
+            let donor = donor.map(|d| format!(" donor={d}")).unwrap_or_default();
             println!(
-                "cache={cache} key={key} engine_ms={engine_ms} \
+                "cache={cache} key={key} engine_ms={engine_ms}{donor} \
                  mem_hits={mem_hits} disk_hits={disk_hits} misses={misses}"
             );
             match out {
@@ -341,7 +363,8 @@ fn run_client(addr_spec: &str, action: ClientAction, out: Option<&str>) -> ! {
         Response::Stats(s) => {
             println!(
                 "requests={} mem_hits={} disk_hits={} misses={} disk_writes={} \
-                 mem_evictions={} mem_entries={} errors={}",
+                 mem_evictions={} mem_entries={} coalesced={} warm_starts={} \
+                 disk_evictions={} errors={}",
                 s.requests,
                 s.mem_hits,
                 s.disk_hits,
@@ -349,6 +372,9 @@ fn run_client(addr_spec: &str, action: ClientAction, out: Option<&str>) -> ! {
                 s.disk_writes,
                 s.mem_evictions,
                 s.mem_entries,
+                s.coalesced,
+                s.warm_starts,
+                s.disk_evictions,
                 s.errors,
             );
             std::process::exit(0);
@@ -371,6 +397,7 @@ fn main() {
             addr,
             addr_file,
             cache_dir,
+            disk_cap_bytes,
             mem_cap,
             threads,
             engine_slots,
@@ -378,6 +405,7 @@ fn main() {
             &addr,
             addr_file.as_deref(),
             cache_dir.as_deref(),
+            disk_cap_bytes,
             mem_cap,
             threads,
             engine_slots,
@@ -410,6 +438,8 @@ mod tests {
                 "a.txt",
                 "--cache-dir",
                 "cache",
+                "--disk-cap-bytes",
+                "65536",
                 "--mem-cap",
                 "16",
                 "--threads",
@@ -422,6 +452,7 @@ mod tests {
                 addr: "127.0.0.1:0".to_string(),
                 addr_file: Some("a.txt".to_string()),
                 cache_dir: Some("cache".to_string()),
+                disk_cap_bytes: Some(65536),
                 mem_cap: 16,
                 threads: Threads(2),
                 engine_slots: 1,
@@ -476,6 +507,21 @@ mod tests {
             (&["--client"][..], "--client"),
             (&["--listen", "h:1", "--addr-file"][..], "--addr-file"),
             (&["--listen", "h:1", "--cache-dir"][..], "--cache-dir"),
+            (
+                &["--listen", "h:1", "--cache-dir", "d", "--disk-cap-bytes"][..],
+                "--disk-cap-bytes",
+            ),
+            (
+                &[
+                    "--listen",
+                    "h:1",
+                    "--cache-dir",
+                    "d",
+                    "--disk-cap-bytes",
+                    "much",
+                ][..],
+                "--disk-cap-bytes",
+            ),
             (&["--listen", "h:1", "--mem-cap"][..], "--mem-cap"),
             (&["--listen", "h:1", "--mem-cap", "lots"][..], "--mem-cap"),
             (&["--listen", "h:1", "--threads", "abc"][..], "--threads"),
@@ -504,6 +550,9 @@ mod tests {
             &["--listen", "h:1", "--scenario", "apps=1"][..],
             &["--listen", "h:1", "--stats"][..],
             &["--client", "h:1", "--stats", "--cache-dir", "d"][..],
+            &["--client", "h:1", "--stats", "--disk-cap-bytes", "9"][..],
+            // --disk-cap-bytes without a disk tier to cap.
+            &["--listen", "h:1", "--disk-cap-bytes", "9"][..],
             &["--frobnicate"][..],
         ] {
             assert!(parse(args).is_err(), "{args:?} accepted");

@@ -1,5 +1,6 @@
 //! The two-tier result cache: segmented-LRU memory front over a disk
-//! filecache.
+//! filecache, with solution-bearing entries and a per-scenario donor
+//! index for warm starts.
 //!
 //! Keys are content addresses: the FNV-1a hash of the canonical
 //! scenario spec, the goal, the acceptance threshold and the engine
@@ -14,12 +15,43 @@
 //! under a cache directory, written atomically (temp + rename, the
 //! `--addr-file` discipline) so a crash mid-write never poisons the
 //! cache: a reader either sees the complete entry or no entry. Disk
-//! hits are promoted into the memory tier.
+//! hits are promoted into the memory tier and have their mtime bumped,
+//! so the size-cap sweep ([`ResultCache::with_disk_cap`]) evicts in
+//! LRU order.
+//!
+//! # Entry format
+//!
+//! A **v2** entry is one flat-JSON header line followed by the raw
+//! payload bytes, verbatim:
+//!
+//! ```text
+//! {"v":2,"goal":"opt","arc":20,"spec":"<escaped canonical spec>","seeds":"<escaped seed codec>"}
+//! <rendered cell JSON>
+//! ```
+//!
+//! The header carries what a *different* request on the same scenario
+//! needs to warm-start from this entry: the canonical spec (donor
+//! index), the goal and ArC (donor ranking) and the winning design
+//! points ([`CellSeeds`], encoded by [`encode_seeds`]). A **v1** entry
+//! is bare payload bytes — it cannot start with `{"v":` because the
+//! cell renderer indents its first line — and reads as payload-only
+//! (no donor service); the next store under its key rewrites it as v2.
+//!
+//! Both formats are validated on read: an empty or structurally
+//! truncated entry (external tampering, disk-full artifact) is counted
+//! as an error, deleted, and the lookup falls through to a miss — a
+//! torn file must never be served as a hit.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
-use ftes_bench::dist::protocol::fnv64;
-use ftes_opt::SlruCache;
+use ftes_bench::dist::protocol::{fnv64, json_escape};
+use ftes_bench::{CellSeeds, Strategy};
+use ftes_model::{NodeId, NodeTypeId};
+use ftes_opt::{SlruCache, WarmStart};
+
+use crate::protocol::{parse_object, take_int, take_str};
 
 /// Content address of one result: FNV-1a over the canonical scenario
 /// spec plus everything else that determines the payload bytes — the
@@ -71,29 +103,76 @@ pub struct CacheStats {
     pub mem_evictions: u64,
     /// Entries currently resident in the memory tier.
     pub mem_entries: u64,
-    /// Disk-tier I/O failures (reads fall back to miss, writes are
-    /// skipped; the server keeps answering either way).
+    /// Misses answered by joining another request's in-flight engine
+    /// run instead of running the engine again.
+    pub coalesced: u64,
+    /// Engine runs seeded from a near-miss donor entry.
+    pub warm_starts: u64,
+    /// Disk-tier entries removed by the size-cap sweep.
+    pub disk_evictions: u64,
+    /// Disk-tier I/O failures *and* corrupt entries rejected on read
+    /// (reads fall back to miss, writes are skipped; the server keeps
+    /// answering either way).
     pub errors: u64,
+}
+
+/// What [`ResultCache::store`] records beyond the payload bytes: the
+/// v2 header fields that make the entry usable as a warm-start donor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Canonical scenario spec (the donor index groups entries by it).
+    pub spec: String,
+    /// Goal label the entry was computed under.
+    pub goal: String,
+    /// ArC threshold the payload was rendered against.
+    pub arc: u64,
+    /// The winning design points of the engine run.
+    pub seeds: CellSeeds,
+}
+
+/// One memory-tier entry: the served bytes plus (for v2-born entries)
+/// the design points a warm start can seed from.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    payload: String,
+    seeds: Option<CellSeeds>,
+}
+
+/// One donor-index row: a cache entry known to carry seeds for its
+/// canonical spec.
+#[derive(Debug, Clone)]
+struct Donor {
+    key: u64,
+    goal: String,
+    arc: u64,
 }
 
 /// The two-tier cache. Not internally synchronized — the server wraps
 /// it in a mutex; engine runs happen *outside* that lock.
 #[derive(Debug)]
 pub struct ResultCache {
-    mem: SlruCache<u64, String>,
+    mem: SlruCache<u64, CacheEntry>,
     disk: Option<PathBuf>,
+    disk_cap: Option<u64>,
+    /// fnv64(canonical spec) → entries that can donate seeds for it.
+    donors: HashMap<u64, Vec<Donor>>,
     requests: u64,
     mem_hits: u64,
     disk_hits: u64,
     misses: u64,
     disk_writes: u64,
+    coalesced: u64,
+    warm_starts: u64,
+    disk_evictions: u64,
     errors: u64,
 }
 
 impl ResultCache {
     /// A cache with a memory tier of at most `mem_cap` entries (0
     /// disables it) and, when `disk_dir` is given, a disk tier under
-    /// that directory (created if absent).
+    /// that directory (created if absent). Existing v2 entries are
+    /// scanned into the donor index so a restarted daemon warm-starts
+    /// from its previous life's results.
     ///
     /// # Errors
     ///
@@ -103,38 +182,137 @@ impl ResultCache {
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
         }
-        Ok(ResultCache {
+        let mut cache = ResultCache {
             mem: SlruCache::new(mem_cap),
             disk: disk_dir.map(Path::to_path_buf),
+            disk_cap: None,
+            donors: HashMap::new(),
             requests: 0,
             mem_hits: 0,
             disk_hits: 0,
             misses: 0,
             disk_writes: 0,
+            coalesced: 0,
+            warm_starts: 0,
+            disk_evictions: 0,
             errors: 0,
-        })
+        };
+        cache.scan_donors();
+        Ok(cache)
+    }
+
+    /// Caps the disk tier at `cap_bytes` total entry bytes (`None` =
+    /// unbounded): every store sweeps the directory and removes the
+    /// oldest-mtime entries until the tier fits.
+    #[must_use]
+    pub fn with_disk_cap(mut self, cap_bytes: Option<u64>) -> ResultCache {
+        self.disk_cap = cap_bytes;
+        self
     }
 
     fn entry_path(dir: &Path, key: u64) -> PathBuf {
         dir.join(format!("{key:016x}.json"))
     }
 
+    /// Parses `<16 hex>.json` back into a key.
+    fn path_key(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let hex = name.strip_suffix(".json")?;
+        (hex.len() == 16).then(|| u64::from_str_radix(hex, 16).ok())?
+    }
+
+    /// Builds the donor index from the disk tier's v2 headers (v1
+    /// entries carry no seeds and are skipped; unreadable files are
+    /// left for `lookup` to reject and count).
+    fn scan_donors(&mut self) {
+        let Some(dir) = &self.disk else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut found = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(key) = Self::path_key(&path) else {
+                continue;
+            };
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Some((header, _)) = parse_entry(&raw) {
+                found.push((key, header));
+            }
+        }
+        for (key, header) in found {
+            self.remember_donor(key, &header.spec, &header.goal, header.arc);
+        }
+    }
+
+    fn remember_donor(&mut self, key: u64, spec: &str, goal: &str, arc: u64) {
+        let row = self.donors.entry(fnv64(spec.as_bytes())).or_default();
+        row.retain(|d| d.key != key);
+        row.push(Donor {
+            key,
+            goal: goal.to_string(),
+            arc,
+        });
+    }
+
+    fn forget_donor(&mut self, key: u64) {
+        for row in self.donors.values_mut() {
+            row.retain(|d| d.key != key);
+        }
+    }
+
     /// Looks `key` up: memory first, then disk (promoting a disk hit
-    /// into memory). A miss is counted; the caller is expected to run
+    /// into memory and bumping its mtime so the size-cap sweep sees it
+    /// as recently used). A corrupt disk entry is counted as an error,
+    /// deleted and treated as a miss. The caller is expected to run
     /// the engine and [`store`](ResultCache::store) the result.
     pub fn lookup(&mut self, key: u64) -> (Option<String>, CacheTier) {
         self.requests += 1;
-        if let Some(payload) = self.mem.get(&key) {
+        if let Some(entry) = self.mem.get(&key) {
             self.mem_hits += 1;
-            return (Some(payload.clone()), CacheTier::Mem);
+            return (Some(entry.payload.clone()), CacheTier::Mem);
         }
-        if let Some(dir) = &self.disk {
-            match std::fs::read_to_string(Self::entry_path(dir, key)) {
-                Ok(payload) => {
-                    self.disk_hits += 1;
-                    self.mem.insert(key, payload.clone());
-                    return (Some(payload), CacheTier::Disk);
-                }
+        if let Some(dir) = self.disk.clone() {
+            let path = Self::entry_path(&dir, key);
+            match std::fs::read_to_string(&path) {
+                Ok(raw) => match parse_entry(&raw) {
+                    Some((header, payload)) => {
+                        self.disk_hits += 1;
+                        touch(&path);
+                        let payload = payload.to_string();
+                        self.mem.insert(
+                            key,
+                            CacheEntry {
+                                payload: payload.clone(),
+                                seeds: Some(header.seeds),
+                            },
+                        );
+                        return (Some(payload), CacheTier::Disk);
+                    }
+                    None => match parse_v1_entry(&raw) {
+                        Some(payload) => {
+                            self.disk_hits += 1;
+                            touch(&path);
+                            self.mem.insert(
+                                key,
+                                CacheEntry {
+                                    payload: payload.to_string(),
+                                    seeds: None,
+                                },
+                            );
+                            return (Some(payload.to_string()), CacheTier::Disk);
+                        }
+                        None => {
+                            // Empty, torn, or tampered with: never
+                            // serve it — drop the file and recompute.
+                            self.errors += 1;
+                            let _ = std::fs::remove_file(&path);
+                            self.forget_donor(key);
+                        }
+                    },
+                },
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(_) => self.errors += 1,
             }
@@ -143,25 +321,135 @@ impl ResultCache {
         (None, CacheTier::Miss)
     }
 
-    /// Stores a freshly computed result in both tiers. The disk write
-    /// is atomic: the entry is written to a sibling temp file and
-    /// renamed into place, so a concurrent reader (or a crash) never
-    /// observes a partial entry. Disk failures are counted and
-    /// swallowed — the memory tier still serves the entry.
-    pub fn store(&mut self, key: u64, payload: &str) {
-        self.mem.insert(key, payload.to_string());
-        if let Some(dir) = &self.disk {
-            let tmp = dir.join(format!(".tmp-{key:016x}-{}", std::process::id()));
-            let result = std::fs::write(&tmp, payload)
-                .and_then(|()| std::fs::rename(&tmp, Self::entry_path(dir, key)));
+    /// Stores a freshly computed result in both tiers as a v2 entry
+    /// and registers it in the donor index. The disk write is atomic:
+    /// the entry is written to a sibling temp file (unique per store,
+    /// so concurrent same-key stores never interleave) and renamed
+    /// into place — a concurrent reader (or a crash) never observes a
+    /// partial entry. Disk failures are counted and swallowed; the
+    /// memory tier still serves the entry.
+    pub fn store(&mut self, key: u64, payload: &str, meta: &EntryMeta) {
+        self.mem.insert(
+            key,
+            CacheEntry {
+                payload: payload.to_string(),
+                seeds: Some(meta.seeds.clone()),
+            },
+        );
+        self.remember_donor(key, &meta.spec, &meta.goal, meta.arc);
+        if let Some(dir) = self.disk.clone() {
+            static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tmp = dir.join(format!(".tmp-{key:016x}-{}-{seq}", std::process::id()));
+            let result = std::fs::write(&tmp, render_entry(payload, meta))
+                .and_then(|()| std::fs::rename(&tmp, Self::entry_path(&dir, key)));
             match result {
-                Ok(()) => self.disk_writes += 1,
+                Ok(()) => {
+                    self.disk_writes += 1;
+                    self.sweep_disk(&dir, key);
+                }
                 Err(_) => {
                     self.errors += 1;
                     let _ = std::fs::remove_file(&tmp);
                 }
             }
         }
+    }
+
+    /// Removes the oldest-mtime entries until the disk tier fits the
+    /// cap. The just-stored entry (`keep`) is never removed, so a cap
+    /// smaller than one entry still serves the latest result.
+    fn sweep_disk(&mut self, dir: &Path, keep: u64) {
+        let Some(cap) = self.disk_cap else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(SystemTime, u64, u64, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(key) = Self::path_key(&path) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            files.push((mtime, key, meta.len(), path));
+        }
+        let mut total: u64 = files.iter().map(|(_, _, len, _)| len).sum();
+        files.sort_by_key(|f| (f.0, f.1));
+        for (_, key, len, path) in files {
+            if total <= cap {
+                break;
+            }
+            if key == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.disk_evictions += 1;
+                self.forget_donor(key);
+            }
+        }
+    }
+
+    /// Finds a warm-start donor for a miss: an entry with the same
+    /// canonical spec but a different key, preferring the same goal
+    /// (then `all`, then any), then the nearest ArC, then the smallest
+    /// key. Donors whose entry no longer loads (evicted, corrupted)
+    /// are dropped from the index and the next candidate tried.
+    pub fn find_warm(
+        &mut self,
+        spec: &str,
+        goal: &str,
+        arc: u64,
+        exclude: u64,
+    ) -> Option<(u64, CellSeeds)> {
+        let spec_hash = fnv64(spec.as_bytes());
+        let mut candidates: Vec<Donor> = self
+            .donors
+            .get(&spec_hash)?
+            .iter()
+            .filter(|d| d.key != exclude)
+            .cloned()
+            .collect();
+        candidates.sort_by_key(|d| {
+            let goal_rank = if d.goal == goal {
+                0u8
+            } else if d.goal == "all" {
+                1
+            } else {
+                2
+            };
+            (goal_rank, d.arc.abs_diff(arc), d.key)
+        });
+        for donor in candidates {
+            match self.read_seeds(donor.key) {
+                Some(seeds) if seeds.seed_count() > 0 => return Some((donor.key, seeds)),
+                _ => self.forget_donor(donor.key),
+            }
+        }
+        None
+    }
+
+    /// Loads one entry's seeds without touching the hit/miss counters
+    /// (a donor read is bookkeeping, not a served request).
+    fn read_seeds(&mut self, key: u64) -> Option<CellSeeds> {
+        if let Some(entry) = self.mem.get(&key) {
+            return entry.seeds.clone();
+        }
+        let dir = self.disk.as_ref()?;
+        let raw = std::fs::read_to_string(Self::entry_path(dir, key)).ok()?;
+        parse_entry(&raw).map(|(header, _)| header.seeds)
+    }
+
+    /// Counts one coalesced miss (a request that joined an in-flight
+    /// engine run instead of starting its own).
+    pub fn note_coalesced(&mut self) {
+        self.coalesced += 1;
+    }
+
+    /// Counts one warm-started engine run.
+    pub fn note_warm_start(&mut self) {
+        self.warm_starts += 1;
     }
 
     /// Snapshot of the lifetime counters.
@@ -174,9 +462,159 @@ impl ResultCache {
             disk_writes: self.disk_writes,
             mem_evictions: self.mem.evicted(),
             mem_entries: self.mem.len() as u64,
+            coalesced: self.coalesced,
+            warm_starts: self.warm_starts,
+            disk_evictions: self.disk_evictions,
             errors: self.errors,
         }
     }
+}
+
+/// Refreshes a disk entry's mtime (LRU rank for the size-cap sweep).
+/// Best-effort: a read-only cache directory still serves hits.
+fn touch(path: &Path) {
+    if let Ok(file) = std::fs::File::options().write(true).open(path) {
+        let _ = file.set_modified(SystemTime::now());
+    }
+}
+
+/// A parsed v2 entry header.
+#[derive(Debug, Clone, PartialEq)]
+struct EntryHeader {
+    spec: String,
+    goal: String,
+    arc: u64,
+    seeds: CellSeeds,
+}
+
+/// Renders one v2 disk entry: header line + payload bytes, verbatim.
+fn render_entry(payload: &str, meta: &EntryMeta) -> String {
+    format!(
+        "{{\"v\":2,\"goal\":\"{}\",\"arc\":{},\"spec\":\"{}\",\"seeds\":\"{}\"}}\n{payload}",
+        json_escape(&meta.goal),
+        meta.arc,
+        json_escape(&meta.spec),
+        json_escape(&encode_seeds(&meta.seeds)),
+    )
+}
+
+/// Parses a v2 entry into `(header, payload)`. Returns `None` for
+/// anything else — the caller distinguishes v1 from corrupt via
+/// [`parse_v1_entry`].
+fn parse_entry(raw: &str) -> Option<(EntryHeader, &str)> {
+    if !raw.starts_with("{\"v\":") {
+        return None;
+    }
+    let (header_line, payload) = raw.split_once('\n')?;
+    let mut fields = parse_object(header_line).ok()?;
+    let version = take_int(&mut fields, "v").ok()??;
+    if version != 2 {
+        return None;
+    }
+    let goal = take_str(&mut fields, "goal").ok()??;
+    let arc = take_int(&mut fields, "arc").ok()??;
+    let spec = take_str(&mut fields, "spec").ok()??;
+    let seeds = decode_seeds(&take_str(&mut fields, "seeds").ok()??)?;
+    if !fields.is_empty() || !payload_shape_ok(payload) {
+        return None;
+    }
+    Some((
+        EntryHeader {
+            spec,
+            goal,
+            arc,
+            seeds,
+        },
+        payload,
+    ))
+}
+
+/// Accepts a bare pre-v2 payload entry. A v1 entry cannot start with
+/// `{"v":` — the cell renderer indents its first line — so anything
+/// with that prefix is a (possibly corrupt or future-versioned) header
+/// entry, never a v1 payload.
+fn parse_v1_entry(raw: &str) -> Option<&str> {
+    (!raw.starts_with("{\"v\":") && payload_shape_ok(raw)).then_some(raw)
+}
+
+/// Structural validation of served payload bytes: non-empty and
+/// brace-delimited. Catches zero-length and truncated entries without
+/// re-parsing the full cell JSON on every hit.
+fn payload_shape_ok(payload: &str) -> bool {
+    let trimmed = payload.trim();
+    !trimmed.is_empty() && trimmed.starts_with('{') && trimmed.ends_with('}')
+}
+
+/// Encodes a [`CellSeeds`] as a compact line-safe string: strategy
+/// rows joined by `|`, each `LABEL>app;app;…`, an app either `-` (no
+/// feasible solution) or `types:mapping` with dot-separated indices.
+fn encode_seeds(seeds: &CellSeeds) -> String {
+    seeds
+        .strategies
+        .iter()
+        .map(|(strategy, apps)| {
+            let apps = apps
+                .iter()
+                .map(|app| match app {
+                    None => "-".to_string(),
+                    Some(w) => format!(
+                        "{}:{}",
+                        w.types
+                            .iter()
+                            .map(|t| t.index().to_string())
+                            .collect::<Vec<_>>()
+                            .join("."),
+                        w.mapping
+                            .iter()
+                            .map(|n| n.index().to_string())
+                            .collect::<Vec<_>>()
+                            .join("."),
+                    ),
+                })
+                .collect::<Vec<_>>()
+                .join(";");
+            format!("{}>{apps}", strategy.label())
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Reverses [`encode_seeds`]; `None` on any malformed input (a corrupt
+/// seeds field invalidates the whole entry rather than seeding the
+/// engine with garbage).
+fn decode_seeds(encoded: &str) -> Option<CellSeeds> {
+    let mut seeds = CellSeeds::default();
+    if encoded.is_empty() {
+        return Some(seeds);
+    }
+    for row in encoded.split('|') {
+        let (label, apps) = row.split_once('>')?;
+        let strategy = match label {
+            "MIN" => Strategy::Min,
+            "MAX" => Strategy::Max,
+            "OPT" => Strategy::Opt,
+            _ => return None,
+        };
+        let mut decoded = Vec::new();
+        if !apps.is_empty() {
+            for app in apps.split(';') {
+                if app == "-" {
+                    decoded.push(None);
+                    continue;
+                }
+                let (types, mapping) = app.split_once(':')?;
+                let parse_ids = |s: &str| -> Option<Vec<u32>> {
+                    s.split('.').map(|n| n.parse::<u32>().ok()).collect()
+                };
+                decoded.push(Some(WarmStart {
+                    types: parse_ids(types)?.into_iter().map(NodeTypeId::new).collect(),
+                    mapping: parse_ids(mapping)?.into_iter().map(NodeId::new).collect(),
+                }));
+            }
+        }
+        seeds.strategies.push((strategy, decoded));
+    }
+    Some(seeds)
 }
 
 #[cfg(test)]
@@ -194,6 +632,25 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
+
+    fn meta(spec: &str, goal: &str, arc: u64) -> EntryMeta {
+        EntryMeta {
+            spec: spec.to_string(),
+            goal: goal.to_string(),
+            arc,
+            seeds: CellSeeds {
+                strategies: vec![(
+                    Strategy::Opt,
+                    vec![Some(WarmStart {
+                        types: vec![NodeTypeId::new(0), NodeTypeId::new(2)],
+                        mapping: vec![NodeId::new(0), NodeId::new(1), NodeId::new(0)],
+                    })],
+                )],
+            },
+        }
+    }
+
+    const PAYLOAD: &str = "    {\n      \"cell\": 1\n    }";
 
     #[test]
     fn key_ignores_request_formatting_but_not_content() {
@@ -230,11 +687,8 @@ mod tests {
     fn memory_tier_serves_repeats_without_disk() {
         let mut cache = ResultCache::new(8, None).unwrap();
         assert_eq!(cache.lookup(7), (None, CacheTier::Miss));
-        cache.store(7, "payload");
-        assert_eq!(
-            cache.lookup(7),
-            (Some("payload".to_string()), CacheTier::Mem)
-        );
+        cache.store(7, PAYLOAD, &meta("spec", "opt", 20));
+        assert_eq!(cache.lookup(7), (Some(PAYLOAD.to_string()), CacheTier::Mem));
         let stats = cache.stats();
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.mem_hits, 1);
@@ -248,7 +702,7 @@ mod tests {
         {
             let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
             assert_eq!(cache.lookup(42).1, CacheTier::Miss);
-            cache.store(42, "computed-once");
+            cache.store(42, PAYLOAD, &meta("spec", "opt", 20));
             assert_eq!(cache.stats().disk_writes, 1);
         }
         // A fresh cache over the same directory models a restarted
@@ -256,7 +710,7 @@ mod tests {
         let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
         assert_eq!(
             cache.lookup(42),
-            (Some("computed-once".to_string()), CacheTier::Disk)
+            (Some(PAYLOAD.to_string()), CacheTier::Disk)
         );
         // The disk hit was promoted: the repeat is a memory hit.
         assert_eq!(cache.lookup(42).1, CacheTier::Mem);
@@ -272,15 +726,205 @@ mod tests {
         let dir = temp_dir("evict");
         let mut cache = ResultCache::new(2, Some(&dir)).unwrap();
         cache.lookup(1);
-        cache.store(1, "one");
+        cache.store(1, PAYLOAD, &meta("one", "opt", 20));
         // Flood the tiny memory tier until entry 1 rotates out.
         for k in 2..10u64 {
             cache.lookup(k);
-            cache.store(k, "fill");
+            cache.store(k, PAYLOAD, &meta("fill", "opt", 20));
         }
         assert!(cache.stats().mem_evictions > 0);
         // Entry 1 is gone from memory but still on disk.
-        assert_eq!(cache.lookup(1), (Some("one".to_string()), CacheTier::Disk));
+        assert_eq!(
+            cache.lookup(1),
+            (Some(PAYLOAD.to_string()), CacheTier::Disk)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_codec_round_trips_and_rejects_garbage() {
+        let seeds = CellSeeds {
+            strategies: vec![
+                (
+                    Strategy::Max,
+                    vec![
+                        None,
+                        Some(WarmStart {
+                            types: vec![NodeTypeId::new(3)],
+                            mapping: vec![NodeId::new(0), NodeId::new(0)],
+                        }),
+                    ],
+                ),
+                (Strategy::Min, vec![None]),
+            ],
+        };
+        let encoded = encode_seeds(&seeds);
+        assert_eq!(encoded, "MAX>-;3:0.0|MIN>-");
+        assert_eq!(decode_seeds(&encoded).unwrap(), seeds);
+        assert_eq!(decode_seeds("").unwrap(), CellSeeds::default());
+        for bad in ["BEST>-", "OPT>1", "OPT>x:0", "OPT>1:y", "OPT", "|"] {
+            assert!(decode_seeds(bad).is_none(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn v2_entries_round_trip_header_and_payload_verbatim() {
+        let m = meta("apps=2;bus=tdma:500", "all", 25);
+        let rendered = render_entry(PAYLOAD, &m);
+        let (header, payload) = parse_entry(&rendered).unwrap();
+        assert_eq!(payload, PAYLOAD);
+        assert_eq!(header.spec, m.spec);
+        assert_eq!(header.goal, m.goal);
+        assert_eq!(header.arc, m.arc);
+        assert_eq!(header.seeds, m.seeds);
+    }
+
+    #[test]
+    fn v1_entries_read_as_payload_only_and_rewrite_as_v2_on_store() {
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-v2 entry: bare payload bytes, no header line.
+        let path = dir.join(format!("{:016x}.json", 42u64));
+        std::fs::write(&path, PAYLOAD).unwrap();
+        let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+        // Served byte-identical, as a disk hit, with no error counted —
+        // but it cannot donate seeds.
+        assert_eq!(
+            cache.lookup(42),
+            (Some(PAYLOAD.to_string()), CacheTier::Disk)
+        );
+        assert_eq!(cache.stats().errors, 0);
+        assert!(cache.find_warm("spec", "opt", 20, 0).is_none());
+        // The next store under the key upgrades the file to v2.
+        cache.store(42, PAYLOAD, &meta("spec", "opt", 20));
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.starts_with("{\"v\":2,"), "{raw:?}");
+        assert!(cache.find_warm("spec", "min", 20, 0).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_rejected_deleted_and_counted() {
+        for corrupt in [
+            "",                          // zero-length (disk-full artifact)
+            "{\"v\":2,\"goal\":\"opt\"", // truncated header, no payload
+            "{\"v\":2,\"goal\":\"opt\",\"arc\":20,\"spec\":\"s\",\"seeds\":\"\"}\n    {\"trunc", // torn payload
+            "{\"v\":9,\"goal\":\"opt\",\"arc\":20,\"spec\":\"s\",\"seeds\":\"\"}\n    {}", // unknown version
+        ] {
+            let dir = temp_dir("corrupt");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("{:016x}.json", 7u64));
+            std::fs::write(&path, corrupt).unwrap();
+            let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+            assert_eq!(cache.lookup(7), (None, CacheTier::Miss), "{corrupt:?}");
+            assert_eq!(cache.stats().errors, 1, "{corrupt:?}");
+            assert!(!path.exists(), "{corrupt:?} not deleted");
+            // The slot is reusable: a store then serves normally.
+            cache.store(7, PAYLOAD, &meta("spec", "opt", 20));
+            assert_eq!(cache.lookup(7).1, CacheTier::Mem);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_never_tear_the_entry() {
+        let dir = temp_dir("race");
+        let cache = std::sync::Mutex::new(ResultCache::new(8, Some(&dir)).unwrap());
+        // The pre-fix temp name was `.tmp-{key}-{pid}` — identical for
+        // every thread of one process, so two stores could interleave
+        // writes and rename a torn file into place. The per-store
+        // sequence number makes each temp file private.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        cache
+                            .lock()
+                            .unwrap()
+                            .store(3, PAYLOAD, &meta("spec", "opt", 20));
+                    }
+                });
+            }
+        });
+        let mut cache = cache.into_inner().unwrap();
+        assert_eq!(cache.lookup(3).0.as_deref(), Some(PAYLOAD));
+        assert_eq!(cache.stats().errors, 0);
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cap_evicts_oldest_entries_first_and_mem_still_hits() {
+        let dir = temp_dir("cap");
+        let entry_len = render_entry(PAYLOAD, &meta("spec", "opt", 20)).len() as u64;
+        let mut cache = ResultCache::new(8, Some(&dir))
+            .unwrap()
+            .with_disk_cap(Some(entry_len * 2));
+        cache.store(1, PAYLOAD, &meta("spec", "opt", 20));
+        cache.store(2, PAYLOAD, &meta("spec", "opt", 21));
+        // Age the first two entries so mtime order is unambiguous.
+        for (key, secs) in [(1u64, 100u64), (2, 200)] {
+            let file = std::fs::File::options()
+                .write(true)
+                .open(ResultCache::entry_path(&dir, key))
+                .unwrap();
+            file.set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs))
+                .unwrap();
+        }
+        // The third store exceeds the two-entry cap: entry 1 (oldest
+        // mtime) is swept, 2 and 3 stay.
+        cache.store(3, PAYLOAD, &meta("spec", "opt", 22));
+        assert_eq!(cache.stats().disk_evictions, 1);
+        assert!(!ResultCache::entry_path(&dir, 1).exists());
+        assert!(ResultCache::entry_path(&dir, 2).exists());
+        assert!(ResultCache::entry_path(&dir, 3).exists());
+        // The evicted entry is still memory-resident: lookups hit.
+        assert_eq!(cache.lookup(1), (Some(PAYLOAD.to_string()), CacheTier::Mem));
+        // But a rebuilt cache (cold memory) must recompute it.
+        let mut rebuilt = ResultCache::new(8, Some(&dir)).unwrap();
+        assert_eq!(rebuilt.lookup(1), (None, CacheTier::Miss));
+        assert_eq!(rebuilt.lookup(2).1, CacheTier::Disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_donor_prefers_same_goal_then_nearest_arc() {
+        let mut cache = ResultCache::new(8, None).unwrap();
+        cache.store(10, PAYLOAD, &meta("specA", "opt", 10));
+        cache.store(11, PAYLOAD, &meta("specA", "opt", 30));
+        cache.store(12, PAYLOAD, &meta("specA", "all", 20));
+        cache.store(13, PAYLOAD, &meta("specB", "opt", 20));
+        // Same goal wins over the goal=all entry even at a worse ArC.
+        let (donor, seeds) = cache.find_warm("specA", "opt", 20, 99).unwrap();
+        assert_eq!(donor, 10, "nearest-arc same-goal donor");
+        assert!(seeds.seed_count() > 0);
+        // ArC 29: entry 11 is nearer.
+        assert_eq!(cache.find_warm("specA", "opt", 29, 99).unwrap().0, 11);
+        // A goal with no same-goal donor falls back to goal=all first.
+        assert_eq!(cache.find_warm("specA", "min", 20, 99).unwrap().0, 12);
+        // The requesting key itself is never its own donor.
+        assert_eq!(cache.find_warm("specB", "opt", 20, 13), None);
+        // An unknown spec has no donors at all.
+        assert_eq!(cache.find_warm("specC", "opt", 20, 99), None);
+    }
+
+    #[test]
+    fn restart_rebuilds_the_donor_index_from_disk_headers() {
+        let dir = temp_dir("donor-scan");
+        {
+            let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+            cache.store(21, PAYLOAD, &meta("specA", "opt", 20));
+        }
+        let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+        let (donor, seeds) = cache.find_warm("specA", "min", 25, 99).unwrap();
+        assert_eq!(donor, 21);
+        assert!(seeds.seed_count() > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,8 @@
 //! (`goal` defaults to `opt`, `arc` to 20.) Responses:
 //!
 //! ```text
-//! {"resp":"result","cache":"mem|disk|miss","key":"<16 hex>","engine_ms":N,
+//! {"resp":"result","cache":"mem|disk|miss|warm|coalesced","key":"<16 hex>","engine_ms":N,
+//!  "donor":"<16 hex>",              (warm responses only)
 //!  "mem_hits":N,"disk_hits":N,"misses":N,"payload":"<escaped cell JSON>"}
 //! {"resp":"stats","requests":N,...,"errors":N}
 //! {"resp":"error","reason":"<message>"}
@@ -108,12 +109,18 @@ pub enum Request {
 pub enum Response {
     /// An `optimize` answer.
     Result {
-        /// Which tier served it (`mem`, `disk` or `miss` = engine ran).
+        /// How the request was served: `mem`/`disk` (cache hit),
+        /// `miss` (cold engine run), `warm` (engine run seeded from a
+        /// near-miss donor) or `coalesced` (joined another request's
+        /// in-flight engine run).
         cache: String,
         /// The content address, 16 hex digits.
         key: String,
-        /// Engine wall time (0 on a cache hit).
+        /// Engine wall time (0 on a cache hit or a coalesced join).
         engine_ms: u64,
+        /// The donor entry a warm start was seeded from, 16 hex
+        /// digits (`None` on every non-warm response).
+        donor: Option<String>,
         /// Running memory-hit counter after this request.
         mem_hits: u64,
         /// Running disk-hit counter after this request.
@@ -137,7 +144,7 @@ pub enum Response {
 /// A parsed flat-JSON value: the protocol only uses strings and
 /// unsigned integers.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Str(String),
     Int(u64),
 }
@@ -145,7 +152,7 @@ enum Value {
 /// Parses one line as a flat JSON object, strictly: `{"k":v,...}` with
 /// string or unsigned-integer values, no nesting, no duplicate keys, no
 /// trailing garbage.
-fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     let bytes = line.as_bytes();
     let mut i = 0usize;
     let skip_ws = |i: &mut usize| {
@@ -242,7 +249,10 @@ fn take(fields: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
     Some(fields.remove(pos).1)
 }
 
-fn take_str(fields: &mut Vec<(String, Value)>, key: &str) -> Result<Option<String>, String> {
+pub(crate) fn take_str(
+    fields: &mut Vec<(String, Value)>,
+    key: &str,
+) -> Result<Option<String>, String> {
     match take(fields, key) {
         None => Ok(None),
         Some(Value::Str(s)) => Ok(Some(s)),
@@ -250,7 +260,10 @@ fn take_str(fields: &mut Vec<(String, Value)>, key: &str) -> Result<Option<Strin
     }
 }
 
-fn take_int(fields: &mut Vec<(String, Value)>, key: &str) -> Result<Option<u64>, String> {
+pub(crate) fn take_int(
+    fields: &mut Vec<(String, Value)>,
+    key: &str,
+) -> Result<Option<u64>, String> {
     match take(fields, key) {
         None => Ok(None),
         Some(Value::Int(n)) => Ok(Some(n)),
@@ -341,22 +354,31 @@ impl Response {
                 cache,
                 key,
                 engine_ms,
+                donor,
                 mem_hits,
                 disk_hits,
                 misses,
                 payload,
-            } => format!(
-                "{{\"resp\":\"result\",\"cache\":\"{}\",\"key\":\"{}\",\"engine_ms\":{engine_ms},\
-                 \"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
-                 \"payload\":\"{}\"}}\n",
-                json_escape(cache),
-                json_escape(key),
-                json_escape(payload),
-            ),
+            } => {
+                // `donor` renders only when present, so non-warm
+                // responses keep their pre-warm-start byte layout.
+                let donor = donor
+                    .as_ref()
+                    .map(|d| format!("\"donor\":\"{}\",", json_escape(d)))
+                    .unwrap_or_default();
+                format!(
+                    "{{\"resp\":\"result\",\"cache\":\"{}\",\"key\":\"{}\",\"engine_ms\":{engine_ms},\
+                     {donor}\"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
+                     \"payload\":\"{}\"}}\n",
+                    json_escape(cache),
+                    json_escape(key),
+                    json_escape(payload),
+                )
+            }
             Response::Stats(s) => format!(
                 "{{\"resp\":\"stats\",\"requests\":{},\"mem_hits\":{},\"disk_hits\":{},\
                  \"misses\":{},\"disk_writes\":{},\"mem_evictions\":{},\"mem_entries\":{},\
-                 \"errors\":{}}}\n",
+                 \"coalesced\":{},\"warm_starts\":{},\"disk_evictions\":{},\"errors\":{}}}\n",
                 s.requests,
                 s.mem_hits,
                 s.disk_hits,
@@ -364,6 +386,9 @@ impl Response {
                 s.disk_writes,
                 s.mem_evictions,
                 s.mem_entries,
+                s.coalesced,
+                s.warm_starts,
+                s.disk_evictions,
                 s.errors,
             ),
             Response::Error(reason) => {
@@ -392,6 +417,7 @@ impl Response {
                     cache: need_str(&mut fields, "cache")?,
                     key: need_str(&mut fields, "key")?,
                     engine_ms: need_int(&mut fields, "engine_ms")?,
+                    donor: take_str(&mut fields, "donor")?,
                     mem_hits: need_int(&mut fields, "mem_hits")?,
                     disk_hits: need_int(&mut fields, "disk_hits")?,
                     misses: need_int(&mut fields, "misses")?,
@@ -409,6 +435,9 @@ impl Response {
                     disk_writes: need_int(&mut fields, "disk_writes")?,
                     mem_evictions: need_int(&mut fields, "mem_evictions")?,
                     mem_entries: need_int(&mut fields, "mem_entries")?,
+                    coalesced: need_int(&mut fields, "coalesced")?,
+                    warm_starts: need_int(&mut fields, "warm_starts")?,
+                    disk_evictions: need_int(&mut fields, "disk_evictions")?,
                     errors: need_int(&mut fields, "errors")?,
                 };
                 reject_unknown(&fields, "stats")?;
@@ -511,10 +540,21 @@ mod tests {
                 cache: "disk".to_string(),
                 key: "00ffabcd00ffabcd".to_string(),
                 engine_ms: 1234,
+                donor: None,
                 mem_hits: 1,
                 disk_hits: 2,
                 misses: 3,
                 payload: "{\n  \"cell\": 1\n}".to_string(),
+            },
+            Response::Result {
+                cache: "warm".to_string(),
+                key: "00ffabcd00ffabcd".to_string(),
+                engine_ms: 77,
+                donor: Some("1234567890abcdef".to_string()),
+                mem_hits: 1,
+                disk_hits: 2,
+                misses: 3,
+                payload: "{}".to_string(),
             },
             Response::Stats(CacheStats {
                 requests: 8,
@@ -524,6 +564,9 @@ mod tests {
                 disk_writes: 4,
                 mem_evictions: 2,
                 mem_entries: 2,
+                coalesced: 3,
+                warm_starts: 1,
+                disk_evictions: 5,
                 errors: 0,
             }),
             Response::Error("spec key \"apps\" has invalid value \"x\"".to_string()),

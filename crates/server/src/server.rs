@@ -13,26 +13,32 @@
 //! * Cache lookups take a short mutex; engine runs happen *outside* it,
 //!   gated by a counting semaphore sized by [`CoreBudget::fan_out`] so
 //!   `slots × per-slot budget ≤ total budget` — a burst of cache misses
-//!   queues instead of oversubscribing the machine.
-//!
-//! Identical concurrent misses may each run the engine once; the engine
-//! is deterministic, so both compute the same bytes and the second
-//! store is idempotent. A long-running service trades that rare double
-//! run for never holding the cache lock across an engine run.
+//!   queues instead of oversubscribing the machine. The slot permit is
+//!   an RAII guard: a panicking engine run returns its slot on unwind
+//!   instead of deadlocking the miss path.
+//! * Identical concurrent misses coalesce on an in-flight table keyed
+//!   by cache key: the first request (the leader) runs the engine,
+//!   followers block on its condvar and are handed the same bytes —
+//!   one engine run per key, no matter how many requests race to it
+//!   (`coalesced` in stats counts the followers).
+//! * A miss that finds a near-miss donor entry (same canonical spec,
+//!   different goal or ArC) seeds the engine run from the donor's
+//!   winning design points and reports `cache=warm` plus the donor key.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ftes_bench::dist::protocol::{FrameReader, RecvError};
-use ftes_bench::matrix::{cell_json, run_cell_budgeted};
+use ftes_bench::matrix::{cell_json, run_cell_seeded};
 use ftes_gen::Scenario;
 use ftes_model::Cost;
 use ftes_opt::{CoreBudget, Threads};
 
-use crate::cache::{cache_key, CacheStats, ResultCache};
+use crate::cache::{cache_key, CacheStats, EntryMeta, ResultCache};
 use crate::protocol::{Request, Response};
 use crate::ENGINE_VERSION;
 
@@ -44,6 +50,9 @@ pub struct ServerConfig {
     /// Disk-tier directory; `None` keeps the cache memory-only (no
     /// persistence across restarts).
     pub cache_dir: Option<PathBuf>,
+    /// Disk-tier size cap in bytes (`None` = unbounded); every store
+    /// sweeps the oldest-mtime entries until the tier fits.
+    pub disk_cap_bytes: Option<u64>,
     /// Total core budget shared by all concurrent engine runs
     /// (`Threads(0)` = all cores).
     pub threads: Threads,
@@ -64,6 +73,7 @@ impl Default for ServerConfig {
         ServerConfig {
             mem_cap: 256,
             cache_dir: None,
+            disk_cap_bytes: None,
             threads: Threads(0),
             engine_slots: 2,
             io_poll_ms: 25,
@@ -103,6 +113,122 @@ impl Gate {
     }
 }
 
+/// An RAII engine-slot permit: the slot goes back to the [`Gate`] on
+/// drop, *including* an unwind — a panicking engine run must never
+/// shrink the slot pool for the rest of the process.
+struct Permit<'a>(&'a Gate);
+
+impl<'a> Permit<'a> {
+    fn acquire(gate: &'a Gate) -> Permit<'a> {
+        gate.acquire();
+        Permit(gate)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// One in-flight engine run: the leader publishes its result here and
+/// wakes the followers.
+#[derive(Debug, Default)]
+struct InflightRun {
+    state: Mutex<Option<Result<String, String>>>,
+    cv: Condvar,
+    /// How many followers are (or will be) blocked on this run —
+    /// observable by the leader's compute closure, which the
+    /// counter-exact coalescing test uses to hold the engine "running"
+    /// until every follower has joined.
+    waiters: AtomicUsize,
+}
+
+/// The in-flight table: at most one engine run per cache key at any
+/// moment; identical concurrent misses join the running one.
+#[derive(Debug, Default)]
+struct Inflight {
+    runs: Mutex<HashMap<u64, Arc<InflightRun>>>,
+}
+
+/// How a request obtained its bytes from [`coalesce_compute`].
+#[derive(Debug, PartialEq)]
+enum CoalesceOutcome {
+    /// This request was the leader: `compute` ran here.
+    Led(Result<String, String>),
+    /// This request joined another request's in-flight run.
+    Joined(Result<String, String>),
+}
+
+/// Runs `compute` at most once per key across concurrent callers: the
+/// first caller becomes the leader and computes; every concurrent
+/// caller with the same key blocks until the leader publishes and gets
+/// the same result. A panicking leader publishes an error (followers
+/// fail fast instead of hanging) and the panic unwinds onward; once
+/// the run is published the key is removed, so later callers — who
+/// will find the leader's result in the cache — start fresh.
+fn coalesce_compute(
+    inflight: &Inflight,
+    key: u64,
+    compute: impl FnOnce(&InflightRun) -> Result<String, String>,
+) -> CoalesceOutcome {
+    let (run, leader) = {
+        let mut runs = inflight.runs.lock().expect("inflight poisoned");
+        match runs.get(&key) {
+            Some(run) => (Arc::clone(run), false),
+            None => {
+                let run = Arc::new(InflightRun::default());
+                runs.insert(key, Arc::clone(&run));
+                (run, true)
+            }
+        }
+    };
+    if !leader {
+        run.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut state = run.state.lock().expect("inflight run poisoned");
+        while state.is_none() {
+            state = run.cv.wait(state).expect("inflight run poisoned");
+        }
+        return CoalesceOutcome::Joined(state.clone().expect("loop exits on Some"));
+    }
+
+    /// Publishes on every exit path: a leader that unwinds mid-compute
+    /// hands its followers an error instead of a hang, and always
+    /// clears the in-flight slot.
+    struct LeaderGuard<'a> {
+        inflight: &'a Inflight,
+        run: &'a InflightRun,
+        key: u64,
+        published: bool,
+    }
+    impl Drop for LeaderGuard<'_> {
+        fn drop(&mut self) {
+            if !self.published {
+                if let Ok(mut state) = self.run.state.lock() {
+                    *state = Some(Err("engine run panicked".to_string()));
+                }
+                self.run.cv.notify_all();
+            }
+            if let Ok(mut runs) = self.inflight.runs.lock() {
+                runs.remove(&self.key);
+            }
+        }
+    }
+
+    let mut guard = LeaderGuard {
+        inflight,
+        run: &run,
+        key,
+        published: false,
+    };
+    let result = compute(&run);
+    *run.state.lock().expect("inflight run poisoned") = Some(result.clone());
+    guard.published = true;
+    run.cv.notify_all();
+    drop(guard);
+    CoalesceOutcome::Led(result)
+}
+
 /// A bound listener ready to serve.
 #[derive(Debug)]
 pub struct Server {
@@ -140,10 +266,11 @@ impl Server {
     ///
     /// Returns a message when the cache cannot be initialized.
     pub fn run(self) -> Result<CacheStats, String> {
-        let cache = Mutex::new(ResultCache::new(
-            self.cfg.mem_cap,
-            self.cfg.cache_dir.as_deref(),
-        )?);
+        let cache = Mutex::new(
+            ResultCache::new(self.cfg.mem_cap, self.cfg.cache_dir.as_deref())?
+                .with_disk_cap(self.cfg.disk_cap_bytes),
+        );
+        let inflight = Inflight::default();
         let budget = CoreBudget::new(self.cfg.threads.resolve());
         let (slots, per_slot) = budget.fan_out(self.cfg.engine_slots.max(1));
         let gate = Gate::new(slots);
@@ -154,9 +281,10 @@ impl Server {
             while !stop.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let (cache, gate, stop, cfg) = (&cache, &gate, &stop, &self.cfg);
+                        let (cache, inflight, gate, stop, cfg) =
+                            (&cache, &inflight, &gate, &stop, &self.cfg);
                         scope.spawn(move || {
-                            handle_connection(stream, cache, gate, stop, cfg, per_slot);
+                            handle_connection(stream, cache, inflight, gate, stop, cfg, per_slot);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -181,6 +309,7 @@ impl Server {
 fn handle_connection(
     mut stream: TcpStream,
     cache: &Mutex<ResultCache>,
+    inflight: &Inflight,
     gate: &Gate,
     stop: &AtomicBool,
     cfg: &ServerConfig,
@@ -207,7 +336,7 @@ fn handle_connection(
                 scenario,
                 goal,
                 arc,
-            }) => serve_optimize(&scenario, goal, arc, cache, gate, per_slot, cfg),
+            }) => serve_optimize(&scenario, goal, arc, cache, inflight, gate, per_slot, cfg),
             Ok(Request::Stats) => Response::Stats(cache.lock().expect("cache poisoned").stats()),
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::SeqCst);
@@ -225,13 +354,17 @@ fn handle_connection(
     }
 }
 
-/// Answers one `optimize` request: cache lookup under the lock, engine
-/// run (on a miss) outside it behind the slot gate, then store.
+/// Answers one `optimize` request: cache lookup under the lock; on a
+/// miss, the engine run coalesces with identical in-flight requests,
+/// warm-starts from a near-miss donor when one exists, and happens
+/// outside the cache lock behind an RAII slot permit.
+#[allow(clippy::too_many_arguments)]
 fn serve_optimize(
     scenario: &str,
     goal: crate::Goal,
     arc: u64,
     cache: &Mutex<ResultCache>,
+    inflight: &Inflight,
     gate: &Gate,
     per_slot: CoreBudget,
     cfg: &ServerConfig,
@@ -244,34 +377,76 @@ fn serve_optimize(
     let key = cache_key(&canonical, goal.label(), arc, ENGINE_VERSION);
 
     let (cached, tier) = cache.lock().expect("cache poisoned").lookup(key);
-    let (payload, engine_ms) = match cached {
-        Some(payload) => (payload, 0),
+    let (payload, label, engine_ms, donor) = match cached {
+        Some(payload) => (payload, tier.label().to_string(), 0, None),
         None => {
-            gate.acquire();
-            let started = Instant::now();
-            let cell = run_cell_budgeted(&parsed, goal.strategies(), per_slot);
-            // timings=false keeps the payload deterministic: the same
-            // request always caches (and serves) identical bytes.
-            let payload = cell_json(&cell, Cost::new(arc), false);
-            let engine_ms = started.elapsed().as_millis() as u64;
-            gate.release();
-            cache.lock().expect("cache poisoned").store(key, &payload);
-            (payload, engine_ms)
+            let mut donor_key: Option<u64> = None;
+            let mut engine_ms = 0u64;
+            let outcome = coalesce_compute(inflight, key, |_run| {
+                let donor = cache.lock().expect("cache poisoned").find_warm(
+                    &canonical,
+                    goal.label(),
+                    arc,
+                    key,
+                );
+                let seeds = donor.as_ref().map(|(_, seeds)| seeds);
+                let permit = Permit::acquire(gate);
+                let started = Instant::now();
+                let (cell, winners) = run_cell_seeded(&parsed, goal.strategies(), per_slot, seeds);
+                // timings=false keeps the payload deterministic: the same
+                // request always caches (and serves) identical bytes.
+                let payload = cell_json(&cell, Cost::new(arc), false);
+                engine_ms = started.elapsed().as_millis() as u64;
+                drop(permit);
+                let mut cache = cache.lock().expect("cache poisoned");
+                if donor.is_some() {
+                    cache.note_warm_start();
+                }
+                cache.store(
+                    key,
+                    &payload,
+                    &EntryMeta {
+                        spec: canonical.clone(),
+                        goal: goal.label().to_string(),
+                        arc,
+                        seeds: winners,
+                    },
+                );
+                donor_key = donor.map(|(k, _)| k);
+                Ok(payload)
+            });
+            match outcome {
+                CoalesceOutcome::Led(Ok(payload)) => {
+                    let label = if donor_key.is_some() { "warm" } else { "miss" };
+                    (
+                        payload,
+                        label.to_string(),
+                        engine_ms,
+                        donor_key.map(|k| format!("{k:016x}")),
+                    )
+                }
+                CoalesceOutcome::Joined(Ok(payload)) => {
+                    cache.lock().expect("cache poisoned").note_coalesced();
+                    (payload, "coalesced".to_string(), 0, None)
+                }
+                CoalesceOutcome::Led(Err(reason)) | CoalesceOutcome::Joined(Err(reason)) => {
+                    return Response::Error(reason)
+                }
+            }
         }
     };
     let stats = cache.lock().expect("cache poisoned").stats();
     if cfg.progress {
         eprintln!(
-            "served {key:016x} ({}, {} ms) goal={} arc={arc}",
-            tier.label(),
-            engine_ms,
+            "served {key:016x} ({label}, {engine_ms} ms) goal={} arc={arc}",
             goal.label(),
         );
     }
     Response::Result {
-        cache: tier.label().to_string(),
+        cache: label,
         key: format!("{key:016x}"),
         engine_ms,
+        donor,
         mem_hits: stats.mem_hits,
         disk_hits: stats.disk_hits,
         misses: stats.misses,
@@ -312,5 +487,105 @@ mod tests {
                 assert!(workers * per.get() <= total, "{total}/{slots}");
             }
         }
+    }
+
+    #[test]
+    fn panicking_engine_run_returns_its_slot_to_the_gate() {
+        // The pre-fix code paired a bare acquire with a release after
+        // the engine call: a panicking run skipped the release and
+        // shrank the pool forever. The RAII permit releases on unwind.
+        let gate = Gate::new(1);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = Permit::acquire(&gate);
+            panic!("engine blew up");
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(*gate.free.lock().unwrap(), 1, "slot leaked on unwind");
+        // And the slot is genuinely usable again.
+        let _permit = Permit::acquire(&gate);
+        assert_eq!(*gate.free.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_misses_share_exactly_one_compute() {
+        const N: usize = 4;
+        let inflight = Inflight::default();
+        let computes = AtomicUsize::new(0);
+        let led = AtomicUsize::new(0);
+        let joined = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..N {
+                let (inflight, computes, led, joined) = (&inflight, &computes, &led, &joined);
+                scope.spawn(move || {
+                    let outcome = coalesce_compute(inflight, 7, |run| {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the "engine" until every other request
+                        // has joined this run — proves the followers
+                        // coalesce instead of queuing behind it.
+                        while run.waiters.load(Ordering::SeqCst) < N - 1 {
+                            std::thread::yield_now();
+                        }
+                        Ok("bytes".to_string())
+                    });
+                    match outcome {
+                        CoalesceOutcome::Led(Ok(p)) => {
+                            assert_eq!(p, "bytes");
+                            led.fetch_add(1, Ordering::SeqCst);
+                        }
+                        CoalesceOutcome::Joined(Ok(p)) => {
+                            assert_eq!(p, "bytes");
+                            joined.fetch_add(1, Ordering::SeqCst);
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    }
+                });
+            }
+        });
+        // Counter-exact: one engine run, one leader, N−1 coalesced.
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        assert_eq!(led.load(Ordering::SeqCst), 1);
+        assert_eq!(joined.load(Ordering::SeqCst), N - 1);
+        // The in-flight table is empty again: the next miss leads anew.
+        assert!(inflight.runs.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn different_keys_never_coalesce() {
+        let inflight = Inflight::default();
+        for key in [1u64, 2, 3] {
+            match coalesce_compute(&inflight, key, |_| Ok(format!("k{key}"))) {
+                CoalesceOutcome::Led(Ok(p)) => assert_eq!(p, format!("k{key}")),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_leader_fails_followers_fast_instead_of_hanging_them() {
+        let inflight = Arc::new(Inflight::default());
+        let leader = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || {
+                coalesce_compute(&inflight, 9, |run| {
+                    while run.waiters.load(Ordering::SeqCst) < 1 {
+                        std::thread::yield_now();
+                    }
+                    panic!("engine blew up");
+                })
+            })
+        };
+        let follower = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || coalesce_compute(&inflight, 9, |_| unreachable!()))
+        };
+        assert!(leader.join().is_err(), "leader panic must propagate");
+        match follower.join().unwrap() {
+            CoalesceOutcome::Joined(Err(reason)) => {
+                assert!(reason.contains("panicked"), "{reason:?}")
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // The dead run was cleared: the key is retryable.
+        assert!(inflight.runs.lock().unwrap().is_empty());
     }
 }

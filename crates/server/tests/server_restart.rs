@@ -114,7 +114,9 @@ fn cache_tiers_serve_repeats_and_survive_a_restart() {
     assert_eq!(engine_ms, 0, "a hit must not run the engine");
     assert_eq!((mem_hits, misses2), (1, 1));
 
-    // A different goal is a different content address.
+    // A different goal is a different content address — but the same
+    // canonical spec, so the engine run warm-starts from the goal=opt
+    // entry and reports it as the donor.
     let other = round_trip(
         &addr,
         &Request::Optimize {
@@ -123,13 +125,26 @@ fn cache_tiers_serve_repeats_and_survive_a_restart() {
             arc: 20,
         },
     );
-    match other {
-        Response::Result { cache, key: k, .. } => {
-            assert_eq!(cache, "miss");
+    let min_payload = match other {
+        Response::Result {
+            cache,
+            key: k,
+            donor,
+            payload,
+            ..
+        } => {
+            assert_eq!(cache, "warm", "near-miss request must warm-start");
             assert_ne!(k, key, "goal must be part of the key");
+            assert_eq!(
+                donor.as_deref(),
+                Some(key.as_str()),
+                "the goal=opt entry is the only possible donor"
+            );
+            assert!(payload.contains("\"strategies\""), "payload shape");
+            payload
         }
         other => panic!("goal=min request failed: {other:?}"),
-    }
+    };
 
     // Malformed requests are rejected with the reason, and do not
     // disturb the counters.
@@ -149,6 +164,8 @@ fn cache_tiers_serve_repeats_and_survive_a_restart() {
     assert_eq!(s.mem_hits, 1);
     assert_eq!(s.misses, 2);
     assert_eq!(s.disk_writes, 2);
+    assert_eq!(s.warm_starts, 1, "the goal=min run was warm-started");
+    assert_eq!(s.coalesced, 0);
     assert_eq!(s.errors, 0);
 
     // Shutdown: acknowledged, run() returns the same counters.
@@ -190,7 +207,85 @@ fn cache_tiers_serve_repeats_and_survive_a_restart() {
         other => panic!("promoted repeat failed: {other:?}"),
     }
 
+    // Per-key determinism holds for the warm-started key too: the
+    // first computed payload is what the disk tier serves forever,
+    // byte-identical across the restart.
+    let min_again = round_trip(
+        &addr,
+        &Request::Optimize {
+            scenario: "apps=1".to_string(),
+            goal: Goal::Min,
+            arc: 20,
+        },
+    );
+    match min_again {
+        Response::Result { cache, payload, .. } => {
+            assert_eq!(cache, "disk");
+            assert_eq!(
+                payload, min_payload,
+                "warm-computed payload must replay byte-identical"
+            );
+        }
+        other => panic!("post-restart goal=min failed: {other:?}"),
+    }
+
     assert_eq!(round_trip(&addr, &Request::Shutdown), Response::Ok);
     handle.join().expect("server thread").expect("server run");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_engine_run() {
+    // Memory-only server: every served byte comes from the engine or
+    // the coalescing/caching layers under test.
+    let cfg = ServerConfig {
+        mem_cap: 16,
+        cache_dir: None,
+        threads: Threads(2),
+        engine_slots: 1,
+        io_poll_ms: 5,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    const N: usize = 4;
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(|| round_trip(&addr, &optimize("apps=1"))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut payloads = Vec::new();
+    let mut labels = Vec::new();
+    for resp in responses {
+        let Response::Result { cache, payload, .. } = resp else {
+            panic!("optimize failed: {resp:?}");
+        };
+        payloads.push(payload);
+        labels.push(cache);
+    }
+    // Every racer gets the same bytes, however it was served.
+    assert!(payloads.windows(2).all(|w| w[0] == w[1]), "{labels:?}");
+
+    assert_eq!(round_trip(&addr, &Request::Shutdown), Response::Ok);
+    let stats = handle.join().expect("server thread").expect("server run");
+    // Counter-exact accounting: every lookup miss either led an engine
+    // run (responses labeled miss/warm) or joined one (coalesced) —
+    // the label tally and the cache counters must agree exactly.
+    let engine_runs = labels
+        .iter()
+        .filter(|l| *l == "miss" || *l == "warm")
+        .count() as u64;
+    let joined = labels.iter().filter(|l| *l == "coalesced").count() as u64;
+    assert_eq!(stats.requests, N as u64);
+    assert_eq!(stats.misses, engine_runs + joined);
+    assert_eq!(stats.coalesced, joined);
+    assert!(engine_runs >= 1, "{labels:?}");
+    // The slot gate caps the engine at one concurrent run; coalescing
+    // means racers join it instead of queueing behind it, so a burst of
+    // identical requests never runs the engine once each.
+    assert!(engine_runs < N as u64, "{labels:?}");
 }

@@ -186,7 +186,7 @@ proptest! {
             tabu: TabuConfig { max_iterations: 8, ..TabuConfig::default() },
             ..OptConfig::default()
         };
-        let nomemo_cfg = OptConfig { mapping_memo: MemoCap(0), ..memo_cfg };
+        let nomemo_cfg = OptConfig { mapping_memo: MemoCap(0), ..memo_cfg.clone() };
 
         let mut memo_trace: Vec<TabuMove> = Vec::new();
         let mut memo_eval = Evaluator::new(&system, &memo_cfg);
@@ -358,7 +358,7 @@ proptest! {
         let scratch_cfg = OptConfig {
             eval_mode: EvalMode::Scratch,
             mapping_memo: MemoCap(0),
-            ..incr_cfg
+            ..incr_cfg.clone()
         };
 
         let mut incr_trace: Vec<TabuMove> = Vec::new();

@@ -236,7 +236,7 @@ proptest! {
             index,
         );
         let sequential_cfg = quick_config();
-        let parallel_cfg = OptConfig { threads: Threads(threads), ..sequential_cfg };
+        let parallel_cfg = OptConfig { threads: Threads(threads), ..sequential_cfg.clone() };
 
         let sequential = design_strategy(&system, &sequential_cfg).unwrap();
         let parallel = design_strategy(&system, &parallel_cfg).unwrap();
@@ -273,7 +273,7 @@ proptest! {
             index,
         );
         let incremental_cfg = quick_config();
-        let scratch_cfg = OptConfig { eval_mode: EvalMode::Scratch, ..incremental_cfg };
+        let scratch_cfg = OptConfig { eval_mode: EvalMode::Scratch, ..incremental_cfg.clone() };
 
         let incremental = design_strategy(&system, &incremental_cfg).unwrap();
         let scratch = design_strategy(&system, &scratch_cfg).unwrap();
@@ -404,8 +404,8 @@ proptest! {
         let cell = scenario_cell(bus_pick, plat_pick, util_pick, 0xF7E5);
         let system = cell.generate(index);
         let sequential_cfg = quick_config();
-        let parallel_cfg = OptConfig { threads: Threads(threads), ..sequential_cfg };
-        let scratch_cfg = OptConfig { eval_mode: EvalMode::Scratch, ..sequential_cfg };
+        let parallel_cfg = OptConfig { threads: Threads(threads), ..sequential_cfg.clone() };
+        let scratch_cfg = OptConfig { eval_mode: EvalMode::Scratch, ..sequential_cfg.clone() };
 
         let sequential = design_strategy(&system, &sequential_cfg).unwrap();
         let parallel = design_strategy(&system, &parallel_cfg).unwrap();
