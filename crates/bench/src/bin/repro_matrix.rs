@@ -8,11 +8,12 @@
 //!              [--threads N] [--shard I/N] [--out PATH]
 //! repro_matrix --merge OUT SHARD_FILE...
 //! repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N]
-//!              [--grace-ms N] [matrix flags] [--out PATH]
+//!              [--grace-ms N] [--journal PATH [--resume]]
+//!              [matrix flags] [--out PATH]
 //! repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]
 //!              [matrix flags]
 //! repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]
-//!              [matrix flags] [--out PATH]
+//!              [--journal PATH [--resume]] [matrix flags] [--out PATH]
 //! ```
 //!
 //! Defaults: the full 216-cell v2 matrix ([`ScenarioMatrix::full_v2`]),
@@ -55,6 +56,15 @@
 //! * `--dist-workers N` runs the whole distributed stack in one process
 //!   over loopback (N worker threads; `--chaos` applies to worker 0) —
 //!   the quickest way to exercise the fault-tolerance machinery.
+//! * `--journal PATH` (coordinator modes only) attaches a write-ahead
+//!   journal: every verified result is fsync'd to PATH before it counts,
+//!   so a coordinator crash loses nothing completed. `--resume` replays
+//!   the journal (guarded by the matrix fingerprint and the engine
+//!   version), runs only the remaining cells under a bumped epoch, and
+//!   assembles the final document from the journal — byte-identical to
+//!   an uninterrupted run. `--chaos ckill:N` kills the coordinator
+//!   crash-equivalently after N verified results (exit 1, journal
+//!   retained) to rehearse exactly that.
 //!
 //! Cells are streamed: each finished cell is rendered and appended to the
 //! output file in deterministic cell order while later cells are still
@@ -64,11 +74,14 @@
 
 use std::io::Write as _;
 
-use ftes_bench::dist::{run_dist_local, ChaosPlan, Coordinator, LocalWorkerSpec};
+use ftes_bench::dist::{
+    load_journal, matrix_fingerprint, run_dist_local_opts, ChaosPlan, Coordinator, Journal,
+    LocalWorkerSpec, RunOpts,
+};
 use ftes_bench::{
     cell_json, json_footer, json_header, json_header_with, merge_shard_texts, read_shard_file,
     render_table_row, run_cells_streaming, run_worker, BenchMeta, DistConfig, DistStats,
-    MatrixRunConfig, Shard, Strategy, WorkerConfig, WorkerOutcome,
+    MatrixRunConfig, Shard, Strategy, WorkerConfig, WorkerOutcome, ENGINE_VERSION,
 };
 use ftes_gen::ScenarioMatrix;
 use ftes_model::Cost;
@@ -78,9 +91,11 @@ use ftes_opt::{CoreBudget, Threads};
 const USAGE: &str = "usage: repro_matrix [--smoke] [--pr3] [--axes LIST] [--arc UNITS] \
      [--threads N] [--shard I/N] [--out PATH]\n       \
      repro_matrix --merge OUT SHARD_FILE...\n       \
-     repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N] [--grace-ms N]\n       \
+     repro_matrix --serve ADDR [--addr-file PATH] [--lease-ms N] [--grace-ms N] \
+     [--journal PATH [--resume]]\n       \
      repro_matrix --worker ADDR|@PATH [--chaos SPEC] [--chaos-seed N]\n       \
-     repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N]";
+     repro_matrix --dist-workers N [--chaos SPEC] [--chaos-seed N] \
+     [--journal PATH [--resume]]";
 
 /// Everything the non-merge modes need, parsed and validated.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +115,8 @@ struct Cli {
     chaos_seed: u64,
     lease_ms: Option<u64>,
     grace_ms: Option<u64>,
+    journal: Option<String>,
+    resume: bool,
 }
 
 impl Default for Cli {
@@ -120,6 +137,8 @@ impl Default for Cli {
             chaos_seed: 0,
             lease_ms: None,
             grace_ms: None,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -186,7 +205,11 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
                     Some(parse_value(&mut args, "--dist-workers", "a worker count")?);
             }
             "--chaos" => {
-                let spec = take_value(&mut args, "--chaos", "kill:N,hang:N,corrupt:N,dup:N")?;
+                let spec = take_value(
+                    &mut args,
+                    "--chaos",
+                    "kill:N,hang:N,corrupt:N,dup:N,ckill:N",
+                )?;
                 cli.chaos = ChaosPlan::parse(&spec).map_err(|e| format!("--chaos: {e}"))?;
             }
             "--chaos-seed" => {
@@ -198,6 +221,10 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
             "--grace-ms" => {
                 cli.grace_ms = Some(parse_value(&mut args, "--grace-ms", "milliseconds")?);
             }
+            "--journal" => {
+                cli.journal = Some(take_value(&mut args, "--journal", "a path")?);
+            }
+            "--resume" => cli.resume = true,
             "--axes" => {
                 let list = take_value(&mut args, "--axes", "a comma-separated list")?;
                 for name in list.split(',').map(str::trim) {
@@ -245,6 +272,21 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
     if dist_modes.contains(&true) && cli.shard.is_some() {
         return Err(
             "--shard does not combine with distributed modes (the coordinator is the shard)"
+                .to_string(),
+        );
+    }
+    if cli.journal.is_some() && cli.serve.is_none() && cli.dist_workers.is_none() {
+        return Err(
+            "--journal only combines with the coordinator modes (--serve or --dist-workers)"
+                .to_string(),
+        );
+    }
+    if cli.resume && cli.journal.is_none() {
+        return Err("--resume: missing --journal (nothing to resume from)".to_string());
+    }
+    if cli.worker.is_some() && cli.chaos.ckill > 0 {
+        return Err(
+            "--chaos: ckill targets the coordinator; combine it with --serve or --dist-workers"
                 .to_string(),
         );
     }
@@ -433,6 +475,8 @@ fn main() {
         chaos_seed,
         lease_ms,
         grace_ms,
+        journal,
+        resume,
     } = cli;
 
     let mut matrix = if smoke {
@@ -470,7 +514,54 @@ fn main() {
         };
         let budget = CoreBudget::new(threads.resolve());
         let arc_cost = Cost::new(arc);
-        let mut payloads: Vec<String> = Vec::with_capacity(cells.len());
+        // With a journal attached, the journal *is* the payload store:
+        // the sink drops payloads (memory stays O(out-of-order window))
+        // and the final document is assembled from the journal below.
+        let fingerprint = matrix_fingerprint(&cells, &Strategy::ALL, arc_cost, dist_cfg.timings);
+        let opts = match &journal {
+            None => RunOpts {
+                ckill_after: chaos.ckill as u64,
+                ..RunOpts::default()
+            },
+            Some(path) if resume => {
+                let (j, replay) = Journal::resume(path, &fingerprint, ENGINE_VERSION, cells.len())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    });
+                eprintln!(
+                    "resuming from journal {path}: {} of {} cells durable, epoch {}",
+                    replay.payloads.len(),
+                    cells.len(),
+                    replay.epoch
+                );
+                RunOpts {
+                    durable: replay.payloads.keys().copied().collect(),
+                    epoch: replay.epoch,
+                    journal: Some(j),
+                    ckill_after: chaos.ckill as u64,
+                }
+            }
+            Some(path) => {
+                let j = Journal::create(path, &fingerprint, ENGINE_VERSION, cells.len())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    });
+                RunOpts {
+                    journal: Some(j),
+                    ckill_after: chaos.ckill as u64,
+                    ..RunOpts::default()
+                }
+            }
+        };
+        let journaling = journal.is_some();
+        let mut payloads: Vec<String> = Vec::new();
+        let mut sink = |_: usize, p: &str| {
+            if !journaling {
+                payloads.push(p.to_string());
+            }
+        };
         let start = std::time::Instant::now();
         let stats = if let Some(bind_addr) = serve {
             let coordinator = Coordinator::bind(&bind_addr, dist_cfg).unwrap_or_else(|e| {
@@ -485,9 +576,7 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            coordinator.run(&cells, &Strategy::ALL, arc_cost, budget, |_, p| {
-                payloads.push(p.to_string());
-            })
+            coordinator.run_with(&cells, &Strategy::ALL, arc_cost, budget, opts, sink)
         } else {
             let n = dist_workers.unwrap_or(1).max(1);
             // Worker 0 carries the chaos budget; the rest stay clean so
@@ -498,14 +587,15 @@ fn main() {
                     seed: chaos_seed.wrapping_add(i as u64),
                 })
                 .collect();
-            run_dist_local(
+            run_dist_local_opts(
                 &cells,
                 &Strategy::ALL,
                 arc_cost,
                 &dist_cfg,
                 &specs,
                 budget,
-                |_, p| payloads.push(p.to_string()),
+                opts,
+                &mut sink,
             )
             .map(|(stats, reports)| {
                 for (i, r) in reports.iter().enumerate() {
@@ -521,6 +611,25 @@ fn main() {
             eprintln!("distributed run failed: {e}");
             std::process::exit(1);
         });
+        if let Some(path) = &journal {
+            // The run completed, so the journal now holds every cell
+            // (resumed ones from previous lives, the rest fsync'd this
+            // life before emission): replay it into the document.
+            let replay = load_journal(path, &fingerprint, ENGINE_VERSION, cells.len())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot assemble document from journal: {e}");
+                    std::process::exit(1);
+                });
+            if replay.payloads.len() != cells.len() {
+                eprintln!(
+                    "cannot assemble document from journal {path}: {} of {} cells present",
+                    replay.payloads.len(),
+                    cells.len()
+                );
+                std::process::exit(1);
+            }
+            payloads = replay.payloads.into_values().collect();
+        }
         let meta = BenchMeta::new(pr, smoke);
         if let Err(e) = write_dist_doc(&out, arc_cost, meta, &stats, &payloads) {
             eprintln!("cannot write {out}: {e}");
@@ -529,7 +638,7 @@ fn main() {
         eprintln!(
             "wrote {out} ({} cells in {:.1}s; {} worker(s) registered, {} lease(s) re-queued, \
              {} duplicate(s) dropped, {} cell(s) run locally)",
-            stats.cells_emitted,
+            payloads.len(),
             start.elapsed().as_secs_f64(),
             stats.workers_registered,
             stats.leases_requeued,
@@ -660,6 +769,36 @@ mod tests {
         assert_eq!(cli.chaos_seed, 7);
         assert_eq!(cli.lease_ms, Some(500));
         assert_eq!(cli.grace_ms, Some(100));
+        let cli = parse_run(&[
+            "--serve",
+            "127.0.0.1:0",
+            "--journal",
+            "run.wal",
+            "--resume",
+            "--chaos",
+            "ckill:2",
+        ]);
+        assert_eq!(cli.journal.as_deref(), Some("run.wal"));
+        assert!(cli.resume);
+        assert_eq!(cli.chaos.ckill, 2);
+        let cli = parse_run(&["--dist-workers", "2", "--journal", "run.wal"]);
+        assert_eq!(cli.journal.as_deref(), Some("run.wal"));
+        assert!(!cli.resume);
+    }
+
+    #[test]
+    fn journal_flags_demand_a_coordinator_mode() {
+        let err = parse(&["--journal", "run.wal"]).unwrap_err();
+        assert!(err.contains("--serve or --dist-workers"), "{err}");
+        let err = parse(&["--worker", "a:1", "--journal", "run.wal"]).unwrap_err();
+        assert!(err.contains("--serve or --dist-workers"), "{err}");
+        let err = parse(&["--serve", "a:1", "--resume"]).unwrap_err();
+        assert!(err.starts_with("--resume"), "{err}");
+        assert!(err.contains("--journal"), "{err}");
+        let err = parse(&["--worker", "a:1", "--chaos", "ckill:1"]).unwrap_err();
+        assert!(err.contains("ckill targets the coordinator"), "{err}");
+        // ckill with a coordinator mode is fine, journal or not.
+        parse_run(&["--dist-workers", "2", "--chaos", "ckill:1"]);
     }
 
     #[test]
@@ -701,6 +840,7 @@ mod tests {
             "--chaos-seed",
             "--lease-ms",
             "--grace-ms",
+            "--journal",
         ] {
             let err = parse(&[flag]).unwrap_err();
             assert!(err.starts_with(flag), "{flag} error {err:?}");

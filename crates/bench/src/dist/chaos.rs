@@ -1,7 +1,8 @@
 //! Seeded fault injection for the distributed matrix runner.
 //!
-//! A [`ChaosPlan`] is a budget of faults (`kill:N,hang:N,corrupt:N,dup:N`
-//! on the CLI); a [`ChaosState`] turns it into a deterministic schedule:
+//! A [`ChaosPlan`] is a budget of faults
+//! (`kill:N,hang:N,corrupt:N,dup:N,ckill:N` on the CLI); a
+//! [`ChaosState`] turns it into a deterministic schedule:
 //! the plan's fault instances are shuffled once with a seeded ChaCha8
 //! stream, then each granted lease draws whether to consume the next
 //! instance. The same `(plan, seed)` always injects the same faults at
@@ -21,6 +22,13 @@
 //!   (parse failure). The coordinator must discard it and re-queue.
 //! * **dup** — the result frame is sent twice; the coordinator must
 //!   drop the duplicate and count it.
+//!
+//! **ckill** is different: it targets the *coordinator*, not a worker —
+//! the coordinator aborts (SIGKILL-equivalent: no shutdown frames, no
+//! artifact) after `N` verified results have been accepted and
+//! journaled. Workers ignore it; the coordinator consumes it to drive
+//! the crash-and-resume integration tests (see
+//! [`super::journal`]).
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -40,7 +48,7 @@ pub enum ChaosAction {
     Duplicate,
 }
 
-/// A fault budget, parsed from `kill:N,hang:N,corrupt:N,dup:N`.
+/// A fault budget, parsed from `kill:N,hang:N,corrupt:N,dup:N,ckill:N`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChaosPlan {
     /// Number of kill faults to inject.
@@ -51,12 +59,16 @@ pub struct ChaosPlan {
     pub corrupt: u32,
     /// Number of duplicate completions to inject.
     pub dup: u32,
+    /// Coordinator kill: abort the coordinator after this many verified
+    /// results (0 = never). Consumed by the coordinator, ignored by
+    /// workers — it is not part of the per-lease worker schedule.
+    pub ckill: u32,
 }
 
 impl ChaosPlan {
-    /// Parses a `kill:N,hang:N,corrupt:N,dup:N` spec; every part is
-    /// optional (`kill:1` alone is valid), unknown or malformed parts
-    /// are errors, and so is repeating a kind (`kill:1,kill:2` is
+    /// Parses a `kill:N,hang:N,corrupt:N,dup:N,ckill:N` spec; every
+    /// part is optional (`kill:1` alone is valid), unknown or malformed
+    /// parts are errors, and so is repeating a kind (`kill:1,kill:2` is
     /// ambiguous — it must not silently sum to `kill:3`).
     ///
     /// # Errors
@@ -64,7 +76,7 @@ impl ChaosPlan {
     /// Returns a description of the first malformed or duplicated part.
     pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
         let mut plan = ChaosPlan::default();
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (kind, count) = part
                 .split_once(':')
@@ -79,9 +91,10 @@ impl ChaosPlan {
                 "hang" => (1, &mut plan.hang),
                 "corrupt" => (2, &mut plan.corrupt),
                 "dup" => (3, &mut plan.dup),
+                "ckill" => (4, &mut plan.ckill),
                 other => {
                     return Err(format!(
-                        "unknown chaos kind {other:?} (expected kill, hang, corrupt or dup)"
+                        "unknown chaos kind {other:?} (expected kill, hang, corrupt, dup or ckill)"
                     ))
                 }
             };
@@ -94,7 +107,8 @@ impl ChaosPlan {
         Ok(plan)
     }
 
-    /// Total number of fault instances in the budget.
+    /// Total number of *worker-side* fault instances in the budget
+    /// (`ckill` targets the coordinator and is not scheduled per lease).
     pub fn total(&self) -> u32 {
         self.kill + self.hang + self.corrupt + self.dup
     }
@@ -210,12 +224,13 @@ mod tests {
     #[test]
     fn plan_parses_full_and_partial_specs() {
         assert_eq!(
-            ChaosPlan::parse("kill:1,hang:2,corrupt:3,dup:4").unwrap(),
+            ChaosPlan::parse("kill:1,hang:2,corrupt:3,dup:4,ckill:5").unwrap(),
             ChaosPlan {
                 kill: 1,
                 hang: 2,
                 corrupt: 3,
-                dup: 4
+                dup: 4,
+                ckill: 5
             }
         );
         assert_eq!(
@@ -252,9 +267,27 @@ mod tests {
                 kill: 1,
                 hang: 2,
                 corrupt: 3,
-                dup: 4
+                dup: 4,
+                ckill: 0
             }
         );
+    }
+
+    #[test]
+    fn ckill_targets_the_coordinator_not_the_worker_schedule() {
+        let plan = ChaosPlan::parse("ckill:3").unwrap();
+        assert_eq!(plan.ckill, 3);
+        // ckill never enters the per-lease worker schedule: a worker
+        // given only a ckill budget injects nothing.
+        assert_eq!(plan.total(), 0);
+        let mut state = ChaosState::new(plan, 9);
+        assert_eq!(state.remaining(), 0);
+        for _ in 0..50 {
+            assert_eq!(state.next_action(), None);
+        }
+        assert!(ChaosPlan::parse("ckill:1,ckill:2")
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]
@@ -289,6 +322,7 @@ mod tests {
         let frame = Frame::Result {
             lease: 1,
             cell: 0,
+            epoch: 1,
             crc: checksum(payload),
             payload: payload.to_string(),
         }
@@ -317,6 +351,7 @@ mod tests {
         let frame = Frame::Result {
             lease: 9,
             cell: 4,
+            epoch: 1,
             crc: checksum("body"),
             payload: "body".to_string(),
         }

@@ -37,6 +37,21 @@
 //! accelerator. The final accounting is checked: every cell emitted
 //! exactly once, or the run returns an error instead of a silently
 //! wrong artifact.
+//!
+//! ## Crash safety
+//!
+//! With a write-ahead [`Journal`] attached ([`RunOpts::journal`]),
+//! every verified result is fsync'd to disk **before** the cell is
+//! marked done — so a coordinator crash loses at most the result in
+//! flight, never a completed cell. A resumed run seeds the durable set
+//! via [`RunOpts::durable`] (those cells are never re-leased and never
+//! re-emitted) and bumps [`RunOpts::epoch`]; workers reconnecting from
+//! the previous life re-register normally, while result frames stamped
+//! with a stale epoch are counted and dropped, not double-emitted. The
+//! `ckill` chaos knob ([`RunOpts::ckill_after`]) simulates the crash:
+//! it aborts the run after N verified results without sending shutdown
+//! frames or writing an artifact — exactly what SIGKILL would leave
+//! behind.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +62,7 @@ use ftes_gen::Scenario;
 use ftes_model::Cost;
 use ftes_opt::CoreBudget;
 
+use super::journal::Journal;
 use super::protocol::{checksum, matrix_fingerprint, Frame, FrameReader, RecvError, PROTO_VERSION};
 use super::{DistConfig, DistStats};
 use crate::matrix::{cell_json, run_cell_budgeted};
@@ -88,7 +104,28 @@ struct CoordState {
     last_activity: Instant,
     /// The run is complete; everyone should wind down.
     all_emitted: bool,
+    /// Write-ahead journal: results are fsync'd here before they count.
+    journal: Option<Journal>,
+    /// `ckill` chaos: abort after this many verified results (0 = off).
+    ckill_after: u64,
+    /// The crash simulation fired — die without shutdown frames.
+    aborted: bool,
+    /// A journal write failed — the durability contract is broken, so
+    /// the run must end with this error, not a silently weaker artifact.
+    fatal: Option<String>,
     stats: DistStats,
+}
+
+impl CoordState {
+    /// The run is over without reaching `all_emitted` (crash or fatal).
+    fn dead(&self) -> bool {
+        self.aborted || self.fatal.is_some()
+    }
+
+    /// Everyone should wind down, for good reasons or bad.
+    fn done(&self) -> bool {
+        self.all_emitted || self.dead()
+    }
 }
 
 /// The condvar pair: `work_ready` wakes handlers waiting for pending
@@ -131,12 +168,28 @@ impl Shared {
     /// is the duplicate path). Returns whether it was accepted.
     fn accept_result(&self, cell: usize, payload: String) -> bool {
         let mut st = self.lock();
+        if st.dead() {
+            // A crashed coordinator accepts nothing more.
+            return false;
+        }
         match st.cell_state[cell] {
             CellState::Done => {
                 st.stats.duplicates_dropped += 1;
                 false
             }
             state => {
+                // Journal *before* the cell becomes done: a result only
+                // counts once a record the loader can replay is on disk.
+                if let Some(journal) = st.journal.as_mut() {
+                    if let Err(e) = journal.append_cell(cell, &payload) {
+                        st.fatal = Some(e);
+                        drop(st);
+                        self.work_ready.notify_all();
+                        self.completed.notify_all();
+                        return false;
+                    }
+                    st.stats.journaled_cells += 1;
+                }
                 if state == CellState::Pending {
                     // A late result for a re-queued cell: still valid
                     // work — take it off the cursor.
@@ -146,6 +199,16 @@ impl Shared {
                 st.done_payloads.insert(cell, payload);
                 st.stats.results_ok += 1;
                 st.last_activity = Instant::now();
+                if st.ckill_after > 0 && st.stats.results_ok >= st.ckill_after {
+                    // The crash simulation: from here the coordinator is
+                    // "dead" — no shutdown frames, no artifact, only the
+                    // journal survives.
+                    st.aborted = true;
+                    drop(st);
+                    self.work_ready.notify_all();
+                    self.completed.notify_all();
+                    return true;
+                }
                 drop(st);
                 self.completed.notify_all();
                 true
@@ -153,8 +216,51 @@ impl Shared {
         }
     }
 
-    fn all_emitted(&self) -> bool {
-        self.lock().all_emitted
+    fn done(&self) -> bool {
+        self.lock().done()
+    }
+
+    /// The run actually finished (every cell emitted, no crash) — the
+    /// only state in which workers are told to shut down.
+    fn completed_ok(&self) -> bool {
+        let st = self.lock();
+        st.all_emitted && !st.dead()
+    }
+}
+
+/// Crash-safety / chaos options for [`Coordinator::run_with`]. The
+/// default (`RunOpts::default()`) is a plain fresh run: no journal, no
+/// durable cells, epoch 1, no coordinator chaos — exactly what
+/// [`Coordinator::run`] uses.
+#[derive(Debug)]
+pub struct RunOpts {
+    /// Write-ahead journal: every verified result is fsync'd to it
+    /// before the cell counts as done. `None` keeps PR 7 behaviour.
+    pub journal: Option<Journal>,
+    /// Cells already durable from a replayed journal. They are seeded
+    /// `Done`, never leased, and advanced past silently — the sink only
+    /// ever sees cells completed in *this* life, so re-loading the
+    /// journal afterwards is how resumed artifacts are assembled.
+    pub durable: Vec<usize>,
+    /// This coordinator life's epoch: 1 for a fresh run, `replay.epoch`
+    /// after a [`Journal::resume`]. Stamped into every `welcome`;
+    /// result frames carrying any other epoch are dropped and counted
+    /// as [`DistStats::stale_results`].
+    pub epoch: u64,
+    /// `ckill:N` chaos — abort crash-equivalently after N verified
+    /// results this life (no shutdown frames, no artifact; the journal
+    /// survives). `0` disables.
+    pub ckill_after: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            journal: None,
+            durable: Vec::new(),
+            epoch: 1,
+            ckill_after: 0,
+        }
     }
 }
 
@@ -210,18 +316,80 @@ impl Coordinator {
         strategies: &[Strategy],
         arc: Cost,
         budget: CoreBudget,
+        sink: F,
+    ) -> Result<DistStats, String>
+    where
+        F: FnMut(usize, &str),
+    {
+        self.run_with(cells, strategies, arc, budget, RunOpts::default(), sink)
+    }
+
+    /// [`run`](Coordinator::run) with crash-safety options: an attached
+    /// write-ahead journal, a durable set replayed from a previous life,
+    /// the run epoch, and the `ckill` crash simulation. See [`RunOpts`].
+    ///
+    /// The sink receives only cells completed *this* life — durable
+    /// cells from `opts.durable` are advanced past silently (they are
+    /// already in the journal). [`DistStats::cells_emitted`] counts
+    /// sink emissions, so across a crash and a resume
+    /// `resumed_cells + cells_emitted == total` is the exactly-once
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the accounting is violated,
+    /// a journal write fails (durability cannot be silently dropped),
+    /// or the `ckill` simulation fires (the run "crashed": the journal
+    /// is retained, nothing else is).
+    pub fn run_with<F>(
+        self,
+        cells: &[Scenario],
+        strategies: &[Strategy],
+        arc: Cost,
+        budget: CoreBudget,
+        opts: RunOpts,
         mut sink: F,
     ) -> Result<DistStats, String>
     where
         F: FnMut(usize, &str),
     {
         let Coordinator { listener, cfg } = self;
+        let RunOpts {
+            journal,
+            durable,
+            epoch,
+            ckill_after,
+        } = opts;
         let total = cells.len();
         let fingerprint = matrix_fingerprint(cells, strategies, arc, cfg.timings);
+
+        let mut durable_mask = vec![false; total];
+        for &cell in &durable {
+            if cell >= total {
+                return Err(format!(
+                    "durable cell {cell} out of range (matrix has {total})"
+                ));
+            }
+            durable_mask[cell] = true;
+        }
+        let mut cell_state = vec![CellState::Pending; total];
+        let mut pending = VecDeque::new();
+        for (cell, state) in cell_state.iter_mut().enumerate() {
+            if durable_mask[cell] {
+                *state = CellState::Done;
+            } else {
+                pending.push_back(cell);
+            }
+        }
+        let stats = DistStats {
+            resumed_cells: durable_mask.iter().filter(|&&d| d).count() as u64,
+            ..DistStats::default()
+        };
+
         let shared = Shared {
             state: Mutex::new(CoordState {
-                pending: (0..total).collect(),
-                cell_state: vec![CellState::Pending; total],
+                pending,
+                cell_state,
                 done_payloads: BTreeMap::new(),
                 emitted: 0,
                 next_lease: 0,
@@ -229,13 +397,18 @@ impl Coordinator {
                 connected: 0,
                 last_activity: Instant::now(),
                 all_emitted: total == 0,
-                stats: DistStats::default(),
+                journal,
+                ckill_after,
+                aborted: false,
+                fatal: None,
+                stats,
             }),
             work_ready: Condvar::new(),
             completed: Condvar::new(),
         };
         let poll = Duration::from_millis(cfg.io_poll_ms.max(1));
         let mut emit_counts = vec![0u32; total];
+        let mut sink_emitted = 0u64;
 
         listener
             .set_nonblocking(true)
@@ -244,11 +417,11 @@ impl Coordinator {
         std::thread::scope(|scope| {
             // Acceptor: polls for connections, one handler thread each.
             scope.spawn(|| {
-                while !shared.all_emitted() {
+                while !shared.done() {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             scope.spawn(|| {
-                                handle_worker(stream, &shared, total, &cfg, &fingerprint);
+                                handle_worker(stream, &shared, total, &cfg, &fingerprint, epoch);
                             });
                         }
                         Err(e)
@@ -267,17 +440,35 @@ impl Coordinator {
             let grace = Duration::from_millis(cfg.grace_ms);
             loop {
                 let mut st = shared.lock();
-                while let Some(payload) = {
+                if st.dead() {
+                    // Crashed (ckill) or a journal write failed: stop
+                    // emitting — a dead coordinator writes no artifact.
+                    drop(st);
+                    shared.work_ready.notify_all();
+                    shared.completed.notify_all();
+                    break;
+                }
+                loop {
                     let next = st.emitted;
-                    st.done_payloads.remove(&next)
-                } {
-                    let i = st.emitted;
-                    st.emitted += 1;
-                    emit_counts[i] += 1;
-                    if cfg.progress {
-                        eprintln!("[{}/{total}] {}", i + 1, payload_label(&payload));
+                    if next >= total {
+                        break;
                     }
-                    sink(i, &payload);
+                    if durable_mask[next] {
+                        // Replayed from the journal last life: counts
+                        // toward in-order progress, never re-emitted.
+                        st.emitted += 1;
+                        emit_counts[next] += 1;
+                    } else if let Some(payload) = st.done_payloads.remove(&next) {
+                        st.emitted += 1;
+                        emit_counts[next] += 1;
+                        sink_emitted += 1;
+                        if cfg.progress {
+                            eprintln!("[{}/{total}] {}", next + 1, payload_label(&payload));
+                        }
+                        sink(next, &payload);
+                    } else {
+                        break;
+                    }
                 }
                 if st.emitted == total {
                     st.all_emitted = true;
@@ -309,7 +500,17 @@ impl Coordinator {
 
         let st = shared.state.into_inner().unwrap_or_else(|p| p.into_inner());
         let mut stats = st.stats;
-        stats.cells_emitted = st.emitted as u64;
+        if let Some(fatal) = st.fatal {
+            return Err(fatal);
+        }
+        if st.aborted {
+            return Err(format!(
+                "coordinator killed by ckill chaos after {} verified results \
+                 (crash simulation: journal retained, no artifact)",
+                stats.results_ok
+            ));
+        }
+        stats.cells_emitted = sink_emitted;
         // The exactly-once invariant: the in-order emitter makes a
         // violation structurally impossible, so this is a guard against
         // future refactors, not a runtime hazard.
@@ -348,13 +549,17 @@ fn payload_label(payload: &str) -> &str {
 }
 
 /// Serves one worker connection: registration, lease pipelining, result
-/// verification, deadline enforcement, drain-and-shutdown.
+/// verification, deadline enforcement, drain-and-shutdown. `epoch` is
+/// this coordinator life's number — handed out in `welcome`, required
+/// on every `result` (stale-epoch results are dropped and counted, the
+/// connection stays up).
 fn handle_worker(
     mut stream: TcpStream,
     shared: &Shared,
     total_cells: usize,
     cfg: &DistConfig,
     fingerprint: &str,
+    epoch: u64,
 ) {
     let _ = stream.set_nodelay(true);
     let poll = Duration::from_millis(cfg.io_poll_ms.max(1));
@@ -364,7 +569,7 @@ fn handle_worker(
 
     // Registration.
     let hello_deadline = Instant::now() + Duration::from_millis(cfg.hello_ms);
-    let hello = reader.read_line(&mut stream, hello_deadline, poll, || shared.all_emitted());
+    let hello = reader.read_line(&mut stream, hello_deadline, poll, || shared.done());
     let (name, _worker_id) = match hello
         .map_err(|e| format!("{e:?}"))
         .and_then(|l| Frame::parse(&l).map_err(|e| format!("bad hello: {e}")))
@@ -409,6 +614,7 @@ fn handle_worker(
                 &Frame::Welcome {
                     proto: PROTO_VERSION,
                     worker: id,
+                    epoch,
                 },
             )
             .is_err()
@@ -436,7 +642,7 @@ fn handle_worker(
         let mut to_send = Vec::new();
         {
             let mut st = shared.lock();
-            if st.all_emitted {
+            if st.done() {
                 break 'serve;
             }
             while outstanding.len() + to_send.len() < cfg.pipeline.max(1) {
@@ -474,7 +680,7 @@ fn handle_worker(
         if outstanding.is_empty() {
             // Nothing leased to us: wait for work (or the end).
             let st = shared.lock();
-            if st.all_emitted {
+            if st.done() {
                 break 'serve;
             }
             if st.pending.is_empty() {
@@ -504,11 +710,12 @@ fn handle_worker(
             .min()
             .expect("non-empty outstanding")
             + poll;
-        match reader.read_line(&mut stream, deadline, poll, || shared.all_emitted()) {
+        match reader.read_line(&mut stream, deadline, poll, || shared.done()) {
             Ok(line) => match Frame::parse(&line) {
                 Ok(Frame::Result {
                     lease,
                     cell,
+                    epoch: result_epoch,
                     crc,
                     payload,
                 }) => {
@@ -520,6 +727,16 @@ fn handle_worker(
                         drop(st);
                         shared.requeue(&mut outstanding);
                         break 'serve;
+                    }
+                    if result_epoch != epoch {
+                        // A lease from a previous coordinator life: that
+                        // cell's fate was already settled by the journal
+                        // replay, so the result is dropped — counted,
+                        // never double-emitted. The connection itself is
+                        // fine (it re-registered against *this* life).
+                        let mut st = shared.lock();
+                        st.stats.stale_results += 1;
+                        continue 'serve;
                     }
                     outstanding.retain(|l| l.id != lease);
                     shared.accept_result(cell, payload);
@@ -538,7 +755,7 @@ fn handle_worker(
                 }
             },
             Err(RecvError::Timeout) => {
-                if shared.all_emitted() {
+                if shared.done() {
                     break 'serve;
                 }
                 let now = Instant::now();
@@ -561,11 +778,13 @@ fn handle_worker(
         }
     }
 
-    // Wind-down. If the run is complete, tell the worker to exit and
+    // Wind-down. If the run *completed*, tell the worker to exit and
     // give it a bounded window to drain in-flight results and say bye —
     // that is what keeps CI teardown free of orphaned worker processes.
+    // A ckill'd (crashed) coordinator sends nothing: its workers see the
+    // connection die, exactly as a SIGKILL would leave them.
     shared.requeue(&mut outstanding);
-    if shared.all_emitted() && send(&mut stream, &Frame::Shutdown).is_ok() {
+    if shared.completed_ok() && send(&mut stream, &Frame::Shutdown).is_ok() {
         // The drain window is bounded well below the lease deadline: by
         // now every drained result is a duplicate anyway, so a hung
         // worker must not stall the artifact write for a full lease.
@@ -574,8 +793,12 @@ fn handle_worker(
             match Frame::parse(&line) {
                 Ok(Frame::Bye) => break,
                 Ok(Frame::Result {
-                    cell, crc, payload, ..
-                }) if cell < total_cells && crc == checksum(&payload) => {
+                    cell,
+                    epoch: result_epoch,
+                    crc,
+                    payload,
+                    ..
+                }) if cell < total_cells && result_epoch == epoch && crc == checksum(&payload) => {
                     // A drained in-flight cell; almost always a
                     // duplicate by now, but verified is verified.
                     shared.accept_result(cell, payload);

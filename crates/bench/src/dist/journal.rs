@@ -1,0 +1,570 @@
+//! Crash-recovery write-ahead journal for the distributed coordinator.
+//!
+//! PR 7 made the *workers* expendable; this module makes the
+//! coordinator expendable too. Every verified cell result is appended
+//! to an on-disk journal — fsync'd **before** it becomes eligible for
+//! in-order emission — so a coordinator crash loses at most the result
+//! currently in flight, never a completed cell. A resumed coordinator
+//! ([`Journal::resume`]) replays the journal, seeds its cell state from
+//! the durable set, and only leases the remaining cells.
+//!
+//! ## Record format
+//!
+//! Line-delimited flat JSON, the same idiom as the wire protocol
+//! ([`super::protocol`]) and the shard-merge documents: one record per
+//! `\n`-terminated line, no nesting, payloads travel as escaped
+//! strings. Every record ends in a `crc` field holding the FNV-1a-64
+//! checksum (lowercase hex, [`checksum`]) of everything before
+//! `,"crc":` on that line:
+//!
+//! ```text
+//! {"journal":"repro_matrix","v":1,"fingerprint":"<hex>","engine":1,"cells":16,"crc":"<hex>"}
+//! {"cell":3,"payload":"<escaped cell JSON>","crc":"<hex>"}
+//! {"epoch":2,"crc":"<hex>"}
+//! ```
+//!
+//! * The **header** (always the first record) pins the matrix
+//!   fingerprint, the engine version and the cell count — a journal can
+//!   never be replayed against a different sweep, a different engine,
+//!   or a differently sized matrix.
+//! * A **cell record** is one durable verified result.
+//! * An **epoch record** marks a resume: life `N` of the coordinator
+//!   runs under epoch `N`, which is `1 +` the number of epoch records.
+//!
+//! ## Torn-tail semantics
+//!
+//! A crash can tear only the *last* record (appends are sequential and
+//! fsync'd). The loader therefore:
+//!
+//! * **truncates and continues** when the final line is torn — no
+//!   trailing newline, not UTF-8, failing its checksum, or otherwise
+//!   unparseable ([`JournalReplay::truncated_bytes`] reports how much
+//!   was dropped);
+//! * **hard-errors** on any bad *interior* record — that is not a torn
+//!   write, it is corruption, and silently skipping it would drop a
+//!   completed cell from the resumed artifact.
+//!
+//! File reading goes through the same reader as `--merge`
+//! ([`crate::merge::read_file_bytes`] / [`crate::merge::utf8_or_error`]),
+//! so both tools reject unreadable and non-UTF-8 input with identical
+//! one-line messages.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+
+use super::protocol::{checksum, json_escape, num_field, str_field};
+use crate::merge::{read_file_bytes, utf8_or_error};
+
+/// Journal format version; bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The durable state replayed from a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Verified payloads by cell index — the exact set of durable cells.
+    pub payloads: BTreeMap<usize, String>,
+    /// The epoch of the journal's latest life (`1 +` epoch records).
+    pub epoch: u64,
+    /// Bytes dropped from a torn trailing record (`0` = clean tail).
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-only journal. Every append is written and fsync'd
+/// before it returns, so a record that [`Journal::append_cell`]
+/// acknowledged survives any subsequent crash.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: String,
+}
+
+/// Renders one record line: `body` (an unclosed flat JSON object) plus
+/// its checksum field and the closing brace.
+fn seal(body: &str) -> String {
+    format!("{body},\"crc\":\"{}\"}}\n", checksum(body))
+}
+
+fn header_body(fingerprint: &str, engine: u32, cells: usize) -> String {
+    format!(
+        "{{\"journal\":\"repro_matrix\",\"v\":{JOURNAL_VERSION},\"fingerprint\":\"{}\",\"engine\":{engine},\"cells\":{cells}",
+        json_escape(fingerprint)
+    )
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal and writes the fsync'd
+    /// header record. The new run's epoch is `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the file cannot be created
+    /// or the header cannot be made durable.
+    pub fn create(
+        path: &str,
+        fingerprint: &str,
+        engine: u32,
+        cells: usize,
+    ) -> Result<Journal, String> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| format!("cannot create journal {path}: {e}"))?;
+        let line = seal(&header_body(fingerprint, engine, cells));
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("cannot write journal {path}: {e}"))?;
+        Ok(Journal {
+            file,
+            path: path.to_string(),
+        })
+    }
+
+    /// Opens an existing journal for resumption: replays it (validating
+    /// the fingerprint/engine/cells guard), physically truncates any
+    /// torn trailing record, appends the fsync'd epoch record of the
+    /// new life, and returns the journal alongside the replayed state
+    /// (whose `epoch` is the *new* life's epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description on an unreadable journal, a guard
+    /// mismatch (different sweep, engine or cell count), or interior
+    /// corruption.
+    pub fn resume(
+        path: &str,
+        fingerprint: &str,
+        engine: u32,
+        cells: usize,
+    ) -> Result<(Journal, JournalReplay), String> {
+        let mut replay = load_journal(path, fingerprint, engine, cells)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+        if replay.truncated_bytes > 0 {
+            let len = file
+                .metadata()
+                .map_err(|e| format!("cannot stat journal {path}: {e}"))?
+                .len();
+            file.set_len(len.saturating_sub(replay.truncated_bytes))
+                .map_err(|e| format!("cannot truncate torn journal tail {path}: {e}"))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| format!("cannot seek journal {path}: {e}"))?;
+        replay.epoch += 1;
+        let line = seal(&format!("{{\"epoch\":{}", replay.epoch));
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("cannot write journal {path}: {e}"))?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_string(),
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one verified cell result and fsyncs it. On return the
+    /// record is durable: the caller may treat the cell as recoverable
+    /// across a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the append or the fsync
+    /// fails — the caller must treat the cell as *not* durable.
+    pub fn append_cell(&mut self, cell: usize, payload: &str) -> Result<(), String> {
+        let line = seal(&format!(
+            "{{\"cell\":{cell},\"payload\":\"{}\"",
+            json_escape(payload)
+        ));
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("cannot write journal {}: {e}", self.path))
+    }
+}
+
+/// One parsed journal record.
+enum Record {
+    Header {
+        fingerprint: String,
+        engine: u32,
+        cells: usize,
+    },
+    Cell {
+        cell: usize,
+        payload: String,
+    },
+    Epoch(u64),
+}
+
+/// Parses and checksum-verifies one record line (without its trailing
+/// newline). Any error here on the *final* line means a torn tail.
+fn parse_record(line: &str) -> Result<Record, String> {
+    let at = line
+        .rfind(",\"crc\":\"")
+        .ok_or("missing crc field".to_string())?;
+    if !line.ends_with("\"}") {
+        return Err("unterminated crc field".to_string());
+    }
+    let body = &line[..at];
+    let crc = &line[at + ",\"crc\":\"".len()..line.len() - "\"}".len()];
+    if crc != checksum(body) {
+        return Err("record checksum mismatch".to_string());
+    }
+    if body.starts_with("{\"journal\"") {
+        let v: u32 = num_field(line, "v")?;
+        if v != JOURNAL_VERSION {
+            return Err(format!("journal version {v} != {JOURNAL_VERSION}"));
+        }
+        Ok(Record::Header {
+            fingerprint: str_field(line, "fingerprint")?,
+            engine: num_field(line, "engine")?,
+            cells: num_field(line, "cells")?,
+        })
+    } else if body.starts_with("{\"cell\"") {
+        Ok(Record::Cell {
+            cell: num_field(line, "cell")?,
+            payload: str_field(line, "payload")?,
+        })
+    } else if body.starts_with("{\"epoch\"") {
+        Ok(Record::Epoch(num_field(line, "epoch")?))
+    } else {
+        Err("unknown record kind".to_string())
+    }
+}
+
+/// Replays a journal without modifying it: verifies the header guard
+/// against the caller's sweep, collects the durable payload set, and
+/// applies the torn-tail semantics described in the module docs.
+///
+/// # Errors
+///
+/// Returns a one-line description on an unreadable file, a missing or
+/// mismatched header (different fingerprint, engine version or cell
+/// count), or a corrupt *interior* record — trailing corruption is
+/// reported via [`JournalReplay::truncated_bytes`] instead.
+pub fn load_journal(
+    path: &str,
+    fingerprint: &str,
+    engine: u32,
+    cells_total: usize,
+) -> Result<JournalReplay, String> {
+    let bytes = read_file_bytes(path, "journal")?;
+    // Split into (start offset, line bytes, terminated) — a final
+    // fragment without a newline is by definition a torn append.
+    let mut lines: Vec<(usize, &[u8], bool)> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            lines.push((start, &bytes[start..i], true));
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        lines.push((start, &bytes[start..], false));
+    }
+
+    let mut replay = JournalReplay {
+        payloads: BTreeMap::new(),
+        epoch: 1,
+        truncated_bytes: 0,
+    };
+    let mut header_seen = false;
+    for (i, &(offset, raw, terminated)) in lines.iter().enumerate() {
+        let is_last = i + 1 == lines.len();
+        // Torn-tail detection happens in order: an unterminated or
+        // non-UTF-8 or checksum-failing *last* line truncates; the same
+        // problem anywhere else is interior corruption.
+        let parsed = if !terminated {
+            Err("torn record (no trailing newline)".to_string())
+        } else {
+            match utf8_or_error(raw.to_vec(), path, "journal", "not a repro_matrix journal") {
+                Ok(line) => parse_record(&line),
+                // The per-line UTF-8 error already names path + offset;
+                // keep only its reason tail for the uniform wrapper.
+                Err(e) => Err(e),
+            }
+        };
+        let record = match parsed {
+            Ok(record) => record,
+            Err(_torn) if is_last => {
+                replay.truncated_bytes = (bytes.len() - offset) as u64;
+                break;
+            }
+            Err(reason) => {
+                return Err(format!(
+                    "journal {path}: corrupt interior record at line {}: {reason}",
+                    i + 1
+                ));
+            }
+        };
+        match record {
+            Record::Header {
+                fingerprint: theirs,
+                engine: their_engine,
+                cells: their_cells,
+            } => {
+                if header_seen {
+                    return Err(format!(
+                        "journal {path}: corrupt interior record at line {}: duplicate header",
+                        i + 1
+                    ));
+                }
+                if i != 0 {
+                    return Err(format!(
+                        "journal {path}: header record is not first (line {})",
+                        i + 1
+                    ));
+                }
+                if theirs != fingerprint {
+                    return Err(format!(
+                        "journal {path} was written for a different sweep \
+                         (matrix fingerprint {theirs} != {fingerprint}; \
+                         same matrix flags required to resume)"
+                    ));
+                }
+                if their_engine != engine {
+                    return Err(format!(
+                        "journal {path} was written by engine version {their_engine}, \
+                         this binary is version {engine}: refusing to resume"
+                    ));
+                }
+                if their_cells != cells_total {
+                    return Err(format!(
+                        "journal {path} covers {their_cells} cells, this sweep has \
+                         {cells_total}: refusing to resume"
+                    ));
+                }
+                header_seen = true;
+            }
+            Record::Cell { cell, payload } => {
+                if !header_seen {
+                    return Err(format!("journal {path}: cell record before header"));
+                }
+                if cell >= cells_total {
+                    return Err(format!(
+                        "journal {path}: cell {cell} out of range (matrix has {cells_total})"
+                    ));
+                }
+                if replay.payloads.insert(cell, payload).is_some() {
+                    return Err(format!(
+                        "journal {path}: duplicate record for cell {cell} \
+                         (exactly-once journaling violated)"
+                    ));
+                }
+            }
+            Record::Epoch(n) => {
+                if !header_seen {
+                    return Err(format!("journal {path}: epoch record before header"));
+                }
+                let expected = replay.epoch + 1;
+                if n != expected {
+                    return Err(format!(
+                        "journal {path}: epoch record {n} out of order (expected {expected})"
+                    ));
+                }
+                replay.epoch = n;
+            }
+        }
+    }
+    if !header_seen {
+        return Err(format!(
+            "journal {path} has no valid header record (empty, torn at creation, \
+             or not a repro_matrix journal)"
+        ));
+    }
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ftes-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    const FP: &str = "00aa11bb22cc33dd";
+
+    #[test]
+    fn create_append_load_round_trips_payloads_exactly() {
+        let path = tmp("round-trip");
+        let mut j = Journal::create(&path, FP, 1, 4).unwrap();
+        j.append_cell(2, "{\n  \"x\": 1\n}").unwrap();
+        j.append_cell(0, "plain").unwrap();
+        let replay = load_journal(&path, FP, 1, 4).unwrap();
+        assert_eq!(replay.epoch, 1);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(replay.payloads.len(), 2);
+        assert_eq!(replay.payloads[&2], "{\n  \"x\": 1\n}");
+        assert_eq!(replay.payloads[&0], "plain");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_bumps_the_epoch_and_preserves_the_durable_set() {
+        let path = tmp("epoch");
+        let mut j = Journal::create(&path, FP, 1, 3).unwrap();
+        j.append_cell(1, "one").unwrap();
+        drop(j);
+        let (mut j2, replay) = Journal::resume(&path, FP, 1, 3).unwrap();
+        assert_eq!(replay.epoch, 2, "first resume is life 2");
+        assert_eq!(replay.payloads.len(), 1);
+        j2.append_cell(0, "zero").unwrap();
+        drop(j2);
+        let (_, replay) = Journal::resume(&path, FP, 1, 3).unwrap();
+        assert_eq!(replay.epoch, 3, "epoch records accumulate");
+        assert_eq!(replay.payloads.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_record_is_truncated_and_resume_continues() {
+        let path = tmp("torn-tail");
+        let mut j = Journal::create(&path, FP, 1, 3).unwrap();
+        j.append_cell(0, "kept").unwrap();
+        j.append_cell(1, "doomed").unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the last record at every byte boundary: the loader must
+        // drop exactly the torn record and keep everything before it.
+        let tail_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        for cut in tail_start..full.len() - 1 {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay =
+                load_journal(&path, FP, 1, 3).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(replay.payloads.len(), 1, "cut at {cut}");
+            assert_eq!(replay.payloads[&0], "kept");
+            assert_eq!(
+                replay.truncated_bytes as usize,
+                cut - tail_start,
+                "cut at {cut}"
+            );
+        }
+        // Resume over a torn tail physically truncates the file, so the
+        // next load sees a clean journal (plus the epoch record).
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (_, replay) = Journal::resume(&path, FP, 1, 3).unwrap();
+        assert_eq!(replay.payloads.len(), 1);
+        let reloaded = load_journal(&path, FP, 1, 3).unwrap();
+        assert_eq!(reloaded.truncated_bytes, 0);
+        assert_eq!(reloaded.epoch, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error_never_a_silent_skip() {
+        let path = tmp("interior");
+        let mut j = Journal::create(&path, FP, 1, 3).unwrap();
+        j.append_cell(0, "alpha").unwrap();
+        j.append_cell(1, "beta").unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a payload byte in the *first* cell record: its checksum
+        // breaks, and because a valid record follows it this is
+        // interior corruption, not a torn tail.
+        let corrupted = text.replacen("alpha", "alphA", 1);
+        assert_ne!(corrupted, text);
+        std::fs::write(&path, &corrupted).unwrap();
+        let err = load_journal(&path, FP, 1, 3).unwrap_err();
+        assert!(err.contains("corrupt interior record"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flipped_checksum_on_the_tail_truncates_cleanly() {
+        let path = tmp("crc-flip");
+        let mut j = Journal::create(&path, FP, 1, 2).unwrap();
+        j.append_cell(0, "safe").unwrap();
+        j.append_cell(1, "flipped").unwrap();
+        drop(j);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Mangle the final record's crc hex: a torn-tail truncation,
+        // not an error — the record was never acknowledged as durable
+        // in a state the checksum can vouch for.
+        let crc_at = text.rfind("\"crc\":\"").unwrap() + "\"crc\":\"".len();
+        let old = text.as_bytes()[crc_at];
+        let new = if old == b'0' { b'1' } else { b'0' };
+        unsafe { text.as_bytes_mut()[crc_at] = new };
+        std::fs::write(&path, &text).unwrap();
+        let replay = load_journal(&path, FP, 1, 2).unwrap();
+        assert_eq!(replay.payloads.len(), 1);
+        assert!(replay.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn guard_mismatches_are_one_line_errors() {
+        let path = tmp("guards");
+        let mut j = Journal::create(&path, FP, 1, 5).unwrap();
+        j.append_cell(3, "x").unwrap();
+        drop(j);
+        let err = load_journal(&path, "ffffffffffffffff", 1, 5).unwrap_err();
+        assert!(err.contains("different sweep"), "{err}");
+        let err = load_journal(&path, FP, 2, 5).unwrap_err();
+        assert!(err.contains("engine version"), "{err}");
+        let err = load_journal(&path, FP, 1, 6).unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+        let err = load_journal("/nonexistent/journal-xyz.wal", FP, 1, 5).unwrap_err();
+        assert!(err.contains("cannot read journal"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_utf8_interior_record_errors_and_non_utf8_tail_truncates() {
+        let path = tmp("non-utf8");
+        let mut j = Journal::create(&path, FP, 1, 2).unwrap();
+        j.append_cell(0, "good").unwrap();
+        drop(j);
+        let clean = std::fs::read(&path).unwrap();
+        // Non-UTF-8 garbage as a *terminated interior* line: hard error
+        // with the same not-UTF-8 shape the shard reader produces.
+        let mut bad = clean.clone();
+        let cell_at = bad
+            .windows("{\"cell\"".len())
+            .position(|w| w == b"{\"cell\"")
+            .unwrap();
+        bad.splice(cell_at..cell_at, [0xffu8, 0xfe, b'\n']);
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_journal(&path, FP, 1, 2).unwrap_err();
+        assert!(err.contains("corrupt interior record"), "{err}");
+        assert!(err.contains("not UTF-8"), "{err}");
+        // The same garbage as the unterminated tail: truncate-and-go.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&[0x7b, 0xff, 0xfe]);
+        std::fs::write(&path, &torn).unwrap();
+        let replay = load_journal(&path, FP, 1, 2).unwrap();
+        assert_eq!(replay.payloads.len(), 1);
+        assert_eq!(replay.truncated_bytes, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_or_garbage_headers_are_rejected() {
+        let path = tmp("headers");
+        std::fs::write(&path, "").unwrap();
+        let err = load_journal(&path, FP, 1, 1).unwrap_err();
+        assert!(err.contains("no valid header"), "{err}");
+        std::fs::write(&path, "not a journal at all\n").unwrap();
+        // A single garbage line is a torn tail by position — but with
+        // no header underneath it, the journal is still unusable.
+        let err = load_journal(&path, FP, 1, 1).unwrap_err();
+        assert!(err.contains("no valid header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -22,11 +22,13 @@
 
 pub mod chaos;
 pub mod coordinator;
+pub mod journal;
 pub mod protocol;
 pub mod worker;
 
 pub use chaos::{ChaosAction, ChaosPlan, ChaosState};
-pub use coordinator::Coordinator;
+pub use coordinator::{Coordinator, RunOpts};
+pub use journal::{load_journal, Journal, JournalReplay, JOURNAL_VERSION};
 pub use protocol::{matrix_fingerprint, Frame, PROTO_VERSION};
 pub use worker::{run_worker, Backoff, WorkerConfig, WorkerOutcome, WorkerReport};
 
@@ -110,9 +112,18 @@ pub struct DistStats {
     pub duplicates_dropped: u64,
     /// Cells the coordinator ran itself (deserted fallback).
     pub local_fallback_cells: u64,
-    /// Cells emitted to the sink — the exactly-once invariant makes
-    /// this equal the matrix size on success.
+    /// Cells emitted to the sink **this life** — the exactly-once
+    /// invariant makes `resumed_cells + cells_emitted` equal the matrix
+    /// size on success (a fresh run has `resumed_cells == 0`).
     pub cells_emitted: u64,
+    /// Results fsync'd to the write-ahead journal this life (0 when no
+    /// journal is attached).
+    pub journaled_cells: u64,
+    /// Cells seeded durable from a replayed journal — completed by a
+    /// previous coordinator life, never re-leased or re-emitted.
+    pub resumed_cells: u64,
+    /// Result frames stamped with a previous life's epoch, dropped.
+    pub stale_results: u64,
 }
 
 impl DistStats {
@@ -134,6 +145,9 @@ impl DistStats {
                 "  \"dist_duplicates_dropped\": {},\n",
                 "  \"dist_local_fallback_cells\": {},\n",
                 "  \"dist_cells_emitted\": {},\n",
+                "  \"dist_journaled_cells\": {},\n",
+                "  \"dist_resumed_cells\": {},\n",
+                "  \"dist_stale_results\": {},\n",
             ),
             self.workers_registered,
             self.workers_disconnected,
@@ -146,6 +160,9 @@ impl DistStats {
             self.duplicates_dropped,
             self.local_fallback_cells,
             self.cells_emitted,
+            self.journaled_cells,
+            self.resumed_cells,
+            self.stale_results,
         )
     }
 }
@@ -182,6 +199,42 @@ pub fn run_dist_local<F>(
 where
     F: FnMut(usize, &str),
 {
+    run_dist_local_opts(
+        cells,
+        strategies,
+        arc,
+        cfg,
+        workers,
+        budget,
+        coordinator::RunOpts::default(),
+        sink,
+    )
+}
+
+/// [`run_dist_local`] with coordinator [`RunOpts`] — the loopback way to
+/// exercise the write-ahead journal, resume seeding and `ckill` chaos
+/// in-process. A run aborted by `ckill` returns `Err` (the coordinator
+/// "crashed"); its workers are still joined, so their reports are lost
+/// with it — use the raw [`Coordinator`] API when a test needs both.
+///
+/// # Errors
+///
+/// Propagates bind failures, accounting violations, journal write
+/// failures and the `ckill` abort from [`Coordinator::run_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dist_local_opts<F>(
+    cells: &[Scenario],
+    strategies: &[Strategy],
+    arc: Cost,
+    cfg: &DistConfig,
+    workers: &[LocalWorkerSpec],
+    budget: CoreBudget,
+    opts: coordinator::RunOpts,
+    sink: F,
+) -> Result<(DistStats, Vec<WorkerReport>), String>
+where
+    F: FnMut(usize, &str),
+{
     let coordinator = Coordinator::bind("127.0.0.1:0", *cfg)?;
     let addr = coordinator.local_addr().to_string();
     let (_, per_worker) = budget.fan_out(workers.len().max(1));
@@ -209,7 +262,7 @@ where
                 scope.spawn(move || run_worker(&addr, cells, strategies, arc, &worker_cfg))
             })
             .collect();
-        let stats = coordinator.run(cells, strategies, arc, budget, sink);
+        let stats = coordinator.run_with(cells, strategies, arc, budget, opts, sink);
         for (slot, handle) in reports.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("worker thread panicked"));
         }

@@ -10,11 +10,11 @@
 //!
 //! ```text
 //! worker → coordinator
-//!   {"frame":"hello","proto":2,"name":"w1","fingerprint":"<hex>"}
-//!   {"frame":"result","lease":7,"cell":12,"crc":"<hex>","payload":"<escaped cell JSON>"}
+//!   {"frame":"hello","proto":3,"name":"w1","fingerprint":"<hex>"}
+//!   {"frame":"result","lease":7,"cell":12,"epoch":1,"crc":"<hex>","payload":"<escaped cell JSON>"}
 //!   {"frame":"bye"}
 //! coordinator → worker
-//!   {"frame":"welcome","proto":2,"worker":3}
+//!   {"frame":"welcome","proto":3,"worker":3,"epoch":1}
 //!   {"frame":"reject","reason":"<escaped text>"}
 //!   {"frame":"lease","lease":7,"cell":12,"deadline_ms":30000}
 //!   {"frame":"ping"}
@@ -26,6 +26,13 @@
 //! set, acceptance threshold, timing rendering), so a worker launched
 //! with mismatched matrix flags is rejected instead of silently
 //! computing the wrong cells.
+//!
+//! The `epoch` identifies one coordinator *life*: a coordinator resumed
+//! from a crash-recovery journal announces a fresh epoch in its
+//! `welcome`, workers stamp every `result` with the epoch they
+//! registered under, and the coordinator drops results from any other
+//! epoch — a lease granted by a previous (dead) life can never be
+//! double-emitted into the resumed run's artifact.
 
 use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
@@ -33,8 +40,10 @@ use std::time::{Duration, Instant};
 
 /// Protocol version; bumped on any incompatible frame change (v2 added
 /// the `ping` keepalive, which a v1 worker would treat as a lost
-/// connection).
-pub const PROTO_VERSION: u32 = 2;
+/// connection; v3 added the run `epoch` to `welcome` and `result` for
+/// crash-safe coordinator resume — a v2 result has no epoch and would
+/// be indistinguishable from a stale previous-life send).
+pub const PROTO_VERSION: u32 = 3;
 
 /// One parsed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +63,9 @@ pub enum Frame {
         proto: u32,
         /// Assigned worker id.
         worker: u64,
+        /// The coordinator's run epoch (1 for a fresh run, +1 per
+        /// journal resume); the worker stamps its results with it.
+        epoch: u64,
     },
     /// Registration refused (fingerprint/version mismatch); terminal.
     Reject {
@@ -75,6 +87,9 @@ pub enum Frame {
         lease: u64,
         /// The cell index the payload belongs to.
         cell: usize,
+        /// The epoch the worker registered under; results from any
+        /// other coordinator life are dropped as stale.
+        epoch: u64,
         /// FNV-1a-64 of the payload bytes, lowercase hex.
         crc: String,
         /// The rendered cell JSON (unescaped).
@@ -104,9 +119,13 @@ impl Frame {
                 json_escape(name),
                 json_escape(fingerprint)
             ),
-            Frame::Welcome { proto, worker } => {
-                format!("{{\"frame\":\"welcome\",\"proto\":{proto},\"worker\":{worker}}}\n")
-            }
+            Frame::Welcome {
+                proto,
+                worker,
+                epoch,
+            } => format!(
+                "{{\"frame\":\"welcome\",\"proto\":{proto},\"worker\":{worker},\"epoch\":{epoch}}}\n"
+            ),
             Frame::Reject { reason } => format!(
                 "{{\"frame\":\"reject\",\"reason\":\"{}\"}}\n",
                 json_escape(reason)
@@ -121,10 +140,11 @@ impl Frame {
             Frame::Result {
                 lease,
                 cell,
+                epoch,
                 crc,
                 payload,
             } => format!(
-                "{{\"frame\":\"result\",\"lease\":{lease},\"cell\":{cell},\"crc\":\"{}\",\"payload\":\"{}\"}}\n",
+                "{{\"frame\":\"result\",\"lease\":{lease},\"cell\":{cell},\"epoch\":{epoch},\"crc\":\"{}\",\"payload\":\"{}\"}}\n",
                 json_escape(crc),
                 json_escape(payload)
             ),
@@ -157,6 +177,7 @@ impl Frame {
             "welcome" => Ok(Frame::Welcome {
                 proto: num_field(line, "proto")?,
                 worker: num_field(line, "worker")?,
+                epoch: num_field(line, "epoch")?,
             }),
             "reject" => Ok(Frame::Reject {
                 reason: str_field(line, "reason")?,
@@ -169,6 +190,7 @@ impl Frame {
             "result" => Ok(Frame::Result {
                 lease: num_field(line, "lease")?,
                 cell: num_field(line, "cell")?,
+                epoch: num_field(line, "epoch")?,
                 crc: str_field(line, "crc")?,
                 payload: str_field(line, "payload")?,
             }),
@@ -180,8 +202,9 @@ impl Frame {
     }
 }
 
-/// Extracts a number field from a flat frame line.
-fn num_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String> {
+/// Extracts a number field from a flat frame line (shared with the
+/// journal's checksummed records, which use the same flat-JSON idiom).
+pub(super) fn num_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String> {
     let pat = format!("\"{key}\":");
     let at = line
         .find(&pat)
@@ -196,8 +219,9 @@ fn num_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String> {
         .map_err(|_| format!("frame field {key:?} is not a number"))
 }
 
-/// Extracts and unescapes a string field from a flat frame line.
-fn str_field(line: &str, key: &str) -> Result<String, String> {
+/// Extracts and unescapes a string field from a flat frame line (shared
+/// with the journal's checksummed records).
+pub(super) fn str_field(line: &str, key: &str) -> Result<String, String> {
     let pat = format!("\"{key}\":\"");
     let at = line
         .find(&pat)
@@ -441,6 +465,7 @@ mod tests {
             Frame::Welcome {
                 proto: 1,
                 worker: 42,
+                epoch: 2,
             },
             Frame::Reject {
                 reason: "fingerprint mismatch: \\ and \t".to_string(),
@@ -453,6 +478,7 @@ mod tests {
             Frame::Result {
                 lease: 7,
                 cell: 12,
+                epoch: 1,
                 crc: checksum("{\n  \"x\": 1\n}"),
                 payload: "{\n  \"x\": 1\n}".to_string(),
             },
@@ -472,6 +498,7 @@ mod tests {
         let good = Frame::Result {
             lease: 1,
             cell: 3,
+            epoch: 1,
             crc: checksum("payload"),
             payload: "payload".to_string(),
         }

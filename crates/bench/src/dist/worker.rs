@@ -288,11 +288,15 @@ fn serve(
         return ServeEnd::Lost { registered: false };
     }
     let welcome_deadline = Instant::now() + Duration::from_millis(cfg.idle_ms);
-    match read_frame(&mut reader, &mut stream, welcome_deadline, poll) {
-        Ok(Frame::Welcome { proto, .. }) if proto == PROTO_VERSION => {}
+    // The welcome carries the coordinator's run epoch: a worker that
+    // reconnects to a resumed (restarted) coordinator re-registers under
+    // the new epoch, and every result it sends is stamped with it — so
+    // the coordinator can tell live work from a previous life's leases.
+    let epoch = match read_frame(&mut reader, &mut stream, welcome_deadline, poll) {
+        Ok(Frame::Welcome { proto, epoch, .. }) if proto == PROTO_VERSION => epoch,
         Ok(Frame::Reject { reason }) => return ServeEnd::Rejected(reason),
         _ => return ServeEnd::Lost { registered: false },
-    }
+    };
 
     loop {
         let idle_deadline = Instant::now() + Duration::from_millis(cfg.idle_ms);
@@ -313,6 +317,7 @@ fn serve(
                     lease,
                     cell,
                     deadline_ms,
+                    epoch,
                 ) {
                     LeaseEnd::Ok => {}
                     LeaseEnd::Killed => return ServeEnd::Killed,
@@ -344,6 +349,7 @@ fn serve(
                             lease,
                             cell,
                             deadline_ms,
+                            epoch,
                         ) {
                             LeaseEnd::Ok => {}
                             LeaseEnd::Killed => return ServeEnd::Killed,
@@ -384,6 +390,7 @@ fn serve_lease(
     lease: u64,
     cell: usize,
     deadline_ms: u64,
+    epoch: u64,
 ) -> LeaseEnd {
     if cell >= cells.len() {
         // A lease outside the matrix: the two sides disagree after all —
@@ -409,6 +416,7 @@ fn serve_lease(
     let frame = Frame::Result {
         lease,
         cell,
+        epoch,
         crc: checksum(&payload),
         payload,
     };
@@ -506,6 +514,7 @@ mod tests {
                     Frame::Welcome {
                         proto: PROTO_VERSION,
                         worker: 0,
+                        epoch: 1,
                     }
                     .render()
                     .as_bytes(),

@@ -32,9 +32,17 @@ pub mod figures;
 pub mod matrix;
 pub mod merge;
 
+/// Version of the cell-evaluation engine. Bump on any change that
+/// alters rendered cell payloads for identical inputs: it guards both
+/// the server's persistent result cache and the coordinator's
+/// write-ahead journal against replaying results a newer engine would
+/// compute differently.
+pub const ENGINE_VERSION: u32 = 1;
+
 pub use dist::{
-    run_dist_local, run_worker, ChaosPlan, Coordinator, DistConfig, DistStats, LocalWorkerSpec,
-    WorkerConfig, WorkerOutcome, WorkerReport,
+    load_journal, run_dist_local, run_dist_local_opts, run_worker, ChaosPlan, Coordinator,
+    DistConfig, DistStats, Journal, JournalReplay, LocalWorkerSpec, RunOpts, WorkerConfig,
+    WorkerOutcome, WorkerReport,
 };
 pub use experiment::{
     acceptance_row, run_condition, run_strategy_over, run_strategy_over_budgeted,

@@ -199,25 +199,57 @@ pub fn merge_shards(docs: &[ShardDoc]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Reads a file's raw bytes, mapping a missing or unreadable file to a
+/// one-line description naming `what` (e.g. "shard file", "journal")
+/// and the io error. The byte-level half of the record reader shared by
+/// `--merge` and the distributed journal loader
+/// ([`crate::dist::journal`]), so both reject unreadable input with
+/// identical messages.
+///
+/// # Errors
+///
+/// Returns the one-line description.
+pub(crate) fn read_file_bytes(path: &str, what: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {what} {path}: {e}"))
+}
+
+/// Decodes record bytes as UTF-8, mapping binary garbage (a partially
+/// written page, a non-document file) to a one-line description naming
+/// the byte offset where decoding broke. The text-level half of the
+/// shared record reader — the journal loader applies it per record line
+/// (so only a *torn trailing* record may be dropped), the shard merge
+/// applies it to the whole document.
+///
+/// # Errors
+///
+/// Returns the one-line description.
+pub(crate) fn utf8_or_error(
+    bytes: Vec<u8>,
+    path: &str,
+    what: &str,
+    hint: &str,
+) -> Result<String, String> {
+    String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "{what} {path} is not UTF-8 (invalid byte at offset {}): {hint}",
+            e.utf8_error().valid_up_to()
+        )
+    })
+}
+
 /// Reads one shard file for merging, mapping every failure mode to a
-/// one-line description instead of a panic: a missing or unreadable
-/// file names the path and the io error; a file that is not UTF-8
-/// (binary garbage, a partially written page) names the byte offset
-/// where decoding broke.
+/// one-line description instead of a panic — built on the same
+/// [`read_file_bytes`]/[`utf8_or_error`] reader the distributed journal
+/// loader uses, so both tools reject unreadable or non-UTF-8 input
+/// identically.
 ///
 /// # Errors
 ///
 /// Returns the one-line description; `repro_matrix --merge` prints it
 /// and exits nonzero.
 pub fn read_shard_file(path: &str) -> Result<String, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read shard file {path}: {e}"))?;
-    String::from_utf8(bytes).map_err(|e| {
-        format!(
-            "shard file {path} is not UTF-8 (invalid byte at offset {}): \
-             not a repro_matrix document",
-            e.utf8_error().valid_up_to()
-        )
-    })
+    let bytes = read_file_bytes(path, "shard file")?;
+    utf8_or_error(bytes, path, "shard file", "not a repro_matrix document")
 }
 
 /// Parses and merges raw shard documents — the `repro_matrix --merge`

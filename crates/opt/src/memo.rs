@@ -90,6 +90,22 @@ impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
         }
         self.hot.insert(k, v);
     }
+
+    /// Removes `k` from whichever segment holds it, returning the value.
+    /// Targeted removal (an admin eviction, an invalidated entry) is not
+    /// a rotation, so it does not touch the eviction counter.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        self.hot.remove(k).or_else(|| self.cold.remove(k))
+    }
+
+    /// Drops every entry from both segments, returning how many were
+    /// resident. The capacity and the eviction counter are untouched.
+    pub fn clear(&mut self) -> usize {
+        let n = self.len();
+        self.hot.clear();
+        self.cold.clear();
+        n
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,25 @@ mod tests {
             cache.insert(k, k);
             assert!(cache.get(&42).is_some(), "touched entry evicted at {k}");
         }
+    }
+
+    #[test]
+    fn remove_and_clear_reach_both_segments() {
+        let mut cache: SlruCache<u64, u64> = SlruCache::new(4);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(3, 30); // rotation: {1,2} now cold, {3} hot
+        assert_eq!(cache.remove(&1), Some(10), "cold entry removable");
+        assert_eq!(cache.remove(&3), Some(30), "hot entry removable");
+        assert_eq!(cache.remove(&3), None, "second removal is a miss");
+        assert_eq!(cache.evicted(), 0, "removals are not rotations");
+        cache.insert(4, 40);
+        cache.insert(5, 50);
+        assert_eq!(cache.clear(), 3, "clear reports resident entries");
+        assert!(cache.is_empty());
+        assert!(cache.enabled(), "clearing keeps the capacity");
+        cache.insert(6, 60);
+        assert_eq!(cache.get(&6), Some(&60));
     }
 
     #[test]

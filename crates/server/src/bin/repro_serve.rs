@@ -6,6 +6,8 @@
 //! repro_serve --client ADDR|@PATH [--scenario SPEC] [--goal min|max|opt|all]
 //!             [--arc UNITS] [--out PATH]
 //! repro_serve --client ADDR|@PATH --stats
+//! repro_serve --client ADDR|@PATH --flush
+//! repro_serve --client ADDR|@PATH --evict KEY
 //! repro_serve --client ADDR|@PATH --shutdown
 //! ```
 //!
@@ -21,8 +23,13 @@
 //! (`cache=<mem|disk|miss|warm|coalesced> key=<16 hex> engine_ms=<N> ...`,
 //! plus `donor=<16 hex>` on a warm start) and the
 //! payload to `--out PATH` (or stdout when no `--out` is given) — CI
-//! greps the metadata and byte-compares the payloads. Exit codes:
-//! 0 success, 1 server-side error response, 2 usage, 4 cannot connect.
+//! greps the metadata and byte-compares the payloads. `--stats` prints
+//! the counters on one line, including the derived
+//! `engine_runs = misses - coalesced` (actual engine executions: every
+//! miss that did not join another request's in-flight run). `--flush`
+//! drops every cached entry from both tiers; `--evict KEY` drops one
+//! entry by its 16-hex content address. Exit codes: 0 success, 1
+//! server-side error response, 2 usage, 4 cannot connect.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
@@ -38,6 +45,8 @@ const USAGE: &str = "usage: repro_serve --listen ADDR [--addr-file PATH] [--cach
      repro_serve --client ADDR|@PATH [--scenario SPEC] [--goal min|max|opt|all] \
      [--arc UNITS] [--out PATH]\n       \
      repro_serve --client ADDR|@PATH --stats\n       \
+     repro_serve --client ADDR|@PATH --flush\n       \
+     repro_serve --client ADDR|@PATH --evict KEY\n       \
      repro_serve --client ADDR|@PATH --shutdown";
 
 /// A parsed command line.
@@ -68,6 +77,10 @@ enum ClientAction {
         arc: u64,
     },
     Stats,
+    Flush,
+    Evict {
+        key: u64,
+    },
     Shutdown,
 }
 
@@ -109,6 +122,8 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
     let mut arc: u64 = 20;
     let mut out: Option<String> = None;
     let mut stats = false;
+    let mut flush = false;
+    let mut evict: Option<u64> = None;
     let mut shutdown = false;
 
     let mut args = raw.iter().cloned();
@@ -148,6 +163,11 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
             "--arc" => arc = parse_value(&mut args, "--arc", "a number of cost units")?,
             "--out" => out = Some(take_value(&mut args, "--out", "a path")?),
             "--stats" => stats = true,
+            "--flush" => flush = true,
+            "--evict" => {
+                let k = take_value(&mut args, "--evict", "a 16-hex cache key")?;
+                evict = Some(ftes_server::parse_key(&k).map_err(|e| format!("--evict: {e}"))?);
+            }
             "--shutdown" => shutdown = true,
             other => return Err(format!("unknown argument {other}")),
         }
@@ -157,9 +177,11 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
         (Some(_), Some(_)) => Err("--listen and --client are mutually exclusive".to_string()),
         (None, None) => Err("one of --listen or --client is required".to_string()),
         (Some(addr), None) => {
-            if scenario.is_some() || stats || shutdown || out.is_some() {
+            if scenario.is_some() || stats || flush || evict.is_some() || shutdown || out.is_some()
+            {
                 return Err(
-                    "--scenario/--stats/--shutdown/--out are client flags (use --client)"
+                    "--scenario/--stats/--flush/--evict/--shutdown/--out are client flags \
+                     (use --client)"
                         .to_string(),
                 );
             }
@@ -183,24 +205,39 @@ fn parse_cli(raw: &[String]) -> Result<Mode, String> {
                         .to_string(),
                 );
             }
-            let action = match (stats, shutdown, scenario) {
-                (true, false, None) => ClientAction::Stats,
-                (false, true, None) => ClientAction::Shutdown,
-                (false, false, Some(scenario)) => ClientAction::Optimize {
-                    scenario,
-                    goal,
-                    arc,
-                },
-                (false, false, None) => {
+            let picked = [scenario.is_some(), stats, flush, evict.is_some(), shutdown]
+                .into_iter()
+                .filter(|&b| b)
+                .count();
+            let action = match picked {
+                0 => {
                     return Err(
-                        "--client needs exactly one of --scenario, --stats or --shutdown"
+                        "--client needs exactly one of --scenario, --stats, --flush, \
+                                --evict or --shutdown"
                             .to_string(),
                     )
                 }
+                1 => {
+                    if let Some(scenario) = scenario {
+                        ClientAction::Optimize {
+                            scenario,
+                            goal,
+                            arc,
+                        }
+                    } else if stats {
+                        ClientAction::Stats
+                    } else if flush {
+                        ClientAction::Flush
+                    } else if let Some(key) = evict {
+                        ClientAction::Evict { key }
+                    } else {
+                        ClientAction::Shutdown
+                    }
+                }
                 _ => {
-                    return Err(
-                        "--scenario, --stats and --shutdown are mutually exclusive".to_string()
-                    )
+                    return Err("--scenario, --stats, --flush, --evict and --shutdown are \
+                                mutually exclusive"
+                        .to_string())
                 }
             };
             Ok(Mode::Client { addr, action, out })
@@ -275,17 +312,21 @@ fn run_listen(
         Ok(stats) => {
             eprintln!(
                 "shut down after {} request(s): {} mem hit(s), {} disk hit(s), {} miss(es), \
-                 {} coalesced, {} warm start(s), {} disk write(s), {} eviction(s), \
-                 {} disk eviction(s), {} error(s)",
+                 {} engine run(s), {} coalesced, {} warm start(s), {} disk write(s), \
+                 {} eviction(s), {} disk eviction(s), {} flush(es), {} admin eviction(s), \
+                 {} error(s)",
                 stats.requests,
                 stats.mem_hits,
                 stats.disk_hits,
                 stats.misses,
+                stats.misses.saturating_sub(stats.coalesced),
                 stats.coalesced,
                 stats.warm_starts,
                 stats.disk_writes,
                 stats.mem_evictions,
                 stats.disk_evictions,
+                stats.admin_flushes,
+                stats.admin_evictions,
                 stats.errors,
             );
             std::process::exit(0);
@@ -329,6 +370,8 @@ fn run_client(addr_spec: &str, action: ClientAction, out: Option<&str>) -> ! {
             arc: *arc,
         },
         ClientAction::Stats => Request::Stats,
+        ClientAction::Flush => Request::Flush,
+        ClientAction::Evict { key } => Request::Evict { key: *key },
         ClientAction::Shutdown => Request::Shutdown,
     };
     let response = round_trip(&addr, &request).unwrap_or_else(|e| {
@@ -362,21 +405,34 @@ fn run_client(addr_spec: &str, action: ClientAction, out: Option<&str>) -> ! {
         }
         Response::Stats(s) => {
             println!(
-                "requests={} mem_hits={} disk_hits={} misses={} disk_writes={} \
+                "requests={} mem_hits={} disk_hits={} misses={} engine_runs={} disk_writes={} \
                  mem_evictions={} mem_entries={} coalesced={} warm_starts={} \
-                 disk_evictions={} errors={}",
+                 disk_evictions={} admin_flushes={} admin_evictions={} errors={}",
                 s.requests,
                 s.mem_hits,
                 s.disk_hits,
                 s.misses,
+                // Misses that coalesced onto an in-flight run never
+                // reached the engine: this is the dedup headline.
+                s.misses.saturating_sub(s.coalesced),
                 s.disk_writes,
                 s.mem_evictions,
                 s.mem_entries,
                 s.coalesced,
                 s.warm_starts,
                 s.disk_evictions,
+                s.admin_flushes,
+                s.admin_evictions,
                 s.errors,
             );
+            std::process::exit(0);
+        }
+        Response::Flushed { mem, disk } => {
+            println!("flushed mem={mem} disk={disk}");
+            std::process::exit(0);
+        }
+        Response::Evicted { removed } => {
+            println!("evicted removed={}", removed as u64);
             std::process::exit(0);
         }
         Response::Ok => {
@@ -498,6 +554,24 @@ mod tests {
                 out: None,
             }
         );
+        assert_eq!(
+            parse(&["--client", "h:1", "--flush"]).unwrap(),
+            Mode::Client {
+                addr: "h:1".to_string(),
+                action: ClientAction::Flush,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["--client", "h:1", "--evict", "00ffabcd00ffabcd"]).unwrap(),
+            Mode::Client {
+                addr: "h:1".to_string(),
+                action: ClientAction::Evict {
+                    key: 0x00ff_abcd_00ff_abcd,
+                },
+                out: None,
+            }
+        );
     }
 
     #[test]
@@ -533,6 +607,12 @@ mod tests {
             (&["--client", "h:1", "--goal", "best"][..], "--goal"),
             (&["--client", "h:1", "--arc", "q"][..], "--arc"),
             (&["--client", "h:1", "--out"][..], "--out"),
+            (&["--client", "h:1", "--evict"][..], "--evict"),
+            (&["--client", "h:1", "--evict", "xyz"][..], "--evict"),
+            (
+                &["--client", "h:1", "--evict", "00FFABCD00FFABCD"][..],
+                "--evict",
+            ),
         ] {
             let err = parse(args).unwrap_err();
             assert!(err.starts_with(flag), "{args:?}: {err}");
@@ -547,6 +627,10 @@ mod tests {
             &["--client", "h:1"][..],
             &["--client", "h:1", "--stats", "--shutdown"][..],
             &["--client", "h:1", "--scenario", "apps=1", "--stats"][..],
+            &["--client", "h:1", "--flush", "--stats"][..],
+            &["--client", "h:1", "--flush", "--evict", "0000000000000001"][..],
+            &["--listen", "h:1", "--flush"][..],
+            &["--listen", "h:1", "--evict", "0000000000000001"][..],
             &["--listen", "h:1", "--scenario", "apps=1"][..],
             &["--listen", "h:1", "--stats"][..],
             &["--client", "h:1", "--stats", "--cache-dir", "d"][..],

@@ -114,6 +114,11 @@ pub struct CacheStats {
     /// (reads fall back to miss, writes are skipped; the server keeps
     /// answering either way).
     pub errors: u64,
+    /// Admin `flush` requests served (each clears both tiers).
+    pub admin_flushes: u64,
+    /// Entries removed by admin `evict` requests (a targeted eviction
+    /// of an absent key counts nothing).
+    pub admin_evictions: u64,
 }
 
 /// What [`ResultCache::store`] records beyond the payload bytes: the
@@ -165,6 +170,8 @@ pub struct ResultCache {
     warm_starts: u64,
     disk_evictions: u64,
     errors: u64,
+    admin_flushes: u64,
+    admin_evictions: u64,
 }
 
 impl ResultCache {
@@ -196,6 +203,8 @@ impl ResultCache {
             warm_starts: 0,
             disk_evictions: 0,
             errors: 0,
+            admin_flushes: 0,
+            admin_evictions: 0,
         };
         cache.scan_donors();
         Ok(cache)
@@ -441,6 +450,43 @@ impl ResultCache {
         parse_entry(&raw).map(|(header, _)| header.seeds)
     }
 
+    /// Admin flush: drops every entry from both tiers and the donor
+    /// index. Returns `(memory entries dropped, disk entries removed)`.
+    /// Lifetime counters survive — a flush resets the *contents*, not
+    /// the history — and the flush itself is counted.
+    pub fn flush(&mut self) -> (usize, usize) {
+        let mem_dropped = self.mem.clear();
+        let mut disk_removed = 0usize;
+        if let Some(dir) = self.disk.clone() {
+            if let Ok(entries) = std::fs::read_dir(&dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if Self::path_key(&path).is_some() && std::fs::remove_file(&path).is_ok() {
+                        disk_removed += 1;
+                    }
+                }
+            }
+        }
+        self.donors.clear();
+        self.admin_flushes += 1;
+        (mem_dropped, disk_removed)
+    }
+
+    /// Admin eviction of one key from both tiers (and the donor index).
+    /// Returns whether anything was actually removed; evicting an
+    /// absent key is a no-op and counts nothing.
+    pub fn evict(&mut self, key: u64) -> bool {
+        let mut removed = self.mem.remove(&key).is_some();
+        if let Some(dir) = &self.disk {
+            removed |= std::fs::remove_file(Self::entry_path(dir, key)).is_ok();
+        }
+        if removed {
+            self.forget_donor(key);
+            self.admin_evictions += 1;
+        }
+        removed
+    }
+
     /// Counts one coalesced miss (a request that joined an in-flight
     /// engine run instead of starting its own).
     pub fn note_coalesced(&mut self) {
@@ -466,6 +512,8 @@ impl ResultCache {
             warm_starts: self.warm_starts,
             disk_evictions: self.disk_evictions,
             errors: self.errors,
+            admin_flushes: self.admin_flushes,
+            admin_evictions: self.admin_evictions,
         }
     }
 }
@@ -912,6 +960,45 @@ mod tests {
         assert_eq!(cache.find_warm("specB", "opt", 20, 13), None);
         // An unknown spec has no donors at all.
         assert_eq!(cache.find_warm("specC", "opt", 20, 99), None);
+    }
+
+    #[test]
+    fn flush_clears_both_tiers_and_the_donor_index() {
+        let dir = temp_dir("flush");
+        let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+        cache.store(1, PAYLOAD, &meta("specA", "opt", 20));
+        cache.store(2, PAYLOAD, &meta("specB", "opt", 20));
+        let (mem_dropped, disk_removed) = cache.flush();
+        assert_eq!(mem_dropped, 2);
+        assert_eq!(disk_removed, 2);
+        assert_eq!(cache.lookup(1), (None, CacheTier::Miss));
+        assert_eq!(cache.lookup(2), (None, CacheTier::Miss));
+        assert!(cache.find_warm("specA", "opt", 20, 99).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.admin_flushes, 1);
+        assert_eq!(stats.disk_writes, 2, "flush keeps lifetime history");
+        // The cache still works after a flush.
+        cache.store(3, PAYLOAD, &meta("specC", "opt", 20));
+        assert_eq!(cache.lookup(3).1, CacheTier::Mem);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_removes_one_key_everywhere_and_counts_only_real_removals() {
+        let dir = temp_dir("admin-evict");
+        let mut cache = ResultCache::new(8, Some(&dir)).unwrap();
+        cache.store(5, PAYLOAD, &meta("specA", "opt", 20));
+        cache.store(6, PAYLOAD, &meta("specB", "opt", 20));
+        assert!(cache.evict(5));
+        assert!(!cache.evict(5), "second eviction finds nothing");
+        assert!(!cache.evict(999), "absent key is a no-op");
+        assert_eq!(cache.lookup(5), (None, CacheTier::Miss));
+        assert!(!ResultCache::entry_path(&dir, 5).exists());
+        assert!(cache.find_warm("specA", "opt", 20, 99).is_none());
+        // The untouched neighbour still serves.
+        assert_eq!(cache.lookup(6).1, CacheTier::Mem);
+        assert_eq!(cache.stats().admin_evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

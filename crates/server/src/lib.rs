@@ -33,10 +33,13 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{cache_key, CacheStats, CacheTier, ResultCache};
-pub use protocol::{Goal, Request, Response};
+pub use protocol::{parse_key, Goal, Request, Response};
 pub use server::{Server, ServerConfig};
 
 /// Version of the optimization engine baked into cache keys: bump it
 /// whenever the engine's output for a given (scenario, goal, ArC) can
 /// change, so stale disk entries miss instead of serving old results.
-pub const ENGINE_VERSION: u32 = 1;
+/// Shared with the coordinator's write-ahead journal (which guards
+/// resumes with it), so it lives in `ftes_bench` and is re-exported
+/// here for the cache-key callers.
+pub use ftes_bench::ENGINE_VERSION;

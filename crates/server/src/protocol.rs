@@ -13,6 +13,8 @@
 //! ```text
 //! {"req":"optimize","scenario":"<spec>","goal":"opt","arc":20}
 //! {"req":"stats"}
+//! {"req":"flush"}
+//! {"req":"evict","key":"<16 hex>"}
 //! {"req":"shutdown"}
 //! ```
 //!
@@ -23,6 +25,8 @@
 //!  "donor":"<16 hex>",              (warm responses only)
 //!  "mem_hits":N,"disk_hits":N,"misses":N,"payload":"<escaped cell JSON>"}
 //! {"resp":"stats","requests":N,...,"errors":N}
+//! {"resp":"flushed","mem":N,"disk":N}
+//! {"resp":"evicted","removed":0|1}
 //! {"resp":"error","reason":"<message>"}
 //! {"resp":"ok"}
 //! ```
@@ -100,6 +104,13 @@ pub enum Request {
     },
     /// Report the cache counters.
     Stats,
+    /// Drop every cached entry from both tiers (admin).
+    Flush,
+    /// Drop one cached entry from both tiers (admin).
+    Evict {
+        /// The content address to drop.
+        key: u64,
+    },
     /// Acknowledge, then stop accepting connections and exit.
     Shutdown,
 }
@@ -132,6 +143,18 @@ pub enum Response {
     },
     /// A `stats` answer.
     Stats(CacheStats),
+    /// A `flush` acknowledgement.
+    Flushed {
+        /// Entries dropped from the memory tier.
+        mem: u64,
+        /// Entries removed from the disk tier.
+        disk: u64,
+    },
+    /// An `evict` acknowledgement.
+    Evicted {
+        /// Whether the key was resident in either tier.
+        removed: bool,
+    },
     /// A rejected request.
     Error(
         /// Why the request was rejected.
@@ -318,12 +341,23 @@ impl Request {
                 reject_unknown(&fields, "stats")?;
                 Ok(Request::Stats)
             }
+            "flush" => {
+                reject_unknown(&fields, "flush")?;
+                Ok(Request::Flush)
+            }
+            "evict" => {
+                let key = take_str(&mut fields, "key")?
+                    .ok_or_else(|| "\"evict\" request is missing \"key\"".to_string())?;
+                let key = parse_key(&key)?;
+                reject_unknown(&fields, "evict")?;
+                Ok(Request::Evict { key })
+            }
             "shutdown" => {
                 reject_unknown(&fields, "shutdown")?;
                 Ok(Request::Shutdown)
             }
             other => Err(format!(
-                "unknown request {other:?} (expected optimize, stats or shutdown)"
+                "unknown request {other:?} (expected optimize, stats, flush, evict or shutdown)"
             )),
         }
     }
@@ -341,8 +375,23 @@ impl Request {
                 goal.label(),
             ),
             Request::Stats => "{\"req\":\"stats\"}\n".to_string(),
+            Request::Flush => "{\"req\":\"flush\"}\n".to_string(),
+            Request::Evict { key } => format!("{{\"req\":\"evict\",\"key\":\"{key:016x}\"}}\n"),
             Request::Shutdown => "{\"req\":\"shutdown\"}\n".to_string(),
         }
+    }
+}
+
+/// Parses a content address: exactly 16 lowercase hex digits, the same
+/// format the `result` response and the disk-tier filenames use.
+pub fn parse_key(s: &str) -> Result<u64, String> {
+    let lower_hex = |b: u8| b.is_ascii_digit() || (b'a'..=b'f').contains(&b);
+    if s.len() == 16 && s.bytes().all(lower_hex) {
+        Ok(u64::from_str_radix(s, 16).expect("validated hex"))
+    } else {
+        Err(format!(
+            "cache key {s:?} must be exactly 16 lowercase hex digits"
+        ))
     }
 }
 
@@ -378,7 +427,8 @@ impl Response {
             Response::Stats(s) => format!(
                 "{{\"resp\":\"stats\",\"requests\":{},\"mem_hits\":{},\"disk_hits\":{},\
                  \"misses\":{},\"disk_writes\":{},\"mem_evictions\":{},\"mem_entries\":{},\
-                 \"coalesced\":{},\"warm_starts\":{},\"disk_evictions\":{},\"errors\":{}}}\n",
+                 \"coalesced\":{},\"warm_starts\":{},\"disk_evictions\":{},\
+                 \"admin_flushes\":{},\"admin_evictions\":{},\"errors\":{}}}\n",
                 s.requests,
                 s.mem_hits,
                 s.disk_hits,
@@ -389,8 +439,16 @@ impl Response {
                 s.coalesced,
                 s.warm_starts,
                 s.disk_evictions,
+                s.admin_flushes,
+                s.admin_evictions,
                 s.errors,
             ),
+            Response::Flushed { mem, disk } => {
+                format!("{{\"resp\":\"flushed\",\"mem\":{mem},\"disk\":{disk}}}\n")
+            }
+            Response::Evicted { removed } => {
+                format!("{{\"resp\":\"evicted\",\"removed\":{}}}\n", *removed as u64)
+            }
             Response::Error(reason) => {
                 format!(
                     "{{\"resp\":\"error\",\"reason\":\"{}\"}}\n",
@@ -438,10 +496,29 @@ impl Response {
                     coalesced: need_int(&mut fields, "coalesced")?,
                     warm_starts: need_int(&mut fields, "warm_starts")?,
                     disk_evictions: need_int(&mut fields, "disk_evictions")?,
+                    admin_flushes: need_int(&mut fields, "admin_flushes")?,
+                    admin_evictions: need_int(&mut fields, "admin_evictions")?,
                     errors: need_int(&mut fields, "errors")?,
                 };
                 reject_unknown(&fields, "stats")?;
                 Ok(Response::Stats(stats))
+            }
+            "flushed" => {
+                let resp = Response::Flushed {
+                    mem: need_int(&mut fields, "mem")?,
+                    disk: need_int(&mut fields, "disk")?,
+                };
+                reject_unknown(&fields, "flushed")?;
+                Ok(resp)
+            }
+            "evicted" => {
+                let removed = match need_int(&mut fields, "removed")? {
+                    0 => false,
+                    1 => true,
+                    n => return Err(format!("\"removed\" must be 0 or 1, not {n}")),
+                };
+                reject_unknown(&fields, "evicted")?;
+                Ok(Response::Evicted { removed })
             }
             "error" => {
                 let reason = need_str(&mut fields, "reason")?;
@@ -475,12 +552,35 @@ mod tests {
                 arc: 0,
             },
             Request::Stats,
+            Request::Flush,
+            Request::Evict {
+                key: 0x00ff_abcd_00ff_abcd,
+            },
+            Request::Evict { key: 0 },
             Request::Shutdown,
         ];
         for req in reqs {
             let line = req.render();
             assert_eq!(Request::parse(line.trim_end()).unwrap(), req, "{line:?}");
         }
+    }
+
+    #[test]
+    fn evict_keys_must_be_exactly_sixteen_lowercase_hex_digits() {
+        for line in [
+            "{\"req\":\"evict\"}",
+            "{\"req\":\"evict\",\"key\":\"abc\"}",
+            "{\"req\":\"evict\",\"key\":\"00FFABCD00FFABCD\"}",
+            "{\"req\":\"evict\",\"key\":\"00ffabcd00ffabcg\"}",
+            "{\"req\":\"evict\",\"key\":\"00ffabcd00ffabcd0\"}",
+            "{\"req\":\"evict\",\"key\":7}",
+        ] {
+            assert!(Request::parse(line).is_err(), "{line:?} accepted");
+        }
+        assert_eq!(
+            Request::parse("{\"req\":\"evict\",\"key\":\"00000000000000ff\"}").unwrap(),
+            Request::Evict { key: 0xff }
+        );
     }
 
     #[test]
@@ -567,8 +667,13 @@ mod tests {
                 coalesced: 3,
                 warm_starts: 1,
                 disk_evictions: 5,
+                admin_flushes: 1,
+                admin_evictions: 2,
                 errors: 0,
             }),
+            Response::Flushed { mem: 4, disk: 9 },
+            Response::Evicted { removed: true },
+            Response::Evicted { removed: false },
             Response::Error("spec key \"apps\" has invalid value \"x\"".to_string()),
             Response::Ok,
         ];

@@ -338,6 +338,16 @@ fn handle_connection(
                 arc,
             }) => serve_optimize(&scenario, goal, arc, cache, inflight, gate, per_slot, cfg),
             Ok(Request::Stats) => Response::Stats(cache.lock().expect("cache poisoned").stats()),
+            Ok(Request::Flush) => {
+                let (mem, disk) = cache.lock().expect("cache poisoned").flush();
+                Response::Flushed {
+                    mem: mem as u64,
+                    disk: disk as u64,
+                }
+            }
+            Ok(Request::Evict { key }) => Response::Evicted {
+                removed: cache.lock().expect("cache poisoned").evict(key),
+            },
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::SeqCst);
                 Response::Ok
